@@ -1,0 +1,124 @@
+// Ablation: probe windows under network dynamics (§VI / Fig. 9's caveat).
+//
+// The paper observed that "longer histories in an environment with more
+// dynamic conditions can actually harm overall performance by
+// incorporating stale information". This bench creates those dynamic
+// conditions explicitly — slow routing drift re-ranking nearby replicas
+// every ~12 h, plus CDN replica outage churn — and compares window sizes
+// in a stable world vs the dynamic one.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "eval/series.hpp"
+
+namespace {
+
+using namespace crp;
+
+struct WindowResult {
+  double mean_rank = 0.0;
+  double p90_rank = 0.0;
+  std::vector<double> per_client_rank;  // includes non-comparable as rank
+};
+
+WindowResult rank_with_window(bench::SelectionExperiment& exp,
+                              std::size_t window) {
+  std::vector<core::RatioMap> client_maps;
+  for (HostId h : exp.world->dns_servers()) {
+    client_maps.push_back(exp.world->crp_node(h).ratio_map(window));
+  }
+  std::vector<core::RatioMap> candidate_maps;
+  for (HostId h : exp.world->candidates()) {
+    candidate_maps.push_back(exp.world->crp_node(h).ratio_map(window));
+  }
+  const auto outcomes =
+      eval::evaluate_crp_selection(*exp.gt, client_maps, candidate_maps, 1);
+  WindowResult result;
+  result.per_client_rank = eval::ranks_of(outcomes);
+  const auto comparable = eval::ranks_of(outcomes, /*comparable_only=*/true);
+  const Summary s = summarize(comparable);
+  result.mean_rank = s.mean;
+  result.p90_rank = s.p90;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::uint64_t kSeed = 5150;
+
+  eval::print_banner(std::cout,
+                     "Probe windows under routing drift + replica churn",
+                     "§VI staleness discussion (Fig. 9's caveat)", kSeed);
+
+  bench::Scale scale = bench::Scale::from_env();
+  scale.dns_servers = std::min<std::size_t>(scale.dns_servers, 250);
+  scale.candidates = std::min<std::size_t>(scale.candidates, 100);
+  scale.campaign = Hours(24 * 7);  // a week: several drift epochs
+
+  TextTable table;
+  table.header({"world", "window", "mean rank", "p90 rank",
+                "clients beating 'all'"});
+  const std::vector<std::pair<const char*, std::size_t>> windows{
+      {"all", core::kAllProbes}, {"30", 30}, {"10", 10}};
+
+  double stable_all = 0.0;
+  double dynamic_all = 0.0;
+  double dynamic_win10 = 0.0;
+  double stable_beat_frac = 0.0;
+  double dynamic_beat_frac = 0.0;
+
+  for (const bool dynamic : {false, true}) {
+    std::fprintf(stderr, "=== %s world ===\n",
+                 dynamic ? "dynamic" : "stable");
+    bench::SelectionExperiment exp{
+        kSeed, scale, eval::PolicyKind::kLatencyDriven,
+        [dynamic](eval::WorldConfig& config) {
+          // What matters is performance on upcoming transfers: measure
+          // ground truth over the campaign's final stretch.
+          config.ground_truth_window_fraction = 0.05;
+          if (dynamic) {
+            config.latency.route_shift_sigma = 0.35;
+            config.latency.route_shift_epoch = Hours(12);
+            config.health.outage_probability = 0.15;
+            config.health.outage_epoch = Hours(6);
+          }
+        }};
+    WindowResult all_result;
+    for (const auto& [label, window] : windows) {
+      const WindowResult r = rank_with_window(exp, window);
+      std::string beating = "-";
+      if (window == core::kAllProbes) {
+        all_result = r;
+      } else {
+        const double frac =
+            eval::fraction_better(r.per_client_rank,
+                                  all_result.per_client_rank);
+        beating = fmt_pct(frac);
+        if (dynamic && window == 10) dynamic_beat_frac = frac;
+        if (!dynamic && window == 10) stable_beat_frac = frac;
+      }
+      table.row({dynamic ? "dynamic" : "stable", label, fmt(r.mean_rank),
+                 fmt(r.p90_rank), beating});
+      if (!dynamic && window == core::kAllProbes) stable_all = r.mean_rank;
+      if (dynamic && window == core::kAllProbes) dynamic_all = r.mean_rank;
+      if (dynamic && window == 10) dynamic_win10 = r.mean_rank;
+    }
+    table.rule();
+  }
+
+  std::cout << "\n" << table.render();
+  std::cout << "\nreading: the paper found all-probes best for ~2/3 of "
+               "DNS servers but *worse* than\na 10-30 probe window for "
+               "the rest, blaming dynamic conditions. Here the\nfraction "
+               "of clients for which the 10-probe window beats the full "
+               "history grows\nfrom " << fmt_pct(stable_beat_frac)
+            << " (stable world) to " << fmt_pct(dynamic_beat_frac)
+            << " (drift + churn), and everyone pays for\nstaleness ("
+            << fmt(dynamic_all) << " vs " << fmt(stable_all)
+            << " mean rank; 10-probe window " << fmt(dynamic_win10)
+            << ").\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Ablation: how much does CRP depend on the premise that CDN redirection
+// is latency-driven ([42])?
+//
+// Re-runs the closest-node experiment under four redirection policies:
+// latency-driven (the premise), geo-static and sticky (position signal
+// but no dynamics), and random (no signal — CRP's null hypothesis).
+// Also prints the §III.B observation that hosts see a small set of
+// replicas frequently.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "eval/series.hpp"
+
+int main() {
+  using namespace crp;
+  constexpr std::uint64_t kSeed = 4242;
+
+  eval::print_banner(std::cout,
+                     "Redirection-policy ablation (CRP premise test)",
+                     "design ablation + §III.B replica-set observation",
+                     kSeed);
+
+  bench::Scale scale = bench::Scale::from_env();
+  scale.dns_servers = std::min<std::size_t>(scale.dns_servers, 300);
+  scale.candidates = std::min<std::size_t>(scale.candidates, 120);
+
+  TextTable table;
+  table.header({"redirection policy", "mean rank", "median rank",
+                "mean RTT (ms)", "distinct replicas/host",
+                "comparable clients"});
+
+  for (eval::PolicyKind policy :
+       {eval::PolicyKind::kLatencyDriven, eval::PolicyKind::kGeoStatic,
+        eval::PolicyKind::kSticky, eval::PolicyKind::kRandom}) {
+    std::fprintf(stderr, "--- policy: %s ---\n", eval::to_string(policy));
+    bench::SelectionExperiment exp{kSeed, scale, policy};
+    const auto outcomes = eval::evaluate_crp_selection(
+        *exp.gt, exp.client_maps, exp.candidate_maps, 1);
+
+    std::vector<double> ranks;
+    std::vector<double> rtts;
+    std::size_t comparable = 0;
+    for (const auto& o : outcomes) {
+      if (!o.comparable) continue;
+      ++comparable;
+      ranks.push_back(o.rank);
+      rtts.push_back(o.rtt_ms);
+    }
+    double distinct = 0.0;
+    for (HostId h : exp.world->dns_servers()) {
+      distinct += static_cast<double>(
+          exp.world->crp_node(h).history().distinct_replicas());
+    }
+    distinct /= static_cast<double>(exp.world->dns_servers().size());
+
+    const Summary r = summarize(ranks);
+    const Summary l = summarize(rtts);
+    table.row({eval::to_string(policy), fmt(r.mean), fmt(r.median),
+               fmt(l.mean), fmt(distinct, 1), fmt(comparable)});
+  }
+
+  std::cout << "\n" << table.render();
+  std::cout <<
+      "\nreading: latency-driven redirection (the paper's premise, "
+      "established in [42])\nyields near-optimal ranks; geo-static and "
+      "sticky retain most of the signal\n(position without dynamics); "
+      "random redirection destroys it — confirming that\nCRP's accuracy "
+      "comes from the CDN's network view, not from the mechanism "
+      "itself.\nThe distinct-replica column reproduces §III.B: hosts see "
+      "a small working set\nof replicas (paper: < 20 frequently seen).\n";
+  return 0;
+}

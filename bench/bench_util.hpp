@@ -1,0 +1,140 @@
+// Shared harness for the figure/table benches.
+//
+// `SelectionExperiment` reproduces the paper's closest-node-selection
+// setup (§V.A): a world with PlanetLab-like candidate servers and
+// DNS-server clients, a probing campaign, CRP ratio maps for everyone, a
+// Meridian overlay over the candidates, and direct-measurement ground
+// truth. Figs. 4, 5, 8, 9 and the ablations all start from here.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/history.hpp"
+#include "core/ratio_map.hpp"
+#include "eval/ground_truth.hpp"
+#include "eval/metrics.hpp"
+#include "eval/world.hpp"
+#include "meridian/overlay.hpp"
+
+namespace crp::bench {
+
+/// Scale knobs honoured by every bench: CRP_BENCH_SCALE=small shrinks the
+/// experiment for quick runs; full reproduces the paper's population.
+struct Scale {
+  std::size_t candidates = 240;
+  std::size_t dns_servers = 1000;
+  std::size_t replicas = 400;
+  Duration campaign = Hours(24);
+  Duration probe_interval = Minutes(10);
+
+  static Scale from_env() {
+    Scale scale;
+    const char* env = std::getenv("CRP_BENCH_SCALE");
+    if (env != nullptr && std::string{env} == "small") {
+      scale.candidates = 60;
+      scale.dns_servers = 150;
+      scale.replicas = 200;
+      scale.campaign = Hours(12);
+    }
+    return scale;
+  }
+};
+
+struct SelectionExperiment {
+  /// `patch` may adjust the world config before construction (e.g.
+  /// concentrate candidates in a few regions).
+  explicit SelectionExperiment(
+      std::uint64_t seed, Scale scale = {},
+      eval::PolicyKind policy = eval::PolicyKind::kLatencyDriven,
+      const std::function<void(eval::WorldConfig&)>& patch = nullptr) {
+    eval::WorldConfig config;
+    config.seed = seed;
+    config.num_candidates = scale.candidates;
+    config.num_dns_servers = scale.dns_servers;
+    config.cdn.target_replicas = scale.replicas;
+    config.policy_kind = policy;
+    if (patch) patch(config);
+
+    std::fprintf(stderr, "[world] building (%zu candidates, %zu clients, "
+                         "%zu replicas)...\n",
+                 scale.candidates, scale.dns_servers, scale.replicas);
+    world = std::make_unique<eval::World>(config);
+
+    std::fprintf(stderr, "[world] probing %.0f h campaign at %.0f min "
+                         "intervals...\n",
+                 (scale.campaign).seconds() / 3600.0,
+                 scale.probe_interval.minutes());
+    rounds = world->run_probing(SimTime::epoch(),
+                                SimTime::epoch() + scale.campaign,
+                                scale.probe_interval);
+
+    for (HostId h : world->dns_servers()) {
+      client_maps.push_back(world->crp_node(h).ratio_map());
+    }
+    for (HostId h : world->candidates()) {
+      candidate_maps.push_back(world->crp_node(h).ratio_map());
+    }
+
+    std::fprintf(stderr, "[world] measuring ground truth...\n");
+    gt = std::make_unique<eval::GroundTruthMatrix>(
+        *world, world->dns_servers(), world->candidates());
+  }
+
+  /// Runs the Meridian baseline over the candidates and returns each
+  /// client's selected candidate index. `faults` defaults to the paper's
+  /// observed PlanetLab pathology mix.
+  std::vector<std::size_t> run_meridian(
+      meridian::FaultSpec faults = paper_faults()) {
+    std::fprintf(stderr, "[meridian] bootstrapping overlay...\n");
+    meridian::MeridianConfig config;
+    config.seed = world->config().seed + 1;
+    overlay = std::make_unique<meridian::MeridianOverlay>(
+        world->oracle(),
+        std::vector<HostId>{world->candidates().begin(),
+                            world->candidates().end()},
+        config, faults);
+    overlay->bootstrap(SimTime::epoch());
+
+    std::fprintf(stderr, "[meridian] answering %zu queries...\n",
+                 world->dns_servers().size());
+    std::vector<std::size_t> choice;
+    Rng rng{world->config().seed + 2};
+    const SimTime query_time = world->campaign_end();
+    for (HostId client : world->dns_servers()) {
+      const auto result =
+          overlay->closest_node(overlay->random_entry(rng), client,
+                                query_time);
+      const auto it = std::find(world->candidates().begin(),
+                                world->candidates().end(), result.selected);
+      choice.push_back(static_cast<std::size_t>(
+          it - world->candidates().begin()));
+    }
+    return choice;
+  }
+
+  /// Fault mix matching §V.A's observations: restarted nodes answering
+  /// with themselves, a few that never joined, a couple of partitioned
+  /// sites.
+  static meridian::FaultSpec paper_faults() {
+    meridian::FaultSpec faults;
+    faults.selfish_fraction = 0.03;
+    faults.selfish_duration = Hours(17);  // 10 h mute + 7 h selfish
+    faults.dead_fraction = 0.02;
+    faults.partitioned_fraction = 0.03;
+    return faults;
+  }
+
+  std::unique_ptr<eval::World> world;
+  std::unique_ptr<eval::GroundTruthMatrix> gt;
+  std::unique_ptr<meridian::MeridianOverlay> overlay;
+  std::vector<core::RatioMap> client_maps;
+  std::vector<core::RatioMap> candidate_maps;
+  std::size_t rounds = 0;
+};
+
+}  // namespace crp::bench

@@ -1,0 +1,70 @@
+// Figure 5: relative error — RTT(selected) - RTT(optimal) per client,
+// for Meridian, CRP Top-1 and CRP Top-5 (for Top-5 the paper subtracts
+// the optimum from the *average* RTT of the five recommendations).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "eval/series.hpp"
+
+int main() {
+  using namespace crp;
+  constexpr std::uint64_t kSeed = 2008;  // same run as Figure 4
+
+  eval::print_banner(std::cout,
+                     "Relative selection errors: CRP vs Meridian",
+                     "Figure 5 (ICDCS 2008)", kSeed);
+
+  bench::SelectionExperiment exp{kSeed, bench::Scale::from_env()};
+  const auto meridian_choice = exp.run_meridian();
+
+  const auto meridian =
+      eval::evaluate_fixed_selection(*exp.gt, meridian_choice);
+  const auto crp_top1 = eval::evaluate_crp_selection(
+      *exp.gt, exp.client_maps, exp.candidate_maps, 1);
+  const auto crp_top5 = eval::evaluate_crp_selection(
+      *exp.gt, exp.client_maps, exp.candidate_maps, 5);
+
+  const auto meridian_err = eval::relative_errors_of(meridian);
+  const auto top1_err = eval::relative_errors_of(crp_top1);
+  const auto top5_err = eval::relative_errors_of(crp_top5);
+
+  std::cout << "\nRelative error vs optimal selection (ms), each curve "
+               "sorted per approach:\n\n";
+  eval::print_sorted_curves(std::cout, "client-pct",
+                            {{"meridian", meridian_err},
+                             {"crp-top1", top1_err},
+                             {"crp-top5", top5_err}});
+
+  TextTable stats;
+  stats.header({"metric", "meridian", "crp-top1", "crp-top5"});
+  const auto add_row = [&](const char* label, auto getter) {
+    stats.row({label, fmt(getter(summarize(meridian_err))),
+               fmt(getter(summarize(top1_err))),
+               fmt(getter(summarize(top5_err)))});
+  };
+  add_row("median error (ms)", [](const Summary& s) { return s.median; });
+  add_row("mean error (ms)", [](const Summary& s) { return s.mean; });
+  add_row("p90 error (ms)", [](const Summary& s) { return s.p90; });
+  add_row("max error (ms)", [](const Summary& s) { return s.max; });
+  std::cout << "\n" << stats.render();
+
+  // The paper notes most errors are small; quantify "small".
+  TextTable fractions;
+  fractions.header({"fraction of clients with error <", "meridian",
+                    "crp-top1", "crp-top5"});
+  for (double bound : {5.0, 10.0, 25.0, 50.0}) {
+    const auto frac = [bound](const std::vector<double>& errors) {
+      std::size_t n = 0;
+      for (double e : errors) {
+        if (e < bound) ++n;
+      }
+      return static_cast<double>(n) / static_cast<double>(errors.size());
+    };
+    fractions.row({fmt(bound, 0) + " ms", fmt_pct(frac(meridian_err)),
+                   fmt_pct(frac(top1_err)), fmt_pct(frac(top5_err))});
+  }
+  std::cout << "\n" << fractions.render();
+  return 0;
+}

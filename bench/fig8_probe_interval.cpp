@@ -1,0 +1,75 @@
+// Figure 8: average rank of the CRP Top-1 recommendation under different
+// probe intervals (20 / 100 / 500 / 2000 minutes).
+//
+// One long campaign is probed at a 10-minute base interval; each interval
+// curve is derived by striding the trace (the CDN's answer is a pure
+// function of (resolver, time), so probing every k-th instant observes
+// exactly the strided subsequence). Clients whose strided map shares no
+// replica with any candidate are dropped from that curve — the paper's
+// "smaller number of DNS servers plotted" effect.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "eval/series.hpp"
+
+int main() {
+  using namespace crp;
+  constexpr std::uint64_t kSeed = 2008;
+
+  eval::print_banner(std::cout, "CRP accuracy vs probe interval",
+                     "Figure 8 (ICDCS 2008)", kSeed);
+
+  // Long campaign: 14 simulated days at 10-minute probes, so even the
+  // 2000-minute interval yields ~10 probes (as in the paper's ~2-week
+  // measurement).
+  bench::Scale scale = bench::Scale::from_env();
+  scale.campaign = Hours(24 * 14);
+  scale.probe_interval = Minutes(10);
+  if (scale.dns_servers > 400) scale.dns_servers = 400;  // keep runtime sane
+  bench::SelectionExperiment exp{kSeed, scale};
+
+  const std::vector<std::pair<std::string, std::size_t>> intervals{
+      {"top1-20min", 2},     // every 2nd 10-min probe
+      {"top1-100min", 10},
+      {"top1-500min", 50},
+      {"top1-2000min", 200},
+  };
+
+  std::vector<eval::Series> curves;
+  TextTable stats;
+  stats.header({"interval", "clients comparable", "mean rank",
+                "median rank", "probes/client"});
+
+  for (const auto& [label, stride] : intervals) {
+    std::vector<double> ranks;
+    std::size_t probes_per_client = 0;
+    for (std::size_t c = 0; c < exp.world->dns_servers().size(); ++c) {
+      const auto& history =
+          exp.world->crp_node(exp.world->dns_servers()[c]).history();
+      const core::RatioMap client_map =
+          history.ratio_map_strided(stride);
+      probes_per_client = (history.num_probes() + stride - 1) / stride;
+      if (client_map.empty()) continue;
+      const auto top = core::select_top_k(client_map, exp.candidate_maps, 1);
+      if (top.empty() || top.front().similarity <= 0.0) continue;
+      ranks.push_back(
+          static_cast<double>(exp.gt->rank_of(c, top.front().index)));
+    }
+    const Summary s = summarize(ranks);
+    stats.row({label, fmt(ranks.size()), fmt(s.mean), fmt(s.median),
+               fmt(probes_per_client)});
+    curves.emplace_back(label, std::move(ranks));
+  }
+
+  std::cout << "\nAverage rank of CRP Top-1 (0 = optimal), each curve "
+               "sorted per interval:\n\n";
+  eval::print_sorted_curves(std::cout, "client-pct", curves, 1);
+  std::cout << "\n" << stats.render();
+  std::cout << "\npaper expectations: 100-minute intervals are nearly as "
+               "good as 20-minute ones\n(an effective service needs only "
+               "O(1) infrequent lookups); very long intervals\nlose "
+               "clients that never share a replica with any candidate.\n";
+  return 0;
+}

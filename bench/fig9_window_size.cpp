@@ -1,0 +1,69 @@
+// Figure 9: average rank of the CRP Top-1 recommendation for different
+// probe *window* sizes (all / 30 / 10 / 5 probes) at a fixed 10-minute
+// probe interval — the bootstrapping-time / staleness trade-off.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "eval/series.hpp"
+
+int main() {
+  using namespace crp;
+  constexpr std::uint64_t kSeed = 2008;
+
+  eval::print_banner(std::cout, "CRP accuracy vs probe window size",
+                     "Figure 9 (ICDCS 2008)", kSeed);
+
+  bench::Scale scale = bench::Scale::from_env();
+  scale.campaign = Hours(72);  // enough history for "all" to diverge
+  scale.probe_interval = Minutes(10);
+  if (scale.dns_servers > 400) scale.dns_servers = 400;
+  bench::SelectionExperiment exp{kSeed, scale};
+
+  const std::vector<std::pair<std::string, std::size_t>> windows{
+      {"top1-all-probes", core::kAllProbes},
+      {"top1-30-probes", 30},
+      {"top1-10-probes", 10},
+      {"top1-5-probes", 5},
+  };
+
+  std::vector<eval::Series> curves;
+  TextTable stats;
+  stats.header({"window", "clients comparable", "mean rank",
+                "median rank"});
+
+  // Candidate maps use the same window as clients: a deployed service
+  // would configure one window for everyone.
+  for (const auto& [label, window] : windows) {
+    std::vector<core::RatioMap> candidate_maps;
+    for (HostId h : exp.world->candidates()) {
+      candidate_maps.push_back(exp.world->crp_node(h).ratio_map(window));
+    }
+    std::vector<double> ranks;
+    for (std::size_t c = 0; c < exp.world->dns_servers().size(); ++c) {
+      const core::RatioMap client_map =
+          exp.world->crp_node(exp.world->dns_servers()[c])
+              .ratio_map(window);
+      if (client_map.empty()) continue;
+      const auto top = core::select_top_k(client_map, candidate_maps, 1);
+      if (top.empty() || top.front().similarity <= 0.0) continue;
+      ranks.push_back(
+          static_cast<double>(exp.gt->rank_of(c, top.front().index)));
+    }
+    const Summary s = summarize(ranks);
+    stats.row({label, fmt(ranks.size()), fmt(s.mean), fmt(s.median)});
+    curves.emplace_back(label, std::move(ranks));
+  }
+
+  std::cout << "\nAverage rank of CRP Top-1 (0 = optimal), each curve "
+               "sorted per window:\n\n";
+  eval::print_sorted_curves(std::cout, "client-pct", curves, 1);
+  std::cout << "\n" << stats.render();
+  std::cout << "\npaper expectations: a 10-probe window is sufficient "
+               "(bootstrapping ~100 min at\n10-min probes); 30 probes "
+               "helps slightly; 'all probes' is better for most\nclients "
+               "but can hurt under dynamic conditions by keeping stale "
+               "history.\n";
+  return 0;
+}

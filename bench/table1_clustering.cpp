@@ -1,0 +1,48 @@
+// Table I: summary statistics for clusters formed by CRP (at thresholds
+// t = 0.01, 0.1, 0.5) and by ASN-based clustering, over 177 broadly
+// distributed DNS servers.
+#include <iostream>
+
+#include "clustering_util.hpp"
+#include "common/table.hpp"
+#include "eval/series.hpp"
+
+int main() {
+  using namespace crp;
+  constexpr std::uint64_t kSeed = 177;
+
+  eval::print_banner(std::cout,
+                     "Cluster summary: CRP thresholds vs ASN baseline",
+                     "Table I (ICDCS 2008)", kSeed);
+
+  bench::ClusteringExperiment exp{kSeed};
+
+  TextTable table;
+  table.header({"technique", "# nodes clustered", "% nodes clustered",
+                "# of clusters", "[mean, median, max] cluster size"});
+
+  const auto add_row = [&table, &exp](const std::string& label,
+                                      const core::Clustering& clustering) {
+    const auto stats =
+        core::clustering_stats(clustering, exp.nodes.size());
+    table.row({label, fmt(stats.nodes_clustered),
+               fmt_pct(stats.fraction_clustered),
+               fmt(stats.num_clusters),
+               "[" + fmt(stats.mean_size) + ", " + fmt(stats.median_size) +
+                   ", " + fmt(stats.max_size) + "]"});
+  };
+
+  for (double t : {0.01, 0.1, 0.5}) {
+    add_row("CRP (t=" + fmt(t, t < 0.1 ? 2 : 1) + ")",
+            exp.crp_clustering(t));
+  }
+  add_row("ASN", exp.asn_clustering());
+
+  std::cout << "\n" << table.render();
+  std::cout <<
+      "\npaper expectations: lower t clusters more nodes into larger "
+      "clusters;\nCRP clusters ~3x the nodes ASN does and finds >2x the "
+      "clusters, because it\ncan group nearby nodes that sit in "
+      "different ASes.\n";
+  return 0;
+}

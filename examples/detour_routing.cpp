@@ -1,0 +1,81 @@
+// Example: CDN-informed one-hop detour routing ("drafting behind
+// Akamai", the authors' earlier study [42] that established CRP's
+// premise).
+//
+// For pairs of distant hosts, compare the direct path against one-hop
+// detours through the CDN replicas each endpoint is redirected to. The
+// original study found the best replica-detour beats the direct path in
+// roughly half of the scenarios; this example reproduces that experiment
+// shape over the simulated Internet (where quirky/inflated routes make
+// detours profitable).
+//
+// Build & run:  cmake --build build && ./build/examples/detour_routing
+#include <cstdio>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "eval/world.hpp"
+
+int main() {
+  using namespace crp;
+
+  eval::WorldConfig config;
+  config.seed = 23;
+  config.num_candidates = 2;
+  config.num_dns_servers = 80;
+  config.cdn.target_replicas = 500;
+
+  std::printf("building world (80 hosts)...\n");
+  eval::World world{config};
+  world.run_probing(SimTime::epoch(), SimTime::epoch() + Hours(12),
+                    Minutes(10));
+
+  // Consider inter-region pairs (detours rarely help short paths).
+  std::size_t scenarios = 0;
+  std::size_t detour_wins = 0;
+  OnlineStats improvement_ms;
+  const SimTime t = world.campaign_end();
+
+  const auto& servers = world.dns_servers();
+  for (std::size_t i = 0; i < servers.size(); ++i) {
+    for (std::size_t j = i + 1; j < servers.size(); ++j) {
+      const HostId a = servers[i];
+      const HostId b = servers[j];
+      if (world.topology().host(a).region ==
+          world.topology().host(b).region) {
+        continue;
+      }
+      const double direct = world.oracle().rtt_ms(a, b, t);
+
+      // Candidate relays: the replicas either endpoint was redirected to
+      // (known from the ratio maps — no extra discovery needed).
+      double best_detour = 1e18;
+      for (const HostId endpoint : {a, b}) {
+        const core::RatioMap map = world.crp_node(endpoint).ratio_map();
+        for (const auto& [replica, ratio] : map.entries()) {
+          const HostId relay = world.deployment().replica(replica).host;
+          best_detour = std::min(
+              best_detour, world.oracle().rtt_ms(a, relay, t) +
+                               world.oracle().rtt_ms(relay, b, t));
+        }
+      }
+      ++scenarios;
+      if (best_detour < direct) {
+        ++detour_wins;
+        improvement_ms.add(direct - best_detour);
+      }
+    }
+  }
+
+  std::printf("\ninter-region pairs evaluated: %zu\n", scenarios);
+  std::printf("one-hop replica detour beats direct path: %.0f%% "
+              "(paper [42]: ~50%%)\n",
+              100.0 * static_cast<double>(detour_wins) /
+                  static_cast<double>(scenarios));
+  std::printf("mean saving when the detour wins: %.1f ms (max %.1f ms)\n",
+              improvement_ms.mean(), improvement_ms.max());
+  std::printf("\nthe detour relays came from redirection maps the nodes "
+              "already had —\nthe same reuse-the-CDN's-measurements idea "
+              "CRP builds on.\n");
+  return 0;
+}

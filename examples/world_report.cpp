@@ -1,0 +1,94 @@
+// Example: census of a generated world.
+//
+// Prints what the simulated Internet actually looks like — region sizes,
+// AS tiers, CDN footprint versus coverage, RTT structure, and what a CRP
+// probe sees — so users can sanity-check the substrate their experiments
+// run on.
+//
+// Build & run:  cmake --build build && ./build/examples/world_report
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "eval/world.hpp"
+
+int main() {
+  using namespace crp;
+
+  eval::WorldConfig config;
+  config.seed = 42;
+  config.num_candidates = 50;
+  config.num_dns_servers = 150;
+  config.cdn.target_replicas = 400;
+
+  std::printf("building world (seed %llu)...\n\n",
+              static_cast<unsigned long long>(config.seed));
+  eval::World world{config};
+  const auto& topo = world.topology();
+
+  // --- region census ---
+  std::map<RegionId, std::size_t> ases;
+  std::map<RegionId, std::size_t> pops;
+  std::map<RegionId, std::size_t> hosts;
+  std::map<RegionId, std::size_t> replicas;
+  for (const auto& as : topo.ases()) ++ases[as.region];
+  for (const auto& pop : topo.pops()) ++pops[pop.region];
+  for (const auto& host : topo.hosts()) {
+    if (host.kind == netsim::HostKind::kReplicaServer) {
+      ++replicas[host.region];
+    } else {
+      ++hosts[host.region];
+    }
+  }
+  TextTable regions;
+  regions.header({"region", "weight", "coverage", "ASes", "PoPs", "hosts",
+                  "replicas"});
+  for (const auto& r : topo.regions()) {
+    regions.row({r.name, fmt(r.population_weight, 1),
+                 fmt(r.cdn_coverage, 2), fmt(ases[r.id]), fmt(pops[r.id]),
+                 fmt(hosts[r.id]), fmt(replicas[r.id])});
+  }
+  std::cout << regions.render();
+
+  // --- RTT structure ---
+  Rng rng{7};
+  std::vector<double> intra;
+  std::vector<double> inter;
+  const auto dns = world.dns_servers();
+  for (int trial = 0; trial < 4000; ++trial) {
+    const HostId a = rng.pick(std::vector<HostId>{dns.begin(), dns.end()});
+    const HostId b = rng.pick(std::vector<HostId>{dns.begin(), dns.end()});
+    if (a == b) continue;
+    const double rtt = world.oracle().base_rtt_ms(a, b);
+    (topo.host(a).region == topo.host(b).region ? intra : inter)
+        .push_back(rtt);
+  }
+  const Summary si = summarize(intra);
+  const Summary sx = summarize(inter);
+  std::printf("\nRTT structure (base, ms):\n");
+  std::printf("  intra-region: median %6.1f  p90 %6.1f  max %6.1f\n",
+              si.median, si.p90, si.max);
+  std::printf("  inter-region: median %6.1f  p90 %6.1f  max %6.1f\n",
+              sx.median, sx.p90, sx.max);
+
+  // --- what a probe sees ---
+  world.run_probing(SimTime::epoch(), SimTime::epoch() + Hours(6),
+                    Minutes(10));
+  OnlineStats distinct;
+  for (HostId h : dns) {
+    distinct.add(static_cast<double>(
+        world.crp_node(h).history().distinct_replicas()));
+  }
+  std::printf("\nafter a 6 h probing campaign (10 min interval, %zu CDN "
+              "names):\n",
+              world.catalog().size());
+  std::printf("  distinct replicas seen per host: mean %.1f  min %.0f  "
+              "max %.0f\n",
+              distinct.mean(), distinct.min(), distinct.max());
+  std::printf("  CDN authoritative served %zu queries (TTL %.0f s)\n",
+              world.cdn_queries_served(),
+              Seconds(20).seconds());
+  return 0;
+}

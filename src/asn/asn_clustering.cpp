@@ -1,0 +1,48 @@
+#include "asn/asn_clustering.hpp"
+
+#include <limits>
+#include <map>
+
+#include "core/cluster_quality.hpp"
+
+namespace crp::asn {
+
+core::Clustering asn_cluster(const netsim::Topology& topo,
+                             const std::vector<HostId>& nodes,
+                             const core::DistanceFn& rtt_ms) {
+  // Group node indices by ASN (ordered map keeps output deterministic).
+  std::map<AsnId, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    groups[topo.host(nodes[i]).asn].push_back(i);
+  }
+
+  core::Clustering out;
+  out.assignment.assign(nodes.size(), 0);
+  for (auto& [asn, members] : groups) {
+    core::Clustering::Cluster cluster;
+    cluster.members = members;
+
+    // Center: RTT-medoid if distances are available.
+    cluster.center = members.front();
+    if (rtt_ms && members.size() > 2) {
+      double best = std::numeric_limits<double>::infinity();
+      for (std::size_t candidate : members) {
+        double sum = 0.0;
+        for (std::size_t other : members) {
+          if (other != candidate) sum += rtt_ms(candidate, other);
+        }
+        if (sum < best) {
+          best = sum;
+          cluster.center = candidate;
+        }
+      }
+    }
+
+    const std::size_t index = out.clusters.size();
+    for (std::size_t m : members) out.assignment[m] = index;
+    out.clusters.push_back(std::move(cluster));
+  }
+  return out;
+}
+
+}  // namespace crp::asn

@@ -1,0 +1,28 @@
+// ASN-based clustering — the paper's clustering baseline (§V.B).
+//
+// Nodes in the same autonomous system are grouped into one cluster
+// (membership from RouteViews in the paper; intrinsic to the generated
+// topology here). It encodes real network structure but cannot group
+// nearby nodes that live in *different* ASes — which is exactly where CRP
+// finds its extra clusters (Table I, Fig. 7).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "core/cluster_quality.hpp"
+#include "core/clustering.hpp"
+#include "netsim/topology.hpp"
+
+namespace crp::asn {
+
+/// Clusters `nodes` (host IDs, the caller's index order) by AS number.
+/// Cluster centers are RTT-medoids under `rtt_ms` when provided (the
+/// member minimizing summed distance to the others), otherwise the first
+/// member.
+[[nodiscard]] core::Clustering asn_cluster(
+    const netsim::Topology& topo, const std::vector<HostId>& nodes,
+    const core::DistanceFn& rtt_ms = nullptr);
+
+}  // namespace crp::asn

@@ -1,0 +1,69 @@
+// The CDN's dynamic authoritative DNS server.
+//
+// Serves the CDN zone ("g.cdnsim.net"): A queries for a customer's CDN
+// name are answered with replica addresses chosen by the redirection
+// policy for the *querying resolver* — the same per-resolver granularity
+// production CDNs use, with a short TTL (Akamai: 20 s) so answers stay
+// fresh.
+#pragma once
+
+#include <cstdint>
+
+#include "cdn/customer.hpp"
+#include "cdn/deployment.hpp"
+#include "cdn/redirection.hpp"
+#include "common/time.hpp"
+#include "dns/zone.hpp"
+#include "netsim/topology.hpp"
+
+namespace crp::cdn {
+
+struct CdnAuthoritativeConfig {
+  /// TTL on A answers; the paper notes Akamai used 20 seconds.
+  Duration answer_ttl = Seconds(20);
+};
+
+class CdnAuthoritative final : public dns::AuthoritativeServer {
+ public:
+  /// `topo`, `catalog`, `deployment` and `policy` must outlive the server.
+  /// `host` is the server's own location (for resolver->authoritative
+  /// latency accounting).
+  CdnAuthoritative(const netsim::Topology& topo,
+                   const CustomerCatalog& catalog,
+                   const Deployment& deployment, RedirectionPolicy& policy,
+                   HostId host, CdnAuthoritativeConfig config = {});
+
+  dns::Message resolve(const dns::Question& question, Ipv4 resolver_addr,
+                       SimTime now) override;
+  [[nodiscard]] HostId host() const override { return host_; }
+
+  /// Queries answered so far (the load a CRP service imposes on the CDN —
+  /// see the commensalism discussion, §VI).
+  [[nodiscard]] std::size_t queries_served() const { return queries_; }
+
+ private:
+  const netsim::Topology* topo_;
+  const CustomerCatalog* catalog_;
+  const Deployment* deployment_;
+  RedirectionPolicy* policy_;
+  HostId host_;
+  CdnAuthoritativeConfig config_;
+  std::size_t queries_ = 0;
+};
+
+/// Registers a full CDN DNS setup in `registry`: one static zone per
+/// customer (CNAME web name -> CDN name, hosted at `customer_dns_host`)
+/// and the dynamic CDN authoritative for the CDN zone. The returned zones
+/// must be kept alive by the caller.
+struct CdnDnsSetup {
+  std::vector<std::unique_ptr<dns::StaticZone>> customer_zones;
+  std::unique_ptr<CdnAuthoritative> authoritative;
+};
+
+[[nodiscard]] CdnDnsSetup register_cdn_dns(
+    dns::ZoneRegistry& registry, const netsim::Topology& topo,
+    const CustomerCatalog& catalog, const Deployment& deployment,
+    RedirectionPolicy& policy, HostId cdn_dns_host, HostId customer_dns_host,
+    CdnAuthoritativeConfig config = {});
+
+}  // namespace crp::cdn

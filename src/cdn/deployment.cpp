@@ -1,0 +1,107 @@
+#include "cdn/deployment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "netsim/topology_builder.hpp"
+
+namespace crp::cdn {
+
+Deployment Deployment::build(netsim::Topology& topo,
+                             const DeploymentConfig& config) {
+  Deployment d;
+  Rng rng{hash_combine({config.seed, stable_hash("cdn-deployment")})};
+
+  // Per-region replica counts proportional to weight * coverage.
+  double total_share = 0.0;
+  for (const netsim::Region& r : topo.regions()) {
+    total_share += r.population_weight * r.cdn_coverage;
+  }
+  if (total_share <= 0.0) {
+    throw std::invalid_argument{"Deployment::build: zero total coverage"};
+  }
+
+  const auto add_replica = [&](PopId pop, bool fallback) {
+    const HostId host = netsim::place_host_at_pop(
+        topo, netsim::HostKind::kReplicaServer, pop, rng);
+    ReplicaServer replica;
+    replica.id = ReplicaId{static_cast<ReplicaId::value_type>(
+        d.replicas_.size())};
+    replica.host = host;
+    replica.pop = pop;
+    replica.region = topo.pop(pop).region;
+    replica.origin_fallback = fallback;
+    d.by_address_[topo.host(host).address()] = replica.id;
+    if (fallback) d.fallbacks_.push_back(replica.id);
+    d.replicas_.push_back(replica);
+  };
+
+  const auto tier_weight = [&](PopId pop) {
+    switch (topo.as_of(topo.pop(pop).asn).tier) {
+      case 1:
+        return config.tier1_weight;
+      case 2:
+        return config.tier2_weight;
+      default:
+        return config.tier3_weight;
+    }
+  };
+
+  RegionId best_region;
+  double best_coverage = -1.0;
+  for (const netsim::Region& region : topo.regions()) {
+    if (region.cdn_coverage > best_coverage) {
+      best_coverage = region.cdn_coverage;
+      best_region = region.id;
+    }
+
+    const double share =
+        region.population_weight * region.cdn_coverage / total_share;
+    const auto count = static_cast<std::size_t>(
+        std::lround(share * static_cast<double>(config.target_replicas)));
+    if (count == 0) continue;
+
+    const std::vector<PopId> pops = topo.pops_in_region(region.id);
+    if (pops.empty()) continue;
+    std::vector<double> weights;
+    weights.reserve(pops.size());
+    for (PopId p : pops) weights.push_back(tier_weight(p));
+
+    for (std::size_t i = 0; i < count; ++i) {
+      add_replica(pops[rng.weighted_index(weights)], /*fallback=*/false);
+    }
+  }
+
+  // Origin fallbacks sit in the flagship region's tier-1 PoPs.
+  const std::vector<PopId> flagship = topo.pops_in_region(best_region);
+  if (!flagship.empty()) {
+    std::vector<double> weights;
+    weights.reserve(flagship.size());
+    for (PopId p : flagship) weights.push_back(tier_weight(p));
+    for (std::size_t i = 0; i < config.origin_fallbacks; ++i) {
+      add_replica(flagship[rng.weighted_index(weights)], /*fallback=*/true);
+    }
+  }
+
+  if (d.replicas_.empty()) {
+    throw std::runtime_error{"Deployment::build: no replicas placed"};
+  }
+  return d;
+}
+
+std::optional<ReplicaId> Deployment::replica_of_address(Ipv4 addr) const {
+  const auto it = by_address_.find(addr);
+  if (it == by_address_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<ReplicaId> Deployment::replicas_in_region(RegionId r) const {
+  std::vector<ReplicaId> out;
+  for (const ReplicaServer& replica : replicas_) {
+    if (replica.region == r) out.push_back(replica.id);
+  }
+  return out;
+}
+
+}  // namespace crp::cdn

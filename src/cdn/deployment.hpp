@@ -1,0 +1,84 @@
+// CDN replica deployment.
+//
+// Places edge servers at PoPs across the topology in proportion to each
+// region's population weight *and* CDN coverage — dense in the big markets,
+// thin elsewhere. The uneven footprint is what produces the paper's
+// poor-coverage tails (the New Zealand DNS server redirected to replicas in
+// Massachusetts, Tennessee and Japan). A few "origin fallback" servers
+// model the far-away Akamai-owned addresses §VI describes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/ipv4.hpp"
+#include "common/rng.hpp"
+#include "netsim/topology.hpp"
+
+namespace crp::cdn {
+
+struct ReplicaServer {
+  ReplicaId id;
+  HostId host;
+  PopId pop;
+  RegionId region;
+  /// True for origin-fallback servers returned when edge coverage near a
+  /// client is poor; they are typically far from the client.
+  bool origin_fallback = false;
+};
+
+struct DeploymentConfig {
+  std::uint64_t seed = 7;
+  /// Total edge replicas to place (excluding origin fallbacks).
+  std::size_t target_replicas = 400;
+  /// Number of origin-fallback servers, placed in the best-covered region.
+  std::size_t origin_fallbacks = 4;
+  /// Relative preference for placing replicas in tier-1/2/3 AS PoPs.
+  double tier1_weight = 3.0;
+  double tier2_weight = 2.0;
+  double tier3_weight = 0.5;
+};
+
+/// Immutable replica placement. Building it adds the replica hosts to the
+/// topology (kind = kReplicaServer).
+class Deployment {
+ public:
+  /// Builds a deployment and registers its hosts in `topo`.
+  static Deployment build(netsim::Topology& topo,
+                          const DeploymentConfig& config);
+
+  [[nodiscard]] std::span<const ReplicaServer> replicas() const {
+    return replicas_;
+  }
+  [[nodiscard]] const ReplicaServer& replica(ReplicaId id) const {
+    return replicas_.at(id.index());
+  }
+  [[nodiscard]] std::size_t size() const { return replicas_.size(); }
+
+  /// Maps a replica host address back to its replica ID (the view a CRP
+  /// client has: it only sees A records).
+  [[nodiscard]] std::optional<ReplicaId> replica_of_address(Ipv4 addr) const;
+
+  [[nodiscard]] bool is_origin_fallback(ReplicaId id) const {
+    return replica(id).origin_fallback;
+  }
+
+  /// IDs of all origin-fallback replicas.
+  [[nodiscard]] std::span<const ReplicaId> fallbacks() const {
+    return fallbacks_;
+  }
+
+  /// Replicas located in the given region.
+  [[nodiscard]] std::vector<ReplicaId> replicas_in_region(RegionId r) const;
+
+ private:
+  std::vector<ReplicaServer> replicas_;
+  std::vector<ReplicaId> fallbacks_;
+  std::unordered_map<Ipv4, ReplicaId> by_address_;
+};
+
+}  // namespace crp::cdn

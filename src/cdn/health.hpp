@@ -1,0 +1,45 @@
+// Replica availability churn.
+//
+// Real CDN fleets lose and regain edge servers continuously (maintenance,
+// overload suspension, deployment changes) — part of why redirection sets
+// drift over long time scales and stale CRP histories lose value. Modeled
+// as a stateless hash: replica r is out of service during outage-epoch e
+// with the configured probability, deterministically per seed.
+#pragma once
+
+#include <cstdint>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
+
+namespace crp::cdn {
+
+struct HealthConfig {
+  std::uint64_t seed = 37;
+  /// Probability a replica is unavailable during a given epoch.
+  double outage_probability = 0.0;
+  Duration outage_epoch = Hours(6);
+};
+
+class ReplicaHealth {
+ public:
+  explicit ReplicaHealth(HealthConfig config) : config_(config) {}
+
+  [[nodiscard]] bool available(ReplicaId replica, SimTime t) const {
+    if (config_.outage_probability <= 0.0) return true;
+    const std::int64_t epoch =
+        t.micros() / std::max<std::int64_t>(1, config_.outage_epoch.micros());
+    const std::uint64_t h =
+        hash_combine({config_.seed, stable_hash("replica-outage"),
+                      replica.value(), static_cast<std::uint64_t>(epoch)});
+    return hash_to_unit(h) >= config_.outage_probability;
+  }
+
+  [[nodiscard]] const HealthConfig& config() const { return config_; }
+
+ private:
+  HealthConfig config_;
+};
+
+}  // namespace crp::cdn

@@ -1,0 +1,200 @@
+#include "cdn/redirection.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "netsim/geo.hpp"
+
+namespace crp::cdn {
+
+namespace {
+
+/// Nearest `pool` replicas (edge only) to `resolver` under `cost`.
+template <typename CostFn>
+std::vector<ReplicaId> nearest_replicas(const Deployment& deployment,
+                                        std::size_t pool, CostFn cost) {
+  std::vector<std::pair<double, ReplicaId>> ranked;
+  ranked.reserve(deployment.size());
+  for (const ReplicaServer& r : deployment.replicas()) {
+    if (r.origin_fallback) continue;
+    ranked.emplace_back(cost(r), r.id);
+  }
+  const std::size_t keep = std::min(pool, ranked.size());
+  std::partial_sort(ranked.begin(), ranked.begin() + static_cast<long>(keep),
+                    ranked.end());
+  std::vector<ReplicaId> out;
+  out.reserve(keep);
+  for (std::size_t i = 0; i < keep; ++i) out.push_back(ranked[i].second);
+  return out;
+}
+
+std::int64_t epoch_index(SimTime t, Duration epoch) {
+  return t.micros() / std::max<std::int64_t>(1, epoch.micros());
+}
+
+}  // namespace
+
+LatencyDrivenPolicy::LatencyDrivenPolicy(const netsim::LatencyOracle& oracle,
+                                         const Deployment& deployment,
+                                         const MeasurementSystem& measurement,
+                                         LatencyPolicyConfig config)
+    : oracle_(&oracle),
+      deployment_(&deployment),
+      measurement_(&measurement),
+      config_(config) {}
+
+const std::vector<ReplicaId>& LatencyDrivenPolicy::candidates(
+    HostId resolver) {
+  const auto it = candidate_cache_.find(resolver);
+  if (it != candidate_cache_.end()) return it->second;
+  auto list = nearest_replicas(
+      *deployment_, config_.candidate_pool, [&](const ReplicaServer& r) {
+        return oracle_->base_rtt_ms(resolver, r.host);
+      });
+  return candidate_cache_.emplace(resolver, std::move(list)).first->second;
+}
+
+std::vector<ReplicaId> LatencyDrivenPolicy::select(HostId resolver,
+                                                   const Customer& customer,
+                                                   SimTime now, int count) {
+  if (count <= 0) return {};
+
+  // Candidates near this resolver that also serve this customer, ranked
+  // by the measurement subsystem's *current* estimate.
+  std::vector<std::pair<double, ReplicaId>> ranked;
+  for (ReplicaId id : candidates(resolver)) {
+    if (!customer.serves(id)) continue;
+    if (health_ != nullptr && !health_->available(id, now)) continue;
+    ranked.emplace_back(
+        measurement_->estimate_ms(resolver, deployment_->replica(id).host,
+                                  now),
+        id);
+  }
+  std::sort(ranked.begin(), ranked.end());
+
+  const std::int64_t epoch = epoch_index(now, config_.rotation_epoch);
+  Rng rng{hash_combine({config_.seed, stable_hash("redirect"),
+                        resolver.value(),
+                        static_cast<std::uint64_t>(customer.index),
+                        static_cast<std::uint64_t>(epoch)})};
+
+  // Poor coverage: sometimes answer origin fallbacks instead of edges.
+  const bool poorly_covered =
+      ranked.empty() || ranked.front().first > config_.coverage_threshold_ms;
+  if (poorly_covered && !deployment_->fallbacks().empty() &&
+      rng.bernoulli(config_.fallback_probability)) {
+    std::vector<ReplicaId> out;
+    const auto fallbacks = deployment_->fallbacks();
+    const auto take =
+        std::min<std::size_t>(static_cast<std::size_t>(count),
+                              fallbacks.size());
+    auto picks = rng.sample_indices(fallbacks.size(), take);
+    out.reserve(take);
+    for (std::size_t i : picks) out.push_back(fallbacks[i]);
+    return out;
+  }
+  if (ranked.empty()) {
+    // No edge candidate serves this customer near here and no fallback
+    // drawn: answer the globally best-effort fallbacks deterministically.
+    const auto fallbacks = deployment_->fallbacks();
+    std::vector<ReplicaId> out;
+    for (std::size_t i = 0;
+         i < fallbacks.size() && out.size() < static_cast<std::size_t>(count);
+         ++i) {
+      out.push_back(fallbacks[i]);
+    }
+    if (out.empty()) {
+      throw std::runtime_error{
+          "LatencyDrivenPolicy: no replica available for customer"};
+    }
+    return out;
+  }
+
+  // Rotation: draw `count` distinct replicas from the top of the ranking,
+  // weighted toward the best. This is the load-balancing rotation that
+  // turns redirections into frequency distributions (ratio maps).
+  const std::size_t pool = std::min(config_.rotation_pool, ranked.size());
+  std::vector<double> weights(pool);
+  for (std::size_t i = 0; i < pool; ++i) {
+    weights[i] =
+        std::pow(1.0 + static_cast<double>(i), -config_.rank_exponent);
+  }
+  std::vector<ReplicaId> out;
+  const auto want =
+      std::min<std::size_t>(static_cast<std::size_t>(count), pool);
+  std::vector<double> w = weights;
+  for (std::size_t pick = 0; pick < want; ++pick) {
+    const std::size_t idx = rng.weighted_index(w);
+    out.push_back(ranked[idx].second);
+    w[idx] = 0.0;  // without replacement
+  }
+  return out;
+}
+
+GeoStaticPolicy::GeoStaticPolicy(const netsim::Topology& topo,
+                                 const Deployment& deployment)
+    : topo_(&topo), deployment_(&deployment) {}
+
+std::vector<ReplicaId> GeoStaticPolicy::select(HostId resolver,
+                                               const Customer& customer,
+                                               SimTime /*now*/, int count) {
+  if (count <= 0) return {};
+  auto it = cache_.find(resolver);
+  if (it == cache_.end()) {
+    const netsim::GeoPoint where = topo_->host(resolver).location;
+    auto list = nearest_replicas(
+        *deployment_, 32, [&](const ReplicaServer& r) {
+          return netsim::great_circle_km(where,
+                                         topo_->host(r.host).location);
+        });
+    it = cache_.emplace(resolver, std::move(list)).first;
+  }
+  std::vector<ReplicaId> out;
+  for (ReplicaId id : it->second) {
+    if (!customer.serves(id)) continue;
+    out.push_back(id);
+    if (out.size() == static_cast<std::size_t>(count)) break;
+  }
+  if (out.empty() && !deployment_->fallbacks().empty()) {
+    out.push_back(deployment_->fallbacks().front());
+  }
+  return out;
+}
+
+RandomPolicy::RandomPolicy(const Deployment& deployment, std::uint64_t seed,
+                           Duration rotation_epoch)
+    : deployment_(&deployment), seed_(seed), rotation_epoch_(rotation_epoch) {}
+
+std::vector<ReplicaId> RandomPolicy::select(HostId resolver,
+                                            const Customer& customer,
+                                            SimTime now, int count) {
+  if (count <= 0 || customer.replica_subset.empty()) return {};
+  const std::int64_t epoch = epoch_index(now, rotation_epoch_);
+  Rng rng{hash_combine({seed_, stable_hash("random-redirect"),
+                        resolver.value(),
+                        static_cast<std::uint64_t>(customer.index),
+                        static_cast<std::uint64_t>(epoch)})};
+  const auto take = std::min<std::size_t>(static_cast<std::size_t>(count),
+                                          customer.replica_subset.size());
+  const auto picks = rng.sample_indices(customer.replica_subset.size(), take);
+  std::vector<ReplicaId> out;
+  out.reserve(take);
+  for (std::size_t i : picks) out.push_back(customer.replica_subset[i]);
+  return out;
+}
+
+StickyPolicy::StickyPolicy(const netsim::LatencyOracle& oracle,
+                           const Deployment& deployment,
+                           const MeasurementSystem& measurement,
+                           LatencyPolicyConfig config)
+    : inner_(oracle, deployment, measurement, config) {}
+
+std::vector<ReplicaId> StickyPolicy::select(HostId resolver,
+                                            const Customer& customer,
+                                            SimTime /*now*/, int count) {
+  // Always answer as if it were the first rotation epoch.
+  return inner_.select(resolver, customer, SimTime::epoch(), count);
+}
+
+}  // namespace crp::cdn

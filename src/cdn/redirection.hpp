@@ -1,0 +1,153 @@
+// CDN redirection policies.
+//
+// The redirection policy decides which replica addresses the CDN's
+// authoritative DNS returns to a given resolver at a given time. The
+// paper's premise (established in [42], "Drafting behind Akamai") is that
+// production redirection is primarily *latency-driven* and updated
+// frequently; `LatencyDrivenPolicy` implements exactly that and is the
+// default everywhere. The other policies exist for the ablation bench:
+// CRP's accuracy should degrade in a predictable way when the premise is
+// weakened (geo-static, sticky) or removed entirely (random).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cdn/customer.hpp"
+#include "cdn/deployment.hpp"
+#include "cdn/health.hpp"
+#include "cdn/measurement.hpp"
+#include "common/ids.hpp"
+#include "common/time.hpp"
+#include "netsim/latency_model.hpp"
+
+namespace crp::cdn {
+
+/// Strategy interface: choose replicas for (resolver, customer, time).
+/// Implementations must be deterministic functions of their inputs (and
+/// their construction seed) — two queries in the same rotation epoch get
+/// the same answer, like a cached DNS response would.
+class RedirectionPolicy {
+ public:
+  virtual ~RedirectionPolicy() = default;
+
+  /// Returns `count` distinct replica IDs serving `customer`, best first.
+  /// Never returns an empty vector for a non-empty customer subset.
+  [[nodiscard]] virtual std::vector<ReplicaId> select(
+      HostId resolver, const Customer& customer, SimTime now,
+      int count) = 0;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+struct LatencyPolicyConfig {
+  std::uint64_t seed = 17;
+  /// Nearest replicas (by static RTT) considered per resolver. This is the
+  /// CDN's "candidate set" — production systems also prune this way.
+  std::size_t candidate_pool = 48;
+  /// Size of the rotation pool: the top candidates by current estimate
+  /// among which answers rotate for load balancing.
+  std::size_t rotation_pool = 8;
+  /// How often the rotation re-draws (the CDN answer TTL).
+  Duration rotation_epoch = Seconds(20);
+  /// Weight exponent: higher concentrates answers on the very best
+  /// replicas; weight(rank) = (1 + rank)^-exponent.
+  double rank_exponent = 1.6;
+  /// If the best candidate's estimated RTT exceeds this, the region is
+  /// considered poorly covered and origin fallbacks may be answered.
+  double coverage_threshold_ms = 85.0;
+  double fallback_probability = 0.35;
+};
+
+/// Latency-driven redirection with load-balancing rotation (the premise).
+class LatencyDrivenPolicy final : public RedirectionPolicy {
+ public:
+  LatencyDrivenPolicy(const netsim::LatencyOracle& oracle,
+                      const Deployment& deployment,
+                      const MeasurementSystem& measurement,
+                      LatencyPolicyConfig config = {});
+
+  [[nodiscard]] std::vector<ReplicaId> select(HostId resolver,
+                                              const Customer& customer,
+                                              SimTime now,
+                                              int count) override;
+  [[nodiscard]] const char* name() const override {
+    return "latency-driven";
+  }
+
+  /// Nearest-replica candidate list for a resolver (computed once, then
+  /// cached). Exposed for tests.
+  [[nodiscard]] const std::vector<ReplicaId>& candidates(HostId resolver);
+
+  /// Attaches an availability tracker; unavailable replicas are never
+  /// answered. `health` must outlive the policy (nullptr detaches).
+  void set_health(const ReplicaHealth* health) { health_ = health; }
+
+ private:
+  const netsim::LatencyOracle* oracle_;
+  const Deployment* deployment_;
+  const MeasurementSystem* measurement_;
+  const ReplicaHealth* health_ = nullptr;
+  LatencyPolicyConfig config_;
+  std::unordered_map<HostId, std::vector<ReplicaId>> candidate_cache_;
+};
+
+/// Geographically closest replicas, never updated: redirection carries
+/// position information but no dynamics (every probe sees the same set).
+class GeoStaticPolicy final : public RedirectionPolicy {
+ public:
+  GeoStaticPolicy(const netsim::Topology& topo, const Deployment& deployment);
+
+  [[nodiscard]] std::vector<ReplicaId> select(HostId resolver,
+                                              const Customer& customer,
+                                              SimTime now,
+                                              int count) override;
+  [[nodiscard]] const char* name() const override { return "geo-static"; }
+
+ private:
+  const netsim::Topology* topo_;
+  const Deployment* deployment_;
+  std::unordered_map<HostId, std::vector<ReplicaId>> cache_;
+};
+
+/// Uniformly random replicas per rotation epoch: redirection carries no
+/// position information at all (CRP's null hypothesis).
+class RandomPolicy final : public RedirectionPolicy {
+ public:
+  RandomPolicy(const Deployment& deployment, std::uint64_t seed,
+               Duration rotation_epoch = Seconds(20));
+
+  [[nodiscard]] std::vector<ReplicaId> select(HostId resolver,
+                                              const Customer& customer,
+                                              SimTime now,
+                                              int count) override;
+  [[nodiscard]] const char* name() const override { return "random"; }
+
+ private:
+  const Deployment* deployment_;
+  std::uint64_t seed_;
+  Duration rotation_epoch_;
+};
+
+/// Latency-driven choice frozen at time zero: position information without
+/// rotation (each resolver always sees the same `count` replicas).
+class StickyPolicy final : public RedirectionPolicy {
+ public:
+  StickyPolicy(const netsim::LatencyOracle& oracle,
+               const Deployment& deployment,
+               const MeasurementSystem& measurement,
+               LatencyPolicyConfig config = {});
+
+  [[nodiscard]] std::vector<ReplicaId> select(HostId resolver,
+                                              const Customer& customer,
+                                              SimTime now,
+                                              int count) override;
+  [[nodiscard]] const char* name() const override { return "sticky"; }
+
+ private:
+  LatencyDrivenPolicy inner_;
+};
+
+}  // namespace crp::cdn

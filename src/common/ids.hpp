@@ -1,0 +1,59 @@
+// Strong identifier types.
+//
+// Every entity in the system (hosts, autonomous systems, PoPs, replicas, …)
+// is referred to by a small integral ID. Wrapping the integer in a tagged
+// type prevents accidentally indexing one table with another table's ID —
+// a class of bug that plain `uint32_t` IDs invite.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace crp {
+
+/// Tagged integral identifier. `Tag` is an incomplete struct used purely to
+/// make distinct instantiations incompatible types.
+template <typename Tag>
+class Id {
+ public:
+  using value_type = std::uint32_t;
+  static constexpr value_type kInvalidValue =
+      std::numeric_limits<value_type>::max();
+
+  constexpr Id() = default;
+  constexpr explicit Id(value_type v) : value_(v) {}
+
+  [[nodiscard]] constexpr value_type value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalidValue; }
+  [[nodiscard]] constexpr std::size_t index() const {
+    return static_cast<std::size_t>(value_);
+  }
+
+  constexpr auto operator<=>(const Id&) const = default;
+
+  static constexpr Id invalid() { return Id{}; }
+
+ private:
+  value_type value_ = kInvalidValue;
+};
+
+using HostId = Id<struct HostIdTag>;        // any endpoint in the topology
+using AsnId = Id<struct AsnIdTag>;          // autonomous system number
+using RegionId = Id<struct RegionIdTag>;    // geographic region
+using PopId = Id<struct PopIdTag>;          // ISP point of presence
+using ReplicaId = Id<struct ReplicaIdTag>;  // CDN replica server
+using ClusterId = Id<struct ClusterIdTag>;  // output of a clustering pass
+
+}  // namespace crp
+
+namespace std {
+template <typename Tag>
+struct hash<crp::Id<Tag>> {
+  size_t operator()(const crp::Id<Tag>& id) const noexcept {
+    return std::hash<typename crp::Id<Tag>::value_type>{}(id.value());
+  }
+};
+}  // namespace std

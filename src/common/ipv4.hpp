@@ -1,0 +1,48 @@
+// Minimal IPv4 address value type.
+//
+// The DNS substrate answers A queries and the CDN hands out replica
+// addresses; a real 32-bit address type keeps that interface faithful
+// without pulling in OS networking headers.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+namespace crp {
+
+class Ipv4 {
+ public:
+  constexpr Ipv4() = default;
+  constexpr explicit Ipv4(std::uint32_t addr) : addr_(addr) {}
+  constexpr Ipv4(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                 std::uint8_t d)
+      : addr_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+              (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return addr_; }
+  constexpr auto operator<=>(const Ipv4&) const = default;
+
+  [[nodiscard]] std::string to_string() const {
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (addr_ >> 24) & 0xff,
+                  (addr_ >> 16) & 0xff, (addr_ >> 8) & 0xff, addr_ & 0xff);
+    return std::string{buf};
+  }
+
+ private:
+  std::uint32_t addr_ = 0;
+};
+
+}  // namespace crp
+
+namespace std {
+template <>
+struct hash<crp::Ipv4> {
+  size_t operator()(const crp::Ipv4& ip) const noexcept {
+    return std::hash<std::uint32_t>{}(ip.value());
+  }
+};
+}  // namespace std

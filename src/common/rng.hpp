@@ -1,0 +1,130 @@
+// Deterministic random number generation.
+//
+// All randomness in the repository flows from a single user-supplied seed
+// through `Rng` so that every experiment is exactly reproducible. The
+// generator is xoshiro256** (public domain, Blackman & Vigna), seeded via
+// splitmix64. `Rng::fork` derives an independent child stream, which lets
+// subsystems draw without perturbing each other's sequences.
+//
+// `hash_mix` exposes the stateless counterpart: a 64-bit mixing function
+// used to derive pseudo-random values from (entity, epoch) pairs without
+// storing any state — the backbone of the deterministic latency-dynamics
+// and CDN-measurement-noise models.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace crp {
+
+/// SplitMix64 step: advances `state` and returns the next output.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Stateless 64-bit mixer with good avalanche behaviour. Combining values
+/// with successive calls (`hash_mix(hash_mix(a) ^ b)`) yields a cheap,
+/// deterministic pseudo-random function of the inputs.
+[[nodiscard]] constexpr std::uint64_t hash_mix(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Combines an arbitrary list of 64-bit keys into one well-mixed value.
+[[nodiscard]] constexpr std::uint64_t hash_combine(
+    std::initializer_list<std::uint64_t> keys) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (std::uint64_t k : keys) h = hash_mix(h ^ (k + 0x9e3779b97f4a7c15ULL));
+  return h;
+}
+
+/// Maps a 64-bit hash to a double uniformly distributed in [0, 1).
+[[nodiscard]] constexpr double hash_to_unit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// xoshiro256** pseudo-random generator with distribution helpers.
+///
+/// Satisfies `std::uniform_random_bit_generator`, so it can also back
+/// standard-library distributions and `std::shuffle`.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Raw 64 random bits.
+  result_type operator()();
+
+  /// Derives an independent child generator. `salt` distinguishes multiple
+  /// forks from the same parent state.
+  [[nodiscard]] Rng fork(std::uint64_t salt);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Standard normal deviate (Box–Muller, no caching).
+  double normal();
+  /// Normal deviate with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+  /// Log-normal deviate: exp(N(mu, sigma)).
+  double lognormal(double mu, double sigma);
+  /// Exponential deviate with the given rate (mean 1/rate).
+  double exponential(double rate);
+  /// Pareto deviate with scale x_m and shape alpha (heavy tail).
+  double pareto(double x_m, double alpha);
+  /// Bernoulli trial.
+  bool bernoulli(double p);
+
+  /// Uniformly random element of a non-empty span.
+  template <typename T>
+  const T& pick(std::span<const T> items) {
+    return items[static_cast<std::size_t>(
+        uniform_int(0, static_cast<std::int64_t>(items.size()) - 1))];
+  }
+  template <typename T>
+  const T& pick(const std::vector<T>& items) {
+    return pick(std::span<const T>{items});
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Samples `k` distinct indices from [0, n) without replacement.
+  [[nodiscard]] std::vector<std::size_t> sample_indices(std::size_t n,
+                                                        std::size_t k);
+
+  /// Picks an index with probability proportional to `weights[i]`.
+  /// Requires at least one strictly positive weight.
+  [[nodiscard]] std::size_t weighted_index(std::span<const double> weights);
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Stable 64-bit hash of a string (FNV-1a), for seeding from names.
+[[nodiscard]] std::uint64_t stable_hash(std::string_view s);
+
+}  // namespace crp

@@ -1,0 +1,182 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace crp {
+
+void OnlineStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+double OnlineStats::variance() const {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double OnlineStats::min() const { return min_; }
+
+double OnlineStats::max() const { return max_; }
+
+double percentile_sorted(std::span<const double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+double percentile(std::span<const double> values, double q) {
+  std::vector<double> copy{values.begin(), values.end()};
+  std::sort(copy.begin(), copy.end());
+  return percentile_sorted(copy, q);
+}
+
+double median(std::span<const double> values) {
+  return percentile(values, 0.5);
+}
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  std::vector<double> sorted{values.begin(), values.end()};
+  std::sort(sorted.begin(), sorted.end());
+  OnlineStats os;
+  for (double v : sorted) os.add(v);
+  s.mean = os.mean();
+  s.stddev = os.stddev();
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.p25 = percentile_sorted(sorted, 0.25);
+  s.median = percentile_sorted(sorted, 0.50);
+  s.p75 = percentile_sorted(sorted, 0.75);
+  s.p90 = percentile_sorted(sorted, 0.90);
+  s.p99 = percentile_sorted(sorted, 0.99);
+  return s;
+}
+
+Cdf::Cdf(std::vector<double> samples) : sorted_(std::move(samples)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Cdf::at(double x) const {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Cdf::quantile(double q) const { return percentile_sorted(sorted_, q); }
+
+std::vector<Cdf::Point> Cdf::curve(std::size_t points) const {
+  std::vector<Point> out;
+  if (sorted_.empty() || points == 0) return out;
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double q = points == 1
+                         ? 1.0
+                         : static_cast<double>(i) /
+                               static_cast<double>(points - 1);
+    out.push_back(Point{quantile(q), q});
+  }
+  return out;
+}
+
+Histogram::Histogram(std::vector<double> edges) : edges_(std::move(edges)) {
+  if (edges_.size() < 2) {
+    throw std::invalid_argument{"Histogram: need at least two edges"};
+  }
+  if (!std::is_sorted(edges_.begin(), edges_.end()) ||
+      std::adjacent_find(edges_.begin(), edges_.end()) != edges_.end()) {
+    throw std::invalid_argument{"Histogram: edges must strictly increase"};
+  }
+  counts_.assign(edges_.size() - 1, 0);
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < edges_.front()) {
+    ++underflow_;
+    return;
+  }
+  if (x >= edges_.back()) {
+    ++overflow_;
+    return;
+  }
+  const auto it = std::upper_bound(edges_.begin(), edges_.end(), x);
+  const auto idx = static_cast<std::size_t>(it - edges_.begin()) - 1;
+  ++counts_[idx];
+}
+
+std::size_t Histogram::bucket(std::size_t i) const { return counts_.at(i); }
+
+std::size_t Histogram::num_buckets() const { return counts_.size(); }
+
+std::optional<double> pearson(std::span<const double> xs,
+                              std::span<const double> ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) return std::nullopt;
+  const auto n = static_cast<double>(xs.size());
+  const double mx = std::accumulate(xs.begin(), xs.end(), 0.0) / n;
+  const double my = std::accumulate(ys.begin(), ys.end(), 0.0) / n;
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return std::nullopt;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+namespace {
+// Average ranks (ties share the mean of the ranks they span).
+std::vector<double> ranks_of(std::span<const double> xs) {
+  std::vector<std::size_t> order(xs.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+  std::vector<double> ranks(xs.size(), 0.0);
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j + 1 < order.size() && xs[order[j + 1]] == xs[order[i]]) ++j;
+    const double avg_rank = (static_cast<double>(i) + static_cast<double>(j)) /
+                            2.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = avg_rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+}  // namespace
+
+std::optional<double> spearman(std::span<const double> xs,
+                               std::span<const double> ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) return std::nullopt;
+  const auto rx = ranks_of(xs);
+  const auto ry = ranks_of(ys);
+  return pearson(rx, ry);
+}
+
+}  // namespace crp

@@ -1,0 +1,123 @@
+// Summary statistics, percentiles, CDFs and histograms.
+//
+// The evaluation harness reduces thousands of per-client measurements into
+// the summary forms the paper reports: sorted curves (Figs. 4, 5, 8, 9),
+// CDFs (Fig. 6), bucketed counts (Fig. 7) and [mean, median, max] rows
+// (Table I). These helpers are deliberately simple, allocation-light and
+// exactly deterministic.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace crp {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+class OnlineStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// One-shot descriptive summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+/// Computes a `Summary` of the sample (copies and sorts internally).
+[[nodiscard]] Summary summarize(std::span<const double> values);
+
+/// Linear-interpolation percentile of a **sorted** sample, q in [0, 1].
+[[nodiscard]] double percentile_sorted(std::span<const double> sorted,
+                                       double q);
+
+/// Copies, sorts and takes the percentile of an unsorted sample.
+[[nodiscard]] double percentile(std::span<const double> values, double q);
+
+/// Median shorthand.
+[[nodiscard]] double median(std::span<const double> values);
+
+/// Empirical cumulative distribution function over a fixed sample.
+class Cdf {
+ public:
+  Cdf() = default;
+  explicit Cdf(std::vector<double> samples);
+
+  /// Fraction of samples <= x.
+  [[nodiscard]] double at(double x) const;
+  /// Value below which fraction q of the sample lies.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] std::size_t size() const { return sorted_.size(); }
+  [[nodiscard]] bool empty() const { return sorted_.empty(); }
+  [[nodiscard]] const std::vector<double>& sorted() const { return sorted_; }
+
+  /// Evenly spaced (value, cumulative-fraction) points for plotting.
+  struct Point {
+    double value;
+    double fraction;
+  };
+  [[nodiscard]] std::vector<Point> curve(std::size_t points) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Fixed-boundary histogram: bucket i covers [edges[i], edges[i+1]).
+class Histogram {
+ public:
+  /// Requires strictly increasing edges with at least two entries.
+  explicit Histogram(std::vector<double> edges);
+
+  void add(double x);
+  /// Count in bucket i.
+  [[nodiscard]] std::size_t bucket(std::size_t i) const;
+  [[nodiscard]] std::size_t num_buckets() const;
+  /// Samples below edges.front() or at/above edges.back().
+  [[nodiscard]] std::size_t underflow() const { return underflow_; }
+  [[nodiscard]] std::size_t overflow() const { return overflow_; }
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] const std::vector<double>& edges() const { return edges_; }
+
+ private:
+  std::vector<double> edges_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+/// Pearson correlation coefficient; nullopt if either side is constant
+/// or the spans differ in length / are shorter than 2.
+[[nodiscard]] std::optional<double> pearson(std::span<const double> xs,
+                                            std::span<const double> ys);
+
+/// Spearman rank correlation; same degenerate-case behaviour as `pearson`.
+[[nodiscard]] std::optional<double> spearman(std::span<const double> xs,
+                                             std::span<const double> ys);
+
+}  // namespace crp

@@ -1,0 +1,77 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace crp {
+
+void TextTable::header(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+}
+
+void TextTable::row(std::vector<std::string> cells) {
+  rows_.push_back(Row{std::move(cells), /*is_rule=*/false});
+}
+
+void TextTable::rule() { rows_.push_back(Row{{}, /*is_rule=*/true}); }
+
+std::string TextTable::render() const {
+  // Compute per-column widths across the header and all rows.
+  std::vector<std::size_t> widths;
+  const auto absorb = [&widths](const std::vector<std::string>& cells) {
+    if (cells.size() > widths.size()) widths.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  absorb(header_);
+  for (const Row& r : rows_) {
+    if (!r.is_rule) absorb(r.cells);
+  }
+
+  std::ostringstream out;
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string{};
+      out << cell << std::string(widths[i] - cell.size(), ' ');
+      if (i + 1 < widths.size()) out << "  ";
+    }
+    out << '\n';
+  };
+  const auto emit_rule = [&] {
+    std::size_t total = 0;
+    for (std::size_t w : widths) total += w;
+    if (!widths.empty()) total += 2 * (widths.size() - 1);
+    out << std::string(total, '-') << '\n';
+  };
+
+  if (!header_.empty()) {
+    emit(header_);
+    emit_rule();
+  }
+  for (const Row& r : rows_) {
+    if (r.is_rule) {
+      emit_rule();
+    } else {
+      emit(r.cells);
+    }
+  }
+  return out.str();
+}
+
+std::string fmt(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return std::string{buf};
+}
+
+std::string fmt(std::size_t v) { return std::to_string(v); }
+
+std::string fmt_pct(double fraction, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+  return std::string{buf};
+}
+
+}  // namespace crp

@@ -1,0 +1,45 @@
+// Plain-text table rendering for benchmark output.
+//
+// Every bench binary prints the rows/series of the paper table or figure it
+// regenerates; `TextTable` keeps that output aligned and diff-friendly.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace crp {
+
+/// Column-aligned text table. Usage:
+///
+///   TextTable t;
+///   t.header({"technique", "# clusters", "mean size"});
+///   t.row({"CRP (t=0.1)", "36", "3.56"});
+///   std::cout << t.render();
+class TextTable {
+ public:
+  void header(std::vector<std::string> cells);
+  void row(std::vector<std::string> cells);
+  /// Inserts a horizontal rule before the next row.
+  void rule();
+
+  [[nodiscard]] std::string render() const;
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool is_rule = false;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+/// Formats a double with the given number of decimals.
+[[nodiscard]] std::string fmt(double v, int decimals = 2);
+/// Formats an integral count.
+[[nodiscard]] std::string fmt(std::size_t v);
+/// Formats a percentage ("72%").
+[[nodiscard]] std::string fmt_pct(double fraction, int decimals = 0);
+
+}  // namespace crp

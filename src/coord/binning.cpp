@@ -1,0 +1,130 @@
+#include "coord/binning.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace crp::coord {
+
+std::string Bin::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (i != 0) out += ':';
+    out += std::to_string(order[i]);
+  }
+  out += '|';
+  for (std::uint8_t level : levels) {
+    out += static_cast<char>('0' + level);
+  }
+  return out;
+}
+
+LandmarkBinning::LandmarkBinning(const netsim::LatencyOracle& oracle,
+                                 std::vector<HostId> landmarks,
+                                 BinningConfig config)
+    : oracle_(&oracle), landmarks_(std::move(landmarks)), config_(config) {
+  if (landmarks_.empty()) {
+    throw std::invalid_argument{"LandmarkBinning: no landmarks"};
+  }
+  if (landmarks_.size() > 255) {
+    throw std::invalid_argument{"LandmarkBinning: too many landmarks"};
+  }
+  if (!std::is_sorted(config_.level_edges.begin(),
+                      config_.level_edges.end())) {
+    throw std::invalid_argument{"LandmarkBinning: level edges unsorted"};
+  }
+}
+
+Bin LandmarkBinning::bin_of(HostId node, SimTime t) {
+  std::vector<double> rtts(landmarks_.size());
+  for (std::size_t i = 0; i < landmarks_.size(); ++i) {
+    ++probes_;
+    double rtt = oracle_->rtt_ms(node, landmarks_[i], t);
+    if (config_.probe_noise_sigma > 0.0) {
+      const std::uint64_t h =
+          hash_combine({config_.seed, stable_hash("binning-probe"),
+                        node.value(), landmarks_[i].value(),
+                        static_cast<std::uint64_t>(t.micros())});
+      // Cheap deterministic log-normal noise.
+      const double u = hash_to_unit(h);
+      rtt *= std::exp(config_.probe_noise_sigma * (u - 0.5) * 3.46);
+    }
+    rtts[i] = rtt;
+  }
+
+  Bin bin;
+  bin.order.resize(landmarks_.size());
+  std::iota(bin.order.begin(), bin.order.end(), std::uint8_t{0});
+  std::stable_sort(bin.order.begin(), bin.order.end(),
+                   [&rtts](std::uint8_t a, std::uint8_t b) {
+                     return rtts[a] < rtts[b];
+                   });
+  bin.levels.reserve(landmarks_.size());
+  for (double rtt : rtts) {
+    std::uint8_t level = 0;
+    for (double edge : config_.level_edges) {
+      if (rtt >= edge) ++level;
+    }
+    bin.levels.push_back(level);
+  }
+  return bin;
+}
+
+core::Clustering LandmarkBinning::cluster(const std::vector<HostId>& nodes,
+                                          SimTime t) {
+  // Ordered map over bins keeps group iteration deterministic.
+  std::map<Bin, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    groups[bin_of(nodes[i], t)].push_back(i);
+  }
+  core::Clustering out;
+  out.assignment.assign(nodes.size(), 0);
+  for (auto& [bin, members] : groups) {
+    core::Clustering::Cluster cluster;
+    cluster.center = members.front();
+    cluster.members = std::move(members);
+    const std::size_t index = out.clusters.size();
+    for (std::size_t m : cluster.members) out.assignment[m] = index;
+    out.clusters.push_back(std::move(cluster));
+  }
+  return out;
+}
+
+std::vector<HostId> select_landmarks(const netsim::LatencyOracle& oracle,
+                                     const std::vector<HostId>& candidates,
+                                     std::size_t count, std::uint64_t seed) {
+  if (candidates.empty() || count == 0) return {};
+  count = std::min(count, candidates.size());
+
+  Rng rng{hash_combine({seed, stable_hash("landmark-select")})};
+  std::vector<HostId> chosen;
+  chosen.push_back(rng.pick(candidates));
+  while (chosen.size() < count) {
+    // Farthest-point: pick the candidate maximizing its minimum distance
+    // to the already chosen landmarks.
+    HostId best;
+    double best_min = -1.0;
+    for (HostId c : candidates) {
+      if (std::find(chosen.begin(), chosen.end(), c) != chosen.end()) {
+        continue;
+      }
+      double min_dist = 1e18;
+      for (HostId l : chosen) {
+        min_dist = std::min(min_dist, oracle.base_rtt_ms(c, l));
+      }
+      if (min_dist > best_min) {
+        best_min = min_dist;
+        best = c;
+      }
+    }
+    if (!best.valid()) break;
+    chosen.push_back(best);
+  }
+  return chosen;
+}
+
+}  // namespace crp::coord

@@ -1,0 +1,82 @@
+// Landmark binning (Ratnasamy et al., INFOCOM 2002) — the prior
+// relative-positioning scheme the paper positions CRP against (§II:
+// "supporting a relative network positioning system as that proposed by
+// Ratnasamy et al., but without requiring landmark selection or
+// additional measurements").
+//
+// Each node probes a fixed set of landmarks and derives its *bin*: the
+// landmark ordering by increasing RTT, augmented with a latency-level
+// digit per landmark (e.g. 0: <100 ms, 1: 100-200 ms, 2: >=200 ms).
+// Nodes with identical bins are considered topologically close. Unlike
+// CRP, the scheme needs landmark infrastructure and O(#landmarks) active
+// probes per node — the cost CRP eliminates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+#include "core/clustering.hpp"
+#include "netsim/latency_model.hpp"
+
+namespace crp::coord {
+
+struct BinningConfig {
+  std::uint64_t seed = 43;
+  /// Latency-level boundaries in ms (digits 0..edges.size()).
+  std::vector<double> level_edges = {100.0, 200.0};
+  /// Multiplicative probe noise (log-normal sigma).
+  double probe_noise_sigma = 0.04;
+};
+
+/// A node's bin: landmark order (nearest first) plus level digits in
+/// landmark-index order.
+struct Bin {
+  std::vector<std::uint8_t> order;
+  std::vector<std::uint8_t> levels;
+
+  friend bool operator==(const Bin&, const Bin&) = default;
+  friend auto operator<=>(const Bin&, const Bin&) = default;
+
+  /// Compact textual form, e.g. "2:0:1|011" (order | levels).
+  [[nodiscard]] std::string to_string() const;
+};
+
+class LandmarkBinning {
+ public:
+  /// `oracle` must outlive the instance; `landmarks` must be non-empty.
+  LandmarkBinning(const netsim::LatencyOracle& oracle,
+                  std::vector<HostId> landmarks, BinningConfig config = {});
+
+  /// Probes every landmark from `node` at time `t` and returns its bin.
+  [[nodiscard]] Bin bin_of(HostId node, SimTime t);
+
+  /// Clusters `nodes` by identical bins; the cluster center is the first
+  /// node of each bin group (the scheme itself defines no center; any
+  /// representative works for inter-cluster comparisons).
+  [[nodiscard]] core::Clustering cluster(const std::vector<HostId>& nodes,
+                                         SimTime t);
+
+  [[nodiscard]] const std::vector<HostId>& landmarks() const {
+    return landmarks_;
+  }
+  /// Landmark probes issued so far (the cost CRP avoids).
+  [[nodiscard]] std::uint64_t total_probes() const { return probes_; }
+
+ private:
+  const netsim::LatencyOracle* oracle_;
+  std::vector<HostId> landmarks_;
+  BinningConfig config_;
+  std::uint64_t probes_ = 0;
+};
+
+/// Picks `count` well-separated landmarks from `candidates` greedily
+/// (farthest-point heuristic on base RTT) — the "landmark selection"
+/// problem CRP side-steps entirely.
+[[nodiscard]] std::vector<HostId> select_landmarks(
+    const netsim::LatencyOracle& oracle, const std::vector<HostId>& candidates,
+    std::size_t count, std::uint64_t seed);
+
+}  // namespace crp::coord

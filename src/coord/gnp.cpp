@@ -1,0 +1,152 @@
+#include "coord/gnp.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace crp::coord {
+
+GnpSystem::GnpSystem(const netsim::LatencyOracle& oracle,
+                     std::vector<HostId> landmarks, GnpConfig config)
+    : oracle_(&oracle),
+      landmarks_(std::move(landmarks)),
+      config_(config),
+      rng_(hash_combine({config.seed, stable_hash("gnp")})) {
+  if (landmarks_.size() < static_cast<std::size_t>(config_.dimensions) + 1) {
+    throw std::invalid_argument{
+        "GnpSystem: need at least dimensions + 1 landmarks"};
+  }
+}
+
+double GnpSystem::probe_ms(HostId a, HostId b, SimTime t) {
+  ++probes_;
+  double rtt = oracle_->rtt_ms(a, b, t);
+  if (config_.probe_noise_sigma > 0.0) {
+    rtt *= std::exp(config_.probe_noise_sigma * rng_.normal());
+  }
+  return rtt;
+}
+
+double GnpSystem::distance(const std::vector<double>& a,
+                           const std::vector<double>& b) {
+  double sum = 0.0;
+  for (std::size_t d = 0; d < a.size(); ++d) {
+    const double diff = a[d] - b[d];
+    sum += diff * diff;
+  }
+  return std::sqrt(sum);
+}
+
+double GnpSystem::calibrate(SimTime t) {
+  const std::size_t n = landmarks_.size();
+  const auto dims = static_cast<std::size_t>(config_.dimensions);
+
+  // Measured landmark-to-landmark matrix.
+  std::vector<std::vector<double>> measured(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double rtt = probe_ms(landmarks_[i], landmarks_[j], t);
+      measured[i][j] = rtt;
+      measured[j][i] = rtt;
+    }
+  }
+
+  // Random init, then gradient descent on summed squared relative error.
+  std::vector<std::vector<double>> pos(n, std::vector<double>(dims));
+  for (auto& p : pos) {
+    for (double& x : p) x = rng_.uniform(0.0, 100.0);
+  }
+  for (int iter = 0; iter < config_.landmark_iterations; ++iter) {
+    // Decaying step keeps late iterations stable.
+    const double step =
+        config_.learning_rate *
+        (1.0 - 0.9 * static_cast<double>(iter) /
+                   static_cast<double>(config_.landmark_iterations));
+    for (std::size_t i = 0; i < n; ++i) {
+      std::vector<double> grad(dims, 0.0);
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const double predicted = distance(pos[i], pos[j]);
+        if (predicted < 1e-9 || measured[i][j] < 1e-9) continue;
+        // d/dx of ((predicted - measured)/measured)^2.
+        const double coeff = 2.0 * (predicted - measured[i][j]) /
+                             (measured[i][j] * measured[i][j] * predicted);
+        for (std::size_t d = 0; d < dims; ++d) {
+          grad[d] += coeff * (pos[i][d] - pos[j][d]);
+        }
+      }
+      for (std::size_t d = 0; d < dims; ++d) {
+        pos[i][d] -= step * grad[d] * measured[0][1];  // scale to ms range
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    coords_[landmarks_[i]] = pos[i];
+  }
+  calibrated_ = true;
+
+  double err = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (measured[i][j] < 1e-9) continue;
+      err += std::abs(distance(pos[i], pos[j]) - measured[i][j]) /
+             measured[i][j];
+      ++pairs;
+    }
+  }
+  return pairs == 0 ? 0.0 : err / static_cast<double>(pairs);
+}
+
+void GnpSystem::fit(HostId node, SimTime t) {
+  if (!calibrated_) {
+    throw std::logic_error{"GnpSystem::fit: calibrate() first"};
+  }
+  if (coords_.contains(node)) return;
+  const auto dims = static_cast<std::size_t>(config_.dimensions);
+
+  std::vector<double> measured(landmarks_.size());
+  for (std::size_t i = 0; i < landmarks_.size(); ++i) {
+    measured[i] = probe_ms(node, landmarks_[i], t);
+  }
+
+  // Init at the centroid of the nearest landmark.
+  std::size_t nearest = 0;
+  for (std::size_t i = 1; i < landmarks_.size(); ++i) {
+    if (measured[i] < measured[nearest]) nearest = i;
+  }
+  std::vector<double> pos = coords_.at(landmarks_[nearest]);
+  for (double& x : pos) x += rng_.uniform(-1.0, 1.0);
+
+  for (int iter = 0; iter < config_.node_iterations; ++iter) {
+    const double step =
+        config_.learning_rate *
+        (1.0 - 0.9 * static_cast<double>(iter) /
+                   static_cast<double>(config_.node_iterations));
+    std::vector<double> grad(dims, 0.0);
+    for (std::size_t i = 0; i < landmarks_.size(); ++i) {
+      const auto& lpos = coords_.at(landmarks_[i]);
+      const double predicted = distance(pos, lpos);
+      if (predicted < 1e-9 || measured[i] < 1e-9) continue;
+      const double coeff = 2.0 * (predicted - measured[i]) /
+                           (measured[i] * measured[i] * predicted);
+      for (std::size_t d = 0; d < dims; ++d) {
+        grad[d] += coeff * (pos[d] - lpos[d]);
+      }
+    }
+    for (std::size_t d = 0; d < dims; ++d) {
+      pos[d] -= step * grad[d] * measured[nearest];
+    }
+  }
+  coords_[node] = std::move(pos);
+}
+
+std::optional<double> GnpSystem::estimate_ms(HostId a, HostId b) const {
+  const auto ia = coords_.find(a);
+  const auto ib = coords_.find(b);
+  if (ia == coords_.end() || ib == coords_.end()) return std::nullopt;
+  if (a == b) return 0.0;
+  return distance(ia->second, ib->second);
+}
+
+}  // namespace crp::coord

@@ -1,0 +1,81 @@
+// GNP: Global Network Positioning (Ng & Zhang, INFOCOM 2002).
+//
+// The landmark-based coordinate scheme the paper's related work opens
+// with: a small set of landmarks measure each other and are embedded
+// into a low-dimensional Euclidean space by error minimization; every
+// other node then probes the landmarks and solves for its own
+// coordinates against the fixed landmark positions. Distances between
+// any two fitted nodes are estimated from their coordinates.
+//
+// Included as the second coordinate baseline (next to Vivaldi) for the
+// hybrid/ablation experiments: unlike Vivaldi it needs designated
+// landmark infrastructure, and its accuracy depends on landmark
+// placement — two more costs CRP avoids.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "netsim/latency_model.hpp"
+
+namespace crp::coord {
+
+struct GnpConfig {
+  std::uint64_t seed = 47;
+  int dimensions = 3;
+  /// Gradient-descent iterations for the landmark embedding and for
+  /// each node fit.
+  int landmark_iterations = 600;
+  int node_iterations = 300;
+  double learning_rate = 0.05;
+  /// Multiplicative probe noise (log-normal sigma).
+  double probe_noise_sigma = 0.04;
+};
+
+class GnpSystem {
+ public:
+  /// Requires at least dimensions + 1 landmarks.
+  GnpSystem(const netsim::LatencyOracle& oracle,
+            std::vector<HostId> landmarks, GnpConfig config = {});
+
+  /// Phase 1: landmarks probe each other and embed themselves.
+  /// Returns the final mean relative embedding error among landmarks.
+  double calibrate(SimTime t);
+
+  /// Phase 2: fits one node against the landmark coordinates (probes
+  /// every landmark once). Requires calibrate() first.
+  void fit(HostId node, SimTime t);
+
+  /// Coordinate-space distance estimate in ms between two fitted nodes
+  /// (landmarks count as fitted); nullopt if either is unknown.
+  [[nodiscard]] std::optional<double> estimate_ms(HostId a, HostId b) const;
+
+  [[nodiscard]] bool calibrated() const { return calibrated_; }
+  [[nodiscard]] bool fitted(HostId node) const {
+    return coords_.contains(node);
+  }
+  [[nodiscard]] const std::vector<HostId>& landmarks() const {
+    return landmarks_;
+  }
+  [[nodiscard]] std::uint64_t total_probes() const { return probes_; }
+
+ private:
+  [[nodiscard]] double probe_ms(HostId a, HostId b, SimTime t);
+  [[nodiscard]] static double distance(const std::vector<double>& a,
+                                       const std::vector<double>& b);
+
+  const netsim::LatencyOracle* oracle_;
+  std::vector<HostId> landmarks_;
+  GnpConfig config_;
+  std::unordered_map<HostId, std::vector<double>> coords_;
+  bool calibrated_ = false;
+  Rng rng_;
+  std::uint64_t probes_ = 0;
+};
+
+}  // namespace crp::coord

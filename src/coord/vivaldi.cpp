@@ -1,0 +1,104 @@
+#include "coord/vivaldi.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace crp::coord {
+
+VivaldiSystem::VivaldiSystem(const netsim::LatencyOracle& oracle,
+                             std::vector<HostId> hosts, VivaldiConfig config)
+    : oracle_(&oracle),
+      hosts_(std::move(hosts)),
+      config_(config),
+      rng_(hash_combine({config.seed, stable_hash("vivaldi")})) {
+  if (hosts_.size() < 2) {
+    throw std::invalid_argument{"VivaldiSystem: need at least two hosts"};
+  }
+  coords_.resize(hosts_.size());
+  for (Coordinate& c : coords_) {
+    c.position.assign(static_cast<std::size_t>(config_.dimensions), 0.0);
+    // Tiny random offsets break the all-at-origin symmetry.
+    for (double& x : c.position) x = rng_.uniform(-0.1, 0.1);
+    c.height = 1.0;
+    c.error = 1.0;
+  }
+}
+
+namespace {
+double vec_distance(const Coordinate& a, const Coordinate& b) {
+  double sum = 0.0;
+  for (std::size_t d = 0; d < a.position.size(); ++d) {
+    const double diff = a.position[d] - b.position[d];
+    sum += diff * diff;
+  }
+  return std::sqrt(sum) + a.height + b.height;
+}
+}  // namespace
+
+double VivaldiSystem::estimate_ms(std::size_t i, std::size_t j) const {
+  if (i == j) return 0.0;
+  return vec_distance(coords_.at(i), coords_.at(j));
+}
+
+void VivaldiSystem::update(std::size_t i, std::size_t j, double measured_ms) {
+  Coordinate& self = coords_[i];
+  const Coordinate& peer = coords_[j];
+
+  const double predicted = vec_distance(self, peer);
+  const double sample_error =
+      measured_ms > 0.0 ? std::abs(predicted - measured_ms) / measured_ms
+                        : 0.0;
+
+  // Weight: balance of local and remote error (Vivaldi eq. 2-4).
+  const double denom = self.error + peer.error;
+  const double w = denom > 0.0 ? self.error / denom : 0.5;
+  self.error = std::clamp(
+      sample_error * config_.ce * w + self.error * (1.0 - config_.ce * w),
+      0.01, 2.0);
+  const double delta = config_.cc * w;
+
+  // Unit vector from peer to self (random direction if coincident).
+  std::vector<double> dir(self.position.size());
+  double norm = 0.0;
+  for (std::size_t d = 0; d < dir.size(); ++d) {
+    dir[d] = self.position[d] - peer.position[d];
+    norm += dir[d] * dir[d];
+  }
+  norm = std::sqrt(norm);
+  if (norm < 1e-9) {
+    for (double& x : dir) x = rng_.normal();
+    norm = 0.0;
+    for (double x : dir) norm += x * x;
+    norm = std::sqrt(std::max(norm, 1e-9));
+  }
+  for (double& x : dir) x /= norm;
+
+  const double force = delta * (measured_ms - predicted);
+  for (std::size_t d = 0; d < dir.size(); ++d) {
+    self.position[d] += force * dir[d];
+  }
+  // Height absorbs the access-link component; keep it positive.
+  self.height = std::max(0.1, self.height + force * 0.1);
+}
+
+void VivaldiSystem::run(int rounds, SimTime start) {
+  for (int round = 0; round < rounds; ++round) {
+    const SimTime t = start + Minutes(round);
+    for (std::size_t i = 0; i < hosts_.size(); ++i) {
+      for (int k = 0; k < config_.neighbors_per_round; ++k) {
+        const auto j = static_cast<std::size_t>(rng_.uniform_int(
+            0, static_cast<std::int64_t>(hosts_.size()) - 1));
+        if (j == i) continue;
+        ++total_probes_;
+        double rtt = oracle_->rtt_ms(hosts_[i], hosts_[j], t);
+        if (config_.probe_noise_sigma > 0.0) {
+          rtt *= std::exp(config_.probe_noise_sigma * rng_.normal());
+        }
+        update(i, j, rtt);
+      }
+    }
+  }
+}
+
+}  // namespace crp::coord

@@ -1,0 +1,72 @@
+// Vivaldi decentralized network coordinates (Dabek et al., SIGCOMM 2004).
+//
+// Referenced by the paper as one of the coordinate systems Meridian was
+// shown to outperform; implemented here as an extension baseline for the
+// ablation benches. Nodes embed into a low-dimensional Euclidean space
+// plus a non-negative "height" (access-link) component via spring
+// relaxation with the adaptive timestep of the original paper.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "netsim/latency_model.hpp"
+
+namespace crp::coord {
+
+struct VivaldiConfig {
+  std::uint64_t seed = 31;
+  int dimensions = 2;
+  /// Adaptive timestep constants (cc) and error-weight constant (ce).
+  double cc = 0.25;
+  double ce = 0.25;
+  /// Neighbours sampled per node per round.
+  int neighbors_per_round = 4;
+  /// Multiplicative probe noise (log-normal sigma).
+  double probe_noise_sigma = 0.04;
+};
+
+struct Coordinate {
+  std::vector<double> position;
+  double height = 0.0;
+  /// Local error estimate in [0, 1].
+  double error = 1.0;
+};
+
+class VivaldiSystem {
+ public:
+  /// `oracle` must outlive the system.
+  VivaldiSystem(const netsim::LatencyOracle& oracle,
+                std::vector<HostId> hosts, VivaldiConfig config = {});
+
+  /// Runs `rounds` synchronous update rounds; measurements are taken at
+  /// `start` + round index minutes.
+  void run(int rounds, SimTime start);
+
+  /// Coordinate-space distance estimate between nodes i and j (ms).
+  [[nodiscard]] double estimate_ms(std::size_t i, std::size_t j) const;
+
+  [[nodiscard]] const Coordinate& coordinate(std::size_t i) const {
+    return coords_.at(i);
+  }
+  [[nodiscard]] std::size_t size() const { return hosts_.size(); }
+  [[nodiscard]] const std::vector<HostId>& hosts() const { return hosts_; }
+
+  /// Total probes issued (Vivaldi's measurement cost).
+  [[nodiscard]] std::uint64_t total_probes() const { return total_probes_; }
+
+ private:
+  void update(std::size_t i, std::size_t j, double measured_ms);
+
+  const netsim::LatencyOracle* oracle_;
+  std::vector<HostId> hosts_;
+  VivaldiConfig config_;
+  std::vector<Coordinate> coords_;
+  Rng rng_;
+  std::uint64_t total_probes_ = 0;
+};
+
+}  // namespace crp::coord

@@ -1,0 +1,74 @@
+#include "core/cluster_quality.hpp"
+
+#include <algorithm>
+
+namespace crp::core {
+
+std::vector<ClusterQuality> evaluate_clusters(const Clustering& clustering,
+                                              const DistanceFn& rtt_ms) {
+  std::vector<ClusterQuality> out;
+  for (std::size_t ci = 0; ci < clustering.clusters.size(); ++ci) {
+    const Clustering::Cluster& cluster = clustering.clusters[ci];
+    if (cluster.members.size() < 2) continue;
+
+    ClusterQuality q;
+    q.cluster_index = ci;
+    q.size = cluster.members.size();
+
+    // Diameter: max pairwise member distance.
+    for (std::size_t i = 0; i < cluster.members.size(); ++i) {
+      for (std::size_t j = i + 1; j < cluster.members.size(); ++j) {
+        q.diameter_ms = std::max(
+            q.diameter_ms, rtt_ms(cluster.members[i], cluster.members[j]));
+      }
+    }
+
+    // Intra: mean member-to-center distance over non-center members.
+    double intra_sum = 0.0;
+    std::size_t intra_count = 0;
+    for (std::size_t member : cluster.members) {
+      if (member == cluster.center) continue;
+      intra_sum += rtt_ms(member, cluster.center);
+      ++intra_count;
+    }
+    q.avg_intra_ms = intra_count == 0
+                         ? 0.0
+                         : intra_sum / static_cast<double>(intra_count);
+
+    // Inter: mean center-to-other-center distance.
+    double inter_sum = 0.0;
+    std::size_t inter_count = 0;
+    for (std::size_t cj = 0; cj < clustering.clusters.size(); ++cj) {
+      if (cj == ci) continue;
+      inter_sum += rtt_ms(cluster.center, clustering.clusters[cj].center);
+      ++inter_count;
+    }
+    q.avg_inter_ms = inter_count == 0
+                         ? 0.0
+                         : inter_sum / static_cast<double>(inter_count);
+
+    out.push_back(q);
+  }
+  return out;
+}
+
+std::vector<ClusterQuality> filter_by_diameter(
+    std::vector<ClusterQuality> qualities, double max_diameter_ms) {
+  std::erase_if(qualities, [max_diameter_ms](const ClusterQuality& q) {
+    return q.diameter_ms >= max_diameter_ms;
+  });
+  return qualities;
+}
+
+std::size_t count_good_in_bucket(const std::vector<ClusterQuality>& qualities,
+                                 double lo_ms, double hi_ms) {
+  std::size_t count = 0;
+  for (const ClusterQuality& q : qualities) {
+    if (q.good() && q.diameter_ms >= lo_ms && q.diameter_ms < hi_ms) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace crp::core

@@ -1,0 +1,51 @@
+// Cluster quality metrics (paper §V.B, Figs. 6-7).
+//
+// Quality is judged against ground-truth RTTs: a cluster is *good* when
+// its members sit closer to their own center than the center sits to other
+// clusters' centers (average intra-cluster distance < average
+// inter-cluster distance). The paper buckets good clusters by diameter
+// (0-25 ms, 25-75 ms) and discards clusters wider than 75 ms as unlikely
+// to be useful.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/clustering.hpp"
+
+namespace crp::core {
+
+/// Ground-truth distance callback: RTT in milliseconds between node
+/// indices i and j (as used in the Clustering).
+using DistanceFn = std::function<double(std::size_t, std::size_t)>;
+
+struct ClusterQuality {
+  std::size_t cluster_index = 0;
+  std::size_t size = 0;
+  /// Max pairwise member RTT.
+  double diameter_ms = 0.0;
+  /// Mean member-to-center RTT (0 for singletons).
+  double avg_intra_ms = 0.0;
+  /// Mean center-to-other-center RTT.
+  double avg_inter_ms = 0.0;
+
+  [[nodiscard]] bool good() const { return avg_inter_ms > avg_intra_ms; }
+};
+
+/// Evaluates every multi-member cluster. Inter-cluster distances are
+/// measured against the centers of *all* other clusters (including
+/// singleton clusters, which still have centers).
+[[nodiscard]] std::vector<ClusterQuality> evaluate_clusters(
+    const Clustering& clustering, const DistanceFn& rtt_ms);
+
+/// Convenience filter: qualities with diameter < `max_diameter_ms`
+/// (the paper uses 75 ms).
+[[nodiscard]] std::vector<ClusterQuality> filter_by_diameter(
+    std::vector<ClusterQuality> qualities, double max_diameter_ms);
+
+/// Counts good clusters whose diameter falls in [lo, hi).
+[[nodiscard]] std::size_t count_good_in_bucket(
+    const std::vector<ClusterQuality>& qualities, double lo_ms,
+    double hi_ms);
+
+}  // namespace crp::core

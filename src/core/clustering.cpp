@@ -1,0 +1,136 @@
+#include "core/clustering.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace crp::core {
+
+std::vector<std::size_t> Clustering::multi_member_clusters() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < clusters.size(); ++i) {
+    if (clusters[i].members.size() >= 2) out.push_back(i);
+  }
+  return out;
+}
+
+std::size_t Clustering::nodes_clustered() const {
+  std::size_t count = 0;
+  for (const Cluster& c : clusters) {
+    if (c.members.size() >= 2) count += c.members.size();
+  }
+  return count;
+}
+
+Clustering smf_cluster(std::span<const RatioMap> maps,
+                       const SmfConfig& config) {
+  const std::size_t n = maps.size();
+  Clustering out;
+  out.assignment.assign(n, 0);
+
+  // Processing order: strongest mappings first (or random for ablation).
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  Rng rng{hash_combine({config.seed, stable_hash("smf")})};
+  if (config.seeding == SmfConfig::Seeding::kStrongestFirst) {
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return maps[a].strongest_mapping() >
+                              maps[b].strongest_mapping();
+                     });
+  } else {
+    rng.shuffle(order);
+  }
+
+  // Pass 1: each node joins its most similar existing center if above
+  // threshold, otherwise founds a new cluster with itself as center.
+  for (std::size_t node : order) {
+    std::size_t best_cluster = 0;
+    double best_sim = -1.0;
+    for (std::size_t c = 0; c < out.clusters.size(); ++c) {
+      const double s = similarity(config.metric, maps[node],
+                                  maps[out.clusters[c].center]);
+      if (s > best_sim) {
+        best_sim = s;
+        best_cluster = c;
+      }
+    }
+    if (!out.clusters.empty() && best_sim >= config.threshold) {
+      out.clusters[best_cluster].members.push_back(node);
+      out.assignment[node] = best_cluster;
+    } else {
+      Clustering::Cluster cluster;
+      cluster.center = node;
+      cluster.members.push_back(node);
+      out.clusters.push_back(std::move(cluster));
+      out.assignment[node] = out.clusters.size() - 1;
+    }
+  }
+
+  // Pass 2 (optional): random singletons become centers; other singletons
+  // may join them. This rescues nodes that arrived before any compatible
+  // center existed.
+  if (config.second_pass) {
+    std::vector<std::size_t> singles;
+    for (std::size_t c = 0; c < out.clusters.size(); ++c) {
+      if (out.clusters[c].members.size() == 1) singles.push_back(c);
+    }
+    rng.shuffle(singles);
+    std::vector<bool> absorbed(out.clusters.size(), false);
+    for (std::size_t ci : singles) {
+      if (absorbed[ci]) continue;
+      const std::size_t center = out.clusters[ci].center;
+      for (std::size_t cj : singles) {
+        if (cj == ci || absorbed[cj]) continue;
+        const std::size_t other = out.clusters[cj].center;
+        if (similarity(config.metric, maps[other], maps[center]) >=
+            config.threshold) {
+          out.clusters[ci].members.push_back(other);
+          out.assignment[other] = ci;
+          absorbed[cj] = true;
+        }
+      }
+    }
+    // Compact away absorbed (now empty) clusters.
+    Clustering compacted;
+    compacted.assignment.assign(n, 0);
+    for (std::size_t c = 0; c < out.clusters.size(); ++c) {
+      if (absorbed[c]) continue;
+      const std::size_t new_index = compacted.clusters.size();
+      for (std::size_t node : out.clusters[c].members) {
+        compacted.assignment[node] = new_index;
+      }
+      compacted.clusters.push_back(std::move(out.clusters[c]));
+    }
+    out = std::move(compacted);
+  }
+  return out;
+}
+
+ClusteringStats clustering_stats(const Clustering& clustering,
+                                 std::size_t total_nodes) {
+  ClusteringStats stats;
+  stats.total_nodes = total_nodes;
+  std::vector<double> sizes;
+  for (const Clustering::Cluster& c : clustering.clusters) {
+    if (c.members.size() < 2) continue;
+    sizes.push_back(static_cast<double>(c.members.size()));
+    stats.nodes_clustered += c.members.size();
+    stats.max_size = std::max(stats.max_size, c.members.size());
+  }
+  stats.num_clusters = sizes.size();
+  if (total_nodes > 0) {
+    stats.fraction_clustered = static_cast<double>(stats.nodes_clustered) /
+                               static_cast<double>(total_nodes);
+  }
+  if (!sizes.empty()) {
+    stats.mean_size = std::accumulate(sizes.begin(), sizes.end(), 0.0) /
+                      static_cast<double>(sizes.size());
+    stats.median_size = median(sizes);
+  }
+  return stats;
+}
+
+}  // namespace crp::core

@@ -1,0 +1,76 @@
+// Strongest Mappings First (SMF) clustering (paper §V.B).
+//
+// Input: the ratio maps of all nodes and a minimum cosine-similarity
+// threshold t. Cluster centers are seeded from the nodes with the
+// strongest replica mappings; every other node joins the center it is most
+// similar to, provided that similarity exceeds t, and otherwise becomes
+// its own (singleton) cluster. An optional second pass promotes random
+// unclustered nodes to centers and lets remaining singletons join them.
+//
+// The paper deliberately avoids k-means-style algorithms (cluster count
+// unknown a priori) and hierarchical schemes (wrong node-distribution
+// assumptions); SMF is simple and deployable, which is the point.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/ratio_map.hpp"
+#include "core/similarity.hpp"
+
+namespace crp::core {
+
+/// A clustering of n nodes (indices into the caller's node array).
+struct Clustering {
+  struct Cluster {
+    std::size_t center = 0;           // node index of the cluster center
+    std::vector<std::size_t> members;  // includes the center
+  };
+
+  std::vector<Cluster> clusters;
+  /// assignment[node] = cluster index.
+  std::vector<std::size_t> assignment;
+
+  /// Clusters with at least two members ("real" clusters; singletons are
+  /// the unclustered remainder in the paper's accounting).
+  [[nodiscard]] std::vector<std::size_t> multi_member_clusters() const;
+  /// Nodes in clusters of size >= 2.
+  [[nodiscard]] std::size_t nodes_clustered() const;
+};
+
+struct SmfConfig {
+  /// Minimum cosine similarity to join a cluster (Table I sweeps this;
+  /// the paper settles on 0.1).
+  double threshold = 0.1;
+  /// Run the optional second pass over singletons.
+  bool second_pass = true;
+  /// Center seeding order: the paper's strongest-mappings-first, or
+  /// random (ablation).
+  enum class Seeding { kStrongestFirst, kRandom } seeding =
+      Seeding::kStrongestFirst;
+  SimilarityKind metric = SimilarityKind::kCosine;
+  /// Seed for the random choices (second-pass order / random seeding).
+  std::uint64_t seed = 23;
+};
+
+/// Runs SMF over `maps`. Nodes with empty ratio maps become singletons.
+[[nodiscard]] Clustering smf_cluster(std::span<const RatioMap> maps,
+                                     const SmfConfig& config = {});
+
+/// Summary statistics matching Table I's columns.
+struct ClusteringStats {
+  std::size_t total_nodes = 0;
+  std::size_t nodes_clustered = 0;   // in clusters of size >= 2
+  double fraction_clustered = 0.0;
+  std::size_t num_clusters = 0;      // clusters of size >= 2
+  double mean_size = 0.0;
+  double median_size = 0.0;
+  std::size_t max_size = 0;
+};
+
+[[nodiscard]] ClusteringStats clustering_stats(const Clustering& clustering,
+                                               std::size_t total_nodes);
+
+}  // namespace crp::core

@@ -1,0 +1,63 @@
+#include "core/history.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace crp::core {
+
+RedirectionHistory::RedirectionHistory(std::size_t max_probes)
+    : max_probes_(max_probes) {}
+
+void RedirectionHistory::record(SimTime when,
+                                std::span<const ReplicaId> replicas) {
+  RedirectionProbe probe;
+  probe.when = when;
+  probe.replicas.assign(replicas.begin(), replicas.end());
+  probes_.push_back(std::move(probe));
+  if (max_probes_ != 0 && probes_.size() > max_probes_) {
+    probes_.pop_front();
+  }
+}
+
+RatioMap RedirectionHistory::ratio_map(std::size_t window) const {
+  const std::size_t take = window == kAllProbes
+                               ? probes_.size()
+                               : std::min(window, probes_.size());
+  std::unordered_map<ReplicaId, std::uint64_t> counts;
+  for (std::size_t i = probes_.size() - take; i < probes_.size(); ++i) {
+    for (ReplicaId id : probes_[i].replicas) ++counts[id];
+  }
+  std::vector<std::pair<ReplicaId, std::uint64_t>> flat{counts.begin(),
+                                                        counts.end()};
+  return RatioMap::from_counts(flat);
+}
+
+RatioMap RedirectionHistory::ratio_map_strided(std::size_t stride) const {
+  if (stride <= 1) return ratio_map();
+  std::unordered_map<ReplicaId, std::uint64_t> counts;
+  for (std::size_t i = 0; i < probes_.size(); i += stride) {
+    for (ReplicaId id : probes_[i].replicas) ++counts[id];
+  }
+  std::vector<std::pair<ReplicaId, std::uint64_t>> flat{counts.begin(),
+                                                        counts.end()};
+  return RatioMap::from_counts(flat);
+}
+
+std::size_t RedirectionHistory::distinct_replicas() const {
+  std::unordered_set<ReplicaId> seen;
+  for (const RedirectionProbe& p : probes_) {
+    seen.insert(p.replicas.begin(), p.replicas.end());
+  }
+  return seen.size();
+}
+
+SimTime RedirectionHistory::first_probe_time() const {
+  return probes_.empty() ? SimTime::epoch() : probes_.front().when;
+}
+
+SimTime RedirectionHistory::last_probe_time() const {
+  return probes_.empty() ? SimTime::epoch() : probes_.back().when;
+}
+
+}  // namespace crp::core

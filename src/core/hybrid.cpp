@@ -1,0 +1,48 @@
+#include "core/hybrid.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace crp::core {
+
+std::vector<HybridRanked> hybrid_rank(const RatioMap& client,
+                                      std::span<const RatioMap> candidates,
+                                      const LatencyEstimateFn& estimate,
+                                      const HybridConfig& config) {
+  if (!estimate) {
+    throw std::invalid_argument{"hybrid_rank: estimator must be callable"};
+  }
+  std::vector<HybridRanked> crp_side;
+  std::vector<HybridRanked> predictor_side;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    HybridRanked entry;
+    entry.index = i;
+    entry.similarity = similarity(config.metric, client, candidates[i]);
+    entry.estimate_ms = estimate(i);
+    entry.by_crp = entry.similarity > config.min_similarity;
+    (entry.by_crp ? crp_side : predictor_side).push_back(entry);
+  }
+  std::stable_sort(crp_side.begin(), crp_side.end(),
+                   [](const HybridRanked& a, const HybridRanked& b) {
+                     return a.similarity > b.similarity;
+                   });
+  std::stable_sort(predictor_side.begin(), predictor_side.end(),
+                   [](const HybridRanked& a, const HybridRanked& b) {
+                     return a.estimate_ms < b.estimate_ms;
+                   });
+  crp_side.insert(crp_side.end(), predictor_side.begin(),
+                  predictor_side.end());
+  return crp_side;
+}
+
+std::size_t hybrid_select(const RatioMap& client,
+                          std::span<const RatioMap> candidates,
+                          const LatencyEstimateFn& estimate,
+                          const HybridConfig& config) {
+  const auto ranked = hybrid_rank(client, candidates, estimate, config);
+  if (ranked.empty()) return std::numeric_limits<std::size_t>::max();
+  return ranked.front().index;
+}
+
+}  // namespace crp::core

@@ -1,0 +1,60 @@
+// Hybrid positioning: CRP + a latency predictor.
+//
+// The paper's concluding open problem: "understand how a CRP-based
+// service can be combined with previously proposed latency-prediction
+// approaches into a service that offers relative network positioning
+// between arbitrary hosts with little-to-no overhead."
+//
+// The combination rule implemented here exploits each side's strength:
+// CRP's similarity signal is precise exactly where it exists (candidates
+// sharing replicas with the client — i.e. nearby ones), while a
+// coordinate system covers *all* pairs but with embedding error. So:
+//
+//   1. candidates with similarity above `min_similarity` are ranked by
+//      similarity (descending) — CRP decides among the nearby;
+//   2. the remaining candidates are appended ranked by the predictor's
+//      latency estimate (ascending) — coordinates order the far field.
+//
+// With `min_similarity` > 0 the rule also overrides weak, possibly
+// coincidental overlaps with the predictor.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/ratio_map.hpp"
+#include "core/selection.hpp"
+#include "core/similarity.hpp"
+
+namespace crp::core {
+
+/// Latency estimate (ms) from the query's client to candidate `index`.
+using LatencyEstimateFn = std::function<double(std::size_t index)>;
+
+struct HybridConfig {
+  /// Similarities at or below this are treated as "CRP has no opinion".
+  double min_similarity = 0.0;
+  SimilarityKind metric = SimilarityKind::kCosine;
+};
+
+/// A hybrid-ranked candidate. `by_crp` tells which side ranked it.
+struct HybridRanked {
+  std::size_t index = 0;
+  double similarity = 0.0;
+  double estimate_ms = 0.0;
+  bool by_crp = false;
+};
+
+/// Full hybrid ranking, best candidate first (see file comment for the
+/// combination rule). `estimate` must be callable for every index.
+[[nodiscard]] std::vector<HybridRanked> hybrid_rank(
+    const RatioMap& client, std::span<const RatioMap> candidates,
+    const LatencyEstimateFn& estimate, const HybridConfig& config = {});
+
+/// Index of the hybrid-best candidate; SIZE_MAX if there are none.
+[[nodiscard]] std::size_t hybrid_select(
+    const RatioMap& client, std::span<const RatioMap> candidates,
+    const LatencyEstimateFn& estimate, const HybridConfig& config = {});
+
+}  // namespace crp::core

@@ -1,0 +1,70 @@
+#include "core/name_filter.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+namespace crp::core {
+
+std::vector<NameQuality> evaluate_names(
+    const std::vector<NameObservations>& observations,
+    const FallbackCheckFn& is_fallback, const ReplicaPingFn& ping,
+    const NameFilterConfig& config) {
+  std::vector<NameQuality> out;
+  out.reserve(observations.size());
+
+  for (const NameObservations& obs : observations) {
+    NameQuality q;
+    q.name = obs.name;
+
+    std::unordered_set<ReplicaId> distinct;
+    std::size_t answers = 0;
+    std::size_t fallback_answers = 0;
+    for (const auto& probe : obs.probes) {
+      for (ReplicaId id : probe) {
+        distinct.insert(id);
+        ++answers;
+        if (is_fallback && is_fallback(id)) ++fallback_answers;
+      }
+    }
+    q.distinct_replicas = distinct.size();
+    q.fallback_fraction =
+        answers == 0 ? 1.0
+                     : static_cast<double>(fallback_answers) /
+                           static_cast<double>(answers);
+
+    if (ping) {
+      double best = std::numeric_limits<double>::infinity();
+      for (ReplicaId id : distinct) best = std::min(best, ping(id));
+      if (!distinct.empty()) q.best_replica_rtt_ms = best;
+    }
+
+    // Apply rules, most informative rejection first.
+    if (answers == 0) {
+      q.keep = false;
+      q.reason = "no redirections observed";
+    } else if (q.fallback_fraction > config.max_fallback_fraction) {
+      q.keep = false;
+      q.reason = "answers dominated by origin fallbacks";
+    } else if (q.distinct_replicas < config.min_distinct_replicas) {
+      q.keep = false;
+      q.reason = "too few distinct replicas";
+    } else if (q.best_replica_rtt_ms.has_value() &&
+               *q.best_replica_rtt_ms > config.max_best_rtt_ms) {
+      q.keep = false;
+      q.reason = "no low-latency replica (poor local coverage)";
+    }
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+std::vector<dns::Name> kept_names(const std::vector<NameQuality>& qualities) {
+  std::vector<dns::Name> names;
+  for (const NameQuality& q : qualities) {
+    if (q.keep) names.push_back(q.name);
+  }
+  return names;
+}
+
+}  // namespace crp::core

@@ -1,0 +1,76 @@
+// CDN-name selection and filtering (paper §VI).
+//
+// The paper hand-picked its two CDN names from historical data, but
+// sketches two automatic approaches a deployed service should use:
+//
+//  1. *Bootstrap ping*: ping the replicas each candidate name returns and
+//     keep only names that yield low-latency (nearby) replicas. Costs a
+//     small, node-count-independent amount of active probing.
+//  2. *Passive filtering*: drop names that return "origin fallback"
+//     replicas (Akamai-domain-owned addresses, observed to be far away),
+//     identified without any probing.
+//
+// `NameEvaluator` implements both over a node's per-name redirection
+// histories.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "core/history.hpp"
+#include "dns/name.hpp"
+
+namespace crp::core {
+
+/// Per-name bootstrap observations for one node.
+struct NameObservations {
+  dns::Name name;
+  /// Replica sets answered during bootstrap probes.
+  std::vector<std::vector<ReplicaId>> probes;
+};
+
+struct NameQuality {
+  dns::Name name;
+  /// Best (minimum) measured RTT to any answered replica; unset when the
+  /// ping rule was not applied.
+  std::optional<double> best_replica_rtt_ms;
+  /// Fraction of answered replicas flagged as origin fallbacks.
+  double fallback_fraction = 0.0;
+  /// Distinct replicas observed.
+  std::size_t distinct_replicas = 0;
+  bool keep = true;
+  std::string reason;  // human-readable explanation when dropped
+};
+
+struct NameFilterConfig {
+  /// Rule 1: drop the name if its best pinged replica exceeds this.
+  double max_best_rtt_ms = 50.0;
+  /// Rule 2: drop the name if more than this fraction of answers are
+  /// origin fallbacks.
+  double max_fallback_fraction = 0.25;
+  /// Names answering fewer distinct replicas than this carry too little
+  /// information to be useful.
+  std::size_t min_distinct_replicas = 2;
+};
+
+/// RTT probe callback (ms) used by the ping rule; pass nullptr-like
+/// (empty std::function) to skip active probing and apply only the
+/// passive rules.
+using ReplicaPingFn = std::function<double(ReplicaId)>;
+/// Identifies origin-fallback replicas (e.g. by address ownership).
+using FallbackCheckFn = std::function<bool(ReplicaId)>;
+
+/// Evaluates each candidate name against the filter rules.
+[[nodiscard]] std::vector<NameQuality> evaluate_names(
+    const std::vector<NameObservations>& observations,
+    const FallbackCheckFn& is_fallback, const ReplicaPingFn& ping,
+    const NameFilterConfig& config = {});
+
+/// Names that survived filtering, in input order.
+[[nodiscard]] std::vector<dns::Name> kept_names(
+    const std::vector<NameQuality>& qualities);
+
+}  // namespace crp::core

@@ -1,0 +1,59 @@
+#include "core/node.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace crp::core {
+
+CrpNode::CrpNode(dns::RecursiveResolver& resolver,
+                 std::vector<dns::Name> names, ReplicaLookup lookup,
+                 CrpNodeConfig config)
+    : resolver_(&resolver),
+      names_(std::move(names)),
+      lookup_(std::move(lookup)),
+      config_(config),
+      history_(config.max_history) {
+  if (names_.empty()) {
+    throw std::invalid_argument{"CrpNode: need at least one CDN name"};
+  }
+  if (!lookup_) {
+    throw std::invalid_argument{"CrpNode: replica lookup must be callable"};
+  }
+}
+
+std::size_t CrpNode::probe(SimTime now) {
+  std::vector<ReplicaId> seen;
+  for (const dns::Name& name : names_) {
+    const dns::ResolveResult result = resolver_->resolve(name, now);
+    if (!result.ok()) {
+      ++failures_;
+      continue;
+    }
+    for (Ipv4 addr : result.addresses) {
+      if (const auto id = lookup_(addr); id.has_value()) {
+        seen.push_back(*id);
+      }
+    }
+  }
+  std::sort(seen.begin(), seen.end());
+  seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
+  if (!seen.empty()) {
+    history_.record(now, seen);
+  }
+  return seen.size();
+}
+
+void CrpNode::observe(SimTime now, std::span<const ReplicaId> replicas) {
+  if (!replicas.empty()) history_.record(now, replicas);
+}
+
+sim::EventHandle CrpNode::schedule(sim::EventScheduler& sched, SimTime start,
+                                   SimTime end) {
+  return sched.every(start, config_.probe_interval, [this, &sched, end] {
+    if (sched.now() > end) return false;
+    probe(sched.now());
+    return true;
+  });
+}
+
+}  // namespace crp::core

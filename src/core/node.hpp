@@ -1,0 +1,78 @@
+// CrpNode: the client-side CRP agent.
+//
+// One CrpNode runs at each participating host. On every probe round it
+// resolves the configured CDN customer names through its local recursive
+// resolver, maps the answered A records back to replica identities, and
+// appends the observation to its redirection history. The node issues
+// O(1) DNS lookups per round regardless of system size — the scalability
+// property the paper emphasizes — and can equally be fed passively
+// observed lookups (`observe`) instead of active probes.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/ipv4.hpp"
+#include "common/time.hpp"
+#include "core/history.hpp"
+#include "dns/name.hpp"
+#include "dns/resolver.hpp"
+#include "sim/event_scheduler.hpp"
+
+namespace crp::core {
+
+/// Maps an answered A-record address to the CDN replica identity, or
+/// nullopt for addresses that are not CDN replicas.
+using ReplicaLookup = std::function<std::optional<ReplicaId>(Ipv4)>;
+
+struct CrpNodeConfig {
+  /// Probe round interval when scheduled (Fig. 8 sweeps this).
+  Duration probe_interval = Minutes(10);
+  /// History bound (probes kept).
+  std::size_t max_history = 8192;
+};
+
+class CrpNode {
+ public:
+  /// `resolver` must outlive the node. `names` are the CDN customer names
+  /// to track; `lookup` maps answer addresses to replica IDs.
+  CrpNode(dns::RecursiveResolver& resolver, std::vector<dns::Name> names,
+          ReplicaLookup lookup, CrpNodeConfig config = {});
+
+  /// Runs one probe round at `now`: resolves every tracked name and
+  /// records the union of answered replicas as one probe. Returns the
+  /// number of replica addresses recognized this round.
+  std::size_t probe(SimTime now);
+
+  /// Feeds a passively observed redirection (e.g. from user web traffic).
+  void observe(SimTime now, std::span<const ReplicaId> replicas);
+
+  /// Registers periodic probing on `sched` starting at `start` until
+  /// `end`; returns the handle for cancellation.
+  sim::EventHandle schedule(sim::EventScheduler& sched, SimTime start,
+                            SimTime end);
+
+  [[nodiscard]] const RedirectionHistory& history() const { return history_; }
+  [[nodiscard]] RatioMap ratio_map(std::size_t window = kAllProbes) const {
+    return history_.ratio_map(window);
+  }
+  [[nodiscard]] HostId host() const { return resolver_->host(); }
+  [[nodiscard]] const std::vector<dns::Name>& names() const { return names_; }
+  [[nodiscard]] const CrpNodeConfig& config() const { return config_; }
+
+  /// Failed resolutions observed so far (diagnostics).
+  [[nodiscard]] std::size_t failed_lookups() const { return failures_; }
+
+ private:
+  dns::RecursiveResolver* resolver_;
+  std::vector<dns::Name> names_;
+  ReplicaLookup lookup_;
+  CrpNodeConfig config_;
+  RedirectionHistory history_;
+  std::size_t failures_ = 0;
+};
+
+}  // namespace crp::core

@@ -1,0 +1,125 @@
+#include "core/ratio_map.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace crp::core {
+
+namespace {
+
+/// Sorts by replica, merges duplicates, drops non-positive, normalizes.
+std::vector<RatioMap::Entry> canonicalize(
+    std::vector<RatioMap::Entry> entries) {
+  std::erase_if(entries, [](const RatioMap::Entry& e) {
+    return !(e.second > 0.0);
+  });
+  std::sort(entries.begin(), entries.end(),
+            [](const RatioMap::Entry& a, const RatioMap::Entry& b) {
+              return a.first < b.first;
+            });
+  // Merge duplicates in place.
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (out > 0 && entries[out - 1].first == entries[i].first) {
+      entries[out - 1].second += entries[i].second;
+    } else {
+      entries[out++] = entries[i];
+    }
+  }
+  entries.resize(out);
+
+  double total = 0.0;
+  for (const auto& [id, ratio] : entries) total += ratio;
+  if (total > 0.0) {
+    for (auto& [id, ratio] : entries) ratio /= total;
+  }
+  return entries;
+}
+
+}  // namespace
+
+RatioMap RatioMap::from_counts(
+    std::span<const std::pair<ReplicaId, std::uint64_t>> counts) {
+  std::vector<Entry> entries;
+  entries.reserve(counts.size());
+  for (const auto& [id, count] : counts) {
+    entries.emplace_back(id, static_cast<double>(count));
+  }
+  RatioMap map;
+  map.entries_ = canonicalize(std::move(entries));
+  return map;
+}
+
+RatioMap RatioMap::from_ratios(std::span<const Entry> ratios) {
+  RatioMap map;
+  map.entries_ = canonicalize({ratios.begin(), ratios.end()});
+  return map;
+}
+
+double RatioMap::ratio_of(ReplicaId id) const {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), id,
+      [](const Entry& e, ReplicaId target) { return e.first < target; });
+  if (it == entries_.end() || it->first != id) return 0.0;
+  return it->second;
+}
+
+bool RatioMap::contains(ReplicaId id) const { return ratio_of(id) > 0.0; }
+
+double RatioMap::strongest_mapping() const {
+  double best = 0.0;
+  for (const auto& [id, ratio] : entries_) best = std::max(best, ratio);
+  return best;
+}
+
+double RatioMap::dot(const RatioMap& other) const {
+  double sum = 0.0;
+  auto a = entries_.begin();
+  auto b = other.entries_.begin();
+  while (a != entries_.end() && b != other.entries_.end()) {
+    if (a->first < b->first) {
+      ++a;
+    } else if (b->first < a->first) {
+      ++b;
+    } else {
+      sum += a->second * b->second;
+      ++a;
+      ++b;
+    }
+  }
+  return sum;
+}
+
+double RatioMap::norm() const {
+  double sum = 0.0;
+  for (const auto& [id, ratio] : entries_) sum += ratio * ratio;
+  return std::sqrt(sum);
+}
+
+std::size_t RatioMap::overlap_count(const RatioMap& other) const {
+  std::size_t count = 0;
+  auto a = entries_.begin();
+  auto b = other.entries_.begin();
+  while (a != entries_.end() && b != other.entries_.end()) {
+    if (a->first < b->first) {
+      ++a;
+    } else if (b->first < a->first) {
+      ++b;
+    } else {
+      ++count;
+      ++a;
+      ++b;
+    }
+  }
+  return count;
+}
+
+double cosine_similarity(const RatioMap& a, const RatioMap& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  const double denominator = a.norm() * b.norm();
+  if (denominator <= 0.0) return 0.0;
+  // Clamp for floating-point safety: callers rely on [0, 1].
+  return std::clamp(a.dot(b) / denominator, 0.0, 1.0);
+}
+
+}  // namespace crp::core

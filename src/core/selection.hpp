@@ -1,0 +1,51 @@
+// Closest-node selection (paper §IV.A).
+//
+// Given a client's ratio map and the ratio maps of candidate servers, rank
+// the candidates by similarity to the client: the most similar candidate
+// is CRP's closest-node recommendation. Candidates sharing no replica with
+// the client have similarity zero — CRP can then only say "not nearby".
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/ratio_map.hpp"
+#include "core/similarity.hpp"
+
+namespace crp::core {
+
+struct RankedCandidate {
+  std::size_t index = 0;   // position in the input span
+  double similarity = 0.0;
+
+  friend bool operator==(const RankedCandidate&,
+                         const RankedCandidate&) = default;
+};
+
+/// Ranks all candidates by similarity to `client`, best first. Ties break
+/// by input index (stable, deterministic). Candidates with zero
+/// similarity are included — at the bottom — so the caller can see how
+/// many were comparable at all.
+[[nodiscard]] std::vector<RankedCandidate> rank_candidates(
+    const RatioMap& client, std::span<const RatioMap> candidates,
+    SimilarityKind kind = SimilarityKind::kCosine);
+
+/// Top-k of `rank_candidates` (k clamped to the candidate count).
+[[nodiscard]] std::vector<RankedCandidate> select_top_k(
+    const RatioMap& client, std::span<const RatioMap> candidates,
+    std::size_t k, SimilarityKind kind = SimilarityKind::kCosine);
+
+/// Index of the single best candidate, or SIZE_MAX if `candidates` is
+/// empty. A zero-similarity winner is still returned (the paper's CRP
+/// always answers; accuracy in poorly covered regions suffers instead).
+[[nodiscard]] std::size_t select_closest(
+    const RatioMap& client, std::span<const RatioMap> candidates,
+    SimilarityKind kind = SimilarityKind::kCosine);
+
+/// Number of candidates with strictly positive similarity to the client.
+[[nodiscard]] std::size_t comparable_count(
+    const RatioMap& client, std::span<const RatioMap> candidates,
+    SimilarityKind kind = SimilarityKind::kCosine);
+
+}  // namespace crp::core

@@ -1,0 +1,57 @@
+#include "core/similarity.hpp"
+
+#include <algorithm>
+
+namespace crp::core {
+
+const char* to_string(SimilarityKind kind) {
+  switch (kind) {
+    case SimilarityKind::kCosine:
+      return "cosine";
+    case SimilarityKind::kJaccard:
+      return "jaccard";
+    case SimilarityKind::kWeightedOverlap:
+      return "weighted-overlap";
+  }
+  return "?";
+}
+
+double jaccard_similarity(const RatioMap& a, const RatioMap& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  const std::size_t inter = a.overlap_count(b);
+  const std::size_t uni = a.size() + b.size() - inter;
+  if (uni == 0) return 0.0;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double weighted_overlap(const RatioMap& a, const RatioMap& b) {
+  double sum = 0.0;
+  auto ia = a.entries().begin();
+  auto ib = b.entries().begin();
+  while (ia != a.entries().end() && ib != b.entries().end()) {
+    if (ia->first < ib->first) {
+      ++ia;
+    } else if (ib->first < ia->first) {
+      ++ib;
+    } else {
+      sum += std::min(ia->second, ib->second);
+      ++ia;
+      ++ib;
+    }
+  }
+  return std::clamp(sum, 0.0, 1.0);
+}
+
+double similarity(SimilarityKind kind, const RatioMap& a, const RatioMap& b) {
+  switch (kind) {
+    case SimilarityKind::kCosine:
+      return cosine_similarity(a, b);
+    case SimilarityKind::kJaccard:
+      return jaccard_similarity(a, b);
+    case SimilarityKind::kWeightedOverlap:
+      return weighted_overlap(a, b);
+  }
+  return 0.0;
+}
+
+}  // namespace crp::core

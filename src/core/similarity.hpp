@@ -1,0 +1,33 @@
+// Similarity metrics over ratio maps.
+//
+// Cosine similarity is the paper's metric; Jaccard (set overlap, ignoring
+// frequencies) and weighted overlap (sum of element-wise minima, a.k.a.
+// histogram intersection) are provided for the similarity-metric ablation
+// (bench/ablation_similarity): they bracket cosine by discarding frequency
+// information entirely and by using it without normalization.
+#pragma once
+
+#include "core/ratio_map.hpp"
+
+namespace crp::core {
+
+enum class SimilarityKind {
+  kCosine,           // the paper's metric
+  kJaccard,          // |A ∩ B| / |A ∪ B| over replica *sets*
+  kWeightedOverlap,  // sum_i min(nu_A,i, nu_B,i)
+};
+
+[[nodiscard]] const char* to_string(SimilarityKind kind);
+
+/// Jaccard index of the replica sets, in [0, 1].
+[[nodiscard]] double jaccard_similarity(const RatioMap& a, const RatioMap& b);
+
+/// Histogram intersection, in [0, 1].
+[[nodiscard]] double weighted_overlap(const RatioMap& a, const RatioMap& b);
+
+/// Dispatch on `kind`. All metrics return values in [0, 1], 0 when the
+/// maps share no replica.
+[[nodiscard]] double similarity(SimilarityKind kind, const RatioMap& a,
+                                const RatioMap& b);
+
+}  // namespace crp::core

@@ -1,0 +1,57 @@
+#include "dns/name.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+namespace crp::dns {
+
+Name Name::parse(std::string_view text) {
+  Name name;
+  if (!text.empty() && text.back() == '.') text.remove_suffix(1);
+  if (text.empty()) return name;  // root
+
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t dot = text.find('.', start);
+    const std::size_t end = dot == std::string_view::npos ? text.size() : dot;
+    if (end == start) {
+      throw std::invalid_argument{"Name::parse: empty label"};
+    }
+    if (end - start > 63) {
+      throw std::invalid_argument{"Name::parse: label exceeds 63 octets"};
+    }
+    std::string label{text.substr(start, end - start)};
+    std::transform(label.begin(), label.end(), label.begin(), [](char c) {
+      return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    });
+    name.labels_.push_back(std::move(label));
+    if (dot == std::string_view::npos) break;
+    start = dot + 1;
+  }
+  return name;
+}
+
+bool Name::is_subdomain_of(const Name& suffix) const {
+  if (suffix.labels_.size() > labels_.size()) return false;
+  return std::equal(suffix.labels_.rbegin(), suffix.labels_.rend(),
+                    labels_.rbegin());
+}
+
+Name Name::prefixed(std::string_view label) const {
+  Name out = Name::parse(std::string{label});
+  out.labels_.insert(out.labels_.end(), labels_.begin(), labels_.end());
+  return out;
+}
+
+std::string Name::to_string() const {
+  if (labels_.empty()) return ".";
+  std::string out;
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    if (i != 0) out += '.';
+    out += labels_[i];
+  }
+  return out;
+}
+
+}  // namespace crp::dns

@@ -1,0 +1,69 @@
+// DNS domain names.
+//
+// Names are stored as lower-cased label sequences ("www.example.com" ->
+// ["www", "example", "com"]). Suffix matching on labels drives zone
+// delegation in the registry, mirroring how real resolution walks the
+// name hierarchy.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace crp::dns {
+
+class Name {
+ public:
+  Name() = default;
+
+  /// Parses dotted notation; case-insensitive; trailing dot allowed.
+  /// Throws std::invalid_argument on empty labels ("a..b") or labels
+  /// longer than 63 octets.
+  static Name parse(std::string_view text);
+
+  [[nodiscard]] bool empty() const { return labels_.empty(); }
+  [[nodiscard]] std::size_t num_labels() const { return labels_.size(); }
+  [[nodiscard]] std::span<const std::string> labels() const {
+    return labels_;
+  }
+
+  /// True if `suffix`'s labels are a trailing subsequence of this name's
+  /// labels. A name is a subdomain of itself. The empty name (root) is a
+  /// suffix of everything.
+  [[nodiscard]] bool is_subdomain_of(const Name& suffix) const;
+
+  /// Name with `label` prepended (e.g. "a" + example.com = a.example.com).
+  [[nodiscard]] Name prefixed(std::string_view label) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Name&, const Name&) = default;
+  friend auto operator<=>(const Name&, const Name&) = default;
+
+ private:
+  std::vector<std::string> labels_;  // most-specific first, lower-case
+};
+
+}  // namespace crp::dns
+
+namespace std {
+template <>
+struct hash<crp::dns::Name> {
+  size_t operator()(const crp::dns::Name& n) const noexcept {
+    size_t h = 14695981039346656037ULL;
+    for (const auto& label : n.labels()) {
+      for (char c : label) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ULL;
+      }
+      h ^= '.';
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+};
+}  // namespace std

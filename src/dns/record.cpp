@@ -1,0 +1,79 @@
+#include "dns/record.hpp"
+
+namespace crp::dns {
+
+const char* to_string(RecordType type) {
+  switch (type) {
+    case RecordType::kA:
+      return "A";
+    case RecordType::kCname:
+      return "CNAME";
+    case RecordType::kNs:
+      return "NS";
+  }
+  return "?";
+}
+
+const char* to_string(Rcode rcode) {
+  switch (rcode) {
+    case Rcode::kNoError:
+      return "NOERROR";
+    case Rcode::kNxDomain:
+      return "NXDOMAIN";
+    case Rcode::kServFail:
+      return "SERVFAIL";
+  }
+  return "?";
+}
+
+ResourceRecord ResourceRecord::a(Name name, Ipv4 address, Duration ttl) {
+  ResourceRecord rr;
+  rr.name = std::move(name);
+  rr.type = RecordType::kA;
+  rr.ttl = ttl;
+  rr.address = address;
+  return rr;
+}
+
+ResourceRecord ResourceRecord::cname(Name name, Name target, Duration ttl) {
+  ResourceRecord rr;
+  rr.name = std::move(name);
+  rr.type = RecordType::kCname;
+  rr.ttl = ttl;
+  rr.target = std::move(target);
+  return rr;
+}
+
+ResourceRecord ResourceRecord::ns(Name name, Name target, Duration ttl) {
+  ResourceRecord rr;
+  rr.name = std::move(name);
+  rr.type = RecordType::kNs;
+  rr.ttl = ttl;
+  rr.target = std::move(target);
+  return rr;
+}
+
+std::string ResourceRecord::to_string() const {
+  std::string out = name.to_string();
+  out += ' ';
+  out += std::to_string(ttl.micros() / 1'000'000);
+  out += ' ';
+  out += dns::to_string(type);
+  out += ' ';
+  if (type == RecordType::kA) {
+    out += address.to_string();
+  } else {
+    out += target.to_string();
+  }
+  return out;
+}
+
+std::vector<Ipv4> Message::addresses() const {
+  std::vector<Ipv4> out;
+  for (const ResourceRecord& rr : answers) {
+    if (rr.type == RecordType::kA) out.push_back(rr.address);
+  }
+  return out;
+}
+
+}  // namespace crp::dns

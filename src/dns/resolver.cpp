@@ -1,0 +1,113 @@
+#include "dns/resolver.hpp"
+
+#include <algorithm>
+
+namespace crp::dns {
+
+RecursiveResolver::RecursiveResolver(HostId host, const ZoneRegistry& registry,
+                                     const netsim::LatencyOracle* oracle,
+                                     ResolverConfig config)
+    : host_(host), registry_(&registry), oracle_(oracle), config_(config) {}
+
+Ipv4 RecursiveResolver::address() const {
+  if (oracle_ != nullptr) return oracle_->topology().host(host_).address();
+  // Without a topology, synthesize the same 10/8 mapping hosts use.
+  return Ipv4{(std::uint32_t{10} << 24) | (host_.value() & 0x00ffffffu)};
+}
+
+void RecursiveResolver::cache_store(const Name& name, RecordType type,
+                                    std::vector<ResourceRecord> records,
+                                    Rcode rcode, SimTime now) {
+  if (config_.max_cache_entries == 0) return;
+  if (cache_.size() >= config_.max_cache_entries) {
+    // Simple pressure valve: drop everything expired; if still full,
+    // drop the whole cache (rare in practice for our workloads).
+    std::erase_if(cache_,
+                  [now](const auto& kv) { return kv.second.expires <= now; });
+    if (cache_.size() >= config_.max_cache_entries) cache_.clear();
+  }
+  Duration min_ttl = Hours(24);
+  for (const ResourceRecord& rr : records) min_ttl = std::min(min_ttl, rr.ttl);
+  if (records.empty()) min_ttl = Seconds(30);  // negative-cache TTL
+  cache_[CacheKey{name, type}] =
+      CacheEntry{std::move(records), rcode, now + min_ttl};
+}
+
+std::optional<std::vector<ResourceRecord>> RecursiveResolver::lookup(
+    const Name& name, RecordType type, SimTime now, ResolveResult& result) {
+  const CacheKey key{name, type};
+  if (const auto it = cache_.find(key); it != cache_.end()) {
+    if (it->second.expires > now) {
+      ++cache_hits_;
+      if (it->second.rcode != Rcode::kNoError) {
+        result.rcode = it->second.rcode;
+        return std::nullopt;
+      }
+      return it->second.records;
+    }
+    cache_.erase(it);
+  }
+  ++cache_misses_;
+
+  AuthoritativeServer* const server = registry_->find(name);
+  if (server == nullptr) {
+    result.rcode = Rcode::kServFail;
+    cache_store(name, type, {}, Rcode::kServFail, now);
+    return std::nullopt;
+  }
+
+  ++queries_sent_;
+  ++result.upstream_queries;
+  if (oracle_ != nullptr && server->host().valid()) {
+    result.elapsed += oracle_->rtt(host_, server->host(), now);
+  }
+  result.elapsed += config_.processing_overhead;
+
+  const Message reply = server->resolve(Question{name, type}, address(), now);
+  if (reply.rcode != Rcode::kNoError) {
+    result.rcode = reply.rcode;
+    cache_store(name, type, {}, reply.rcode, now);
+    return std::nullopt;
+  }
+  cache_store(name, type, reply.answers, Rcode::kNoError, now);
+  return reply.answers;
+}
+
+ResolveResult RecursiveResolver::resolve(const Name& name, SimTime now) {
+  ResolveResult result;
+  result.rcode = Rcode::kNoError;
+
+  Name current = name;
+  for (int depth = 0; depth <= config_.max_chain; ++depth) {
+    auto records = lookup(current, RecordType::kA, now, result);
+    if (!records.has_value()) {
+      // rcode already set by lookup
+      if (result.rcode == Rcode::kNoError) result.rcode = Rcode::kServFail;
+      return result;
+    }
+
+    // Collect A answers; follow at most one CNAME per step.
+    std::optional<Name> next;
+    for (ResourceRecord& rr : *records) {
+      if (rr.type == RecordType::kA) {
+        result.addresses.push_back(rr.address);
+        result.chain.push_back(std::move(rr));
+      } else if (rr.type == RecordType::kCname && !next.has_value()) {
+        next = rr.target;
+        result.chain.push_back(std::move(rr));
+      }
+    }
+    if (!result.addresses.empty()) {
+      return result;
+    }
+    if (!next.has_value()) {
+      result.rcode = Rcode::kNxDomain;
+      return result;
+    }
+    current = std::move(*next);
+  }
+  result.rcode = Rcode::kServFail;  // CNAME chain too long / loop
+  return result;
+}
+
+}  // namespace crp::dns

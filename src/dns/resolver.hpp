@@ -1,0 +1,112 @@
+// Caching recursive resolver.
+//
+// Each DNS-server host in the experiment runs one of these. It follows
+// CNAME chains across zones, caches by (name, type) honouring TTLs against
+// the simulated clock, and accounts the latency of every upstream
+// round-trip via the latency oracle — so a King measurement through the
+// resolver sees realistic turnaround times, and a CRP probe sees the CDN's
+// 20-second TTLs expire between probes.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/ipv4.hpp"
+#include "common/time.hpp"
+#include "dns/record.hpp"
+#include "dns/zone.hpp"
+#include "netsim/latency_model.hpp"
+
+namespace crp::dns {
+
+/// Outcome of a recursive resolution.
+struct ResolveResult {
+  Rcode rcode = Rcode::kServFail;
+  /// Final A-record addresses (empty on failure).
+  std::vector<Ipv4> addresses;
+  /// Every record learned along the CNAME chain, in resolution order.
+  std::vector<ResourceRecord> chain;
+  /// Simulated time spent: sum of RTTs to every authoritative queried.
+  Duration elapsed;
+  /// Authoritative round-trips performed (0 = fully answered from cache).
+  int upstream_queries = 0;
+
+  [[nodiscard]] bool ok() const {
+    return rcode == Rcode::kNoError && !addresses.empty();
+  }
+};
+
+struct ResolverConfig {
+  /// Upper bound on cached (name, type) entries; 0 disables caching.
+  std::size_t max_cache_entries = 10'000;
+  /// Maximum CNAME chain length before giving up (loop protection).
+  int max_chain = 8;
+  /// Fixed per-upstream-query processing overhead.
+  Duration processing_overhead = Micros(200);
+};
+
+/// Caching recursive resolver bound to one host.
+class RecursiveResolver {
+ public:
+  /// `registry` and `oracle` must outlive the resolver. `oracle` may be
+  /// null in unit tests (upstream RTTs then count as zero).
+  RecursiveResolver(HostId host, const ZoneRegistry& registry,
+                    const netsim::LatencyOracle* oracle,
+                    ResolverConfig config = {});
+
+  /// Resolves `name` to A records at sim time `now`.
+  ResolveResult resolve(const Name& name, SimTime now);
+
+  [[nodiscard]] HostId host() const { return host_; }
+  [[nodiscard]] Ipv4 address() const;
+
+  // --- cache statistics / management ---
+  [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
+  [[nodiscard]] std::size_t cache_hits() const { return cache_hits_; }
+  [[nodiscard]] std::size_t cache_misses() const { return cache_misses_; }
+  [[nodiscard]] std::size_t queries_sent() const { return queries_sent_; }
+  void flush_cache() { cache_.clear(); }
+
+ private:
+  struct CacheKey {
+    Name name;
+    RecordType type;
+    friend bool operator==(const CacheKey&, const CacheKey&) = default;
+  };
+  struct CacheKeyHash {
+    std::size_t operator()(const CacheKey& k) const noexcept {
+      return std::hash<Name>{}(k.name) ^
+             (static_cast<std::size_t>(k.type) * 0x9e3779b97f4a7c15ULL);
+    }
+  };
+  struct CacheEntry {
+    std::vector<ResourceRecord> records;
+    Rcode rcode = Rcode::kNoError;
+    SimTime expires;
+  };
+
+  /// Looks up (name, type), from cache or upstream. Appends the RTT cost
+  /// of any upstream query to `result.elapsed`.
+  std::optional<std::vector<ResourceRecord>> lookup(const Name& name,
+                                                    RecordType type,
+                                                    SimTime now,
+                                                    ResolveResult& result);
+
+  void cache_store(const Name& name, RecordType type,
+                   std::vector<ResourceRecord> records, Rcode rcode,
+                   SimTime now);
+
+  HostId host_;
+  const ZoneRegistry* registry_;
+  const netsim::LatencyOracle* oracle_;
+  ResolverConfig config_;
+  std::unordered_map<CacheKey, CacheEntry, CacheKeyHash> cache_;
+  std::size_t cache_hits_ = 0;
+  std::size_t cache_misses_ = 0;
+  std::size_t queries_sent_ = 0;
+};
+
+}  // namespace crp::dns

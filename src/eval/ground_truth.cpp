@@ -1,0 +1,61 @@
+#include "eval/ground_truth.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace crp::eval {
+
+GroundTruthMatrix::GroundTruthMatrix(const World& world,
+                                     std::span<const HostId> clients,
+                                     std::span<const HostId> candidates) {
+  matrix_.reserve(clients.size());
+  for (HostId client : clients) {
+    std::vector<double> row;
+    row.reserve(candidates.size());
+    for (HostId candidate : candidates) {
+      row.push_back(world.ground_truth_rtt_ms(client, candidate));
+    }
+    matrix_.push_back(std::move(row));
+  }
+  build_orders();
+}
+
+GroundTruthMatrix::GroundTruthMatrix(std::vector<std::vector<double>> matrix)
+    : matrix_(std::move(matrix)) {
+  for (const auto& row : matrix_) {
+    if (row.size() != matrix_.front().size()) {
+      throw std::invalid_argument{"GroundTruthMatrix: ragged matrix"};
+    }
+  }
+  build_orders();
+}
+
+void GroundTruthMatrix::build_orders() {
+  orders_.reserve(matrix_.size());
+  ranks_.reserve(matrix_.size());
+  for (const auto& row : matrix_) {
+    std::vector<std::size_t> order(row.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&row](std::size_t a, std::size_t b) {
+                       return row[a] < row[b];
+                     });
+    std::vector<std::size_t> rank(row.size(), 0);
+    for (std::size_t pos = 0; pos < order.size(); ++pos) {
+      rank[order[pos]] = pos;
+    }
+    orders_.push_back(std::move(order));
+    ranks_.push_back(std::move(rank));
+  }
+}
+
+double GroundTruthMatrix::optimal_rtt_ms(std::size_t client) const {
+  const auto& order = orders_.at(client);
+  if (order.empty()) {
+    throw std::out_of_range{"optimal_rtt_ms: no candidates"};
+  }
+  return matrix_[client][order.front()];
+}
+
+}  // namespace crp::eval

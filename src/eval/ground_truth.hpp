@@ -1,0 +1,63 @@
+// Ground-truth RTT matrices and RTT-based candidate orderings.
+//
+// The paper scores every approach against "the complete, RTT-based
+// ordering of servers" per client. `GroundTruthMatrix` precomputes the
+// client x candidate RTT matrix and, per client, the candidate ranking it
+// induces, so rank lookups during evaluation are O(1).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "eval/world.hpp"
+
+namespace crp::eval {
+
+class GroundTruthMatrix {
+ public:
+  /// Direct-measurement ground truth between every client and candidate
+  /// (the paper's PlanetLab-to-DNS-server measurements).
+  GroundTruthMatrix(const World& world, std::span<const HostId> clients,
+                    std::span<const HostId> candidates);
+
+  /// Builds from an externally supplied matrix (e.g. a King campaign):
+  /// matrix[i][j] = RTT(clients[i], candidates[j]) in ms.
+  GroundTruthMatrix(std::vector<std::vector<double>> matrix);
+
+  [[nodiscard]] std::size_t num_clients() const { return matrix_.size(); }
+  [[nodiscard]] std::size_t num_candidates() const {
+    return matrix_.empty() ? 0 : matrix_.front().size();
+  }
+
+  /// RTT between client i and candidate j, ms.
+  [[nodiscard]] double rtt_ms(std::size_t client,
+                              std::size_t candidate) const {
+    return matrix_.at(client).at(candidate);
+  }
+
+  /// Candidate indices for client i, closest first.
+  [[nodiscard]] const std::vector<std::size_t>& order_for(
+      std::size_t client) const {
+    return orders_.at(client);
+  }
+
+  /// Rank of `candidate` in client i's ordering (0 = closest).
+  [[nodiscard]] std::size_t rank_of(std::size_t client,
+                                    std::size_t candidate) const {
+    return ranks_.at(client).at(candidate);
+  }
+
+  /// RTT to client i's closest candidate, ms.
+  [[nodiscard]] double optimal_rtt_ms(std::size_t client) const;
+
+ private:
+  void build_orders();
+
+  std::vector<std::vector<double>> matrix_;
+  std::vector<std::vector<std::size_t>> orders_;
+  std::vector<std::vector<std::size_t>> ranks_;
+};
+
+}  // namespace crp::eval

@@ -1,0 +1,64 @@
+// Selection-quality metrics (Figs. 4, 5, 8, 9 and §V.A's quoted numbers).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/ratio_map.hpp"
+#include "core/selection.hpp"
+#include "eval/ground_truth.hpp"
+
+namespace crp::eval {
+
+/// One client's selection outcome under some approach.
+struct SelectionOutcome {
+  std::size_t client = 0;
+  /// Top-1 candidate index.
+  std::size_t selected = 0;
+  /// Ground-truth RTT of the recommendation (mean over top-k), ms.
+  double rtt_ms = 0.0;
+  /// Ground-truth rank of the recommendation (mean over top-k; 0 = best).
+  double rank = 0.0;
+  /// rtt_ms minus the optimal candidate's RTT, ms.
+  double relative_error_ms = 0.0;
+  /// False when the approach had no basis for a recommendation (for CRP:
+  /// zero similarity with every candidate — no common replicas).
+  bool comparable = true;
+};
+
+/// Evaluates CRP selection for every client: rank candidates by map
+/// similarity and score the top-k against ground truth.
+[[nodiscard]] std::vector<SelectionOutcome> evaluate_crp_selection(
+    const GroundTruthMatrix& gt, std::span<const core::RatioMap> client_maps,
+    std::span<const core::RatioMap> candidate_maps, std::size_t top_k = 1,
+    core::SimilarityKind kind = core::SimilarityKind::kCosine);
+
+/// Wraps an externally made per-client choice (e.g. Meridian's) into
+/// outcomes. `selected[i]` is the candidate index chosen for client i.
+[[nodiscard]] std::vector<SelectionOutcome> evaluate_fixed_selection(
+    const GroundTruthMatrix& gt, std::span<const std::size_t> selected);
+
+/// Extracts one field across outcomes (optionally dropping
+/// non-comparable clients).
+[[nodiscard]] std::vector<double> rtts_of(
+    std::span<const SelectionOutcome> outcomes, bool comparable_only = false);
+[[nodiscard]] std::vector<double> ranks_of(
+    std::span<const SelectionOutcome> outcomes, bool comparable_only = false);
+[[nodiscard]] std::vector<double> relative_errors_of(
+    std::span<const SelectionOutcome> outcomes, bool comparable_only = false);
+
+// --- pairwise curve comparisons (the §V.A quotes) ---
+
+/// Fraction of indices where |a[i] - b[i]| <= eps.
+[[nodiscard]] double fraction_within(std::span<const double> a,
+                                     std::span<const double> b, double eps);
+/// Fraction of indices where a[i] < b[i].
+[[nodiscard]] double fraction_better(std::span<const double> a,
+                                     std::span<const double> b);
+/// Fraction of indices where a[i] > factor * b[i].
+[[nodiscard]] double fraction_ratio_above(std::span<const double> a,
+                                          std::span<const double> b,
+                                          double factor);
+
+}  // namespace crp::eval

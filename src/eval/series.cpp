@@ -1,0 +1,68 @@
+#include "eval/series.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace crp::eval {
+
+namespace {
+
+void print_percentile_table(std::ostream& out, const std::string& x_label,
+                            const std::vector<Series>& series, int decimals,
+                            bool sort_values) {
+  std::vector<std::vector<double>> sorted;
+  sorted.reserve(series.size());
+  for (const Series& s : series) {
+    std::vector<double> v = s.second;
+    if (sort_values) std::sort(v.begin(), v.end());
+    sorted.push_back(std::move(v));
+  }
+
+  TextTable table;
+  std::vector<std::string> header{x_label};
+  for (const Series& s : series) header.push_back(s.first);
+  table.header(std::move(header));
+
+  for (int pct = 0; pct <= 100; pct += 5) {
+    std::vector<std::string> row{std::to_string(pct)};
+    for (const auto& values : sorted) {
+      if (values.empty()) {
+        row.emplace_back("-");
+      } else {
+        std::vector<double> copy = values;  // already sorted
+        row.push_back(fmt(
+            percentile_sorted(copy, static_cast<double>(pct) / 100.0),
+            decimals));
+      }
+    }
+    table.row(std::move(row));
+  }
+  out << table.render();
+}
+
+}  // namespace
+
+void print_sorted_curves(std::ostream& out, const std::string& x_label,
+                         const std::vector<Series>& series, int decimals) {
+  print_percentile_table(out, x_label, series, decimals,
+                         /*sort_values=*/true);
+}
+
+void print_cdf(std::ostream& out, const std::string& value_label,
+               const std::vector<Series>& series, int decimals) {
+  out << "CDF (value at percentile) of " << value_label << ":\n";
+  print_percentile_table(out, "pct", series, decimals, /*sort_values=*/true);
+}
+
+void print_banner(std::ostream& out, const std::string& title,
+                  const std::string& experiment, std::uint64_t seed) {
+  out << "==============================================================\n"
+      << title << "\n"
+      << "reproduces: " << experiment << "   (seed " << seed << ")\n"
+      << "==============================================================\n";
+}
+
+}  // namespace crp::eval

@@ -1,0 +1,35 @@
+// Plot-series rendering for bench binaries.
+//
+// The paper's figures are curves; the benches reproduce them as aligned
+// text tables — one row per percentile of the x-axis — so that curve
+// shapes (who wins, crossovers, tails) are readable in terminal output
+// and diffable across runs.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace crp::eval {
+
+/// A named series of y-values.
+using Series = std::pair<std::string, std::vector<double>>;
+
+/// Prints each series sorted ascending independently (the paper's
+/// per-approach sorted-curve style, as in Figs. 4-5), sampled at every
+/// 5th percentile of its own length. Series may have different lengths.
+void print_sorted_curves(std::ostream& out, const std::string& x_label,
+                         const std::vector<Series>& series,
+                         int decimals = 1);
+
+/// Prints a CDF table: for each series, the value at every 5th
+/// percentile.
+void print_cdf(std::ostream& out, const std::string& value_label,
+               const std::vector<Series>& series, int decimals = 1);
+
+/// Standard bench banner: title, experiment id, seed.
+void print_banner(std::ostream& out, const std::string& title,
+                  const std::string& experiment, std::uint64_t seed);
+
+}  // namespace crp::eval

@@ -1,0 +1,204 @@
+#include "eval/world.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/stats.hpp"
+
+namespace crp::eval {
+
+const char* to_string(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kLatencyDriven:
+      return "latency-driven";
+    case PolicyKind::kGeoStatic:
+      return "geo-static";
+    case PolicyKind::kRandom:
+      return "random";
+    case PolicyKind::kSticky:
+      return "sticky";
+  }
+  return "?";
+}
+
+namespace {
+
+netsim::Topology make_topology(WorldConfig& config) {
+  config.topology.seed = hash_combine({config.seed, stable_hash("topo")});
+  return netsim::build_topology(config.topology);
+}
+
+}  // namespace
+
+World::World(WorldConfig config)
+    : config_(std::move(config)),
+      topo_(make_topology(config_)),
+      candidates_(),
+      dns_servers_(),
+      deployment_([this] {
+        // Place experiment hosts before the CDN so replica IDs line up
+        // with a stable host-ID prefix regardless of CDN size.
+        Rng rng{hash_combine({config_.seed, stable_hash("placement")})};
+        candidates_ =
+            config_.candidate_regions.empty()
+                ? netsim::place_hosts(topo_, netsim::HostKind::kInfraNode,
+                                      config_.num_candidates, rng)
+                : netsim::place_hosts_in_regions(
+                      topo_, netsim::HostKind::kInfraNode,
+                      config_.num_candidates, rng,
+                      config_.candidate_regions);
+        dns_servers_ =
+            netsim::place_hosts(topo_, netsim::HostKind::kDnsResolver,
+                                config_.num_dns_servers, rng);
+        // Hosts for the CDN's and the customers' authoritative DNS.
+        auto infra = netsim::place_hosts(topo_, netsim::HostKind::kInfraNode,
+                                         3, rng);
+        cdn_dns_host_ = infra[0];
+        customer_dns_host_ = infra[1];
+        measurement_client_ = infra[2];
+        cdn::DeploymentConfig cdn_config = config_.cdn;
+        cdn_config.seed = hash_combine({config_.seed, stable_hash("cdn")});
+        return cdn::Deployment::build(topo_, cdn_config);
+      }()) {
+  config_.latency.seed = hash_combine({config_.seed, stable_hash("latency")});
+  oracle_ = std::make_unique<netsim::LatencyOracle>(topo_, config_.latency);
+
+  cdn::CustomerCatalogConfig customer_config = config_.customers;
+  customer_config.seed = hash_combine({config_.seed, stable_hash("cust")});
+  catalog_ = cdn::CustomerCatalog::build(deployment_, customer_config);
+
+  cdn::MeasurementConfig measurement_config = config_.measurement;
+  measurement_config.seed =
+      hash_combine({config_.seed, stable_hash("measure")});
+  measurement_ =
+      std::make_unique<cdn::MeasurementSystem>(*oracle_, measurement_config);
+
+  cdn::LatencyPolicyConfig policy_config = config_.policy;
+  policy_config.seed = hash_combine({config_.seed, stable_hash("policy")});
+  if (config_.health.outage_probability > 0.0) {
+    cdn::HealthConfig health_config = config_.health;
+    health_config.seed = hash_combine({config_.seed, stable_hash("health")});
+    health_ = std::make_unique<cdn::ReplicaHealth>(health_config);
+  }
+  switch (config_.policy_kind) {
+    case PolicyKind::kLatencyDriven: {
+      auto latency_policy = std::make_unique<cdn::LatencyDrivenPolicy>(
+          *oracle_, deployment_, *measurement_, policy_config);
+      latency_policy->set_health(health_.get());
+      policy_ = std::move(latency_policy);
+      break;
+    }
+    case PolicyKind::kGeoStatic:
+      policy_ = std::make_unique<cdn::GeoStaticPolicy>(topo_, deployment_);
+      break;
+    case PolicyKind::kRandom:
+      policy_ = std::make_unique<cdn::RandomPolicy>(deployment_,
+                                                    policy_config.seed);
+      break;
+    case PolicyKind::kSticky:
+      policy_ = std::make_unique<cdn::StickyPolicy>(
+          *oracle_, deployment_, *measurement_, policy_config);
+      break;
+  }
+
+  dns_setup_ = cdn::register_cdn_dns(registry_, topo_, catalog_, deployment_,
+                                     *policy_, cdn_dns_host_,
+                                     customer_dns_host_,
+                                     config_.authoritative);
+
+  // One recursive resolver + CRP node per participant.
+  const auto names = catalog_.web_names();
+  const auto lookup = [this](Ipv4 addr) { return replica_of(addr); };
+  for (HostId h : participants()) {
+    auto resolver = std::make_unique<dns::RecursiveResolver>(
+        h, registry_, oracle_.get(), config_.resolver);
+    auto node = std::make_unique<core::CrpNode>(*resolver, names, lookup,
+                                                config_.crp);
+    resolvers_.emplace(h, std::move(resolver));
+    crp_nodes_.emplace(h, std::move(node));
+  }
+}
+
+std::vector<HostId> World::participants() const {
+  std::vector<HostId> all;
+  all.reserve(candidates_.size() + dns_servers_.size());
+  all.insert(all.end(), candidates_.begin(), candidates_.end());
+  all.insert(all.end(), dns_servers_.begin(), dns_servers_.end());
+  return all;
+}
+
+dns::RecursiveResolver& World::resolver(HostId host) {
+  const auto it = resolvers_.find(host);
+  if (it == resolvers_.end()) {
+    throw std::invalid_argument{"World::resolver: not a participant"};
+  }
+  return *it->second;
+}
+
+core::CrpNode& World::crp_node(HostId host) {
+  const auto it = crp_nodes_.find(host);
+  if (it == crp_nodes_.end()) {
+    throw std::invalid_argument{"World::crp_node: not a participant"};
+  }
+  return *it->second;
+}
+
+std::size_t World::run_probing(SimTime start, SimTime end,
+                               Duration interval) {
+  if (end < start || interval <= Duration{0}) {
+    throw std::invalid_argument{"World::run_probing: bad window"};
+  }
+  // Stagger node start times a little so probes do not all land on the
+  // same instant (and the same CDN rotation epoch).
+  Rng rng{hash_combine({config_.seed, stable_hash("stagger")})};
+  for (auto& [host, node] : crp_nodes_) {
+    const Duration offset{
+        static_cast<std::int64_t>(rng.uniform() *
+                                  static_cast<double>(Seconds(19).micros()))};
+    sched_.every(start + offset, interval, [&node = *node, this, end] {
+      if (sched_.now() > end) return false;
+      node.probe(sched_.now());
+      return true;
+    });
+  }
+  sched_.run_until(end);
+  campaign_end_ = end;
+  return static_cast<std::size_t>((end - start) / interval) + 1;
+}
+
+double World::ground_truth_rtt_ms(HostId a, HostId b) const {
+  const int samples = std::max(1, config_.ground_truth_samples);
+  const SimTime window_end =
+      campaign_end_ == SimTime::epoch() ? SimTime::epoch() + Hours(24)
+                                        : campaign_end_;
+  const double fraction =
+      std::clamp(config_.ground_truth_window_fraction, 0.01, 1.0);
+  const auto window_start = SimTime{static_cast<std::int64_t>(
+      (1.0 - fraction) * static_cast<double>(window_end.micros()))};
+  std::vector<double> values;
+  values.reserve(static_cast<std::size_t>(samples));
+  for (int i = 0; i < samples; ++i) {
+    const double frac =
+        samples == 1 ? 0.5
+                     : static_cast<double>(i) / static_cast<double>(samples - 1);
+    const SimTime t = window_start +
+                      (window_end - window_start) * frac;
+    values.push_back(oracle_->rtt_ms(a, b, t));
+  }
+  return median(values);
+}
+
+std::vector<std::vector<double>> World::king_matrix(
+    const std::vector<HostId>& hosts) const {
+  king::KingConfig king_config;
+  king_config.seed = hash_combine({config_.seed, stable_hash("king")});
+  const king::KingEstimator estimator{*oracle_, measurement_client_,
+                                      king_config};
+  const SimTime t = campaign_end_ == SimTime::epoch()
+                        ? SimTime::epoch() + Hours(12)
+                        : SimTime::epoch() + (campaign_end_ -
+                                              SimTime::epoch()) * 0.5;
+  return estimator.pairwise_matrix(hosts, t);
+}
+
+}  // namespace crp::eval

@@ -1,0 +1,176 @@
+// Experiment world: everything the paper's evaluation needs, wired up.
+//
+// A `World` owns one simulated Internet and the full CRP stack on top of
+// it: topology + latency oracle, CDN deployment + customers + redirection,
+// the DNS zones, one caching recursive resolver per participating host,
+// and one CrpNode per participant. Roles mirror the paper's setup:
+//
+//   * candidates  — infrastructure hosts (the 240 PlanetLab nodes),
+//   * dns_servers — open recursive resolvers (the 1,000 King-dataset
+//                   clients).
+//
+// Benches construct a World, run the probing campaign, and then evaluate
+// selection/clustering against ground truth.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "cdn/authoritative.hpp"
+#include "cdn/customer.hpp"
+#include "cdn/deployment.hpp"
+#include "cdn/health.hpp"
+#include "cdn/measurement.hpp"
+#include "cdn/redirection.hpp"
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "core/node.hpp"
+#include "dns/resolver.hpp"
+#include "dns/zone.hpp"
+#include "king/king.hpp"
+#include "netsim/latency_model.hpp"
+#include "netsim/topology.hpp"
+#include "netsim/topology_builder.hpp"
+#include "sim/event_scheduler.hpp"
+
+namespace crp::eval {
+
+enum class PolicyKind { kLatencyDriven, kGeoStatic, kRandom, kSticky };
+
+[[nodiscard]] const char* to_string(PolicyKind kind);
+
+struct WorldConfig {
+  std::uint64_t seed = 42;
+
+  netsim::TopologyConfig topology;
+  netsim::LatencyConfig latency;
+  cdn::DeploymentConfig cdn;
+  cdn::CustomerCatalogConfig customers;
+  cdn::MeasurementConfig measurement;
+  /// Replica availability churn (outage_probability 0 = fleet stable).
+  cdn::HealthConfig health;
+  cdn::LatencyPolicyConfig policy;
+  cdn::CdnAuthoritativeConfig authoritative;
+  core::CrpNodeConfig crp;
+  dns::ResolverConfig resolver;
+
+  PolicyKind policy_kind = PolicyKind::kLatencyDriven;
+
+  /// PlanetLab-like candidate servers.
+  std::size_t num_candidates = 240;
+  /// If non-empty, candidates are placed only in these regions (models
+  /// PlanetLab's concentration in well-connected academic networks;
+  /// clients outside them may then share no replica with any candidate —
+  /// the case CRP alone cannot resolve).
+  std::vector<std::string> candidate_regions;
+  /// DNS-server clients.
+  std::size_t num_dns_servers = 1000;
+
+  /// Times at which ground-truth RTT is sampled (median taken).
+  int ground_truth_samples = 5;
+  /// Fraction of the campaign, ending at campaign_end, over which the
+  /// ground-truth samples are spread. 1.0 = whole campaign (long-run
+  /// median); small values measure conditions *current at query time*,
+  /// which is what matters under routing drift.
+  double ground_truth_window_fraction = 1.0;
+};
+
+class World {
+ public:
+  explicit World(WorldConfig config);
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  // --- structure ---
+  [[nodiscard]] const netsim::Topology& topology() const { return topo_; }
+  [[nodiscard]] const netsim::LatencyOracle& oracle() const {
+    return *oracle_;
+  }
+  [[nodiscard]] const cdn::Deployment& deployment() const {
+    return deployment_;
+  }
+  [[nodiscard]] const cdn::CustomerCatalog& catalog() const {
+    return catalog_;
+  }
+  [[nodiscard]] cdn::RedirectionPolicy& policy() { return *policy_; }
+  [[nodiscard]] const dns::ZoneRegistry& registry() const {
+    return registry_;
+  }
+  /// Mutable registry access for fault injection in tests/benches
+  /// (e.g. replacing a customer zone with a dead one).
+  [[nodiscard]] dns::ZoneRegistry& registry_mut() { return registry_; }
+  [[nodiscard]] sim::EventScheduler& scheduler() { return sched_; }
+  [[nodiscard]] const WorldConfig& config() const { return config_; }
+
+  [[nodiscard]] std::span<const HostId> candidates() const {
+    return candidates_;
+  }
+  [[nodiscard]] std::span<const HostId> dns_servers() const {
+    return dns_servers_;
+  }
+  /// All participants (candidates then DNS servers).
+  [[nodiscard]] std::vector<HostId> participants() const;
+
+  [[nodiscard]] dns::RecursiveResolver& resolver(HostId host);
+  [[nodiscard]] core::CrpNode& crp_node(HostId host);
+
+  /// Maps an A-record address to a replica ID (the CrpNode lookup).
+  [[nodiscard]] std::optional<ReplicaId> replica_of(Ipv4 addr) const {
+    return deployment_.replica_of_address(addr);
+  }
+
+  // --- campaign ---
+  /// Runs a probing campaign: every participant's CrpNode probes every
+  /// `interval` from `start` to `end` (inclusive of start). Returns the
+  /// number of probe rounds executed per node.
+  std::size_t run_probing(SimTime start, SimTime end, Duration interval);
+
+  /// End of the last campaign (used to center ground-truth sampling).
+  [[nodiscard]] SimTime campaign_end() const { return campaign_end_; }
+
+  // --- ground truth ---
+  /// Ground-truth RTT in ms: median of `ground_truth_samples` oracle
+  /// queries spread across the campaign window (direct measurement, as
+  /// the paper did between PlanetLab nodes and DNS servers).
+  [[nodiscard]] double ground_truth_rtt_ms(HostId a, HostId b) const;
+
+  /// King-estimated RTT matrix over `hosts` (the paper's method for
+  /// DNS-server-to-DNS-server ground truth).
+  [[nodiscard]] std::vector<std::vector<double>> king_matrix(
+      const std::vector<HostId>& hosts) const;
+
+  /// Total queries the CDN authoritative has served (CDN-side load).
+  [[nodiscard]] std::size_t cdn_queries_served() const {
+    return dns_setup_.authoritative->queries_served();
+  }
+
+ private:
+  WorldConfig config_;
+  netsim::Topology topo_;
+  std::vector<HostId> candidates_;
+  std::vector<HostId> dns_servers_;
+  HostId cdn_dns_host_;
+  HostId customer_dns_host_;
+  HostId measurement_client_;
+  cdn::Deployment deployment_;
+  std::unique_ptr<netsim::LatencyOracle> oracle_;
+  cdn::CustomerCatalog catalog_;
+  std::unique_ptr<cdn::MeasurementSystem> measurement_;
+  std::unique_ptr<cdn::ReplicaHealth> health_;
+  std::unique_ptr<cdn::RedirectionPolicy> policy_;
+  dns::ZoneRegistry registry_;
+  cdn::CdnDnsSetup dns_setup_;
+  std::unordered_map<HostId, std::unique_ptr<dns::RecursiveResolver>>
+      resolvers_;
+  std::unordered_map<HostId, std::unique_ptr<core::CrpNode>> crp_nodes_;
+  sim::EventScheduler sched_;
+  SimTime campaign_end_ = SimTime::epoch();
+};
+
+}  // namespace crp::eval

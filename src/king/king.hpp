@@ -1,0 +1,61 @@
+// King: estimating RTT between arbitrary DNS servers.
+//
+// King (Gummadi et al., IMW 2002) estimates the latency between two DNS
+// servers R1, R2 from a measurement client C without cooperation from
+// either: C first measures its turnaround to R1 with a query R1 answers
+// from cache, then issues a recursive query that forces R1 to contact R2;
+// the difference of the two turnarounds estimates RTT(R1, R2). The paper
+// uses King for all of its "ground-truth" client-to-client RTTs.
+//
+// The estimator reproduces the mechanism (difference of two noisy
+// turnarounds, median over several trials), so it exhibits King's real
+// error structure — slightly noisy, occasionally off when the network is
+// congested mid-measurement — rather than behaving like an oracle.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+#include "netsim/latency_model.hpp"
+
+namespace crp::king {
+
+struct KingConfig {
+  std::uint64_t seed = 19;
+  /// Trials per estimate; the median is reported.
+  int samples = 5;
+  /// Spacing between trials.
+  Duration trial_spacing = Seconds(2);
+  /// Extra turnaround noise at the measuring client (ms, log-normal
+  /// sigma) — OS scheduling, resolver load, etc.
+  double client_noise_sigma = 0.03;
+};
+
+class KingEstimator {
+ public:
+  /// `oracle` must outlive the estimator. `client` is the measuring host
+  /// (the paper measured from PlanetLab nodes).
+  KingEstimator(const netsim::LatencyOracle& oracle, HostId client,
+                KingConfig config = {});
+
+  /// King estimate of RTT(r1, r2) in milliseconds, measured at sim time
+  /// `t`. Symmetric only up to measurement noise, like the real thing.
+  [[nodiscard]] double estimate_ms(HostId r1, HostId r2, SimTime t) const;
+
+  /// Full pairwise matrix over `hosts` (upper triangle measured, mirrored;
+  /// diagonal zero). Index [i][j] corresponds to hosts[i], hosts[j].
+  [[nodiscard]] std::vector<std::vector<double>> pairwise_matrix(
+      const std::vector<HostId>& hosts, SimTime t) const;
+
+ private:
+  [[nodiscard]] double one_trial_ms(HostId r1, HostId r2, SimTime t,
+                                    std::uint64_t salt) const;
+
+  const netsim::LatencyOracle* oracle_;
+  HostId client_;
+  KingConfig config_;
+};
+
+}  // namespace crp::king

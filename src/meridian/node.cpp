@@ -1,0 +1,94 @@
+#include "meridian/node.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace crp::meridian {
+
+const char* to_string(NodeState state) {
+  switch (state) {
+    case NodeState::kNormal:
+      return "normal";
+    case NodeState::kSelfishBootstrap:
+      return "selfish-bootstrap";
+    case NodeState::kPartitioned:
+      return "partitioned";
+    case NodeState::kDead:
+      return "dead";
+  }
+  return "?";
+}
+
+MeridianNode::MeridianNode(HostId host, RingConfig config)
+    : host_(host), config_(config) {
+  if (config_.num_rings < 1) {
+    throw std::invalid_argument{"MeridianNode: num_rings must be >= 1"};
+  }
+  rings_.resize(static_cast<std::size_t>(config_.num_rings));
+}
+
+int MeridianNode::ring_index(double rtt_ms) const {
+  if (rtt_ms <= config_.innermost_ms) return 0;
+  const int idx = 1 + static_cast<int>(
+                          std::floor(std::log2(rtt_ms / config_.innermost_ms)));
+  return std::min(idx, config_.num_rings - 1);
+}
+
+bool MeridianNode::knows(HostId peer) const {
+  return ring_of_.contains(peer);
+}
+
+int MeridianNode::insert(HostId peer, double rtt_ms) {
+  if (peer == host_ || knows(peer)) return -1;
+  const int ring = ring_index(rtt_ms);
+  rings_[static_cast<std::size_t>(ring)].push_back(peer);
+  ring_of_[peer] = ring;
+  return ring;
+}
+
+void MeridianNode::forget(HostId peer) {
+  const auto it = ring_of_.find(peer);
+  if (it == ring_of_.end()) return;
+  auto& members = rings_[static_cast<std::size_t>(it->second)];
+  members.erase(std::remove(members.begin(), members.end(), peer),
+                members.end());
+  ring_of_.erase(it);
+}
+
+std::vector<HostId> MeridianNode::all_peers() const {
+  std::vector<HostId> out;
+  out.reserve(ring_of_.size());
+  for (const auto& ring : rings_) {
+    out.insert(out.end(), ring.begin(), ring.end());
+  }
+  return out;
+}
+
+std::vector<HostId> MeridianNode::peers_in_range(double lo_ms,
+                                                 double hi_ms) const {
+  // A ring is relevant if its RTT interval intersects [lo, hi].
+  std::vector<HostId> out;
+  for (int r = 0; r < config_.num_rings; ++r) {
+    const double ring_lo =
+        r == 0 ? 0.0 : config_.innermost_ms * std::pow(2.0, r - 1);
+    const double ring_hi =
+        r == config_.num_rings - 1
+            ? std::numeric_limits<double>::infinity()
+            : config_.innermost_ms * std::pow(2.0, r);
+    if (ring_hi < lo_ms || ring_lo > hi_ms) continue;
+    const auto& members = rings_[static_cast<std::size_t>(r)];
+    out.insert(out.end(), members.begin(), members.end());
+  }
+  return out;
+}
+
+NodeState MeridianNode::state_at(SimTime t) const {
+  if (state_ == NodeState::kSelfishBootstrap && t >= selfish_until_) {
+    return NodeState::kNormal;
+  }
+  return state_;
+}
+
+}  // namespace crp::meridian

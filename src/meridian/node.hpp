@@ -1,0 +1,126 @@
+// Meridian node state: concentric rings with diversity-maximizing
+// membership (Wong, Slivkins & Sirer, SIGCOMM 2005).
+//
+// Each node organizes the peers it knows into exponentially growing
+// latency rings: ring i holds peers whose RTT lies in
+// [base * 2^(i-1), base * 2^i). Rings have bounded size; when a ring
+// overflows, the node keeps the subset that maximizes pairwise latency
+// diversity (a practical stand-in for the paper's polytope-hypervolume
+// criterion). Diverse rings are what make the multi-hop search converge.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+
+namespace crp::meridian {
+
+struct RingConfig {
+  int num_rings = 9;
+  /// Outer RTT bound of the innermost ring (ms); ring i (0-based) covers
+  /// [innermost_ms * 2^(i-1), innermost_ms * 2^i), with ring 0 starting
+  /// at 0 and the outermost ring unbounded above.
+  double innermost_ms = 2.0;
+  /// Maximum members retained per ring.
+  std::size_t ring_capacity = 8;
+};
+
+/// Health of a Meridian node; used for fault injection matching the
+/// behaviours the paper observed on PlanetLab.
+enum class NodeState {
+  kNormal,
+  /// Freshly (re)started: answers every query with itself (the
+  /// planetlab1.cis.upenn.edu behaviour).
+  kSelfishBootstrap,
+  /// Only ever connected to its own site peers
+  /// (planetlab[1,2].atcorp.com behaviour).
+  kPartitioned,
+  /// Never joined the overlay.
+  kDead,
+};
+
+[[nodiscard]] const char* to_string(NodeState state);
+
+/// Per-node ring membership. Latency measurements are supplied by the
+/// overlay (the node itself is measurement-agnostic).
+class MeridianNode {
+ public:
+  MeridianNode(HostId host, RingConfig config);
+
+  [[nodiscard]] HostId host() const { return host_; }
+
+  /// Ring index for an RTT (clamped to the outermost ring).
+  [[nodiscard]] int ring_index(double rtt_ms) const;
+
+  /// True if `peer` is already tracked.
+  [[nodiscard]] bool knows(HostId peer) const;
+
+  /// Records `peer` at measured distance `rtt_ms`. If the target ring is
+  /// full the overlay must resolve the overflow via `resolve_overflow`;
+  /// returns the ring index, or -1 when peer == self / already known.
+  int insert(HostId peer, double rtt_ms);
+
+  /// Called by the overlay when a ring exceeds capacity: keeps the
+  /// `capacity` members maximizing summed pairwise distance, given the
+  /// member-to-member RTT callback. Evicted members are forgotten.
+  template <typename RttFn>
+  void resolve_overflow(int ring, RttFn&& rtt_between) {
+    auto& members = rings_[static_cast<std::size_t>(ring)];
+    while (members.size() > config_.ring_capacity) {
+      // Greedy: drop the member contributing least pairwise distance.
+      std::size_t worst = 0;
+      double worst_sum = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        double sum = 0.0;
+        for (std::size_t j = 0; j < members.size(); ++j) {
+          if (i != j) sum += rtt_between(members[i], members[j]);
+        }
+        if (sum < worst_sum) {
+          worst_sum = sum;
+          worst = i;
+        }
+      }
+      forget(members[worst]);
+    }
+  }
+
+  /// Drops a peer from whatever ring holds it (e.g. it died).
+  void forget(HostId peer);
+
+  /// Members of one ring.
+  [[nodiscard]] const std::vector<HostId>& ring(int index) const {
+    return rings_.at(static_cast<std::size_t>(index));
+  }
+  [[nodiscard]] int num_rings() const { return config_.num_rings; }
+
+  /// All known peers across rings.
+  [[nodiscard]] std::vector<HostId> all_peers() const;
+  [[nodiscard]] std::size_t peer_count() const { return ring_of_.size(); }
+
+  /// Peers whose *measured* ring placement is compatible with RTT range
+  /// [lo_ms, hi_ms] — the candidate set for a query step.
+  [[nodiscard]] std::vector<HostId> peers_in_range(double lo_ms,
+                                                   double hi_ms) const;
+
+  // --- fault state ---
+  [[nodiscard]] NodeState state() const { return state_; }
+  void set_state(NodeState state) { state_ = state; }
+  [[nodiscard]] SimTime selfish_until() const { return selfish_until_; }
+  void set_selfish_until(SimTime t) { selfish_until_ = t; }
+  /// Effective state at time `t` (selfish bootstrap expires).
+  [[nodiscard]] NodeState state_at(SimTime t) const;
+
+ private:
+  HostId host_;
+  RingConfig config_;
+  std::vector<std::vector<HostId>> rings_;
+  std::unordered_map<HostId, int> ring_of_;
+  NodeState state_ = NodeState::kNormal;
+  SimTime selfish_until_ = SimTime::epoch();
+};
+
+}  // namespace crp::meridian

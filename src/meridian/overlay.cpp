@@ -1,0 +1,221 @@
+#include "meridian/overlay.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace crp::meridian {
+
+MeridianOverlay::MeridianOverlay(const netsim::LatencyOracle& oracle,
+                                 std::vector<HostId> members,
+                                 MeridianConfig config, FaultSpec faults)
+    : oracle_(&oracle),
+      members_(std::move(members)),
+      config_(config),
+      faults_(faults),
+      rng_(hash_combine({config.seed, stable_hash("meridian")})) {
+  if (members_.empty()) {
+    throw std::invalid_argument{"MeridianOverlay: no members"};
+  }
+  for (HostId h : members_) {
+    nodes_.emplace(h, MeridianNode{h, config_.rings});
+  }
+
+  // Assign fault states. Shuffle a copy so overlapping fractions pick
+  // disjoint node sets deterministically.
+  std::vector<HostId> pool = members_;
+  rng_.shuffle(pool);
+  std::size_t cursor = 0;
+  const auto take = [&](double fraction) {
+    const auto n = static_cast<std::size_t>(
+        fraction * static_cast<double>(members_.size()));
+    std::vector<HostId> out;
+    for (std::size_t i = 0; i < n && cursor < pool.size(); ++i) {
+      out.push_back(pool[cursor++]);
+    }
+    return out;
+  };
+  for (HostId h : take(faults_.dead_fraction)) {
+    nodes_.at(h).set_state(NodeState::kDead);
+  }
+  for (HostId h : take(faults_.selfish_fraction)) {
+    nodes_.at(h).set_state(NodeState::kSelfishBootstrap);
+    nodes_.at(h).set_selfish_until(SimTime::epoch() +
+                                   faults_.selfish_duration);
+  }
+  {
+    auto part = take(faults_.partitioned_fraction);
+    if (part.size() % 2 == 1) part.pop_back();  // pairs only
+    for (std::size_t i = 0; i + 1 < part.size(); i += 2) {
+      nodes_.at(part[i]).set_state(NodeState::kPartitioned);
+      nodes_.at(part[i + 1]).set_state(NodeState::kPartitioned);
+      site_partner_[part[i]] = part[i + 1];
+      site_partner_[part[i + 1]] = part[i];
+    }
+  }
+}
+
+double MeridianOverlay::measure(HostId from, HostId to, SimTime t) {
+  ++total_probes_;
+  const double rtt = oracle_->rtt_ms(from, to, t);
+  if (config_.probe_noise_sigma <= 0.0) return rtt;
+  const double z = rng_.normal();
+  return rtt * std::exp(config_.probe_noise_sigma * z);
+}
+
+void MeridianOverlay::learn(MeridianNode& node, HostId peer, SimTime t) {
+  if (peer == node.host() || node.knows(peer)) return;
+  // Partitioned nodes refuse to learn anything outside their site; and
+  // nobody learns dead nodes.
+  if (node.state() == NodeState::kPartitioned) {
+    const auto it = site_partner_.find(node.host());
+    if (it == site_partner_.end() || it->second != peer) return;
+  }
+  const auto peer_it = nodes_.find(peer);
+  if (peer_it != nodes_.end() &&
+      peer_it->second.state() == NodeState::kDead) {
+    return;
+  }
+  const double rtt = measure(node.host(), peer, t);
+  const int ring = node.insert(peer, rtt);
+  if (ring >= 0 &&
+      node.ring(ring).size() > config_.rings.ring_capacity) {
+    node.resolve_overflow(ring, [&](HostId a, HostId b) {
+      // Diversity bookkeeping uses the static RTT (the node's own cached
+      // estimates); no extra probe counted — real nodes cache these.
+      return oracle_->base_rtt_ms(a, b);
+    });
+  }
+}
+
+void MeridianOverlay::bootstrap(SimTime start, int gossip_rounds) {
+  for (HostId h : members_) {
+    MeridianNode& node = nodes_.at(h);
+    if (node.state() == NodeState::kDead) continue;
+    if (node.state() == NodeState::kPartitioned) {
+      if (const auto it = site_partner_.find(h); it != site_partner_.end()) {
+        learn(node, it->second, start);
+      }
+      continue;
+    }
+    for (std::size_t i = 0; i < config_.bootstrap_seeds; ++i) {
+      learn(node, rng_.pick(members_), start);
+    }
+  }
+  for (int r = 0; r < gossip_rounds; ++r) {
+    gossip_round(start + Minutes(r));
+  }
+}
+
+void MeridianOverlay::gossip_round(SimTime t) {
+  for (HostId h : members_) {
+    MeridianNode& node = nodes_.at(h);
+    const NodeState state = node.state_at(t);
+    if (state == NodeState::kDead || state == NodeState::kPartitioned) {
+      continue;
+    }
+    const std::vector<HostId> known = node.all_peers();
+    if (known.empty()) continue;
+    for (int f = 0; f < config_.gossip_fanout; ++f) {
+      const HostId dest = rng_.pick(known);
+      const auto dest_it = nodes_.find(dest);
+      if (dest_it == nodes_.end()) continue;
+      MeridianNode& receiver = dest_it->second;
+      if (receiver.state_at(t) == NodeState::kDead) continue;
+      // Anti-entropy push: share a few known IDs (plus self).
+      learn(receiver, h, t);
+      for (int p = 0; p < config_.gossip_payload; ++p) {
+        learn(receiver, rng_.pick(known), t);
+      }
+    }
+  }
+}
+
+QueryResult MeridianOverlay::closest_node(HostId entry, HostId target,
+                                          SimTime t) {
+  const auto entry_it = nodes_.find(entry);
+  if (entry_it == nodes_.end()) {
+    throw std::invalid_argument{"closest_node: entry is not a member"};
+  }
+
+  QueryResult result;
+  result.selected = entry;
+
+  MeridianNode* current = &entry_it->second;
+  // A selfish or partitioned entry degrades the whole query: it answers
+  // with itself (or its site), ignoring the request parameters.
+  const NodeState entry_state = current->state_at(t);
+  if (entry_state == NodeState::kSelfishBootstrap) {
+    result.fault_affected = true;
+    result.selected_rtt_ms = oracle_->rtt_ms(entry, target, t);
+    return result;
+  }
+
+  double best_rtt = measure(current->host(), target, t);
+  ++result.probes;
+  HostId best_host = current->host();
+
+  for (int hop = 0; hop < config_.max_hops; ++hop) {
+    const double lo = (1.0 - config_.beta) * best_rtt;
+    const double hi = (1.0 + config_.beta) * best_rtt;
+    const std::vector<HostId> candidates = current->peers_in_range(lo, hi);
+
+    double round_best = std::numeric_limits<double>::infinity();
+    HostId round_host;
+    for (HostId c : candidates) {
+      const auto it = nodes_.find(c);
+      if (it == nodes_.end()) continue;
+      const NodeState cs = it->second.state_at(t);
+      if (cs == NodeState::kDead) continue;
+      const double rtt = measure(c, target, t);
+      ++result.probes;
+      if (rtt < round_best) {
+        round_best = rtt;
+        round_host = c;
+      }
+    }
+    if (!round_host.valid() || round_best >= config_.beta * best_rtt) {
+      if (round_host.valid() && round_best < best_rtt) {
+        best_rtt = round_best;
+        best_host = round_host;
+      }
+      break;  // converged: no hop improves by factor beta
+    }
+    best_rtt = round_best;
+    best_host = round_host;
+    current = &nodes_.at(round_host);
+    ++result.hops;
+    if (current->state_at(t) == NodeState::kSelfishBootstrap) {
+      // Hopped into a freshly restarted node: it hijacks the query.
+      result.fault_affected = true;
+      break;
+    }
+  }
+
+  result.selected = best_host;
+  result.selected_rtt_ms = best_rtt;
+  return result;
+}
+
+HostId MeridianOverlay::random_entry(Rng& rng) const {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const HostId h = rng.pick(members_);
+    if (nodes_.at(h).state() != NodeState::kDead) return h;
+  }
+  return members_.front();
+}
+
+const MeridianNode& MeridianOverlay::node(HostId host) const {
+  return nodes_.at(host);
+}
+
+std::size_t MeridianOverlay::live_member_count() const {
+  std::size_t count = 0;
+  for (const auto& [h, node] : nodes_) {
+    if (node.state() != NodeState::kDead) ++count;
+  }
+  return count;
+}
+
+}  // namespace crp::meridian

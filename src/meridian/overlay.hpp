@@ -1,0 +1,121 @@
+// The Meridian overlay: membership, gossip, and closest-node queries.
+//
+// Meridian answers "which overlay member is closest to target T?" by
+// direct measurement: the query walks the overlay, each hop probing the
+// current node's ring members whose ring distance is within a (1 ± beta)
+// band of the current node's distance to T, and hopping to the best
+// prober when it improves the distance by at least factor beta. Node
+// discovery uses a simple anti-entropy push gossip.
+//
+// This is the paper's comparison baseline (Figs. 4-5), including its
+// failure modes: freshly restarted nodes that answer with themselves for
+// hours, nodes that never join, and site-partitioned nodes — all
+// injectable via `FaultSpec` to reproduce the measured tails.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "meridian/node.hpp"
+#include "netsim/latency_model.hpp"
+
+namespace crp::meridian {
+
+struct MeridianConfig {
+  std::uint64_t seed = 29;
+  RingConfig rings;
+  /// Query acceptance: hop when the best probed distance is below
+  /// beta * current distance.
+  double beta = 0.5;
+  /// Multiplicative noise on each direct probe (log-normal sigma).
+  double probe_noise_sigma = 0.04;
+  int max_hops = 16;
+  /// Random peers each node learns at bootstrap.
+  std::size_t bootstrap_seeds = 4;
+  /// Gossip: peers contacted and node IDs pushed per round.
+  int gossip_fanout = 3;
+  int gossip_payload = 4;
+};
+
+/// Fault injection matching §V.A's observed PlanetLab pathologies.
+struct FaultSpec {
+  /// Fraction of nodes in selfish-bootstrap state (answer with self).
+  double selfish_fraction = 0.0;
+  Duration selfish_duration = Hours(7);
+  /// Fraction of nodes that never join the overlay.
+  double dead_fraction = 0.0;
+  /// Fraction of nodes partitioned in 2-node "sites" knowing only each
+  /// other (rounded down to pairs).
+  double partitioned_fraction = 0.0;
+};
+
+struct QueryResult {
+  HostId selected;
+  int hops = 0;
+  /// Direct probes issued while answering (Meridian's cost; CRP's is 0).
+  int probes = 0;
+  /// Measured RTT from the selected node to the target at answer time.
+  double selected_rtt_ms = 0.0;
+  /// True if the query was degraded by a fault (selfish entry, etc.).
+  bool fault_affected = false;
+};
+
+class MeridianOverlay {
+ public:
+  /// `oracle` must outlive the overlay. `members` are the overlay hosts
+  /// (the paper's 240 active PlanetLab nodes).
+  MeridianOverlay(const netsim::LatencyOracle& oracle,
+                  std::vector<HostId> members, MeridianConfig config = {},
+                  FaultSpec faults = {});
+
+  /// Seeds each node with random peers and runs `gossip_rounds` rounds of
+  /// anti-entropy push, populating rings. Measurement happens at `start`.
+  void bootstrap(SimTime start, int gossip_rounds = 8);
+
+  /// One synchronous gossip round at time `t`.
+  void gossip_round(SimTime t);
+
+  /// Closest-member query from `entry` for `target` at time `t`.
+  /// `entry` must be a member. The target may be any host (the paper's
+  /// DNS servers are not members).
+  [[nodiscard]] QueryResult closest_node(HostId entry, HostId target,
+                                         SimTime t);
+
+  /// A random live member to use as query entry point.
+  [[nodiscard]] HostId random_entry(Rng& rng) const;
+
+  [[nodiscard]] const MeridianNode& node(HostId host) const;
+  [[nodiscard]] const std::vector<HostId>& members() const {
+    return members_;
+  }
+  [[nodiscard]] std::size_t live_member_count() const;
+
+  /// Total direct probes issued since construction (gossip + queries) —
+  /// the overhead CRP avoids.
+  [[nodiscard]] std::uint64_t total_probes() const { return total_probes_; }
+
+ private:
+  /// Direct latency measurement with probe noise; counts toward
+  /// total_probes_.
+  double measure(HostId from, HostId to, SimTime t);
+
+  /// Inserts `peer` into `node`'s rings (measuring once), resolving
+  /// overflow with noisy member-to-member measurements.
+  void learn(MeridianNode& node, HostId peer, SimTime t);
+
+  const netsim::LatencyOracle* oracle_;
+  std::vector<HostId> members_;
+  MeridianConfig config_;
+  FaultSpec faults_;
+  std::unordered_map<HostId, MeridianNode> nodes_;
+  /// partner in a partitioned 2-node site.
+  std::unordered_map<HostId, HostId> site_partner_;
+  Rng rng_;
+  std::uint64_t total_probes_ = 0;
+};
+
+}  // namespace crp::meridian

@@ -1,0 +1,60 @@
+#include "netsim/geo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+
+namespace crp::netsim {
+
+namespace {
+constexpr double kDegToRad = std::numbers::pi / 180.0;
+constexpr double kRadToDeg = 180.0 / std::numbers::pi;
+}  // namespace
+
+double great_circle_km(const GeoPoint& a, const GeoPoint& b) {
+  const double lat1 = a.lat_deg * kDegToRad;
+  const double lat2 = b.lat_deg * kDegToRad;
+  const double dlat = (b.lat_deg - a.lat_deg) * kDegToRad;
+  const double dlon = (b.lon_deg - a.lon_deg) * kDegToRad;
+  const double s1 = std::sin(dlat / 2.0);
+  const double s2 = std::sin(dlon / 2.0);
+  const double h =
+      s1 * s1 + std::cos(lat1) * std::cos(lat2) * s2 * s2;
+  const double c = 2.0 * std::asin(std::min(1.0, std::sqrt(h)));
+  return kEarthRadiusKm * c;
+}
+
+double propagation_one_way_ms(double distance_km) {
+  // Light in fibre travels at roughly 2/3 c ≈ 200,000 km/s = 200 km/ms.
+  constexpr double kFibreKmPerMs = 200.0;
+  return distance_km / kFibreKmPerMs;
+}
+
+GeoPoint offset(const GeoPoint& origin, double bearing_deg,
+                double distance_km) {
+  const double delta = distance_km / kEarthRadiusKm;
+  const double theta = bearing_deg * kDegToRad;
+  const double lat1 = origin.lat_deg * kDegToRad;
+  const double lon1 = origin.lon_deg * kDegToRad;
+  const double lat2 = std::asin(std::sin(lat1) * std::cos(delta) +
+                                std::cos(lat1) * std::sin(delta) *
+                                    std::cos(theta));
+  const double lon2 =
+      lon1 + std::atan2(std::sin(theta) * std::sin(delta) * std::cos(lat1),
+                        std::cos(delta) - std::sin(lat1) * std::sin(lat2));
+  GeoPoint p{lat2 * kRadToDeg, lon2 * kRadToDeg};
+  // Normalize longitude into [-180, 180).
+  while (p.lon_deg >= 180.0) p.lon_deg -= 360.0;
+  while (p.lon_deg < -180.0) p.lon_deg += 360.0;
+  p.lat_deg = std::clamp(p.lat_deg, -90.0, 90.0);
+  return p;
+}
+
+std::string to_string(const GeoPoint& p) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "(%.3f, %.3f)", p.lat_deg, p.lon_deg);
+  return std::string{buf};
+}
+
+}  // namespace crp::netsim

@@ -1,0 +1,38 @@
+// Geographic primitives for host placement.
+//
+// Hosts and PoPs live on the surface of the Earth; base propagation delay
+// is derived from great-circle distance. The geography only has to be good
+// enough that "near in RTT" correlates with a latent position — exactly
+// the property CRP exploits.
+#pragma once
+
+#include <string>
+
+namespace crp::netsim {
+
+/// Point on the Earth's surface, in degrees.
+struct GeoPoint {
+  double lat_deg = 0.0;  // [-90, 90]
+  double lon_deg = 0.0;  // [-180, 180)
+
+  friend bool operator==(const GeoPoint&, const GeoPoint&) = default;
+};
+
+/// Mean Earth radius, kilometres.
+inline constexpr double kEarthRadiusKm = 6371.0;
+
+/// Great-circle distance between two points, kilometres (haversine).
+[[nodiscard]] double great_circle_km(const GeoPoint& a, const GeoPoint& b);
+
+/// One-way propagation delay in milliseconds over fibre following the
+/// great circle: distance / (2/3 c), i.e. ~5 us per km.
+[[nodiscard]] double propagation_one_way_ms(double distance_km);
+
+/// A point at the given bearing (degrees clockwise from north) and
+/// distance from `origin`.
+[[nodiscard]] GeoPoint offset(const GeoPoint& origin, double bearing_deg,
+                              double distance_km);
+
+[[nodiscard]] std::string to_string(const GeoPoint& p);
+
+}  // namespace crp::netsim

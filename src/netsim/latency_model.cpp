@@ -1,0 +1,142 @@
+#include "netsim/latency_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace crp::netsim {
+
+namespace {
+
+// Orders a host pair so hashes are symmetric in (a, b).
+std::pair<std::uint64_t, std::uint64_t> ordered(HostId a, HostId b) {
+  const std::uint64_t x = a.value();
+  const std::uint64_t y = b.value();
+  return x < y ? std::pair{x, y} : std::pair{y, x};
+}
+
+// Standard-normal deviate as a pure function of a hash (Box–Muller over
+// two hash-derived uniforms).
+double hash_normal(std::uint64_t h) {
+  double u1 = hash_to_unit(h);
+  const double u2 = hash_to_unit(hash_mix(h ^ 0xa5a5a5a5a5a5a5a5ULL));
+  if (u1 <= 1e-12) u1 = 1e-12;
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+std::int64_t epoch_of(SimTime t, Duration epoch) {
+  return t.micros() / std::max<std::int64_t>(1, epoch.micros());
+}
+
+}  // namespace
+
+LatencyOracle::LatencyOracle(const Topology& topo, LatencyConfig config)
+    : topo_(&topo), config_(config) {}
+
+double LatencyOracle::pair_quirk(HostId a, HostId b) const {
+  const auto [lo, hi] = ordered(a, b);
+  const std::uint64_t h =
+      hash_combine({config_.seed, stable_hash("quirk"), lo, hi});
+  if (hash_to_unit(h) >= config_.quirk_probability) return 1.0;
+  const double u = hash_to_unit(hash_mix(h ^ 0x1234abcdULL));
+  return 1.2 + u * (config_.quirk_max_inflation - 1.2);
+}
+
+double LatencyOracle::region_interconnect(RegionId a, RegionId b) const {
+  if (a == b) return 1.0;
+  const std::uint64_t lo = std::min(a.value(), b.value());
+  const std::uint64_t hi = std::max(a.value(), b.value());
+  const std::uint64_t h =
+      hash_combine({config_.seed, stable_hash("interconnect"), lo, hi});
+  if (hash_to_unit(h) >= config_.bad_interconnect_fraction) return 1.0;
+  const double u = hash_to_unit(hash_mix(h ^ 0x9876fedcULL));
+  return 1.15 + u * (config_.bad_interconnect_max_inflation - 1.15);
+}
+
+double LatencyOracle::base_rtt_ms(HostId a, HostId b) const {
+  if (a == b) return 0.0;
+  const Host& ha = topo_->host(a);
+  const Host& hb = topo_->host(b);
+
+  const double access = 2.0 * (ha.access_one_way_ms + hb.access_one_way_ms);
+  if (ha.pop == hb.pop) {
+    return access + config_.same_pop_rtt_ms;
+  }
+
+  const double geo_rtt =
+      2.0 * propagation_one_way_ms(great_circle_km(ha.location, hb.location));
+
+  double inflation = 1.0;
+  double penalty = 0.0;
+  if (ha.asn == hb.asn) {
+    inflation = config_.intra_as_inflation;
+    penalty = 0.5;  // intra-AS metro hops
+  } else if (ha.region == hb.region) {
+    inflation = config_.intra_region_inflation;
+    penalty = config_.peering_penalty_ms;
+  } else {
+    inflation =
+        config_.inter_region_inflation * region_interconnect(ha.region,
+                                                             hb.region);
+    penalty = config_.peering_penalty_ms + config_.inter_region_penalty_ms;
+  }
+  if (ha.asn != hb.asn) {
+    if (topo_->as_of(ha.asn).tier == 3) {
+      penalty += config_.tier3_transit_penalty_ms;
+    }
+    if (topo_->as_of(hb.asn).tier == 3) {
+      penalty += config_.tier3_transit_penalty_ms;
+    }
+  }
+
+  const double path = (geo_rtt * inflation + penalty) * pair_quirk(a, b);
+  return access + config_.same_pop_rtt_ms + path;
+}
+
+double LatencyOracle::congestion_extra(HostId h, SimTime t) const {
+  const Host& host = topo_->host(h);
+  const std::int64_t epoch = epoch_of(t, config_.congestion_epoch);
+  const std::uint64_t hash =
+      hash_combine({config_.seed, stable_hash("congestion"),
+                    host.pop.value(), static_cast<std::uint64_t>(epoch)});
+  if (hash_to_unit(hash) >= config_.congestion_probability) return 0.0;
+  const double severity = hash_to_unit(hash_mix(hash ^ 0x5555aaaaULL));
+  return severity * config_.congestion_max_extra;
+}
+
+double LatencyOracle::route_shift_factor(HostId a, HostId b,
+                                         SimTime t) const {
+  if (config_.route_shift_sigma <= 0.0 || a == b) return 1.0;
+  const Host& ha = topo_->host(a);
+  const Host& hb = topo_->host(b);
+  if (ha.pop == hb.pop) return 1.0;  // same PoP: no inter-domain route
+  const std::uint64_t lo = std::min(ha.pop.value(), hb.pop.value());
+  const std::uint64_t hi = std::max(ha.pop.value(), hb.pop.value());
+  const std::int64_t epoch = epoch_of(t, config_.route_shift_epoch);
+  const std::uint64_t h =
+      hash_combine({config_.seed, stable_hash("route-shift"), lo, hi,
+                    static_cast<std::uint64_t>(epoch)});
+  return std::exp(config_.route_shift_sigma * hash_normal(h));
+}
+
+double LatencyOracle::jitter_factor(HostId a, HostId b, SimTime t) const {
+  if (config_.jitter_sigma <= 0.0) return 1.0;
+  const auto [lo, hi] = ordered(a, b);
+  const std::int64_t epoch = epoch_of(t, config_.jitter_epoch);
+  const std::uint64_t h =
+      hash_combine({config_.seed, stable_hash("jitter"), lo, hi,
+                    static_cast<std::uint64_t>(epoch)});
+  return std::exp(config_.jitter_sigma * hash_normal(h));
+}
+
+double LatencyOracle::rtt_ms(HostId a, HostId b, SimTime t) const {
+  if (a == b) return 0.0;
+  const double base = base_rtt_ms(a, b);
+  const double congestion =
+      1.0 + congestion_extra(a, t) + congestion_extra(b, t);
+  return base * congestion * jitter_factor(a, b, t) *
+         route_shift_factor(a, b, t);
+}
+
+}  // namespace crp::netsim

@@ -1,0 +1,115 @@
+// RTT derivation: static path model plus deterministic dynamics.
+//
+// `LatencyOracle` answers "what is the RTT between hosts a and b at sim
+// time t?" for every subsystem: the CDN's measurement subsystem, Meridian's
+// direct probes, King's estimates and the evaluation's ground truth all see
+// the *same* underlying network, differing only in their own noise terms.
+//
+// The static component models access links, great-circle propagation with
+// path inflation, AS peering and transit penalties, inter-region backbone
+// quality and rare per-pair routing quirks (triangle-inequality
+// violations). The dynamic component adds PoP-level congestion episodes
+// and per-query jitter. Dynamics are *stateless*: they are pure hash
+// functions of (entities, time epoch), so the oracle can be queried for any
+// time in any order and always returns the same answer — which is what
+// makes week-long simulated studies reproducible.
+#pragma once
+
+#include <cstdint>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "netsim/topology.hpp"
+
+namespace crp::netsim {
+
+struct LatencyConfig {
+  std::uint64_t seed = 1;
+
+  // --- static path model ---
+  /// RTT between two hosts on the same PoP, before access links (ms).
+  double same_pop_rtt_ms = 0.4;
+  /// Multiplier on great-circle propagation for intra-AS paths.
+  double intra_as_inflation = 1.25;
+  /// ... for intra-region, inter-AS paths.
+  double intra_region_inflation = 1.5;
+  /// ... for inter-region paths (backbones are straighter).
+  double inter_region_inflation = 1.35;
+  /// Extra RTT per AS-peering crossing (ms).
+  double peering_penalty_ms = 1.5;
+  /// Extra RTT when an endpoint sits in a tier-3 (stub) AS (ms).
+  double tier3_transit_penalty_ms = 2.0;
+  /// Extra RTT for leaving/entering a region backbone (ms).
+  double inter_region_penalty_ms = 4.0;
+  /// Fraction of region pairs with poor interconnection (routed
+  /// circuitously, e.g. via a third continent).
+  double bad_interconnect_fraction = 0.15;
+  double bad_interconnect_max_inflation = 1.7;
+  /// Fraction of host pairs with a per-pair routing quirk.
+  double quirk_probability = 0.05;
+  double quirk_max_inflation = 2.2;
+
+  // --- dynamics ---
+  /// Log-normal sigma of multiplicative per-query jitter.
+  double jitter_sigma = 0.06;
+  /// Granularity at which jitter re-randomizes.
+  Duration jitter_epoch = Seconds(10);
+  /// Probability a PoP is congested during a given congestion epoch.
+  double congestion_probability = 0.08;
+  /// Maximum relative RTT increase while congested.
+  double congestion_max_extra = 0.5;
+  Duration congestion_epoch = Minutes(30);
+
+  /// Slow routing drift: a per-PoP-pair multiplicative factor
+  /// exp(sigma * z) redrawn every `route_shift_epoch`. Models BGP path
+  /// changes / re-homing that re-rank which replicas are closest over
+  /// days — the "variable network dynamics" that make long redirection
+  /// histories stale (paper §VI, Fig. 9 discussion). Off by default.
+  double route_shift_sigma = 0.0;
+  Duration route_shift_epoch = Hours(12);
+};
+
+/// Deterministic latency oracle over a fixed topology (see file comment).
+/// Thread-compatible: all methods are const and stateless.
+class LatencyOracle {
+ public:
+  /// The topology must outlive the oracle.
+  LatencyOracle(const Topology& topo, LatencyConfig config);
+
+  /// Static RTT (no congestion/jitter), in milliseconds. Symmetric;
+  /// zero for a == b.
+  [[nodiscard]] double base_rtt_ms(HostId a, HostId b) const;
+
+  /// RTT at sim time `t`, including congestion and jitter, milliseconds.
+  [[nodiscard]] double rtt_ms(HostId a, HostId b, SimTime t) const;
+
+  [[nodiscard]] Duration base_rtt(HostId a, HostId b) const {
+    return MillisF(base_rtt_ms(a, b));
+  }
+  [[nodiscard]] Duration rtt(HostId a, HostId b, SimTime t) const {
+    return MillisF(rtt_ms(a, b, t));
+  }
+
+  /// Congestion multiplier contribution of a single host's PoP at `t`
+  /// (>= 0; 0 means uncongested). Exposed for tests and diagnostics.
+  [[nodiscard]] double congestion_extra(HostId h, SimTime t) const;
+
+  /// Slow route-shift multiplier for the pair's PoPs at `t` (1.0 when
+  /// route_shift_sigma is 0). Exposed for tests.
+  [[nodiscard]] double route_shift_factor(HostId a, HostId b,
+                                          SimTime t) const;
+
+  [[nodiscard]] const Topology& topology() const { return *topo_; }
+  [[nodiscard]] const LatencyConfig& config() const { return config_; }
+
+ private:
+  [[nodiscard]] double pair_quirk(HostId a, HostId b) const;
+  [[nodiscard]] double region_interconnect(RegionId a, RegionId b) const;
+  [[nodiscard]] double jitter_factor(HostId a, HostId b, SimTime t) const;
+
+  const Topology* topo_;
+  LatencyConfig config_;
+};
+
+}  // namespace crp::netsim

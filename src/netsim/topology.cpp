@@ -1,0 +1,91 @@
+#include "netsim/topology.hpp"
+
+namespace crp::netsim {
+
+const char* to_string(HostKind kind) {
+  switch (kind) {
+    case HostKind::kInfraNode:
+      return "infra";
+    case HostKind::kDnsResolver:
+      return "dns-resolver";
+    case HostKind::kClient:
+      return "client";
+    case HostKind::kReplicaServer:
+      return "replica";
+  }
+  return "unknown";
+}
+
+RegionId Topology::add_region(Region region) {
+  const RegionId id{static_cast<RegionId::value_type>(regions_.size())};
+  region.id = id;
+  regions_.push_back(std::move(region));
+  return id;
+}
+
+AsnId Topology::add_as(AutonomousSystem as) {
+  const AsnId id{static_cast<AsnId::value_type>(ases_.size())};
+  as.id = id;
+  if (as.region.index() >= regions_.size()) {
+    throw std::invalid_argument{"add_as: unknown region"};
+  }
+  ases_.push_back(std::move(as));
+  return id;
+}
+
+PopId Topology::add_pop(Pop pop) {
+  const PopId id{static_cast<PopId::value_type>(pops_.size())};
+  pop.id = id;
+  if (pop.asn.index() >= ases_.size()) {
+    throw std::invalid_argument{"add_pop: unknown AS"};
+  }
+  if (pop.region.index() >= regions_.size()) {
+    throw std::invalid_argument{"add_pop: unknown region"};
+  }
+  pops_.push_back(pop);
+  ases_[pop.asn.index()].pops.push_back(id);
+  return id;
+}
+
+HostId Topology::add_host(Host host) {
+  const HostId id{static_cast<HostId::value_type>(hosts_.size())};
+  host.id = id;
+  if (host.pop.index() >= pops_.size()) {
+    throw std::invalid_argument{"add_host: unknown PoP"};
+  }
+  const Pop& p = pops_[host.pop.index()];
+  host.asn = p.asn;
+  host.region = p.region;
+  hosts_.push_back(std::move(host));
+  return id;
+}
+
+const Region& Topology::region(RegionId id) const {
+  return regions_.at(id.index());
+}
+
+const AutonomousSystem& Topology::as_of(AsnId id) const {
+  return ases_.at(id.index());
+}
+
+const Pop& Topology::pop(PopId id) const { return pops_.at(id.index()); }
+
+const Host& Topology::host(HostId id) const { return hosts_.at(id.index()); }
+
+std::vector<HostId> Topology::hosts_of_kind(HostKind kind) const {
+  std::vector<HostId> out;
+  for (const Host& h : hosts_) {
+    if (h.kind == kind) out.push_back(h.id);
+  }
+  return out;
+}
+
+std::vector<PopId> Topology::pops_in_region(RegionId region) const {
+  std::vector<PopId> out;
+  for (const Pop& p : pops_) {
+    if (p.region == region) out.push_back(p.id);
+  }
+  return out;
+}
+
+}  // namespace crp::netsim

@@ -1,0 +1,122 @@
+// Topology data model: regions, autonomous systems, PoPs and hosts.
+//
+// The topology is a static description of the simulated Internet. It is
+// assembled once by `TopologyBuilder` (or by hand in tests) and then shared
+// read-only by every subsystem. The latency between hosts is *derived* from
+// this structure by `LatencyOracle` (latency_model.hpp).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/ipv4.hpp"
+#include "netsim/geo.hpp"
+
+namespace crp::netsim {
+
+/// Role of an endpoint. The roles mirror the paper's experiment: DNS
+/// resolvers act as measuring clients, infrastructure nodes play the part
+/// of PlanetLab candidate servers, and replica servers belong to the CDN.
+enum class HostKind {
+  kInfraNode,      // PlanetLab-like, well connected
+  kDnsResolver,    // open recursive DNS server (the paper's "clients")
+  kClient,         // generic end host (examples / extensions)
+  kReplicaServer,  // CDN edge server
+};
+
+[[nodiscard]] const char* to_string(HostKind kind);
+
+/// Geographic/economic region (e.g. "eu-west"). `population_weight`
+/// controls how many ASes/hosts land there; `cdn_coverage` scales how many
+/// CDN replicas the deployment places there — the paper's New Zealand tail
+/// comes from regions with low coverage.
+struct Region {
+  RegionId id;
+  std::string name;
+  GeoPoint center;
+  double radius_km = 500.0;
+  double population_weight = 1.0;
+  double cdn_coverage = 1.0;
+};
+
+/// Autonomous system. Tier 1 ASes form the backbone; higher tiers add
+/// peering hops (and therefore latency) to cross-AS paths.
+struct AutonomousSystem {
+  AsnId id;
+  RegionId region;
+  int tier = 2;  // 1 = backbone, 2 = regional, 3 = access/stub
+  std::string name;
+  std::vector<PopId> pops;
+};
+
+/// ISP point of presence: a physical location inside one AS where hosts
+/// (and CDN replicas) attach.
+struct Pop {
+  PopId id;
+  AsnId asn;
+  RegionId region;
+  GeoPoint location;
+};
+
+/// Network endpoint.
+struct Host {
+  HostId id;
+  HostKind kind = HostKind::kClient;
+  PopId pop;
+  AsnId asn;
+  RegionId region;
+  GeoPoint location;
+  /// One-way access-link latency (host <-> PoP), milliseconds.
+  double access_one_way_ms = 1.0;
+  std::string name;
+
+  /// Deterministic unique address derived from the host ID (10.0.0.0/8
+  /// style lab addressing).
+  [[nodiscard]] Ipv4 address() const {
+    return Ipv4{(std::uint32_t{10} << 24) | (id.value() & 0x00ffffffu)};
+  }
+};
+
+/// Immutable-after-build container for the whole simulated Internet.
+class Topology {
+ public:
+  RegionId add_region(Region region);
+  AsnId add_as(AutonomousSystem as);
+  PopId add_pop(Pop pop);
+  HostId add_host(Host host);
+
+  [[nodiscard]] const Region& region(RegionId id) const;
+  [[nodiscard]] const AutonomousSystem& as_of(AsnId id) const;
+  [[nodiscard]] const Pop& pop(PopId id) const;
+  [[nodiscard]] const Host& host(HostId id) const;
+
+  [[nodiscard]] std::size_t num_regions() const { return regions_.size(); }
+  [[nodiscard]] std::size_t num_ases() const { return ases_.size(); }
+  [[nodiscard]] std::size_t num_pops() const { return pops_.size(); }
+  [[nodiscard]] std::size_t num_hosts() const { return hosts_.size(); }
+
+  [[nodiscard]] std::span<const Region> regions() const { return regions_; }
+  [[nodiscard]] std::span<const AutonomousSystem> ases() const {
+    return ases_;
+  }
+  [[nodiscard]] std::span<const Pop> pops() const { return pops_; }
+  [[nodiscard]] std::span<const Host> hosts() const { return hosts_; }
+
+  /// All hosts of the given kind, in ID order.
+  [[nodiscard]] std::vector<HostId> hosts_of_kind(HostKind kind) const;
+
+  /// PoPs belonging to the given region, in ID order.
+  [[nodiscard]] std::vector<PopId> pops_in_region(RegionId region) const;
+
+ private:
+  std::vector<Region> regions_;
+  std::vector<AutonomousSystem> ases_;
+  std::vector<Pop> pops_;
+  std::vector<Host> hosts_;
+};
+
+}  // namespace crp::netsim

@@ -1,0 +1,197 @@
+#include "netsim/topology_builder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace crp::netsim {
+
+std::vector<Region> default_world_regions() {
+  // Name, center (lat, lon), radius km, population weight, CDN coverage.
+  // Weights loosely track Internet-user distribution circa the paper's
+  // measurement period; coverage tracks where a large CDN concentrated
+  // its footprint (dense in NA/EU/JP, thin in Oceania/Africa/SA).
+  std::vector<Region> regions;
+  const auto add = [&regions](const char* name, double lat, double lon,
+                              double radius, double weight, double coverage) {
+    Region r;
+    r.name = name;
+    r.center = GeoPoint{lat, lon};
+    r.radius_km = radius;
+    r.population_weight = weight;
+    r.cdn_coverage = coverage;
+    regions.push_back(std::move(r));
+  };
+  add("na-east", 40.7, -74.0, 900, 3.0, 1.00);
+  add("na-west", 37.4, -122.1, 900, 2.0, 0.95);
+  add("na-central", 41.9, -87.6, 800, 1.5, 0.85);
+  add("eu-west", 51.5, -0.1, 800, 3.0, 1.00);
+  add("eu-central", 50.1, 8.7, 700, 2.0, 0.90);
+  add("eu-east", 52.2, 21.0, 800, 1.2, 0.45);
+  add("asia-east", 35.7, 139.7, 900, 2.5, 0.90);
+  add("asia-south", 19.1, 72.9, 900, 1.5, 0.30);
+  add("oceania", -33.9, 151.2, 900, 0.6, 0.20);
+  add("sa-east", -23.5, -46.6, 900, 1.0, 0.25);
+  add("africa-south", -26.2, 28.0, 900, 0.5, 0.15);
+  return regions;
+}
+
+Topology build_topology(const TopologyConfig& config) {
+  Topology topo;
+  Rng rng{hash_combine({config.seed, stable_hash("topology")})};
+
+  std::vector<Region> regions =
+      config.regions.empty() ? default_world_regions() : config.regions;
+  for (Region& r : regions) topo.add_region(std::move(r));
+
+  for (const Region& region : topo.regions()) {
+    const auto num_ases = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::lround(region.population_weight * config.ases_per_weight)));
+    for (std::size_t i = 0; i < num_ases; ++i) {
+      AutonomousSystem as;
+      as.region = region.id;
+      const double tier_draw = rng.uniform();
+      if (tier_draw < config.tier1_fraction) {
+        as.tier = 1;
+      } else if (tier_draw < config.tier1_fraction + config.tier2_fraction) {
+        as.tier = 2;
+      } else {
+        as.tier = 3;
+      }
+      as.name = "as" + std::to_string(topo.num_ases()) + "." + region.name;
+      const AsnId asn = topo.add_as(std::move(as));
+
+      const int num_pops = topo.as_of(asn).tier == 1   ? config.pops_tier1
+                           : topo.as_of(asn).tier == 2 ? config.pops_tier2
+                                                       : config.pops_tier3;
+      for (int p = 0; p < num_pops; ++p) {
+        Pop pop;
+        pop.asn = asn;
+        pop.region = region.id;
+        // Scatter PoPs around the region center; sqrt keeps the density
+        // roughly uniform over the disc.
+        const double bearing = rng.uniform(0.0, 360.0);
+        const double dist = region.radius_km * std::sqrt(rng.uniform());
+        pop.location = offset(region.center, bearing, dist);
+        topo.add_pop(pop);
+      }
+    }
+  }
+  return topo;
+}
+
+namespace {
+
+struct AccessParams {
+  double mu;
+  double sigma;
+};
+
+AccessParams access_params(HostKind kind, const PlacementConfig& placement) {
+  switch (kind) {
+    case HostKind::kInfraNode:
+      return {placement.infra_mu, placement.infra_sigma};
+    case HostKind::kDnsResolver:
+      return {placement.resolver_mu, placement.resolver_sigma};
+    case HostKind::kClient:
+      return {placement.client_mu, placement.client_sigma};
+    case HostKind::kReplicaServer:
+      return {placement.replica_mu, placement.replica_sigma};
+  }
+  return {0.0, 0.5};
+}
+
+const char* kind_prefix(HostKind kind) {
+  switch (kind) {
+    case HostKind::kInfraNode:
+      return "infra";
+    case HostKind::kDnsResolver:
+      return "dns";
+    case HostKind::kClient:
+      return "client";
+    case HostKind::kReplicaServer:
+      return "edge";
+  }
+  return "host";
+}
+
+}  // namespace
+
+HostId place_host_at_pop(Topology& topo, HostKind kind, PopId pop_id,
+                         Rng& rng, const PlacementConfig& placement) {
+  const Pop& pop = topo.pop(pop_id);
+  Host host;
+  host.kind = kind;
+  host.pop = pop_id;
+  const double bearing = rng.uniform(0.0, 360.0);
+  const double dist = kind == HostKind::kReplicaServer
+                          ? rng.uniform(0.0, 2.0)  // in the PoP building
+                          : rng.uniform(0.0, 60.0);
+  host.location = offset(pop.location, bearing, dist);
+  const AccessParams params = access_params(kind, placement);
+  host.access_one_way_ms = rng.lognormal(params.mu, params.sigma);
+  host.name = std::string{kind_prefix(kind)} + "-" +
+              std::to_string(topo.num_hosts()) + "." +
+              topo.as_of(pop.asn).name;
+  return topo.add_host(std::move(host));
+}
+
+std::vector<HostId> place_hosts_in_regions(
+    Topology& topo, HostKind kind, std::size_t count, Rng& rng,
+    const std::vector<std::string>& region_names,
+    const PlacementConfig& placement) {
+  std::vector<PopId> pops;
+  for (const Pop& p : topo.pops()) {
+    const std::string& name = topo.region(p.region).name;
+    for (const std::string& wanted : region_names) {
+      if (name == wanted) {
+        pops.push_back(p.id);
+        break;
+      }
+    }
+  }
+  if (pops.empty()) {
+    throw std::invalid_argument{
+        "place_hosts_in_regions: no PoP in the named regions"};
+  }
+  std::vector<HostId> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(place_host_at_pop(topo, kind, rng.pick(pops), rng,
+                                    placement));
+  }
+  return out;
+}
+
+std::vector<HostId> place_hosts(Topology& topo, HostKind kind,
+                                std::size_t count, Rng& rng,
+                                const PlacementConfig& placement) {
+  // Region choice proportional to population weight; PoP uniform inside.
+  std::vector<double> weights;
+  weights.reserve(topo.num_regions());
+  for (const Region& r : topo.regions()) {
+    weights.push_back(r.population_weight);
+  }
+  // Cache PoP lists per region once.
+  std::vector<std::vector<PopId>> region_pops(topo.num_regions());
+  for (const Pop& p : topo.pops()) {
+    region_pops[p.region.index()].push_back(p.id);
+  }
+
+  std::vector<HostId> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::size_t region_idx = rng.weighted_index(weights);
+    while (region_pops[region_idx].empty()) {
+      region_idx = rng.weighted_index(weights);
+    }
+    const auto& pops = region_pops[region_idx];
+    const PopId pop = pops[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(pops.size()) - 1))];
+    out.push_back(place_host_at_pop(topo, kind, pop, rng, placement));
+  }
+  return out;
+}
+
+}  // namespace crp::netsim

@@ -1,0 +1,77 @@
+// Procedural topology generation.
+//
+// Builds a world with a realistic continental layout: eleven default
+// regions with population weights and (crucially for CRP) uneven CDN
+// coverage, tiered autonomous systems inside each region, and PoPs
+// scattered around region centers. Host placement helpers then drop
+// endpoints of each experimental role onto the topology.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "netsim/topology.hpp"
+
+namespace crp::netsim {
+
+/// Parameters for `build_topology`.
+struct TopologyConfig {
+  std::uint64_t seed = 1;
+  /// If empty, `default_world_regions()` is used.
+  std::vector<Region> regions;
+  /// ASes per unit of region population weight (min 1 per region). The
+  /// default gives a few hundred ASes — enough that broadly distributed
+  /// hosts rarely share one, as on the real Internet (this drives the
+  /// ASN-clustering baseline's behaviour in Table I).
+  double ases_per_weight = 30.0;
+  /// Fraction of ASes that are tier-1 / tier-2 (rest tier-3).
+  double tier1_fraction = 0.1;
+  double tier2_fraction = 0.4;
+  /// PoPs per AS by tier (tier-1 ASes are the largest).
+  int pops_tier1 = 8;
+  int pops_tier2 = 4;
+  int pops_tier3 = 2;
+};
+
+/// The default world: region name, location, weight, CDN coverage.
+/// Coverage below ~0.3 models the paper's poorly-served regions
+/// (the New-Zealand/Iceland tails of Figs. 4-5).
+[[nodiscard]] std::vector<Region> default_world_regions();
+
+/// Generates regions, ASes and PoPs (no hosts yet).
+[[nodiscard]] Topology build_topology(const TopologyConfig& config);
+
+/// Host-placement distribution knobs.
+struct PlacementConfig {
+  /// One-way access latency, log-normal parameters per host kind.
+  /// Defaults: infra/DNS servers sit close to the PoP; clients are on
+  /// access links with several milliseconds.
+  double infra_mu = -0.7, infra_sigma = 0.5;      // ~0.3-1.2 ms
+  double resolver_mu = 0.0, resolver_sigma = 0.7;  // ~0.5-3 ms
+  double client_mu = 1.6, client_sigma = 0.5;      // ~3-10 ms
+  double replica_mu = -1.6, replica_sigma = 0.3;   // ~0.15-0.3 ms
+};
+
+/// Places `count` hosts of `kind` on the topology. Regions are chosen in
+/// proportion to population weight, then a uniformly random PoP inside the
+/// region; the host is scattered within ~60 km of the PoP. Returns the new
+/// host IDs in creation order.
+std::vector<HostId> place_hosts(Topology& topo, HostKind kind,
+                                std::size_t count, Rng& rng,
+                                const PlacementConfig& placement = {});
+
+/// Places one host at the given PoP (used by the CDN deployment, which
+/// chooses PoPs itself).
+HostId place_host_at_pop(Topology& topo, HostKind kind, PopId pop, Rng& rng,
+                         const PlacementConfig& placement = {});
+
+/// Like `place_hosts`, but restricted to the named regions (e.g. to model
+/// a PlanetLab-style deployment concentrated in a few well-connected
+/// areas). Throws if no named region exists.
+std::vector<HostId> place_hosts_in_regions(
+    Topology& topo, HostKind kind, std::size_t count, Rng& rng,
+    const std::vector<std::string>& region_names,
+    const PlacementConfig& placement = {});
+
+}  // namespace crp::netsim

@@ -1,0 +1,127 @@
+#include "service/gossip.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "service/wire.hpp"
+
+namespace crp::service {
+
+GossipMesh::GossipMesh(GossipConfig config)
+    : config_(config),
+      rng_(hash_combine({config.seed, stable_hash("gossip-mesh")})) {}
+
+void GossipMesh::add_node(const std::string& id) {
+  if (id.empty()) {
+    throw std::invalid_argument{"GossipMesh::add_node: empty id"};
+  }
+  Node node;
+  node.store = std::make_unique<PositionService>(config_.store);
+  if (!nodes_.emplace(id, std::move(node)).second) {
+    throw std::invalid_argument{"GossipMesh::add_node: duplicate id " + id};
+  }
+  order_.push_back(id);
+}
+
+void GossipMesh::add_link(const std::string& a, const std::string& b) {
+  const auto ia = nodes_.find(a);
+  const auto ib = nodes_.find(b);
+  if (ia == nodes_.end() || ib == nodes_.end()) {
+    throw std::invalid_argument{"GossipMesh::add_link: unknown node"};
+  }
+  if (a == b) return;
+  if (std::find(ia->second.peers.begin(), ia->second.peers.end(), b) ==
+      ia->second.peers.end()) {
+    ia->second.peers.push_back(b);
+    ib->second.peers.push_back(a);
+  }
+}
+
+void GossipMesh::fully_connect() {
+  for (std::size_t i = 0; i < order_.size(); ++i) {
+    for (std::size_t j = i + 1; j < order_.size(); ++j) {
+      add_link(order_[i], order_[j]);
+    }
+  }
+}
+
+bool GossipMesh::publish_local(const std::string& node, core::RatioMap map,
+                               SimTime now) {
+  PositionReport report;
+  report.node_id = node;
+  report.when = now;
+  report.map = std::move(map);
+  return store(node).publish(std::move(report), now);
+}
+
+std::size_t GossipMesh::round(SimTime now) {
+  std::size_t transmitted = 0;
+  for (const std::string& id : order_) {
+    Node& node = nodes_.at(id);
+    if (node.peers.empty()) continue;
+
+    // Reports to push: a random sample of the sender's live store.
+    const std::vector<std::string> known = node.store->live_nodes(now);
+    if (known.empty()) continue;
+
+    for (int f = 0; f < config_.fanout; ++f) {
+      const std::string& peer = rng_.pick(node.peers);
+      Node& receiver = nodes_.at(peer);
+
+      const auto budget = std::min<std::size_t>(
+          static_cast<std::size_t>(config_.reports_per_message),
+          known.size());
+      const auto picks = rng_.sample_indices(known.size(), budget);
+      for (std::size_t k : picks) {
+        const auto report = node.store->report_of(known[k]);
+        if (!report.has_value()) continue;
+        // Travel over the wire format, exactly as a real library would,
+        // keeping the original timestamp so freshness rules hold across
+        // multiple hops.
+        const std::string bytes = encode(*report);
+        bytes_ += bytes.size();
+        (void)receiver.store->publish_encoded(bytes, now);
+        ++transmitted;
+      }
+    }
+  }
+  return transmitted;
+}
+
+sim::EventHandle GossipMesh::schedule(sim::EventScheduler& sched,
+                                      SimTime start, SimTime end) {
+  return sched.every(start, config_.round_interval, [this, &sched, end] {
+    if (sched.now() > end) return false;
+    (void)round(sched.now());
+    return true;
+  });
+}
+
+PositionService& GossipMesh::store(const std::string& node) {
+  const auto it = nodes_.find(node);
+  if (it == nodes_.end()) {
+    throw std::invalid_argument{"GossipMesh: unknown node " + node};
+  }
+  return *it->second.store;
+}
+
+double GossipMesh::coverage(SimTime now) const {
+  if (nodes_.empty()) return 0.0;
+  // Which nodes have published at all (their own store knows them)?
+  std::vector<std::string> published;
+  for (const std::string& id : order_) {
+    if (nodes_.at(id).store->map_of(id).has_value()) published.push_back(id);
+  }
+  if (published.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (const std::string& id : order_) {
+    const auto live = nodes_.at(id).store->live_nodes(now);
+    for (const std::string& p : published) {
+      if (std::binary_search(live.begin(), live.end(), p)) ++hits;
+    }
+  }
+  return static_cast<double>(hits) /
+         static_cast<double>(order_.size() * published.size());
+}
+
+}  // namespace crp::service

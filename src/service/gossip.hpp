@@ -1,0 +1,84 @@
+// Epidemic distribution of position reports.
+//
+// §III.B's second deployment style: instead of a central service, an
+// application library piggybacks redirection maps on application
+// communication. `GossipMesh` implements the push-epidemic variant: each
+// node keeps a local report store (a `PositionService`, so every node can
+// answer the full query set locally) and periodically pushes a few
+// wire-encoded reports to random peers. Freshness rules come from the
+// store: newer timestamps replace older ones, stale reports age out —
+// so the mesh converges to everyone holding everyone's latest position.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "service/position_service.hpp"
+#include "sim/event_scheduler.hpp"
+
+namespace crp::service {
+
+struct GossipConfig {
+  std::uint64_t seed = 41;
+  /// Peers contacted per node per round.
+  int fanout = 2;
+  /// Reports pushed per contact (own report always included).
+  int reports_per_message = 8;
+  Duration round_interval = Minutes(5);
+  /// Store configuration shared by every node.
+  ServiceConfig store;
+};
+
+class GossipMesh {
+ public:
+  explicit GossipMesh(GossipConfig config = {});
+
+  /// Adds a node with an empty store. Duplicate IDs throw.
+  void add_node(const std::string& id);
+  /// Declares an undirected gossip link. Unknown IDs throw.
+  void add_link(const std::string& a, const std::string& b);
+  /// Wires every pair (full mesh) — convenient for small deployments.
+  void fully_connect();
+
+  /// Publishes `node`'s own fresh report into its local store.
+  bool publish_local(const std::string& node, core::RatioMap map,
+                     SimTime now);
+
+  /// One synchronous gossip round at `now`: every node pushes to
+  /// `fanout` random peers. Returns reports transmitted.
+  std::size_t round(SimTime now);
+
+  /// Schedules recurring rounds on `sched` until `end`.
+  sim::EventHandle schedule(sim::EventScheduler& sched, SimTime start,
+                            SimTime end);
+
+  /// The node's local store (throws for unknown IDs).
+  [[nodiscard]] PositionService& store(const std::string& node);
+
+  [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
+  /// Fraction of (node, report) pairs delivered: 1.0 means every node's
+  /// store holds a live report for every node that published.
+  [[nodiscard]] double coverage(SimTime now) const;
+  /// Total report bytes pushed so far.
+  [[nodiscard]] std::uint64_t bytes_gossiped() const { return bytes_; }
+
+ private:
+  struct Node {
+    std::unique_ptr<PositionService> store;
+    std::vector<std::string> peers;
+  };
+
+  GossipConfig config_;
+  // Insertion order retained for deterministic iteration.
+  std::vector<std::string> order_;
+  std::unordered_map<std::string, Node> nodes_;
+  Rng rng_;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace crp::service

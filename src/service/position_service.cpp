@@ -1,0 +1,190 @@
+#include "service/position_service.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace crp::service {
+
+PositionService::PositionService(ServiceConfig config)
+    : config_(config) {}
+
+bool PositionService::is_live(const PositionReport& report,
+                              SimTime now) const {
+  return now - report.when <= config_.staleness_bound;
+}
+
+bool PositionService::publish(PositionReport report, SimTime now) {
+  if (report.node_id.empty() || report.map.empty() ||
+      !is_live(report, now) || report.when > now) {
+    ++reports_rejected_;
+    return false;
+  }
+  const auto it = reports_.find(report.node_id);
+  if (it != reports_.end() && it->second.when > report.when) {
+    ++reports_rejected_;  // out-of-order delivery of an older report
+    return false;
+  }
+  reports_[report.node_id] = std::move(report);
+  ++reports_accepted_;
+  ++membership_epoch_;
+  return true;
+}
+
+bool PositionService::publish_encoded(std::string_view bytes, SimTime now) {
+  auto report = decode(bytes);
+  if (!report.has_value()) {
+    ++reports_rejected_;
+    return false;
+  }
+  return publish(std::move(*report), now);
+}
+
+void PositionService::remove(const std::string& node_id) {
+  if (reports_.erase(node_id) > 0) ++membership_epoch_;
+}
+
+std::optional<core::RatioMap> PositionService::map_of(
+    const std::string& node_id) const {
+  const auto it = reports_.find(node_id);
+  if (it == reports_.end()) return std::nullopt;
+  return it->second.map;
+}
+
+std::optional<PositionReport> PositionService::report_of(
+    const std::string& node_id) const {
+  const auto it = reports_.find(node_id);
+  if (it == reports_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::string> PositionService::live_nodes(SimTime now) const {
+  std::vector<std::string> nodes;
+  nodes.reserve(reports_.size());
+  for (const auto& [id, report] : reports_) {
+    if (is_live(report, now)) nodes.push_back(id);
+  }
+  std::sort(nodes.begin(), nodes.end());
+  return nodes;
+}
+
+std::vector<RankedNode> PositionService::closest(
+    const std::string& client, std::span<const std::string> candidates,
+    std::size_t k, SimTime now) const {
+  ++queries_served_;
+  const auto client_it = reports_.find(client);
+  if (client_it == reports_.end() || !is_live(client_it->second, now)) {
+    return {};
+  }
+  std::vector<RankedNode> ranked;
+  for (const std::string& candidate : candidates) {
+    if (candidate == client) continue;
+    const auto it = reports_.find(candidate);
+    if (it == reports_.end() || !is_live(it->second, now)) continue;
+    ranked.push_back(RankedNode{
+        candidate, core::similarity(config_.metric, client_it->second.map,
+                                    it->second.map)});
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const RankedNode& a, const RankedNode& b) {
+                     if (a.similarity != b.similarity) {
+                       return a.similarity > b.similarity;
+                     }
+                     return a.node_id < b.node_id;
+                   });
+  if (ranked.size() > k) ranked.resize(k);
+  return ranked;
+}
+
+std::vector<RankedNode> PositionService::closest_any(
+    const std::string& client, std::size_t k, SimTime now) {
+  const auto nodes = live_nodes(now);
+  return closest(client, nodes, k, now);
+}
+
+void PositionService::ensure_clustering(SimTime now) {
+  const bool fresh = clustered_epoch_ == membership_epoch_ &&
+                     clustered_at_ >= SimTime::epoch() &&
+                     now - clustered_at_ <= config_.recluster_after;
+  if (fresh) return;
+
+  cluster_nodes_ = live_nodes(now);
+  std::vector<core::RatioMap> maps;
+  maps.reserve(cluster_nodes_.size());
+  for (const std::string& id : cluster_nodes_) {
+    maps.push_back(reports_.at(id).map);
+  }
+  clustering_ = core::smf_cluster(maps, config_.clustering);
+  clustered_at_ = now;
+  clustered_epoch_ = membership_epoch_;
+}
+
+std::vector<std::string> PositionService::same_cluster(
+    const std::string& node_id, SimTime now) {
+  ++queries_served_;
+  ensure_clustering(now);
+  const auto it = std::find(cluster_nodes_.begin(), cluster_nodes_.end(),
+                            node_id);
+  if (it == cluster_nodes_.end()) return {};
+  const auto index =
+      static_cast<std::size_t>(it - cluster_nodes_.begin());
+  const auto& cluster =
+      clustering_.clusters[clustering_.assignment[index]];
+  std::vector<std::string> out;
+  for (std::size_t member : cluster.members) {
+    if (member != index) out.push_back(cluster_nodes_[member]);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::unordered_map<std::string, std::size_t>
+PositionService::cluster_assignment(SimTime now) {
+  ++queries_served_;
+  ensure_clustering(now);
+  std::unordered_map<std::string, std::size_t> out;
+  for (std::size_t i = 0; i < cluster_nodes_.size(); ++i) {
+    out[cluster_nodes_[i]] = clustering_.assignment[i];
+  }
+  return out;
+}
+
+std::vector<std::string> PositionService::diverse_set(std::size_t n,
+                                                      SimTime now,
+                                                      std::uint64_t seed) {
+  ++queries_served_;
+  ensure_clustering(now);
+
+  // One representative per cluster, preferring multi-member clusters
+  // (their centers are corroborated positions), in random order.
+  std::vector<std::size_t> cluster_order(clustering_.clusters.size());
+  for (std::size_t i = 0; i < cluster_order.size(); ++i) {
+    cluster_order[i] = i;
+  }
+  Rng rng{hash_combine({seed, stable_hash("diverse-set")})};
+  rng.shuffle(cluster_order);
+  std::stable_sort(cluster_order.begin(), cluster_order.end(),
+                   [this](std::size_t a, std::size_t b) {
+                     return clustering_.clusters[a].members.size() >
+                            clustering_.clusters[b].members.size();
+                   });
+
+  std::vector<std::string> out;
+  for (std::size_t ci : cluster_order) {
+    if (out.size() == n) break;
+    out.push_back(cluster_nodes_[clustering_.clusters[ci].center]);
+  }
+  return out;
+}
+
+std::size_t PositionService::expire(SimTime now) {
+  const std::size_t before = reports_.size();
+  std::erase_if(reports_, [this, now](const auto& kv) {
+    return !is_live(kv.second, now);
+  });
+  const std::size_t removed = before - reports_.size();
+  if (removed > 0) ++membership_epoch_;
+  return removed;
+}
+
+}  // namespace crp::service

@@ -1,0 +1,131 @@
+// The stand-alone CRP positioning service the paper leaves as future
+// work (§III.B): a shared registry of position reports answering the
+// three location queries of §IV.B plus closest-node selection (§IV.A),
+// for any application, with no probing anywhere.
+//
+// Semantics:
+//  * Nodes publish `PositionReport`s (ratio map + timestamp); newer
+//    reports replace older ones, stale reports expire.
+//  * `closest` ranks candidate nodes by similarity to a client node.
+//  * Cluster queries run SMF lazily over the live reports and cache the
+//    result until the membership changes or the cache ages out.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time.hpp"
+#include "core/clustering.hpp"
+#include "core/ratio_map.hpp"
+#include "core/similarity.hpp"
+#include "service/wire.hpp"
+
+namespace crp::service {
+
+struct ServiceConfig {
+  /// Reports older than this are ignored and eventually dropped.
+  Duration staleness_bound = Hours(6);
+  core::SimilarityKind metric = core::SimilarityKind::kCosine;
+  /// SMF settings for the cluster queries.
+  core::SmfConfig clustering;
+  /// Cached clustering is recomputed after this long, or whenever the
+  /// set of live nodes changes.
+  Duration recluster_after = Minutes(30);
+};
+
+/// A similarity-ranked peer.
+struct RankedNode {
+  std::string node_id;
+  double similarity = 0.0;
+};
+
+class PositionService {
+ public:
+  explicit PositionService(ServiceConfig config = {});
+
+  // --- publication ---
+  /// Registers/updates a node's position. Reports older than the one
+  /// already held (or stale on arrival) are rejected; returns whether
+  /// the report was accepted.
+  bool publish(PositionReport report, SimTime now);
+  /// Convenience: publish straight from wire bytes.
+  bool publish_encoded(std::string_view bytes, SimTime now);
+  /// Removes a node entirely.
+  void remove(const std::string& node_id);
+
+  // --- inspection ---
+  [[nodiscard]] std::optional<core::RatioMap> map_of(
+      const std::string& node_id) const;
+  /// Full stored report including its original timestamp (what gossip
+  /// forwards — provenance must survive multi-hop distribution).
+  [[nodiscard]] std::optional<PositionReport> report_of(
+      const std::string& node_id) const;
+  [[nodiscard]] std::size_t size() const { return reports_.size(); }
+  /// Nodes with non-stale reports at `now`, in lexicographic order.
+  [[nodiscard]] std::vector<std::string> live_nodes(SimTime now) const;
+
+  // --- §IV.A closest-node selection ---
+  /// Ranks `candidates` (live, known) by similarity to `client`, best
+  /// first, at most k entries. Unknown/stale candidates are skipped;
+  /// unknown client yields empty.
+  [[nodiscard]] std::vector<RankedNode> closest(
+      const std::string& client, std::span<const std::string> candidates,
+      std::size_t k, SimTime now) const;
+  /// Same, but over every live node except the client.
+  [[nodiscard]] std::vector<RankedNode> closest_any(
+      const std::string& client, std::size_t k, SimTime now);
+
+  // --- §IV.B clustering queries ---
+  /// Query 1: nodes in the same cluster as `node_id` (excluding it).
+  [[nodiscard]] std::vector<std::string> same_cluster(
+      const std::string& node_id, SimTime now);
+  /// Query 2: cluster index for every live node.
+  [[nodiscard]] std::unordered_map<std::string, std::size_t>
+  cluster_assignment(SimTime now);
+  /// Query 3: up to n nodes, pairwise in different clusters (for
+  /// failure-independent peer sets). Deterministic given the seed.
+  [[nodiscard]] std::vector<std::string> diverse_set(std::size_t n,
+                                                     SimTime now,
+                                                     std::uint64_t seed = 0);
+
+  // --- maintenance & stats ---
+  /// Drops reports stale at `now`. Returns how many were removed.
+  std::size_t expire(SimTime now);
+  [[nodiscard]] std::uint64_t queries_served() const {
+    return queries_served_;
+  }
+  [[nodiscard]] std::uint64_t reports_accepted() const {
+    return reports_accepted_;
+  }
+  [[nodiscard]] std::uint64_t reports_rejected() const {
+    return reports_rejected_;
+  }
+
+ private:
+  [[nodiscard]] bool is_live(const PositionReport& report,
+                             SimTime now) const;
+  /// Rebuilds the cached clustering if membership changed or the cache
+  /// aged out.
+  void ensure_clustering(SimTime now);
+
+  ServiceConfig config_;
+  std::unordered_map<std::string, PositionReport> reports_;
+
+  // Cached clustering over a snapshot of live nodes.
+  std::vector<std::string> cluster_nodes_;  // index -> node_id
+  core::Clustering clustering_;
+  SimTime clustered_at_ = SimTime{-1};
+  std::uint64_t membership_epoch_ = 0;   // bumped on publish/remove
+  std::uint64_t clustered_epoch_ = ~0ULL;
+
+  // mutable: read-path queries update the counter through const methods.
+  mutable std::uint64_t queries_served_ = 0;
+  std::uint64_t reports_accepted_ = 0;
+  std::uint64_t reports_rejected_ = 0;
+};
+
+}  // namespace crp::service

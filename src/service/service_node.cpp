@@ -1,0 +1,43 @@
+#include "service/service_node.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace crp::service {
+
+ServiceNode::ServiceNode(std::string node_id, core::CrpNode& node,
+                         PositionService& service, ServiceNodeConfig config)
+    : node_id_(std::move(node_id)),
+      node_(&node),
+      service_(&service),
+      config_(config) {
+  if (node_id_.empty()) {
+    throw std::invalid_argument{"ServiceNode: empty node id"};
+  }
+}
+
+bool ServiceNode::publish_now(SimTime now) {
+  PositionReport report;
+  report.node_id = node_id_;
+  report.when = now;
+  report.map = node_->ratio_map(config_.window);
+  if (report.map.empty()) return false;
+
+  const std::string bytes = encode(report);
+  bytes_sent_ += bytes.size();
+  if (!service_->publish_encoded(bytes, now)) return false;
+  ++publishes_;
+  return true;
+}
+
+sim::EventHandle ServiceNode::schedule(sim::EventScheduler& sched,
+                                       SimTime start, SimTime end) {
+  return sched.every(start, config_.publish_interval,
+                     [this, &sched, end] {
+                       if (sched.now() > end) return false;
+                       (void)publish_now(sched.now());
+                       return true;
+                     });
+}
+
+}  // namespace crp::service

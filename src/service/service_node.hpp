@@ -1,0 +1,54 @@
+// Client-side glue between a CrpNode and a PositionService.
+//
+// A ServiceNode periodically snapshots its CrpNode's ratio map (over the
+// configured window), serializes it, and delivers it to the service —
+// the "application library" deployment style of §III.B. Delivery goes
+// through the wire format even in-process, so a report travels exactly
+// as it would over a network.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/node.hpp"
+#include "service/position_service.hpp"
+#include "sim/event_scheduler.hpp"
+
+namespace crp::service {
+
+struct ServiceNodeConfig {
+  /// Window of recent probes published (kAllProbes = everything).
+  std::size_t window = 30;
+  /// How often the node republishes its position.
+  Duration publish_interval = Minutes(30);
+};
+
+class ServiceNode {
+ public:
+  /// `node` and `service` must outlive this object.
+  ServiceNode(std::string node_id, core::CrpNode& node,
+              PositionService& service, ServiceNodeConfig config = {});
+
+  /// Publishes the current map once. Returns false if the node has no
+  /// redirections yet or the service rejected the report.
+  bool publish_now(SimTime now);
+
+  /// Schedules probe-then-publish rounds on `sched` until `end`:
+  /// the CrpNode keeps its own probing cadence; this only republishes.
+  sim::EventHandle schedule(sim::EventScheduler& sched, SimTime start,
+                            SimTime end);
+
+  [[nodiscard]] const std::string& node_id() const { return node_id_; }
+  [[nodiscard]] std::uint64_t publishes() const { return publishes_; }
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  std::string node_id_;
+  core::CrpNode* node_;
+  PositionService* service_;
+  ServiceNodeConfig config_;
+  std::uint64_t publishes_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace crp::service

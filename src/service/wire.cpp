@@ -1,0 +1,160 @@
+#include "service/wire.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+namespace crp::service {
+
+namespace {
+
+constexpr char kMagic[3] = {'C', 'R', 'P'};
+constexpr std::uint8_t kVersion = 1;
+
+void put_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void put_i64(std::string& out, std::int64_t v) {
+  const auto u = static_cast<std::uint64_t>(v);
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((u >> (8 * i)) & 0xff));
+  }
+}
+
+void put_f64(std::string& out, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((bits >> (8 * i)) & 0xff));
+  }
+}
+
+/// Bounds-checked little-endian reader.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  [[nodiscard]] bool read_bytes(void* out, std::size_t n) {
+    if (pos_ + n > data_.size()) return false;
+    std::memcpy(out, data_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  [[nodiscard]] bool read_u8(std::uint8_t& v) { return read_int(v); }
+  [[nodiscard]] bool read_u16(std::uint16_t& v) { return read_int(v); }
+  [[nodiscard]] bool read_u32(std::uint32_t& v) { return read_int(v); }
+  [[nodiscard]] bool read_i64(std::int64_t& v) {
+    std::uint64_t u = 0;
+    if (!read_int(u)) return false;
+    v = static_cast<std::int64_t>(u);
+    return true;
+  }
+  [[nodiscard]] bool read_f64(double& v) {
+    std::uint64_t bits = 0;
+    if (!read_int(bits)) return false;
+    std::memcpy(&v, &bits, sizeof(v));
+    return true;
+  }
+  [[nodiscard]] bool read_string(std::string& out, std::size_t n) {
+    if (pos_ + n > data_.size()) return false;
+    out.assign(data_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  [[nodiscard]] bool at_end() const { return pos_ == data_.size(); }
+
+ private:
+  template <typename T>
+  [[nodiscard]] bool read_int(T& v) {
+    if (pos_ + sizeof(T) > data_.size()) return false;
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      acc |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(data_[pos_ + i]))
+             << (8 * i);
+    }
+    v = static_cast<T>(acc);
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::size_t encoded_size(const PositionReport& report) {
+  return 3 + 1 + 2 + report.node_id.size() + 8 + 4 +
+         report.map.size() * 12;
+}
+
+std::string encode(const PositionReport& report) {
+  std::string out;
+  out.reserve(encoded_size(report));
+  out.append(kMagic, sizeof(kMagic));
+  out.push_back(static_cast<char>(kVersion));
+  put_u16(out, static_cast<std::uint16_t>(
+                   std::min(report.node_id.size(), kMaxNodeIdBytes)));
+  out.append(report.node_id.data(),
+             std::min(report.node_id.size(), kMaxNodeIdBytes));
+  put_i64(out, report.when.micros());
+  put_u32(out, static_cast<std::uint32_t>(report.map.size()));
+  for (const auto& [replica, ratio] : report.map.entries()) {
+    put_u32(out, replica.value());
+    put_f64(out, ratio);
+  }
+  return out;
+}
+
+std::optional<PositionReport> decode(std::string_view bytes) {
+  Reader reader{bytes};
+  char magic[3];
+  if (!reader.read_bytes(magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return std::nullopt;
+  }
+  std::uint8_t version = 0;
+  if (!reader.read_u8(version) || version != kVersion) return std::nullopt;
+
+  std::uint16_t id_len = 0;
+  if (!reader.read_u16(id_len) || id_len > kMaxNodeIdBytes) {
+    return std::nullopt;
+  }
+  PositionReport report;
+  if (!reader.read_string(report.node_id, id_len)) return std::nullopt;
+
+  std::int64_t timestamp = 0;
+  if (!reader.read_i64(timestamp)) return std::nullopt;
+  report.when = SimTime{timestamp};
+
+  std::uint32_t count = 0;
+  if (!reader.read_u32(count) || count > kMaxEntries) return std::nullopt;
+
+  std::vector<core::RatioMap::Entry> entries;
+  entries.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint32_t replica = 0;
+    double ratio = 0.0;
+    if (!reader.read_u32(replica) || !reader.read_f64(ratio)) {
+      return std::nullopt;
+    }
+    if (!std::isfinite(ratio) || ratio <= 0.0) return std::nullopt;
+    entries.emplace_back(ReplicaId{replica}, ratio);
+  }
+  if (!reader.at_end()) return std::nullopt;  // trailing garbage
+
+  report.map = core::RatioMap::from_ratios(entries);
+  return report;
+}
+
+}  // namespace crp::service

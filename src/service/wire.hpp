@@ -1,0 +1,55 @@
+// Wire format for distributing CRP position reports.
+//
+// The paper (§III.B) envisions CRP "built as a stand-alone service,
+// shared by multiple applications, or as part of an application library
+// that takes advantage of application-specific communication to
+// distribute redirection maps". Either way the maps need a compact,
+// versioned encoding. This is it: a little-endian binary format with a
+// magic/version header and explicit bounds, hardened against truncated
+// and corrupt inputs (decode never throws; it returns nullopt).
+//
+//   PositionReport := MAGIC("CRP") VERSION(u8=1)
+//                     node_id_len(u16) node_id(bytes)
+//                     timestamp_us(i64)
+//                     entry_count(u32) { replica(u32) ratio(f64) }*
+//
+// Ratios are re-normalized on decode, so a report is usable even if the
+// sender's floating point differed slightly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/time.hpp"
+#include "core/ratio_map.hpp"
+
+namespace crp::service {
+
+/// One node's published position: its ratio map plus provenance.
+struct PositionReport {
+  std::string node_id;
+  SimTime when;
+  core::RatioMap map;
+
+  friend bool operator==(const PositionReport&,
+                         const PositionReport&) = default;
+};
+
+/// Maximum accepted sizes (decode rejects larger — corruption guard).
+inline constexpr std::size_t kMaxNodeIdBytes = 256;
+inline constexpr std::size_t kMaxEntries = 100'000;
+
+/// Serializes a report to the binary wire format.
+[[nodiscard]] std::string encode(const PositionReport& report);
+
+/// Parses the wire format. Returns nullopt on any malformation:
+/// bad magic/version, truncation, oversized fields, non-finite or
+/// non-positive ratios.
+[[nodiscard]] std::optional<PositionReport> decode(std::string_view bytes);
+
+/// Encoded size of a report without building the string.
+[[nodiscard]] std::size_t encoded_size(const PositionReport& report);
+
+}  // namespace crp::service

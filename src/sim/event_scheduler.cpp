@@ -1,0 +1,84 @@
+#include "sim/event_scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+namespace crp::sim {
+
+EventHandle EventScheduler::at(SimTime t, Callback cb) {
+  if (t < now_) t = now_;
+  const std::uint64_t id = next_id_++;
+  queue_.push(Event{t, next_seq_++, id, std::move(cb)});
+  return EventHandle{id};
+}
+
+EventHandle EventScheduler::after(Duration d, Callback cb) {
+  return at(now_ + d, std::move(cb));
+}
+
+EventHandle EventScheduler::every(SimTime start, Duration period,
+                                  PeriodicCallback cb) {
+  if (period <= Duration{0}) {
+    throw std::invalid_argument{"EventScheduler::every: period must be > 0"};
+  }
+  const std::uint64_t id = next_id_++;
+  // The periodic task re-arms itself under the same ID, so one handle
+  // cancels the whole recurrence.
+  auto tick = std::make_shared<std::function<void(SimTime)>>();
+  *tick = [this, id, period, cb = std::move(cb), tick](SimTime when) {
+    if (!cb()) return;
+    const SimTime next = when + period;
+    queue_.push(Event{next, next_seq_++, id,
+                      [tick, next] { (*tick)(next); }});
+  };
+  if (start < now_) start = now_;
+  queue_.push(Event{start, next_seq_++, id, [tick, start] { (*tick)(start); }});
+  return EventHandle{id};
+}
+
+bool EventScheduler::cancel(EventHandle handle) {
+  if (!handle.valid()) return false;
+  cancelled_.push_back(handle.id_);
+  return true;
+}
+
+bool EventScheduler::fire_next() {
+  while (!queue_.empty()) {
+    // const_cast is safe: we pop immediately after moving the callback out.
+    Event& top = const_cast<Event&>(queue_.top());
+    const auto it =
+        std::find(cancelled_.begin(), cancelled_.end(), top.id);
+    if (it != cancelled_.end()) {
+      // Leave the ID marked: periodic tasks enqueue more events under it.
+      queue_.pop();
+      continue;
+    }
+    assert(top.when >= now_);
+    now_ = top.when;
+    Callback cb = std::move(top.cb);
+    queue_.pop();
+    cb();
+    return true;
+  }
+  return false;
+}
+
+std::size_t EventScheduler::run_until(SimTime end) {
+  std::size_t fired = 0;
+  while (!queue_.empty() && queue_.top().when <= end) {
+    if (fire_next()) ++fired;
+  }
+  if (now_ < end) now_ = end;
+  return fired;
+}
+
+std::size_t EventScheduler::run_all() {
+  std::size_t fired = 0;
+  while (fire_next()) ++fired;
+  return fired;
+}
+
+}  // namespace crp::sim

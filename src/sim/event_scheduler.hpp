@@ -1,0 +1,100 @@
+// Discrete-event simulation core.
+//
+// The scheduler keeps a priority queue of timed callbacks and advances a
+// virtual clock from event to event. Everything time-driven in the system —
+// CRP probing, CDN measurement refreshes, Meridian gossip rounds, King
+// campaigns — registers events here, so a two-week measurement study runs
+// in well under a second of wall-clock time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace crp::sim {
+
+/// Handle used to cancel a scheduled event or a periodic task.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  [[nodiscard]] bool valid() const { return id_ != 0; }
+
+ private:
+  friend class EventScheduler;
+  explicit EventHandle(std::uint64_t id) : id_(id) {}
+  std::uint64_t id_ = 0;
+};
+
+/// Single-threaded discrete-event scheduler.
+///
+/// Events scheduled for the same instant fire in scheduling order
+/// (stable FIFO tie-break), which keeps runs deterministic.
+class EventScheduler {
+ public:
+  using Callback = std::function<void()>;
+  /// Periodic callbacks return false to stop recurring.
+  using PeriodicCallback = std::function<bool()>;
+
+  EventScheduler() = default;
+  EventScheduler(const EventScheduler&) = delete;
+  EventScheduler& operator=(const EventScheduler&) = delete;
+
+  /// Current virtual time.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `cb` at absolute time `t` (clamped to `now()` if in the
+  /// past). Returns a handle usable with `cancel`.
+  EventHandle at(SimTime t, Callback cb);
+
+  /// Schedules `cb` to run `d` after the current time.
+  EventHandle after(Duration d, Callback cb);
+
+  /// Schedules `cb` at `start` and then every `period` until it returns
+  /// false or is cancelled. `period` must be positive.
+  EventHandle every(SimTime start, Duration period, PeriodicCallback cb);
+
+  /// Cancels a pending event / periodic task. Safe on fired or invalid
+  /// handles (no-op). Returns true if something was actually cancelled.
+  bool cancel(EventHandle handle);
+
+  /// Runs events until the queue drains or the next event is beyond `end`;
+  /// the clock finishes at `end` (or at the last event if earlier events
+  /// drained the queue). Returns the number of callbacks executed.
+  std::size_t run_until(SimTime end);
+
+  /// Runs every pending event. Returns the number of callbacks executed.
+  std::size_t run_all();
+
+  /// Number of events currently pending (cancelled events are purged
+  /// lazily and may still be counted).
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;  // FIFO tie-break for equal timestamps
+    std::uint64_t id;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool fire_next();
+
+  SimTime now_ = SimTime::epoch();
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_id_ = 1;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  // IDs of cancelled-but-not-yet-popped events.
+  std::vector<std::uint64_t> cancelled_;
+};
+
+}  // namespace crp::sim

@@ -1,0 +1,124 @@
+#include "workload/browsing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace crp::workload {
+
+BrowsingWorkload::BrowsingWorkload(dns::RecursiveResolver& resolver,
+                                   core::CrpNode& node,
+                                   std::vector<dns::Name> sites,
+                                   core::ReplicaLookup lookup,
+                                   std::uint64_t seed,
+                                   BrowsingConfig config)
+    : resolver_(&resolver),
+      node_(&node),
+      sites_(std::move(sites)),
+      lookup_(std::move(lookup)),
+      config_(config),
+      rng_(hash_combine({seed, stable_hash("browsing")})) {
+  if (sites_.empty()) {
+    throw std::invalid_argument{"BrowsingWorkload: no sites"};
+  }
+  if (!lookup_) {
+    throw std::invalid_argument{"BrowsingWorkload: lookup not callable"};
+  }
+}
+
+double BrowsingWorkload::activity(SimTime t) const {
+  if (config_.diurnal_ratio <= 1.0) return 1.0;
+  const double hour = std::fmod(t.seconds() / 3600.0, 24.0);
+  // Cosine bump peaking at peak_hour; normalize to mean 1 with the
+  // requested peak/trough ratio r: level in [2/(r+1), 2r/(r+1)].
+  const double r = config_.diurnal_ratio;
+  const double phase =
+      (hour - config_.peak_hour) / 24.0 * 2.0 * std::numbers::pi;
+  const double bump = 0.5 * (1.0 + std::cos(phase));  // [0, 1], peak at 1
+  return (2.0 / (r + 1.0)) * (1.0 + (r - 1.0) * bump);
+}
+
+void BrowsingWorkload::load_page(const PageLoad& page) {
+  std::vector<ReplicaId> seen;
+  for (std::size_t site_idx : page.sites) {
+    ++lookups_;
+    const dns::ResolveResult result =
+        resolver_->resolve(sites_[site_idx], page.when);
+    if (!result.ok()) continue;
+    for (Ipv4 addr : result.addresses) {
+      if (const auto id = lookup_(addr); id.has_value()) {
+        seen.push_back(*id);
+      }
+    }
+  }
+  std::sort(seen.begin(), seen.end());
+  seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
+  if (!seen.empty()) {
+    node_->observe(page.when, seen);
+    ++observations_;
+  }
+}
+
+std::vector<SimTime> BrowsingWorkload::session_times(SimTime start,
+                                                     SimTime end) {
+  // Thinned Poisson process: candidate events at the peak rate, kept
+  // with probability activity(t)/peak.
+  std::vector<SimTime> out;
+  const double base_rate_per_us =
+      config_.sessions_per_day / static_cast<double>(Hours(24).micros());
+  const double peak = 2.0 * config_.diurnal_ratio /
+                      (config_.diurnal_ratio + 1.0);
+  const double candidate_rate = base_rate_per_us * peak;
+  SimTime t = start;
+  while (true) {
+    const double gap = rng_.exponential(candidate_rate);
+    t = t + Duration{static_cast<std::int64_t>(gap)};
+    if (t >= end) break;
+    if (rng_.uniform() * peak <= activity(t)) out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<BrowsingWorkload::PageLoad> BrowsingWorkload::plan(
+    SimTime start, SimTime end) {
+  std::vector<PageLoad> pages;
+  for (SimTime session_start : session_times(start, end)) {
+    const int session_pages =
+        1 + static_cast<int>(rng_.exponential(
+                1.0 / std::max(1.0, config_.pages_per_session - 1)));
+    SimTime t = session_start;
+    for (int p = 0; p < session_pages && t < end; ++p) {
+      PageLoad page;
+      page.when = t;
+      page.sites.reserve(
+          static_cast<std::size_t>(config_.names_per_page));
+      for (int n = 0; n < config_.names_per_page; ++n) {
+        page.sites.push_back(static_cast<std::size_t>(rng_.uniform_int(
+            0, static_cast<std::int64_t>(sites_.size()) - 1)));
+      }
+      pages.push_back(std::move(page));
+      const double gap = rng_.exponential(
+          1.0 / static_cast<double>(config_.page_gap_mean.micros()));
+      t = t + Duration{static_cast<std::int64_t>(gap)};
+    }
+    ++sessions_;
+  }
+  return pages;
+}
+
+void BrowsingWorkload::schedule(sim::EventScheduler& sched, SimTime start,
+                                SimTime end) {
+  for (PageLoad& page : plan(start, end)) {
+    const SimTime when = page.when;
+    sched.at(when, [this, page = std::move(page)] { load_page(page); });
+  }
+}
+
+void BrowsingWorkload::run(SimTime start, SimTime end) {
+  for (const PageLoad& page : plan(start, end)) {
+    load_page(page);
+  }
+}
+
+}  // namespace crp::workload

@@ -1,0 +1,94 @@
+// Passive position acquisition from user web traffic.
+//
+// Section VI observes that CRP's (already tiny) active-probing overhead
+// "may not be necessary if the service can passively monitor
+// user-generated DNS translations (e.g., from Web browsing)". This
+// module generates a realistic browsing workload — diurnally modulated
+// sessions of page loads, each resolving a few CDN-hosted names through
+// the node's recursive resolver — and harvests every CDN answer into the
+// node's redirection history via CrpNode::observe.
+//
+// Two realism effects matter and are captured: (a) lookups inside a
+// session often hit the resolver's still-valid 20 s TTL cache, so bursts
+// yield fewer *distinct* observations than lookups; (b) activity follows
+// the user's local time of day, so histories grow unevenly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "core/node.hpp"
+#include "dns/name.hpp"
+#include "dns/resolver.hpp"
+#include "sim/event_scheduler.hpp"
+
+namespace crp::workload {
+
+struct BrowsingConfig {
+  /// Mean browsing sessions per simulated day.
+  double sessions_per_day = 8.0;
+  /// Pages per session: geometric-ish, mean.
+  double pages_per_session = 10.0;
+  /// Gap between page loads within a session.
+  Duration page_gap_mean = Seconds(25);
+  /// Names resolved per page load (a page embeds several CDN objects).
+  int names_per_page = 2;
+  /// Peak-to-trough ratio of the diurnal activity curve (1 = flat).
+  double diurnal_ratio = 4.0;
+  /// Hour of local peak activity (0-23).
+  double peak_hour = 20.0;
+};
+
+/// Drives one node's browsing and harvests redirections into its
+/// CrpNode. The referenced objects must outlive the workload.
+class BrowsingWorkload {
+ public:
+  BrowsingWorkload(dns::RecursiveResolver& resolver, core::CrpNode& node,
+                   std::vector<dns::Name> sites,
+                   core::ReplicaLookup lookup, std::uint64_t seed,
+                   BrowsingConfig config = {});
+
+  /// Schedules sessions on `sched` over [start, end).
+  void schedule(sim::EventScheduler& sched, SimTime start, SimTime end);
+
+  /// Runs synchronously without a scheduler (convenience for tests):
+  /// generates the same session structure over the window.
+  void run(SimTime start, SimTime end);
+
+  [[nodiscard]] std::uint64_t lookups() const { return lookups_; }
+  [[nodiscard]] std::uint64_t observations() const { return observations_; }
+  [[nodiscard]] std::uint64_t sessions() const { return sessions_; }
+
+ private:
+  /// One planned page load: when, and which site indices it resolves.
+  /// The full plan is drawn up-front so the scheduled and synchronous
+  /// execution paths consume the RNG identically.
+  struct PageLoad {
+    SimTime when;
+    std::vector<std::size_t> sites;
+  };
+
+  /// Relative activity level at sim time `t` (diurnal curve, mean 1).
+  [[nodiscard]] double activity(SimTime t) const;
+  /// Resolves one planned page load and harvests redirections.
+  void load_page(const PageLoad& page);
+  /// Generates session start times over the window.
+  [[nodiscard]] std::vector<SimTime> session_times(SimTime start,
+                                                   SimTime end);
+  /// Draws the complete page-load plan for the window.
+  [[nodiscard]] std::vector<PageLoad> plan(SimTime start, SimTime end);
+
+  dns::RecursiveResolver* resolver_;
+  core::CrpNode* node_;
+  std::vector<dns::Name> sites_;
+  core::ReplicaLookup lookup_;
+  BrowsingConfig config_;
+  Rng rng_;
+  std::uint64_t lookups_ = 0;
+  std::uint64_t observations_ = 0;
+  std::uint64_t sessions_ = 0;
+};
+
+}  // namespace crp::workload

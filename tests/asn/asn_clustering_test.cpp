@@ -1,0 +1,91 @@
+#include "asn/asn_clustering.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+
+namespace crp::asn {
+namespace {
+
+TEST(AsnClustering, GroupsByAsn) {
+  test::MiniWorld world{71};
+  const std::vector<HostId> nodes{world.clients.begin(),
+                                  world.clients.end()};
+  const core::Clustering clustering =
+      asn_cluster(world.topo, nodes, nullptr);
+  // Every node assigned; members of a cluster share an ASN.
+  std::size_t total = 0;
+  for (const auto& cluster : clustering.clusters) {
+    ASSERT_FALSE(cluster.members.empty());
+    const AsnId asn = world.topo.host(nodes[cluster.members[0]]).asn;
+    for (std::size_t m : cluster.members) {
+      EXPECT_EQ(world.topo.host(nodes[m]).asn, asn);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, nodes.size());
+}
+
+TEST(AsnClustering, DistinctAsnsLandInDistinctClusters) {
+  test::MiniWorld world{72};
+  const std::vector<HostId> nodes{world.clients.begin(),
+                                  world.clients.end()};
+  const core::Clustering clustering =
+      asn_cluster(world.topo, nodes, nullptr);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+      if (world.topo.host(nodes[i]).asn != world.topo.host(nodes[j]).asn) {
+        EXPECT_NE(clustering.assignment[i], clustering.assignment[j]);
+      } else {
+        EXPECT_EQ(clustering.assignment[i], clustering.assignment[j]);
+      }
+    }
+  }
+}
+
+TEST(AsnClustering, MedoidCenterMinimizesSummedDistance) {
+  test::MiniWorld world{73};
+  const std::vector<HostId> nodes{world.clients.begin(),
+                                  world.clients.end()};
+  const auto rtt = [&](std::size_t i, std::size_t j) {
+    return world.oracle->base_rtt_ms(nodes[i], nodes[j]);
+  };
+  const core::Clustering clustering = asn_cluster(world.topo, nodes, rtt);
+  for (const auto& cluster : clustering.clusters) {
+    if (cluster.members.size() < 3) continue;
+    double center_sum = 0.0;
+    for (std::size_t m : cluster.members) {
+      if (m != cluster.center) center_sum += rtt(cluster.center, m);
+    }
+    for (std::size_t candidate : cluster.members) {
+      double sum = 0.0;
+      for (std::size_t m : cluster.members) {
+        if (m != candidate) sum += rtt(candidate, m);
+      }
+      EXPECT_GE(sum + 1e-9, center_sum);
+    }
+  }
+}
+
+TEST(AsnClustering, EmptyInput) {
+  test::MiniWorld world{74};
+  const core::Clustering clustering = asn_cluster(world.topo, {}, nullptr);
+  EXPECT_TRUE(clustering.clusters.empty());
+}
+
+TEST(AsnClustering, StatsCountOnlyMultiMemberClusters) {
+  test::MiniWorld world{75};
+  const std::vector<HostId> nodes{world.clients.begin(),
+                                  world.clients.end()};
+  const core::Clustering clustering =
+      asn_cluster(world.topo, nodes, nullptr);
+  const auto stats = core::clustering_stats(clustering, nodes.size());
+  EXPECT_LE(stats.nodes_clustered, nodes.size());
+  EXPECT_LE(stats.num_clusters, clustering.clusters.size());
+  // ASN clustering of scattered resolvers leaves many singletons — the
+  // paper's core observation (only 23% clustered).
+  EXPECT_LT(stats.fraction_clustered, 0.95);
+}
+
+}  // namespace
+}  // namespace crp::asn

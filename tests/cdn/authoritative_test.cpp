@@ -1,0 +1,119 @@
+#include "cdn/authoritative.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+#include "dns/resolver.hpp"
+
+namespace crp::cdn {
+namespace {
+
+class CdnAuthoritativeTest : public ::testing::Test {
+ protected:
+  CdnAuthoritativeTest()
+      : world_{41},
+        policy_{*world_.oracle, world_.deployment, *world_.measurement},
+        setup_{register_cdn_dns(registry_, world_.topo, world_.catalog,
+                                world_.deployment, policy_,
+                                world_.infra[0], world_.infra[1])} {}
+
+  test::MiniWorld world_;
+  LatencyDrivenPolicy policy_;
+  dns::ZoneRegistry registry_;
+  CdnDnsSetup setup_;
+};
+
+TEST_F(CdnAuthoritativeTest, AnswersARecordsForCdnName) {
+  const auto& client = world_.topo.host(world_.clients[0]);
+  const dns::Message reply = setup_.authoritative->resolve(
+      dns::Question{world_.catalog.customer(0).cdn_name, dns::RecordType::kA},
+      client.address(), SimTime::epoch());
+  EXPECT_EQ(reply.rcode, dns::Rcode::kNoError);
+  EXPECT_EQ(reply.answers.size(), 2u);  // Akamai-style two A records
+  for (const auto& rr : reply.answers) {
+    EXPECT_EQ(rr.type, dns::RecordType::kA);
+    EXPECT_EQ(rr.ttl, Seconds(20));
+    EXPECT_TRUE(world_.deployment.replica_of_address(rr.address)
+                    .has_value());
+  }
+}
+
+TEST_F(CdnAuthoritativeTest, AnswersDependOnResolverLocation) {
+  // Two clients in different regions should (usually) see different
+  // replicas for the same name at the same time.
+  HostId far_a = world_.clients[0];
+  HostId far_b;
+  for (HostId h : world_.clients) {
+    if (world_.topo.host(h).region != world_.topo.host(far_a).region) {
+      far_b = h;
+      break;
+    }
+  }
+  ASSERT_TRUE(far_b.valid());
+  const auto q = dns::Question{world_.catalog.customer(0).cdn_name,
+                               dns::RecordType::kA};
+  const auto ra = setup_.authoritative->resolve(
+      q, world_.topo.host(far_a).address(), SimTime::epoch());
+  const auto rb = setup_.authoritative->resolve(
+      q, world_.topo.host(far_b).address(), SimTime::epoch());
+  EXPECT_NE(ra.answers[0].address, rb.answers[0].address);
+}
+
+TEST_F(CdnAuthoritativeTest, NxDomainForUnknownCdnName) {
+  const auto reply = setup_.authoritative->resolve(
+      dns::Question{dns::Name::parse("zz.g.cdnsim.net"), dns::RecordType::kA},
+      world_.topo.host(world_.clients[0]).address(), SimTime::epoch());
+  EXPECT_EQ(reply.rcode, dns::Rcode::kNxDomain);
+}
+
+TEST_F(CdnAuthoritativeTest, ServFailForForeignResolverAddress) {
+  const auto reply = setup_.authoritative->resolve(
+      dns::Question{world_.catalog.customer(0).cdn_name, dns::RecordType::kA},
+      Ipv4(8, 8, 8, 8), SimTime::epoch());
+  EXPECT_EQ(reply.rcode, dns::Rcode::kServFail);
+}
+
+TEST_F(CdnAuthoritativeTest, CountsQueries) {
+  const std::size_t before = setup_.authoritative->queries_served();
+  (void)setup_.authoritative->resolve(
+      dns::Question{world_.catalog.customer(0).cdn_name, dns::RecordType::kA},
+      world_.topo.host(world_.clients[0]).address(), SimTime::epoch());
+  EXPECT_EQ(setup_.authoritative->queries_served(), before + 1);
+}
+
+TEST_F(CdnAuthoritativeTest, FullResolutionThroughRecursiveResolver) {
+  dns::RecursiveResolver resolver{world_.clients[0], registry_,
+                                  world_.oracle.get()};
+  const auto result = resolver.resolve(world_.catalog.customer(0).web_name,
+                                       SimTime::epoch());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.addresses.size(), 2u);
+  EXPECT_EQ(result.upstream_queries, 2);  // customer CNAME + CDN A
+  EXPECT_GT(result.elapsed, Duration{0});
+  for (Ipv4 addr : result.addresses) {
+    EXPECT_TRUE(world_.deployment.replica_of_address(addr).has_value());
+  }
+}
+
+TEST_F(CdnAuthoritativeTest, ShortTtlForcesRequeryAtNextProbe) {
+  dns::RecursiveResolver resolver{world_.clients[0], registry_,
+                                  world_.oracle.get()};
+  const auto first = resolver.resolve(world_.catalog.customer(0).web_name,
+                                      SimTime::epoch());
+  const std::size_t queries_before = setup_.authoritative->queries_served();
+  // 10 minutes later the 20 s A record has long expired.
+  const auto second = resolver.resolve(world_.catalog.customer(0).web_name,
+                                       SimTime::epoch() + Minutes(10));
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(setup_.authoritative->queries_served(), queries_before + 1);
+}
+
+TEST_F(CdnAuthoritativeTest, CustomerZonesRegistered) {
+  EXPECT_EQ(setup_.customer_zones.size(), world_.catalog.size());
+  EXPECT_NE(registry_.find(world_.catalog.customer(0).web_name), nullptr);
+  EXPECT_NE(registry_.find(world_.catalog.customer(0).cdn_name), nullptr);
+}
+
+}  // namespace
+}  // namespace crp::cdn

@@ -1,0 +1,109 @@
+#include "cdn/deployment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "../test_util.hpp"
+
+namespace crp::cdn {
+namespace {
+
+TEST(Deployment, PlacesRoughlyTargetReplicas) {
+  test::MiniWorld world{3, 10, 300};
+  const std::size_t edges = world.deployment.size() -
+                            world.deployment.fallbacks().size();
+  EXPECT_GT(edges, 250u);
+  EXPECT_LT(edges, 350u);
+}
+
+TEST(Deployment, ReplicaHostsRegisteredInTopology) {
+  test::MiniWorld world{4};
+  for (const ReplicaServer& r : world.deployment.replicas()) {
+    EXPECT_EQ(world.topo.host(r.host).kind,
+              netsim::HostKind::kReplicaServer);
+    EXPECT_EQ(world.topo.host(r.host).pop, r.pop);
+  }
+}
+
+TEST(Deployment, AddressLookupRoundTrips) {
+  test::MiniWorld world{5};
+  for (const ReplicaServer& r : world.deployment.replicas()) {
+    const Ipv4 addr = world.topo.host(r.host).address();
+    const auto found = world.deployment.replica_of_address(addr);
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(*found, r.id);
+  }
+}
+
+TEST(Deployment, UnknownAddressReturnsNullopt) {
+  test::MiniWorld world{6};
+  EXPECT_FALSE(world.deployment.replica_of_address(Ipv4(8, 8, 8, 8))
+                   .has_value());
+}
+
+TEST(Deployment, CoverageFollowsRegionWeightTimesCoverage) {
+  test::MiniWorld world{7, 10, 400};
+  std::map<std::string, std::size_t> by_region;
+  for (const ReplicaServer& r : world.deployment.replicas()) {
+    if (!r.origin_fallback) {
+      ++by_region[world.topo.region(r.region).name];
+    }
+  }
+  // Flagship markets dwarf poorly covered regions.
+  EXPECT_GT(by_region["na-east"], 3 * by_region["africa-south"]);
+  EXPECT_GT(by_region["eu-west"], 3 * by_region["oceania"]);
+}
+
+TEST(Deployment, OriginFallbacksFlaggedAndInBestRegion) {
+  test::MiniWorld world{8};
+  ASSERT_FALSE(world.deployment.fallbacks().empty());
+  for (ReplicaId id : world.deployment.fallbacks()) {
+    EXPECT_TRUE(world.deployment.is_origin_fallback(id));
+    // Default world: best coverage is na-east or eu-west (both 1.0; the
+    // builder picks the first maximal one).
+    const auto& name =
+        world.topo.region(world.deployment.replica(id).region).name;
+    EXPECT_TRUE(name == "na-east" || name == "eu-west") << name;
+  }
+}
+
+TEST(Deployment, DeterministicForSeed) {
+  netsim::TopologyConfig tc;
+  tc.seed = 9;
+  netsim::Topology topo_a = netsim::build_topology(tc);
+  netsim::Topology topo_b = netsim::build_topology(tc);
+  DeploymentConfig dc;
+  dc.seed = 10;
+  const Deployment a = Deployment::build(topo_a, dc);
+  const Deployment b = Deployment::build(topo_b, dc);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.replicas()[i].pop, b.replicas()[i].pop);
+  }
+}
+
+TEST(Deployment, ReplicasInRegionConsistent) {
+  test::MiniWorld world{11};
+  std::size_t total = 0;
+  for (const netsim::Region& region : world.topo.regions()) {
+    for (ReplicaId id : world.deployment.replicas_in_region(region.id)) {
+      EXPECT_EQ(world.deployment.replica(id).region, region.id);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, world.deployment.size());
+}
+
+TEST(Deployment, ThrowsOnZeroCoverageWorld) {
+  netsim::Topology topo;
+  netsim::Region region;
+  region.name = "dead-zone";
+  region.cdn_coverage = 0.0;
+  topo.add_region(std::move(region));
+  DeploymentConfig dc;
+  EXPECT_THROW((void)Deployment::build(topo, dc), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace crp::cdn

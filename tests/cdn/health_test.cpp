@@ -1,0 +1,80 @@
+#include "cdn/health.hpp"
+
+#include <gtest/gtest.h>
+
+namespace crp::cdn {
+namespace {
+
+TEST(ReplicaHealth, AlwaysAvailableWhenDisabled) {
+  const ReplicaHealth health{HealthConfig{}};
+  for (std::uint32_t r = 0; r < 100; ++r) {
+    EXPECT_TRUE(health.available(ReplicaId{r}, SimTime::epoch()));
+  }
+}
+
+TEST(ReplicaHealth, OutageFractionMatchesProbability) {
+  HealthConfig config;
+  config.seed = 1;
+  config.outage_probability = 0.2;
+  config.outage_epoch = Hours(6);
+  const ReplicaHealth health{config};
+  std::size_t down = 0;
+  std::size_t total = 0;
+  for (std::uint32_t r = 0; r < 200; ++r) {
+    for (int e = 0; e < 20; ++e) {
+      ++total;
+      if (!health.available(ReplicaId{r}, SimTime::epoch() + Hours(6 * e))) {
+        ++down;
+      }
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(down) / static_cast<double>(total), 0.2,
+              0.02);
+}
+
+TEST(ReplicaHealth, StableWithinEpoch) {
+  HealthConfig config;
+  config.seed = 2;
+  config.outage_probability = 0.5;
+  const ReplicaHealth health{config};
+  for (std::uint32_t r = 0; r < 50; ++r) {
+    const bool at_start =
+        health.available(ReplicaId{r}, SimTime::epoch() + Minutes(1));
+    const bool at_end =
+        health.available(ReplicaId{r}, SimTime::epoch() + Hours(5));
+    EXPECT_EQ(at_start, at_end);
+  }
+}
+
+TEST(ReplicaHealth, IndependentAcrossReplicas) {
+  HealthConfig config;
+  config.seed = 3;
+  config.outage_probability = 0.5;
+  const ReplicaHealth health{config};
+  bool any_up = false;
+  bool any_down = false;
+  for (std::uint32_t r = 0; r < 64; ++r) {
+    if (health.available(ReplicaId{r}, SimTime::epoch())) {
+      any_up = true;
+    } else {
+      any_down = true;
+    }
+  }
+  EXPECT_TRUE(any_up);
+  EXPECT_TRUE(any_down);
+}
+
+TEST(ReplicaHealth, DeterministicForSeed) {
+  HealthConfig config;
+  config.seed = 4;
+  config.outage_probability = 0.3;
+  const ReplicaHealth a{config};
+  const ReplicaHealth b{config};
+  for (std::uint32_t r = 0; r < 50; ++r) {
+    EXPECT_EQ(a.available(ReplicaId{r}, SimTime::epoch() + Hours(7)),
+              b.available(ReplicaId{r}, SimTime::epoch() + Hours(7)));
+  }
+}
+
+}  // namespace
+}  // namespace crp::cdn

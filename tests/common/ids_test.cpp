@@ -1,0 +1,49 @@
+#include "common/ids.hpp"
+
+#include <gtest/gtest.h>
+
+#include <type_traits>
+#include <unordered_set>
+
+namespace crp {
+namespace {
+
+TEST(Id, DefaultIsInvalid) {
+  HostId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id, HostId::invalid());
+}
+
+TEST(Id, ConstructedIsValid) {
+  HostId id{3};
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value(), 3u);
+  EXPECT_EQ(id.index(), 3u);
+}
+
+TEST(Id, Ordering) {
+  EXPECT_LT(HostId{1}, HostId{2});
+  EXPECT_EQ(HostId{5}, HostId{5});
+  EXPECT_NE(HostId{5}, HostId{6});
+}
+
+TEST(Id, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<HostId, ReplicaId>);
+  static_assert(!std::is_same_v<AsnId, RegionId>);
+}
+
+TEST(Id, Hashable) {
+  std::unordered_set<HostId> set;
+  set.insert(HostId{1});
+  set.insert(HostId{2});
+  set.insert(HostId{1});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(Id, MaxValueReservedAsInvalid) {
+  HostId id{HostId::kInvalidValue};
+  EXPECT_FALSE(id.valid());
+}
+
+}  // namespace
+}  // namespace crp

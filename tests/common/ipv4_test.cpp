@@ -1,0 +1,40 @@
+#include "common/ipv4.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace crp {
+namespace {
+
+TEST(Ipv4, OctetConstruction) {
+  const Ipv4 addr{10, 1, 2, 3};
+  EXPECT_EQ(addr.value(), 0x0A010203u);
+  EXPECT_EQ(addr.to_string(), "10.1.2.3");
+}
+
+TEST(Ipv4, RawConstruction) {
+  const Ipv4 addr{0xC0A80001u};
+  EXPECT_EQ(addr.to_string(), "192.168.0.1");
+}
+
+TEST(Ipv4, Extremes) {
+  EXPECT_EQ(Ipv4{0u}.to_string(), "0.0.0.0");
+  EXPECT_EQ(Ipv4{0xFFFFFFFFu}.to_string(), "255.255.255.255");
+}
+
+TEST(Ipv4, Ordering) {
+  EXPECT_LT(Ipv4(10, 0, 0, 1), Ipv4(10, 0, 0, 2));
+  EXPECT_EQ(Ipv4(1, 2, 3, 4), Ipv4(1, 2, 3, 4));
+}
+
+TEST(Ipv4, Hashable) {
+  std::unordered_set<Ipv4> set;
+  set.insert(Ipv4(10, 0, 0, 1));
+  set.insert(Ipv4(10, 0, 0, 1));
+  set.insert(Ipv4(10, 0, 0, 2));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+}  // namespace
+}  // namespace crp

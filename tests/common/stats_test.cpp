@@ -1,0 +1,182 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace crp {
+namespace {
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(OnlineStats, KnownSequence) {
+  OnlineStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum of squared deviations = 32.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStats, NegativeValues) {
+  OnlineStats s;
+  s.add(-10.0);
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), -10.0);
+}
+
+TEST(Percentile, SortedInterpolation) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 0.5), 2.5);
+  EXPECT_NEAR(percentile_sorted(v, 1.0 / 3.0), 2.0, 1e-12);
+}
+
+TEST(Percentile, UnsortedInput) {
+  const std::vector<double> v{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 2.5);
+}
+
+TEST(Percentile, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(percentile(std::vector<double>{}, 0.5), 0.0);
+}
+
+TEST(Percentile, ClampsOutOfRangeQuantiles) {
+  const std::vector<double> v{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(v, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.5), 2.0);
+}
+
+TEST(Median, OddAndEven) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(Summarize, FieldsConsistent) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(static_cast<double>(i));
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.median, 50.5, 1e-9);
+  EXPECT_LT(s.p25, s.median);
+  EXPECT_LT(s.median, s.p75);
+  EXPECT_LT(s.p75, s.p90);
+  EXPECT_LT(s.p90, s.p99);
+}
+
+TEST(Cdf, AtAndQuantileAgree) {
+  Cdf cdf{{1.0, 2.0, 3.0, 4.0, 5.0}};
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(3.0), 0.6);
+  EXPECT_DOUBLE_EQ(cdf.at(100.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 5.0);
+}
+
+TEST(Cdf, EmptyBehaviour) {
+  Cdf cdf;
+  EXPECT_TRUE(cdf.empty());
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.0);
+  EXPECT_TRUE(cdf.curve(10).empty());
+}
+
+TEST(Cdf, CurveIsMonotone) {
+  Rng rng{99};
+  std::vector<double> samples;
+  for (int i = 0; i < 500; ++i) samples.push_back(rng.lognormal(2.0, 1.0));
+  Cdf cdf{std::move(samples)};
+  const auto curve = cdf.curve(21);
+  ASSERT_EQ(curve.size(), 21u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i - 1].value, curve[i].value);
+    EXPECT_LE(curve[i - 1].fraction, curve[i].fraction);
+  }
+}
+
+TEST(Histogram, BucketsAndOverflow) {
+  Histogram h{{0.0, 25.0, 75.0}};
+  h.add(-1.0);   // underflow
+  h.add(0.0);    // bucket 0
+  h.add(24.9);   // bucket 0
+  h.add(25.0);   // bucket 1
+  h.add(74.9);   // bucket 1
+  h.add(75.0);   // overflow (right-open)
+  EXPECT_EQ(h.num_buckets(), 2u);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 2u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 6u);
+}
+
+TEST(Histogram, RejectsBadEdges) {
+  EXPECT_THROW(Histogram{std::vector<double>{1.0}}, std::invalid_argument);
+  EXPECT_THROW((Histogram{{2.0, 1.0}}), std::invalid_argument);
+  EXPECT_THROW((Histogram{{1.0, 1.0}}), std::invalid_argument);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  const std::vector<double> y{2.0, 4.0, 6.0};
+  const auto r = pearson(x, y);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_NEAR(*r, 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectAnticorrelation) {
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  const std::vector<double> y{3.0, 2.0, 1.0};
+  ASSERT_TRUE(pearson(x, y).has_value());
+  EXPECT_NEAR(*pearson(x, y), -1.0, 1e-12);
+}
+
+TEST(Pearson, DegenerateCases) {
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  const std::vector<double> constant{5.0, 5.0, 5.0};
+  EXPECT_FALSE(pearson(x, constant).has_value());
+  EXPECT_FALSE(pearson(x, std::vector<double>{1.0}).has_value());
+  EXPECT_FALSE(
+      pearson(std::vector<double>{}, std::vector<double>{}).has_value());
+}
+
+TEST(Spearman, MonotoneNonlinearIsOne) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y{1.0, 8.0, 27.0, 64.0};  // x^3
+  const auto rho = spearman(x, y);
+  ASSERT_TRUE(rho.has_value());
+  EXPECT_NEAR(*rho, 1.0, 1e-12);
+}
+
+TEST(Spearman, HandlesTies) {
+  const std::vector<double> x{1.0, 2.0, 2.0, 3.0};
+  const std::vector<double> y{1.0, 2.0, 2.0, 3.0};
+  const auto rho = spearman(x, y);
+  ASSERT_TRUE(rho.has_value());
+  EXPECT_NEAR(*rho, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace crp

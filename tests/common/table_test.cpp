@@ -1,0 +1,59 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace crp {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t;
+  t.header({"name", "value"});
+  t.row({"a", "1"});
+  t.row({"longer-name", "22"});
+  const std::string out = t.render();
+  // Every line should have the same length (trailing pads aside, the last
+  // column is unpadded only up to its own width).
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);  // header rule
+}
+
+TEST(TextTable, NoHeaderNoRule) {
+  TextTable t;
+  t.row({"x", "y"});
+  const std::string out = t.render();
+  EXPECT_EQ(out.find("---"), std::string::npos);
+}
+
+TEST(TextTable, ExplicitRule) {
+  TextTable t;
+  t.row({"a"});
+  t.rule();
+  t.row({"b"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("-"), std::string::npos);
+}
+
+TEST(TextTable, RaggedRowsTolerated) {
+  TextTable t;
+  t.header({"a", "b", "c"});
+  t.row({"1"});
+  t.row({"1", "2", "3"});
+  EXPECT_NO_THROW((void)t.render());
+}
+
+TEST(Fmt, Doubles) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.14159, 0), "3");
+  EXPECT_EQ(fmt(-1.5, 1), "-1.5");
+}
+
+TEST(Fmt, Counts) { EXPECT_EQ(fmt(std::size_t{42}), "42"); }
+
+TEST(FmtPct, Percentages) {
+  EXPECT_EQ(fmt_pct(0.72), "72%");
+  EXPECT_EQ(fmt_pct(0.725, 1), "72.5%");
+}
+
+}  // namespace
+}  // namespace crp

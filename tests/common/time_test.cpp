@@ -1,0 +1,72 @@
+#include "common/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace crp {
+namespace {
+
+TEST(Duration, Factories) {
+  EXPECT_EQ(Micros(5).micros(), 5);
+  EXPECT_EQ(Millis(5).micros(), 5'000);
+  EXPECT_EQ(Seconds(5).micros(), 5'000'000);
+  EXPECT_EQ(Minutes(2).micros(), 120'000'000);
+  EXPECT_EQ(Hours(1).micros(), 3'600'000'000LL);
+  EXPECT_EQ(MillisF(1.5).micros(), 1'500);
+}
+
+TEST(Duration, Conversions) {
+  EXPECT_DOUBLE_EQ(Millis(1500).seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(Minutes(3).millis(), 180'000.0);
+  EXPECT_DOUBLE_EQ(Hours(2).minutes(), 120.0);
+}
+
+TEST(Duration, Arithmetic) {
+  EXPECT_EQ(Seconds(1) + Millis(500), Millis(1500));
+  EXPECT_EQ(Seconds(2) - Seconds(3), Seconds(-1));
+  EXPECT_EQ(Seconds(2) * 2.5, Seconds(5));
+  EXPECT_EQ(2.0 * Seconds(2), Seconds(4));
+  EXPECT_EQ(Seconds(10) / 2, Seconds(5));
+  EXPECT_DOUBLE_EQ(Seconds(10) / Seconds(4), 2.5);
+  EXPECT_EQ(-Seconds(3), Seconds(-3));
+}
+
+TEST(Duration, CompoundAssignment) {
+  Duration d = Seconds(1);
+  d += Seconds(2);
+  EXPECT_EQ(d, Seconds(3));
+  d -= Seconds(1);
+  EXPECT_EQ(d, Seconds(2));
+  d *= 0.5;
+  EXPECT_EQ(d, Seconds(1));
+}
+
+TEST(Duration, Ordering) {
+  EXPECT_LT(Millis(999), Seconds(1));
+  EXPECT_GT(Minutes(1), Seconds(59));
+  EXPECT_EQ(Minutes(1), Seconds(60));
+}
+
+TEST(SimTime, EpochAndArithmetic) {
+  const SimTime t0 = SimTime::epoch();
+  EXPECT_EQ(t0.micros(), 0);
+  const SimTime t1 = t0 + Minutes(5);
+  EXPECT_DOUBLE_EQ(t1.minutes(), 5.0);
+  EXPECT_EQ(t1 - t0, Minutes(5));
+  EXPECT_EQ(t1 - Minutes(2), t0 + Minutes(3));
+  EXPECT_EQ(Minutes(5) + t0, t1);
+}
+
+TEST(SimTime, Ordering) {
+  EXPECT_LT(SimTime::epoch(), SimTime::epoch() + Micros(1));
+}
+
+TEST(ToString, UnitsSelection) {
+  EXPECT_EQ(to_string(Micros(500)), "500.00 us");
+  EXPECT_EQ(to_string(Millis(12)), "12.00 ms");
+  EXPECT_EQ(to_string(Seconds(3)), "3.00 s");
+  EXPECT_EQ(to_string(Minutes(90)), "90.00 min");
+  EXPECT_EQ(to_string(Millis(-5)), "-5.00 ms");
+}
+
+}  // namespace
+}  // namespace crp

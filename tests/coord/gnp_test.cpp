@@ -1,0 +1,107 @@
+#include "coord/gnp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+#include "common/stats.hpp"
+#include "coord/binning.hpp"
+
+namespace crp::coord {
+namespace {
+
+class GnpTest : public ::testing::Test {
+ protected:
+  GnpTest() : world_{95} {
+    landmarks_ = select_landmarks(*world_.oracle, world_.infra, 7, 3);
+  }
+
+  test::MiniWorld world_;
+  std::vector<HostId> landmarks_;
+};
+
+TEST_F(GnpTest, RequiresEnoughLandmarks) {
+  GnpConfig config;
+  config.dimensions = 3;
+  std::vector<HostId> too_few{landmarks_.begin(), landmarks_.begin() + 3};
+  EXPECT_THROW(GnpSystem(*world_.oracle, too_few, config),
+               std::invalid_argument);
+}
+
+TEST_F(GnpTest, FitBeforeCalibrateThrows) {
+  GnpSystem gnp{*world_.oracle, landmarks_};
+  EXPECT_THROW(gnp.fit(world_.clients[0], SimTime::epoch()),
+               std::logic_error);
+}
+
+TEST_F(GnpTest, CalibrationEmbedsLandmarksReasonably) {
+  GnpSystem gnp{*world_.oracle, landmarks_};
+  const double err = gnp.calibrate(SimTime::epoch());
+  EXPECT_TRUE(gnp.calibrated());
+  // Mean relative embedding error among landmarks should be modest.
+  EXPECT_LT(err, 0.35);
+  for (HostId l : landmarks_) EXPECT_TRUE(gnp.fitted(l));
+  EXPECT_GT(gnp.total_probes(), 0u);
+}
+
+TEST_F(GnpTest, EstimateUnknownNodesIsNullopt) {
+  GnpSystem gnp{*world_.oracle, landmarks_};
+  (void)gnp.calibrate(SimTime::epoch());
+  EXPECT_FALSE(
+      gnp.estimate_ms(world_.clients[0], landmarks_[0]).has_value());
+}
+
+TEST_F(GnpTest, FittedNodesEstimateCorrelatesWithTruth) {
+  GnpSystem gnp{*world_.oracle, landmarks_};
+  (void)gnp.calibrate(SimTime::epoch());
+  std::vector<HostId> nodes{world_.clients.begin(),
+                            world_.clients.begin() + 25};
+  for (HostId n : nodes) gnp.fit(n, SimTime::epoch());
+
+  std::vector<double> est;
+  std::vector<double> truth;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+      const auto e = gnp.estimate_ms(nodes[i], nodes[j]);
+      ASSERT_TRUE(e.has_value());
+      est.push_back(*e);
+      truth.push_back(world_.oracle->base_rtt_ms(nodes[i], nodes[j]));
+    }
+  }
+  const auto rho = spearman(est, truth);
+  ASSERT_TRUE(rho.has_value());
+  EXPECT_GT(*rho, 0.6);
+}
+
+TEST_F(GnpTest, SelfEstimateZeroAndSymmetric) {
+  GnpSystem gnp{*world_.oracle, landmarks_};
+  (void)gnp.calibrate(SimTime::epoch());
+  gnp.fit(world_.clients[0], SimTime::epoch());
+  gnp.fit(world_.clients[1], SimTime::epoch());
+  EXPECT_DOUBLE_EQ(*gnp.estimate_ms(world_.clients[0], world_.clients[0]),
+                   0.0);
+  EXPECT_DOUBLE_EQ(*gnp.estimate_ms(world_.clients[0], world_.clients[1]),
+                   *gnp.estimate_ms(world_.clients[1], world_.clients[0]));
+}
+
+TEST_F(GnpTest, RefitIsIdempotent) {
+  GnpSystem gnp{*world_.oracle, landmarks_};
+  (void)gnp.calibrate(SimTime::epoch());
+  gnp.fit(world_.clients[0], SimTime::epoch());
+  const std::uint64_t probes = gnp.total_probes();
+  gnp.fit(world_.clients[0], SimTime::epoch());  // no-op
+  EXPECT_EQ(gnp.total_probes(), probes);
+}
+
+TEST_F(GnpTest, ProbeCostIsLandmarkBound) {
+  GnpSystem gnp{*world_.oracle, landmarks_};
+  (void)gnp.calibrate(SimTime::epoch());
+  const std::uint64_t after_calibrate = gnp.total_probes();
+  // Calibration probes each landmark pair once.
+  EXPECT_EQ(after_calibrate,
+            landmarks_.size() * (landmarks_.size() - 1) / 2);
+  gnp.fit(world_.clients[0], SimTime::epoch());
+  EXPECT_EQ(gnp.total_probes(), after_calibrate + landmarks_.size());
+}
+
+}  // namespace
+}  // namespace crp::coord

@@ -1,0 +1,106 @@
+#include "coord/vivaldi.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "../test_util.hpp"
+#include "common/stats.hpp"
+
+namespace crp::coord {
+namespace {
+
+TEST(Vivaldi, RequiresTwoHosts) {
+  test::MiniWorld world{81};
+  EXPECT_THROW(
+      VivaldiSystem(*world.oracle, {world.clients[0]}, VivaldiConfig{}),
+      std::invalid_argument);
+}
+
+TEST(Vivaldi, EstimatesImproveWithRounds) {
+  test::MiniWorld world{82};
+  std::vector<HostId> hosts{world.clients.begin(),
+                            world.clients.begin() + 30};
+  VivaldiSystem vivaldi{*world.oracle, hosts, VivaldiConfig{}};
+
+  const auto mean_abs_rel_error = [&] {
+    double sum = 0.0;
+    int n = 0;
+    for (std::size_t i = 0; i < hosts.size(); ++i) {
+      for (std::size_t j = i + 1; j < hosts.size(); ++j) {
+        const double truth = world.oracle->base_rtt_ms(hosts[i], hosts[j]);
+        sum += std::abs(vivaldi.estimate_ms(i, j) - truth) / truth;
+        ++n;
+      }
+    }
+    return sum / n;
+  };
+
+  const double before = mean_abs_rel_error();
+  vivaldi.run(60, SimTime::epoch());
+  const double after = mean_abs_rel_error();
+  EXPECT_LT(after, before);
+  EXPECT_LT(after, 0.8);  // embedding should be broadly sane
+}
+
+TEST(Vivaldi, EstimateSymmetricNonNegative) {
+  test::MiniWorld world{83};
+  std::vector<HostId> hosts{world.clients.begin(),
+                            world.clients.begin() + 10};
+  VivaldiSystem vivaldi{*world.oracle, hosts, VivaldiConfig{}};
+  vivaldi.run(20, SimTime::epoch());
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    EXPECT_DOUBLE_EQ(vivaldi.estimate_ms(i, i), 0.0);
+    for (std::size_t j = 0; j < hosts.size(); ++j) {
+      EXPECT_DOUBLE_EQ(vivaldi.estimate_ms(i, j), vivaldi.estimate_ms(j, i));
+      EXPECT_GE(vivaldi.estimate_ms(i, j), 0.0);
+    }
+  }
+}
+
+TEST(Vivaldi, ErrorEstimatesShrink) {
+  test::MiniWorld world{84};
+  std::vector<HostId> hosts{world.clients.begin(),
+                            world.clients.begin() + 20};
+  VivaldiSystem vivaldi{*world.oracle, hosts, VivaldiConfig{}};
+  vivaldi.run(60, SimTime::epoch());
+  double total_error = 0.0;
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    const Coordinate& c = vivaldi.coordinate(i);
+    total_error += c.error;
+    EXPECT_GE(c.height, 0.1);
+  }
+  EXPECT_LT(total_error / static_cast<double>(hosts.size()), 1.0);
+}
+
+TEST(Vivaldi, ProbesCounted) {
+  test::MiniWorld world{85};
+  std::vector<HostId> hosts{world.clients.begin(),
+                            world.clients.begin() + 10};
+  VivaldiSystem vivaldi{*world.oracle, hosts, VivaldiConfig{}};
+  EXPECT_EQ(vivaldi.total_probes(), 0u);
+  vivaldi.run(5, SimTime::epoch());
+  EXPECT_GT(vivaldi.total_probes(), 0u);
+}
+
+TEST(Vivaldi, RankCorrelationWithTruth) {
+  test::MiniWorld world{86};
+  std::vector<HostId> hosts{world.clients.begin(),
+                            world.clients.begin() + 25};
+  VivaldiSystem vivaldi{*world.oracle, hosts, VivaldiConfig{}};
+  vivaldi.run(80, SimTime::epoch());
+  std::vector<double> est;
+  std::vector<double> truth;
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    for (std::size_t j = i + 1; j < hosts.size(); ++j) {
+      est.push_back(vivaldi.estimate_ms(i, j));
+      truth.push_back(world.oracle->base_rtt_ms(hosts[i], hosts[j]));
+    }
+  }
+  const auto rho = spearman(est, truth);
+  ASSERT_TRUE(rho.has_value());
+  EXPECT_GT(*rho, 0.6);
+}
+
+}  // namespace
+}  // namespace crp::coord

@@ -1,0 +1,103 @@
+#include "core/cluster_quality.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace crp::core {
+namespace {
+
+// Six nodes on a line: 0,1,2 near coordinate 0; 3,4,5 near coordinate 100.
+double line_rtt(std::size_t i, std::size_t j) {
+  const double pos[] = {0.0, 1.0, 2.0, 100.0, 101.0, 102.0};
+  return std::abs(pos[i] - pos[j]);
+}
+
+Clustering good_clustering() {
+  Clustering c;
+  c.clusters.push_back({1, {0, 1, 2}});
+  c.clusters.push_back({4, {3, 4, 5}});
+  c.assignment = {0, 0, 0, 1, 1, 1};
+  return c;
+}
+
+TEST(ClusterQuality, ComputesDiameterIntraInter) {
+  const auto qualities = evaluate_clusters(good_clustering(), line_rtt);
+  ASSERT_EQ(qualities.size(), 2u);
+  const ClusterQuality& q0 = qualities[0];
+  EXPECT_EQ(q0.size, 3u);
+  EXPECT_DOUBLE_EQ(q0.diameter_ms, 2.0);  // |0 - 2|
+  // Center is node 1: members 0 and 2 are each 1 away.
+  EXPECT_DOUBLE_EQ(q0.avg_intra_ms, 1.0);
+  // Other center is node 4 at distance 100.
+  EXPECT_DOUBLE_EQ(q0.avg_inter_ms, 100.0);
+  EXPECT_TRUE(q0.good());
+}
+
+TEST(ClusterQuality, BadClusterDetected) {
+  // One cluster mixing both line ends: intra >> inter impossible here,
+  // but compare against a nearby second center.
+  Clustering c;
+  c.clusters.push_back({0, {0, 3}});  // spans the whole line
+  c.clusters.push_back({1, {1, 2}});
+  c.assignment = {0, 1, 1, 0};
+  const auto qualities = evaluate_clusters(c, line_rtt);
+  ASSERT_EQ(qualities.size(), 2u);
+  // Cluster 0: intra = |0-3| = 100, inter = |0-1| = 1 -> bad.
+  EXPECT_FALSE(qualities[0].good());
+}
+
+TEST(ClusterQuality, SingletonsSkippedButStillCountAsInterTargets) {
+  Clustering c;
+  c.clusters.push_back({0, {0, 1}});
+  c.clusters.push_back({5, {5}});  // singleton
+  c.assignment = {0, 0, 0, 0, 0, 1};
+  const auto qualities = evaluate_clusters(c, line_rtt);
+  ASSERT_EQ(qualities.size(), 1u);  // singleton not evaluated...
+  EXPECT_DOUBLE_EQ(qualities[0].avg_inter_ms, line_rtt(0, 5));  // ...but used
+}
+
+TEST(ClusterQuality, NoOtherClustersMeansZeroInter) {
+  Clustering c;
+  c.clusters.push_back({0, {0, 1, 2}});
+  c.assignment = {0, 0, 0};
+  const auto qualities = evaluate_clusters(c, line_rtt);
+  ASSERT_EQ(qualities.size(), 1u);
+  EXPECT_DOUBLE_EQ(qualities[0].avg_inter_ms, 0.0);
+  EXPECT_FALSE(qualities[0].good());  // inter not > intra
+}
+
+TEST(FilterByDiameter, DropsWideClusters) {
+  auto qualities = evaluate_clusters(good_clustering(), line_rtt);
+  // Add a synthetic wide cluster.
+  ClusterQuality wide;
+  wide.diameter_ms = 80.0;
+  qualities.push_back(wide);
+  const auto kept = filter_by_diameter(std::move(qualities), 75.0);
+  EXPECT_EQ(kept.size(), 2u);
+  for (const auto& q : kept) EXPECT_LT(q.diameter_ms, 75.0);
+}
+
+TEST(CountGoodInBucket, BucketsByDiameter) {
+  std::vector<ClusterQuality> qualities;
+  for (double d : {5.0, 10.0, 30.0, 50.0, 80.0}) {
+    ClusterQuality q;
+    q.diameter_ms = d;
+    q.avg_intra_ms = 1.0;
+    q.avg_inter_ms = 10.0;  // good
+    qualities.push_back(q);
+  }
+  // One bad one in the first bucket.
+  ClusterQuality bad;
+  bad.diameter_ms = 3.0;
+  bad.avg_intra_ms = 10.0;
+  bad.avg_inter_ms = 1.0;
+  qualities.push_back(bad);
+
+  EXPECT_EQ(count_good_in_bucket(qualities, 0.0, 25.0), 2u);
+  EXPECT_EQ(count_good_in_bucket(qualities, 25.0, 75.0), 2u);
+  EXPECT_EQ(count_good_in_bucket(qualities, 75.0, 1000.0), 1u);
+}
+
+}  // namespace
+}  // namespace crp::core

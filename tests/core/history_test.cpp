@@ -1,0 +1,124 @@
+#include "core/history.hpp"
+
+#include <gtest/gtest.h>
+
+namespace crp::core {
+namespace {
+
+std::vector<ReplicaId> replicas(std::initializer_list<std::uint32_t> ids) {
+  std::vector<ReplicaId> out;
+  for (std::uint32_t id : ids) out.emplace_back(id);
+  return out;
+}
+
+TEST(RedirectionHistory, StartsEmpty) {
+  RedirectionHistory h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.num_probes(), 0u);
+  EXPECT_TRUE(h.ratio_map().empty());
+  EXPECT_EQ(h.distinct_replicas(), 0u);
+}
+
+TEST(RedirectionHistory, RecordsProbesInOrder) {
+  RedirectionHistory h;
+  h.record(SimTime{100}, replicas({1, 2}));
+  h.record(SimTime{200}, replicas({2, 3}));
+  EXPECT_EQ(h.num_probes(), 2u);
+  EXPECT_EQ(h.probe(0).when, SimTime{100});
+  EXPECT_EQ(h.probe(1).when, SimTime{200});
+  EXPECT_EQ(h.first_probe_time(), SimTime{100});
+  EXPECT_EQ(h.last_probe_time(), SimTime{200});
+}
+
+TEST(RedirectionHistory, RatioMapOverAllProbes) {
+  RedirectionHistory h;
+  // Replica 1 appears 3 times, replica 2 once.
+  h.record(SimTime{1}, replicas({1}));
+  h.record(SimTime{2}, replicas({1}));
+  h.record(SimTime{3}, replicas({1, 2}));
+  const RatioMap m = h.ratio_map();
+  EXPECT_DOUBLE_EQ(m.ratio_of(ReplicaId{1}), 0.75);
+  EXPECT_DOUBLE_EQ(m.ratio_of(ReplicaId{2}), 0.25);
+}
+
+TEST(RedirectionHistory, WindowLimitsToRecentProbes) {
+  RedirectionHistory h;
+  h.record(SimTime{1}, replicas({1}));
+  h.record(SimTime{2}, replicas({1}));
+  h.record(SimTime{3}, replicas({2}));
+  h.record(SimTime{4}, replicas({2}));
+  // Window of 2: only replicas {2} appear.
+  const RatioMap recent = h.ratio_map(2);
+  EXPECT_DOUBLE_EQ(recent.ratio_of(ReplicaId{2}), 1.0);
+  EXPECT_FALSE(recent.contains(ReplicaId{1}));
+  // Window larger than history behaves like kAllProbes.
+  EXPECT_EQ(h.ratio_map(100).size(), h.ratio_map().size());
+}
+
+TEST(RedirectionHistory, WindowZeroMeansAll) {
+  RedirectionHistory h;
+  h.record(SimTime{1}, replicas({1}));
+  h.record(SimTime{2}, replicas({2}));
+  EXPECT_EQ(h.ratio_map(kAllProbes).size(), 2u);
+}
+
+TEST(RedirectionHistory, BoundedCapacityDropsOldest) {
+  RedirectionHistory h{3};
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    h.record(SimTime{static_cast<std::int64_t>(i)}, replicas({i}));
+  }
+  EXPECT_EQ(h.num_probes(), 3u);
+  // Oldest two probes (replicas 0, 1) evicted.
+  const RatioMap m = h.ratio_map();
+  EXPECT_FALSE(m.contains(ReplicaId{0}));
+  EXPECT_FALSE(m.contains(ReplicaId{1}));
+  EXPECT_TRUE(m.contains(ReplicaId{4}));
+}
+
+TEST(RedirectionHistory, UnboundedWhenMaxZero) {
+  RedirectionHistory h{0};
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    h.record(SimTime{static_cast<std::int64_t>(i)}, replicas({i % 7}));
+  }
+  EXPECT_EQ(h.num_probes(), 100u);
+  EXPECT_EQ(h.distinct_replicas(), 7u);
+}
+
+TEST(RedirectionHistory, ClearResets) {
+  RedirectionHistory h;
+  h.record(SimTime{1}, replicas({1}));
+  h.clear();
+  EXPECT_TRUE(h.empty());
+  EXPECT_TRUE(h.ratio_map().empty());
+}
+
+TEST(RedirectionHistory, MultiReplicaProbesCountEachReplica) {
+  RedirectionHistory h;
+  h.record(SimTime{1}, replicas({1, 2}));
+  const RatioMap m = h.ratio_map();
+  EXPECT_DOUBLE_EQ(m.ratio_of(ReplicaId{1}), 0.5);
+  EXPECT_DOUBLE_EQ(m.ratio_of(ReplicaId{2}), 0.5);
+}
+
+TEST(RedirectionHistory, StridedRatioMapSkipsProbes) {
+  RedirectionHistory h;
+  // Probes: replicas 0,1,2,3,4,5 in order.
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    h.record(SimTime{static_cast<std::int64_t>(i)}, replicas({i}));
+  }
+  // Stride 2 -> probes 0, 2, 4.
+  const RatioMap strided = h.ratio_map_strided(2);
+  EXPECT_EQ(strided.size(), 3u);
+  EXPECT_TRUE(strided.contains(ReplicaId{0}));
+  EXPECT_TRUE(strided.contains(ReplicaId{2}));
+  EXPECT_TRUE(strided.contains(ReplicaId{4}));
+  EXPECT_FALSE(strided.contains(ReplicaId{1}));
+  // Stride 0/1 behave like the plain map.
+  EXPECT_EQ(h.ratio_map_strided(1), h.ratio_map());
+  EXPECT_EQ(h.ratio_map_strided(0), h.ratio_map());
+  // Stride larger than the history keeps only the first probe.
+  EXPECT_EQ(h.ratio_map_strided(100).size(), 1u);
+}
+
+}  // namespace
+}  // namespace crp::core

@@ -1,0 +1,101 @@
+#include "core/hybrid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace crp::core {
+namespace {
+
+RatioMap map_of(std::vector<std::pair<ReplicaId, double>> entries) {
+  return RatioMap::from_ratios(entries);
+}
+
+class HybridTest : public ::testing::Test {
+ protected:
+  HybridTest() {
+    client_ = map_of({{ReplicaId{1}, 0.5}, {ReplicaId{2}, 0.5}});
+    // 0: strong CRP match; 1: weak match; 2 and 3: disjoint.
+    candidates_.push_back(map_of({{ReplicaId{1}, 0.6}, {ReplicaId{2}, 0.4}}));
+    candidates_.push_back(map_of({{ReplicaId{2}, 0.1}, {ReplicaId{7}, 0.9}}));
+    candidates_.push_back(map_of({{ReplicaId{8}, 1.0}}));
+    candidates_.push_back(map_of({{ReplicaId{9}, 1.0}}));
+    // Predictor estimates: candidate 3 looks closest, then 2.
+    estimates_ = {50.0, 40.0, 30.0, 10.0};
+  }
+
+  LatencyEstimateFn estimator() const {
+    return [this](std::size_t i) { return estimates_[i]; };
+  }
+
+  RatioMap client_;
+  std::vector<RatioMap> candidates_;
+  std::vector<double> estimates_;
+};
+
+TEST_F(HybridTest, CrpRanksComparableFirstPredictorOrdersRest) {
+  const auto ranked = hybrid_rank(client_, candidates_, estimator());
+  ASSERT_EQ(ranked.size(), 4u);
+  // CRP side first: 0 (strong), then 1 (weak). Both by_crp.
+  EXPECT_EQ(ranked[0].index, 0u);
+  EXPECT_TRUE(ranked[0].by_crp);
+  EXPECT_EQ(ranked[1].index, 1u);
+  // Predictor side: 3 (10 ms) before 2 (30 ms).
+  EXPECT_EQ(ranked[2].index, 3u);
+  EXPECT_FALSE(ranked[2].by_crp);
+  EXPECT_EQ(ranked[3].index, 2u);
+}
+
+TEST_F(HybridTest, MinSimilarityPushesWeakMatchesToPredictor) {
+  HybridConfig config;
+  config.min_similarity = 0.5;  // candidate 1 (sim ~0.08) no longer counts
+  const auto ranked =
+      hybrid_rank(client_, candidates_, estimator(), config);
+  EXPECT_EQ(ranked[0].index, 0u);
+  EXPECT_TRUE(ranked[0].by_crp);
+  // Predictor orders the rest: 3 (10), 2 (30), 1 (40).
+  EXPECT_EQ(ranked[1].index, 3u);
+  EXPECT_EQ(ranked[2].index, 2u);
+  EXPECT_EQ(ranked[3].index, 1u);
+}
+
+TEST_F(HybridTest, PureCrpWhenEverythingComparable) {
+  // All candidates share replica 1: pure CRP ordering; the predictor's
+  // opinion (which would invert it) is ignored.
+  std::vector<RatioMap> all_similar{
+      map_of({{ReplicaId{1}, 0.55}, {ReplicaId{2}, 0.45}}),
+      map_of({{ReplicaId{1}, 0.9}, {ReplicaId{3}, 0.1}}),
+  };
+  const auto ranked = hybrid_rank(client_, all_similar,
+                                  [](std::size_t) { return 1.0; });
+  EXPECT_EQ(ranked[0].index, 0u);
+  EXPECT_TRUE(ranked[1].by_crp);
+}
+
+TEST_F(HybridTest, PurePredictorWhenClientMapEmpty) {
+  const auto ranked = hybrid_rank(RatioMap{}, candidates_, estimator());
+  EXPECT_EQ(ranked[0].index, 3u);  // lowest estimate
+  for (const auto& r : ranked) EXPECT_FALSE(r.by_crp);
+}
+
+TEST_F(HybridTest, SelectReturnsTopOrSentinel) {
+  EXPECT_EQ(hybrid_select(client_, candidates_, estimator()), 0u);
+  EXPECT_EQ(hybrid_select(client_, {}, estimator()),
+            std::numeric_limits<std::size_t>::max());
+}
+
+TEST_F(HybridTest, ThrowsOnNullEstimator) {
+  EXPECT_THROW((void)hybrid_rank(client_, candidates_, nullptr),
+               std::invalid_argument);
+}
+
+TEST_F(HybridTest, EntriesCarryBothSignals) {
+  const auto ranked = hybrid_rank(client_, candidates_, estimator());
+  for (const auto& r : ranked) {
+    EXPECT_DOUBLE_EQ(r.estimate_ms, estimates_[r.index]);
+    EXPECT_GE(r.similarity, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace crp::core

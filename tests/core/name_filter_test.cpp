@@ -1,0 +1,107 @@
+#include "core/name_filter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace crp::core {
+namespace {
+
+NameObservations obs(const char* name,
+                     std::vector<std::vector<std::uint32_t>> probes) {
+  NameObservations o;
+  o.name = dns::Name::parse(name);
+  for (const auto& probe : probes) {
+    std::vector<ReplicaId> ids;
+    for (std::uint32_t id : probe) ids.emplace_back(id);
+    o.probes.push_back(std::move(ids));
+  }
+  return o;
+}
+
+const FallbackCheckFn kFallbackAbove100 = [](ReplicaId id) {
+  return id.value() >= 100;
+};
+const ReplicaPingFn kPingIdAsMs = [](ReplicaId id) {
+  return static_cast<double>(id.value());
+};
+
+TEST(NameFilter, KeepsGoodName) {
+  const auto qualities = evaluate_names(
+      {obs("good.example", {{1, 2}, {2, 3}, {1, 3}})}, kFallbackAbove100,
+      kPingIdAsMs);
+  ASSERT_EQ(qualities.size(), 1u);
+  EXPECT_TRUE(qualities[0].keep);
+  EXPECT_EQ(qualities[0].distinct_replicas, 3u);
+  ASSERT_TRUE(qualities[0].best_replica_rtt_ms.has_value());
+  EXPECT_DOUBLE_EQ(*qualities[0].best_replica_rtt_ms, 1.0);
+  EXPECT_DOUBLE_EQ(qualities[0].fallback_fraction, 0.0);
+}
+
+TEST(NameFilter, DropsNameDominatedByFallbacks) {
+  const auto qualities = evaluate_names(
+      {obs("fb.example", {{100, 101}, {100, 102}, {1, 2}})},
+      kFallbackAbove100, kPingIdAsMs);
+  EXPECT_FALSE(qualities[0].keep);
+  EXPECT_NEAR(qualities[0].fallback_fraction, 4.0 / 6.0, 1e-12);
+  EXPECT_EQ(qualities[0].reason, "answers dominated by origin fallbacks");
+}
+
+TEST(NameFilter, DropsNameWithNoNearbyReplica) {
+  // All answered replicas ping above the 50 ms default threshold.
+  const auto qualities = evaluate_names(
+      {obs("far.example", {{60, 70}, {80, 90}})}, kFallbackAbove100,
+      kPingIdAsMs);
+  EXPECT_FALSE(qualities[0].keep);
+  EXPECT_EQ(qualities[0].reason,
+            "no low-latency replica (poor local coverage)");
+}
+
+TEST(NameFilter, DropsNameWithTooFewReplicas) {
+  const auto qualities = evaluate_names(
+      {obs("mono.example", {{5}, {5}, {5}})}, kFallbackAbove100,
+      kPingIdAsMs);
+  EXPECT_FALSE(qualities[0].keep);
+  EXPECT_EQ(qualities[0].reason, "too few distinct replicas");
+}
+
+TEST(NameFilter, DropsNameWithNoObservations) {
+  const auto qualities = evaluate_names({obs("dead.example", {})},
+                                        kFallbackAbove100, kPingIdAsMs);
+  EXPECT_FALSE(qualities[0].keep);
+  EXPECT_EQ(qualities[0].reason, "no redirections observed");
+}
+
+TEST(NameFilter, PassiveModeSkipsPingRule) {
+  // Without a ping function, a far-but-diverse name is kept (rule 1 is
+  // the only one that needs active probing).
+  const auto qualities = evaluate_names(
+      {obs("far.example", {{60, 70}, {80, 90}})}, kFallbackAbove100,
+      /*ping=*/nullptr);
+  EXPECT_TRUE(qualities[0].keep);
+  EXPECT_FALSE(qualities[0].best_replica_rtt_ms.has_value());
+}
+
+TEST(NameFilter, ConfigurableThresholds) {
+  NameFilterConfig lenient;
+  lenient.max_best_rtt_ms = 1000.0;
+  lenient.max_fallback_fraction = 1.0;
+  lenient.min_distinct_replicas = 1;
+  const auto qualities = evaluate_names(
+      {obs("fb.example", {{100, 101}}), obs("mono.example", {{5}})},
+      kFallbackAbove100, kPingIdAsMs, lenient);
+  EXPECT_TRUE(qualities[0].keep);
+  EXPECT_TRUE(qualities[1].keep);
+}
+
+TEST(NameFilter, KeptNamesPreservesOrder) {
+  const auto qualities = evaluate_names(
+      {obs("a.example", {{1, 2}}), obs("dead.example", {}),
+       obs("b.example", {{3, 4}})},
+      kFallbackAbove100, kPingIdAsMs);
+  const auto names = kept_names(qualities);
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], dns::Name::parse("a.example"));
+  EXPECT_EQ(names[1], dns::Name::parse("b.example"));
+}
+
+}  // namespace
+}  // namespace crp::core

@@ -1,0 +1,109 @@
+#include "core/selection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/rng.hpp"
+
+namespace crp::core {
+namespace {
+
+RatioMap map_of(std::vector<std::pair<ReplicaId, double>> entries) {
+  return RatioMap::from_ratios(entries);
+}
+
+class SelectionTest : public ::testing::Test {
+ protected:
+  SelectionTest() {
+    client_ = map_of({{ReplicaId{1}, 0.2}, {ReplicaId{2}, 0.8}});
+    candidates_.push_back(map_of({{ReplicaId{1}, 0.6}, {ReplicaId{2}, 0.4}}));
+    candidates_.push_back(map_of({{ReplicaId{1}, 0.1}, {ReplicaId{2}, 0.9}}));
+    candidates_.push_back(map_of({{ReplicaId{9}, 1.0}}));  // disjoint
+  }
+
+  RatioMap client_;
+  std::vector<RatioMap> candidates_;
+};
+
+TEST_F(SelectionTest, RankOrdersBySimilarityDescending) {
+  const auto ranked = rank_candidates(client_, candidates_);
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_EQ(ranked[0].index, 1u);  // paper's node C analog
+  EXPECT_EQ(ranked[1].index, 0u);
+  EXPECT_EQ(ranked[2].index, 2u);
+  EXPECT_GT(ranked[0].similarity, ranked[1].similarity);
+  EXPECT_DOUBLE_EQ(ranked[2].similarity, 0.0);
+}
+
+TEST_F(SelectionTest, TopKClamped) {
+  EXPECT_EQ(select_top_k(client_, candidates_, 2).size(), 2u);
+  EXPECT_EQ(select_top_k(client_, candidates_, 10).size(), 3u);
+  EXPECT_EQ(select_top_k(client_, candidates_, 0).size(), 0u);
+}
+
+TEST_F(SelectionTest, SelectClosestMatchesRankTop) {
+  EXPECT_EQ(select_closest(client_, candidates_), 1u);
+}
+
+TEST_F(SelectionTest, SelectClosestEmptyCandidates) {
+  EXPECT_EQ(select_closest(client_, {}),
+            std::numeric_limits<std::size_t>::max());
+}
+
+TEST_F(SelectionTest, ComparableCountExcludesDisjoint) {
+  EXPECT_EQ(comparable_count(client_, candidates_), 2u);
+}
+
+TEST_F(SelectionTest, EmptyClientMapMakesNothingComparable) {
+  EXPECT_EQ(comparable_count(RatioMap{}, candidates_), 0u);
+  // Still returns an answer deterministically (first index).
+  EXPECT_EQ(select_closest(RatioMap{}, candidates_), 0u);
+}
+
+TEST_F(SelectionTest, TieBreaksByInputIndex) {
+  // Two identical candidates: stable sort keeps input order.
+  std::vector<RatioMap> cands{candidates_[0], candidates_[0]};
+  const auto ranked = rank_candidates(client_, cands);
+  EXPECT_EQ(ranked[0].index, 0u);
+  EXPECT_EQ(ranked[1].index, 1u);
+}
+
+TEST_F(SelectionTest, WorksWithAlternativeMetrics) {
+  const auto cosine =
+      rank_candidates(client_, candidates_, SimilarityKind::kCosine);
+  const auto jaccard =
+      rank_candidates(client_, candidates_, SimilarityKind::kJaccard);
+  // Under Jaccard the two overlapping candidates tie (same replica sets).
+  EXPECT_DOUBLE_EQ(jaccard[0].similarity, jaccard[1].similarity);
+  EXPECT_GT(cosine[0].similarity, cosine[1].similarity);
+}
+
+// Property: the top-1 pick maximizes similarity over random inputs.
+TEST(SelectionProperty, Top1MaximizesSimilarity) {
+  Rng rng{123};
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto random_map = [&rng] {
+      std::vector<RatioMap::Entry> entries;
+      const int n = static_cast<int>(rng.uniform_int(1, 6));
+      for (int i = 0; i < n; ++i) {
+        entries.emplace_back(ReplicaId{static_cast<std::uint32_t>(
+                                 rng.uniform_int(0, 9))},
+                             rng.uniform(0.05, 1.0));
+      }
+      return RatioMap::from_ratios(entries);
+    };
+    const RatioMap client = random_map();
+    std::vector<RatioMap> candidates;
+    for (int i = 0; i < 8; ++i) candidates.push_back(random_map());
+
+    const std::size_t best = select_closest(client, candidates);
+    const double best_sim = cosine_similarity(client, candidates[best]);
+    for (const RatioMap& c : candidates) {
+      ASSERT_LE(cosine_similarity(client, c), best_sim + 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace crp::core

@@ -1,0 +1,123 @@
+#include "core/similarity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace crp::core {
+namespace {
+
+RatioMap map_of(std::vector<std::pair<ReplicaId, double>> entries) {
+  return RatioMap::from_ratios(entries);
+}
+
+TEST(Jaccard, SetSemantics) {
+  const RatioMap a = map_of({{ReplicaId{1}, 0.9}, {ReplicaId{2}, 0.1}});
+  const RatioMap b = map_of({{ReplicaId{2}, 0.5}, {ReplicaId{3}, 0.5}});
+  // Intersection {2}, union {1,2,3}.
+  EXPECT_NEAR(jaccard_similarity(a, b), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Jaccard, IgnoresFrequencies) {
+  const RatioMap a = map_of({{ReplicaId{1}, 0.99}, {ReplicaId{2}, 0.01}});
+  const RatioMap b = map_of({{ReplicaId{1}, 0.01}, {ReplicaId{2}, 0.99}});
+  EXPECT_DOUBLE_EQ(jaccard_similarity(a, b), 1.0);
+}
+
+TEST(Jaccard, EmptyAndDisjoint) {
+  const RatioMap a = map_of({{ReplicaId{1}, 1.0}});
+  EXPECT_DOUBLE_EQ(jaccard_similarity(a, RatioMap{}), 0.0);
+  EXPECT_DOUBLE_EQ(
+      jaccard_similarity(a, map_of({{ReplicaId{2}, 1.0}})), 0.0);
+}
+
+TEST(WeightedOverlap, HistogramIntersection) {
+  const RatioMap a = map_of({{ReplicaId{1}, 0.3}, {ReplicaId{2}, 0.7}});
+  const RatioMap b = map_of({{ReplicaId{1}, 0.6}, {ReplicaId{2}, 0.4}});
+  EXPECT_NEAR(weighted_overlap(a, b), 0.3 + 0.4, 1e-12);
+}
+
+TEST(WeightedOverlap, IdenticalIsOne) {
+  const RatioMap a = map_of({{ReplicaId{1}, 0.5}, {ReplicaId{2}, 0.5}});
+  EXPECT_NEAR(weighted_overlap(a, a), 1.0, 1e-12);
+}
+
+TEST(WeightedOverlap, DisjointIsZero) {
+  const RatioMap a = map_of({{ReplicaId{1}, 1.0}});
+  const RatioMap b = map_of({{ReplicaId{2}, 1.0}});
+  EXPECT_DOUBLE_EQ(weighted_overlap(a, b), 0.0);
+}
+
+TEST(Similarity, DispatchMatchesDirectCalls) {
+  const RatioMap a = map_of({{ReplicaId{1}, 0.4}, {ReplicaId{2}, 0.6}});
+  const RatioMap b = map_of({{ReplicaId{2}, 0.5}, {ReplicaId{3}, 0.5}});
+  EXPECT_DOUBLE_EQ(similarity(SimilarityKind::kCosine, a, b),
+                   cosine_similarity(a, b));
+  EXPECT_DOUBLE_EQ(similarity(SimilarityKind::kJaccard, a, b),
+                   jaccard_similarity(a, b));
+  EXPECT_DOUBLE_EQ(similarity(SimilarityKind::kWeightedOverlap, a, b),
+                   weighted_overlap(a, b));
+}
+
+TEST(Similarity, Names) {
+  EXPECT_STREQ(to_string(SimilarityKind::kCosine), "cosine");
+  EXPECT_STREQ(to_string(SimilarityKind::kJaccard), "jaccard");
+  EXPECT_STREQ(to_string(SimilarityKind::kWeightedOverlap),
+               "weighted-overlap");
+}
+
+// Property sweep: all metrics are symmetric, bounded to [0, 1], give 1
+// (or close) on identical maps and 0 on disjoint maps.
+class SimilarityPropertyTest
+    : public ::testing::TestWithParam<SimilarityKind> {};
+
+TEST_P(SimilarityPropertyTest, RandomMapsRespectInvariants) {
+  Rng rng{77};
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<RatioMap::Entry> ea;
+    std::vector<RatioMap::Entry> eb;
+    const int na = static_cast<int>(rng.uniform_int(1, 8));
+    const int nb = static_cast<int>(rng.uniform_int(1, 8));
+    for (int i = 0; i < na; ++i) {
+      ea.emplace_back(ReplicaId{static_cast<std::uint32_t>(
+                          rng.uniform_int(0, 11))},
+                      rng.uniform(0.01, 1.0));
+    }
+    for (int i = 0; i < nb; ++i) {
+      eb.emplace_back(ReplicaId{static_cast<std::uint32_t>(
+                          rng.uniform_int(0, 11))},
+                      rng.uniform(0.01, 1.0));
+    }
+    const RatioMap a = RatioMap::from_ratios(ea);
+    const RatioMap b = RatioMap::from_ratios(eb);
+    const double ab = similarity(GetParam(), a, b);
+    const double ba = similarity(GetParam(), b, a);
+    ASSERT_DOUBLE_EQ(ab, ba);
+    ASSERT_GE(ab, 0.0);
+    ASSERT_LE(ab, 1.0);
+    ASSERT_NEAR(similarity(GetParam(), a, a), 1.0, 1e-9);
+    if (a.overlap_count(b) == 0) {
+      ASSERT_DOUBLE_EQ(ab, 0.0);
+    } else {
+      ASSERT_GT(ab, 0.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMetrics, SimilarityPropertyTest,
+                         ::testing::Values(SimilarityKind::kCosine,
+                                           SimilarityKind::kJaccard,
+                                           SimilarityKind::kWeightedOverlap),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case SimilarityKind::kCosine:
+                               return "Cosine";
+                             case SimilarityKind::kJaccard:
+                               return "Jaccard";
+                             default:
+                               return "WeightedOverlap";
+                           }
+                         });
+
+}  // namespace
+}  // namespace crp::core

@@ -1,0 +1,76 @@
+#include "dns/name.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace crp::dns {
+namespace {
+
+TEST(Name, ParseBasic) {
+  const Name n = Name::parse("www.example.com");
+  EXPECT_EQ(n.num_labels(), 3u);
+  EXPECT_EQ(n.to_string(), "www.example.com");
+}
+
+TEST(Name, CaseInsensitive) {
+  EXPECT_EQ(Name::parse("WWW.Example.COM"), Name::parse("www.example.com"));
+}
+
+TEST(Name, TrailingDotIgnored) {
+  EXPECT_EQ(Name::parse("example.com."), Name::parse("example.com"));
+}
+
+TEST(Name, RootName) {
+  const Name root = Name::parse("");
+  EXPECT_TRUE(root.empty());
+  EXPECT_EQ(root.to_string(), ".");
+  EXPECT_EQ(Name::parse("."), root);
+}
+
+TEST(Name, RejectsEmptyLabel) {
+  EXPECT_THROW((void)Name::parse("a..b"), std::invalid_argument);
+  EXPECT_THROW((void)Name::parse(".a"), std::invalid_argument);
+}
+
+TEST(Name, RejectsOversizedLabel) {
+  const std::string big(64, 'x');
+  EXPECT_THROW((void)Name::parse(big + ".com"), std::invalid_argument);
+  const std::string ok(63, 'x');
+  EXPECT_NO_THROW((void)Name::parse(ok + ".com"));
+}
+
+TEST(Name, SubdomainRelation) {
+  const Name sub = Name::parse("a.b.example.com");
+  EXPECT_TRUE(sub.is_subdomain_of(Name::parse("example.com")));
+  EXPECT_TRUE(sub.is_subdomain_of(Name::parse("b.example.com")));
+  EXPECT_TRUE(sub.is_subdomain_of(sub));          // itself
+  EXPECT_TRUE(sub.is_subdomain_of(Name::parse("")));  // root
+  EXPECT_FALSE(sub.is_subdomain_of(Name::parse("other.com")));
+  EXPECT_FALSE(Name::parse("example.com")
+                   .is_subdomain_of(Name::parse("a.example.com")));
+}
+
+TEST(Name, SuffixMatchIsLabelwiseNotTextual) {
+  // "badexample.com" must NOT be a subdomain of "example.com".
+  EXPECT_FALSE(Name::parse("badexample.com")
+                   .is_subdomain_of(Name::parse("example.com")));
+}
+
+TEST(Name, Prefixed) {
+  const Name zone = Name::parse("g.cdnsim.net");
+  EXPECT_EQ(zone.prefixed("c0").to_string(), "c0.g.cdnsim.net");
+  EXPECT_TRUE(zone.prefixed("c0").is_subdomain_of(zone));
+}
+
+TEST(Name, OrderingAndHash) {
+  std::unordered_set<Name> set;
+  set.insert(Name::parse("a.com"));
+  set.insert(Name::parse("A.COM"));
+  set.insert(Name::parse("b.com"));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_LT(Name::parse("a.com"), Name::parse("b.com"));
+}
+
+}  // namespace
+}  // namespace crp::dns

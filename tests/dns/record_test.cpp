@@ -1,0 +1,56 @@
+#include "dns/record.hpp"
+
+#include <gtest/gtest.h>
+
+namespace crp::dns {
+namespace {
+
+TEST(ResourceRecord, AFactory) {
+  const auto rr =
+      ResourceRecord::a(Name::parse("x.com"), Ipv4(10, 0, 0, 1), Seconds(20));
+  EXPECT_EQ(rr.type, RecordType::kA);
+  EXPECT_EQ(rr.address, Ipv4(10, 0, 0, 1));
+  EXPECT_EQ(rr.ttl, Seconds(20));
+}
+
+TEST(ResourceRecord, CnameFactory) {
+  const auto rr = ResourceRecord::cname(Name::parse("www.x.com"),
+                                        Name::parse("cdn.y.net"), Hours(1));
+  EXPECT_EQ(rr.type, RecordType::kCname);
+  EXPECT_EQ(rr.target, Name::parse("cdn.y.net"));
+}
+
+TEST(ResourceRecord, ToStringIncludesTypeAndData) {
+  const auto a =
+      ResourceRecord::a(Name::parse("x.com"), Ipv4(1, 2, 3, 4), Seconds(30));
+  EXPECT_EQ(a.to_string(), "x.com 30 A 1.2.3.4");
+  const auto c = ResourceRecord::cname(Name::parse("w.x.com"),
+                                       Name::parse("t.y.net"), Seconds(60));
+  EXPECT_EQ(c.to_string(), "w.x.com 60 CNAME t.y.net");
+}
+
+TEST(Message, AddressesFiltersARecords) {
+  Message m;
+  m.answers.push_back(ResourceRecord::cname(
+      Name::parse("a.com"), Name::parse("b.com"), Seconds(10)));
+  m.answers.push_back(
+      ResourceRecord::a(Name::parse("b.com"), Ipv4(1, 1, 1, 1), Seconds(10)));
+  m.answers.push_back(
+      ResourceRecord::a(Name::parse("b.com"), Ipv4(2, 2, 2, 2), Seconds(10)));
+  const auto addrs = m.addresses();
+  ASSERT_EQ(addrs.size(), 2u);
+  EXPECT_EQ(addrs[0], Ipv4(1, 1, 1, 1));
+  EXPECT_EQ(addrs[1], Ipv4(2, 2, 2, 2));
+}
+
+TEST(Enums, ToString) {
+  EXPECT_STREQ(to_string(RecordType::kA), "A");
+  EXPECT_STREQ(to_string(RecordType::kCname), "CNAME");
+  EXPECT_STREQ(to_string(RecordType::kNs), "NS");
+  EXPECT_STREQ(to_string(Rcode::kNoError), "NOERROR");
+  EXPECT_STREQ(to_string(Rcode::kNxDomain), "NXDOMAIN");
+  EXPECT_STREQ(to_string(Rcode::kServFail), "SERVFAIL");
+}
+
+}  // namespace
+}  // namespace crp::dns

@@ -1,0 +1,196 @@
+#include "dns/resolver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dns/zone.hpp"
+
+namespace crp::dns {
+namespace {
+
+// Authoritative test double counting the questions it received.
+class CountingZone final : public AuthoritativeServer {
+ public:
+  explicit CountingZone(StaticZone inner) : inner_(std::move(inner)) {}
+
+  Message resolve(const Question& question, Ipv4 resolver_addr,
+                  SimTime now) override {
+    ++queries;
+    return inner_.resolve(question, resolver_addr, now);
+  }
+  [[nodiscard]] HostId host() const override { return HostId{}; }
+
+  int queries = 0;
+
+ private:
+  StaticZone inner_;
+};
+
+class ResolverTest : public ::testing::Test {
+ protected:
+  ResolverTest()
+      : cdn_zone_([] {
+          StaticZone z{Name::parse("cdn.net"), HostId{}};
+          z.add(ResourceRecord::a(Name::parse("edge.cdn.net"),
+                                  Ipv4(10, 0, 0, 9), Seconds(20)));
+          return z;
+        }()),
+        site_zone_([] {
+          StaticZone z{Name::parse("example.com"), HostId{}};
+          z.add(ResourceRecord::cname(Name::parse("www.example.com"),
+                                      Name::parse("edge.cdn.net"),
+                                      Hours(1)));
+          z.add(ResourceRecord::a(Name::parse("direct.example.com"),
+                                  Ipv4(10, 0, 0, 7), Seconds(60)));
+          return z;
+        }()) {
+    registry_.register_zone(Name::parse("cdn.net"), &cdn_zone_);
+    registry_.register_zone(Name::parse("example.com"), &site_zone_);
+  }
+
+  CountingZone cdn_zone_;
+  CountingZone site_zone_;
+  ZoneRegistry registry_;
+};
+
+TEST_F(ResolverTest, ResolvesDirectARecord) {
+  RecursiveResolver resolver{HostId{1}, registry_, nullptr};
+  const auto result =
+      resolver.resolve(Name::parse("direct.example.com"), SimTime::epoch());
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.addresses.size(), 1u);
+  EXPECT_EQ(result.addresses[0], Ipv4(10, 0, 0, 7));
+  EXPECT_EQ(result.upstream_queries, 1);
+}
+
+TEST_F(ResolverTest, FollowsCnameAcrossZones) {
+  RecursiveResolver resolver{HostId{1}, registry_, nullptr};
+  const auto result =
+      resolver.resolve(Name::parse("www.example.com"), SimTime::epoch());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.addresses[0], Ipv4(10, 0, 0, 9));
+  EXPECT_EQ(result.upstream_queries, 2);  // CNAME + A
+  ASSERT_EQ(result.chain.size(), 2u);
+  EXPECT_EQ(result.chain[0].type, RecordType::kCname);
+  EXPECT_EQ(result.chain[1].type, RecordType::kA);
+}
+
+TEST_F(ResolverTest, CachesWithinTtl) {
+  RecursiveResolver resolver{HostId{1}, registry_, nullptr};
+  (void)resolver.resolve(Name::parse("direct.example.com"), SimTime::epoch());
+  EXPECT_EQ(site_zone_.queries, 1);
+  const auto result = resolver.resolve(Name::parse("direct.example.com"),
+                                       SimTime::epoch() + Seconds(30));
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.upstream_queries, 0);
+  EXPECT_EQ(site_zone_.queries, 1);  // served from cache
+  EXPECT_EQ(resolver.cache_hits(), 1u);
+}
+
+TEST_F(ResolverTest, CacheExpiresAfterTtl) {
+  RecursiveResolver resolver{HostId{1}, registry_, nullptr};
+  (void)resolver.resolve(Name::parse("direct.example.com"), SimTime::epoch());
+  const auto result = resolver.resolve(Name::parse("direct.example.com"),
+                                       SimTime::epoch() + Seconds(61));
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.upstream_queries, 1);
+  EXPECT_EQ(site_zone_.queries, 2);
+}
+
+TEST_F(ResolverTest, CnameCachedButShortTtlAReQueried) {
+  // This is the CDN pattern: CNAME has a long TTL, A is 20 s. A CRP probe
+  // 10 minutes later must re-query only the CDN authoritative.
+  RecursiveResolver resolver{HostId{1}, registry_, nullptr};
+  (void)resolver.resolve(Name::parse("www.example.com"), SimTime::epoch());
+  EXPECT_EQ(site_zone_.queries, 1);
+  EXPECT_EQ(cdn_zone_.queries, 1);
+  (void)resolver.resolve(Name::parse("www.example.com"),
+                         SimTime::epoch() + Minutes(10));
+  EXPECT_EQ(site_zone_.queries, 1);  // CNAME still cached
+  EXPECT_EQ(cdn_zone_.queries, 2);   // A re-fetched
+}
+
+TEST_F(ResolverTest, NxDomainPropagatesAndIsNegativeCached) {
+  RecursiveResolver resolver{HostId{1}, registry_, nullptr};
+  const auto result =
+      resolver.resolve(Name::parse("no.example.com"), SimTime::epoch());
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.rcode, Rcode::kNxDomain);
+  // Immediately again: negative cache, no new upstream query.
+  (void)resolver.resolve(Name::parse("no.example.com"),
+                         SimTime::epoch() + Seconds(1));
+  EXPECT_EQ(site_zone_.queries, 1);
+}
+
+TEST_F(ResolverTest, ServFailWhenNoZoneMatches) {
+  RecursiveResolver resolver{HostId{1}, registry_, nullptr};
+  const auto result =
+      resolver.resolve(Name::parse("nowhere.invalid"), SimTime::epoch());
+  EXPECT_EQ(result.rcode, Rcode::kServFail);
+}
+
+TEST_F(ResolverTest, CnameLoopTerminates) {
+  StaticZone loop_zone{Name::parse("loop.net"), HostId{}};
+  loop_zone.add(ResourceRecord::cname(Name::parse("a.loop.net"),
+                                      Name::parse("b.loop.net"), Seconds(60)));
+  loop_zone.add(ResourceRecord::cname(Name::parse("b.loop.net"),
+                                      Name::parse("a.loop.net"), Seconds(60)));
+  ZoneRegistry registry;
+  registry.register_zone(Name::parse("loop.net"), &loop_zone);
+  RecursiveResolver resolver{HostId{1}, registry, nullptr};
+  const auto result =
+      resolver.resolve(Name::parse("a.loop.net"), SimTime::epoch());
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.rcode, Rcode::kServFail);
+}
+
+TEST_F(ResolverTest, CachingDisabledWhenMaxEntriesZero) {
+  ResolverConfig config;
+  config.max_cache_entries = 0;
+  RecursiveResolver resolver{HostId{1}, registry_, nullptr, config};
+  (void)resolver.resolve(Name::parse("direct.example.com"), SimTime::epoch());
+  (void)resolver.resolve(Name::parse("direct.example.com"), SimTime::epoch());
+  EXPECT_EQ(site_zone_.queries, 2);
+  EXPECT_EQ(resolver.cache_size(), 0u);
+}
+
+TEST_F(ResolverTest, FlushCacheForcesRequery) {
+  RecursiveResolver resolver{HostId{1}, registry_, nullptr};
+  (void)resolver.resolve(Name::parse("direct.example.com"), SimTime::epoch());
+  resolver.flush_cache();
+  (void)resolver.resolve(Name::parse("direct.example.com"), SimTime::epoch());
+  EXPECT_EQ(site_zone_.queries, 2);
+}
+
+TEST_F(ResolverTest, SynthesizedAddressWithoutOracle) {
+  RecursiveResolver resolver{HostId{42}, registry_, nullptr};
+  EXPECT_EQ(resolver.address().value() >> 24, 10u);
+  EXPECT_EQ(resolver.address().value() & 0xffffffu, 42u);
+}
+
+TEST_F(ResolverTest, ElapsedIsZeroWithoutOracleHosts) {
+  RecursiveResolver resolver{HostId{1}, registry_, nullptr};
+  const auto result =
+      resolver.resolve(Name::parse("www.example.com"), SimTime::epoch());
+  // Only processing overhead accrues (no oracle, invalid server hosts).
+  EXPECT_LT(result.elapsed, Millis(1));
+}
+
+TEST_F(ResolverTest, CachePressureEvictsButStaysCorrect) {
+  ResolverConfig config;
+  config.max_cache_entries = 4;
+  RecursiveResolver resolver{HostId{1}, registry_, nullptr, config};
+  // Query more names than fit; every answer stays correct.
+  for (int i = 0; i < 20; ++i) {
+    const auto result = resolver.resolve(
+        Name::parse("direct.example.com"), SimTime::epoch() + Seconds(i));
+    ASSERT_TRUE(result.ok());
+    // Churn the cache with misses under distinct names.
+    (void)resolver.resolve(Name::parse("m" + std::to_string(i) +
+                                       ".example.com"),
+                           SimTime::epoch() + Seconds(i));
+  }
+  EXPECT_LE(resolver.cache_size(), 4u);
+}
+
+}  // namespace
+}  // namespace crp::dns

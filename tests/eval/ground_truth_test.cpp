@@ -1,0 +1,56 @@
+#include "eval/ground_truth.hpp"
+
+#include <gtest/gtest.h>
+
+namespace crp::eval {
+namespace {
+
+TEST(GroundTruthMatrix, FromExternalMatrix) {
+  GroundTruthMatrix gt{{{30.0, 10.0, 20.0},
+                        {5.0, 50.0, 25.0}}};
+  EXPECT_EQ(gt.num_clients(), 2u);
+  EXPECT_EQ(gt.num_candidates(), 3u);
+  EXPECT_DOUBLE_EQ(gt.rtt_ms(0, 1), 10.0);
+  // Client 0 order: candidate 1 (10), 2 (20), 0 (30).
+  EXPECT_EQ(gt.order_for(0), (std::vector<std::size_t>{1, 2, 0}));
+  EXPECT_EQ(gt.rank_of(0, 1), 0u);
+  EXPECT_EQ(gt.rank_of(0, 0), 2u);
+  EXPECT_DOUBLE_EQ(gt.optimal_rtt_ms(0), 10.0);
+  EXPECT_DOUBLE_EQ(gt.optimal_rtt_ms(1), 5.0);
+}
+
+TEST(GroundTruthMatrix, RejectsRaggedMatrix) {
+  EXPECT_THROW(GroundTruthMatrix({{1.0, 2.0}, {1.0}}), std::invalid_argument);
+}
+
+TEST(GroundTruthMatrix, TiesKeepStableOrder) {
+  GroundTruthMatrix gt{{{10.0, 10.0, 5.0}}};
+  EXPECT_EQ(gt.order_for(0), (std::vector<std::size_t>{2, 0, 1}));
+}
+
+TEST(GroundTruthMatrix, FromWorldIsConsistent) {
+  WorldConfig config;
+  config.seed = 21;
+  config.num_candidates = 8;
+  config.num_dns_servers = 10;
+  config.cdn.target_replicas = 80;
+  World world{config};
+  const GroundTruthMatrix gt{world, world.dns_servers(), world.candidates()};
+  EXPECT_EQ(gt.num_clients(), 10u);
+  EXPECT_EQ(gt.num_candidates(), 8u);
+  for (std::size_t c = 0; c < gt.num_clients(); ++c) {
+    // Ranks form a permutation and the order is sorted by RTT.
+    double prev = -1.0;
+    for (std::size_t pos = 0; pos < gt.num_candidates(); ++pos) {
+      const std::size_t cand = gt.order_for(c)[pos];
+      EXPECT_EQ(gt.rank_of(c, cand), pos);
+      const double rtt = gt.rtt_ms(c, cand);
+      EXPECT_GE(rtt, prev);
+      prev = rtt;
+    }
+    EXPECT_DOUBLE_EQ(gt.optimal_rtt_ms(c), gt.rtt_ms(c, gt.order_for(c)[0]));
+  }
+}
+
+}  // namespace
+}  // namespace crp::eval

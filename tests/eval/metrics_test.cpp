@@ -1,0 +1,109 @@
+#include "eval/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace crp::eval {
+namespace {
+
+core::RatioMap map_of(std::vector<std::pair<ReplicaId, double>> entries) {
+  return core::RatioMap::from_ratios(entries);
+}
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  MetricsTest()
+      : gt_{{{10.0, 20.0, 30.0},    // client 0: best candidate 0
+             {30.0, 20.0, 10.0}}} {  // client 1: best candidate 2
+    clients_.push_back(map_of({{ReplicaId{1}, 1.0}}));
+    clients_.push_back(map_of({{ReplicaId{2}, 1.0}}));
+    // Candidate 0 matches client 0; candidate 2 matches client 1;
+    // candidate 1 shares nothing with anyone.
+    candidates_.push_back(map_of({{ReplicaId{1}, 1.0}}));
+    candidates_.push_back(map_of({{ReplicaId{9}, 1.0}}));
+    candidates_.push_back(map_of({{ReplicaId{2}, 1.0}}));
+  }
+
+  GroundTruthMatrix gt_;
+  std::vector<core::RatioMap> clients_;
+  std::vector<core::RatioMap> candidates_;
+};
+
+TEST_F(MetricsTest, CrpSelectionPicksMatchingCandidates) {
+  const auto outcomes = evaluate_crp_selection(gt_, clients_, candidates_);
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_EQ(outcomes[0].selected, 0u);
+  EXPECT_EQ(outcomes[1].selected, 2u);
+  EXPECT_DOUBLE_EQ(outcomes[0].rtt_ms, 10.0);
+  EXPECT_DOUBLE_EQ(outcomes[0].rank, 0.0);
+  EXPECT_DOUBLE_EQ(outcomes[0].relative_error_ms, 0.0);
+  EXPECT_TRUE(outcomes[0].comparable);
+}
+
+TEST_F(MetricsTest, TopKAveragesRttAndRank) {
+  const auto outcomes =
+      evaluate_crp_selection(gt_, clients_, candidates_, /*top_k=*/2);
+  // Client 0's top-2: candidate 0 (sim 1) then candidates with sim 0 —
+  // stable order keeps candidate 1 second. RTTs 10 and 20; ranks 0 and 1.
+  EXPECT_DOUBLE_EQ(outcomes[0].rtt_ms, 15.0);
+  EXPECT_DOUBLE_EQ(outcomes[0].rank, 0.5);
+  EXPECT_DOUBLE_EQ(outcomes[0].relative_error_ms, 5.0);
+}
+
+TEST_F(MetricsTest, NonComparableFlagged) {
+  std::vector<core::RatioMap> blind_clients{
+      map_of({{ReplicaId{42}, 1.0}}), map_of({{ReplicaId{43}, 1.0}})};
+  const auto outcomes =
+      evaluate_crp_selection(gt_, blind_clients, candidates_);
+  EXPECT_FALSE(outcomes[0].comparable);
+  EXPECT_FALSE(outcomes[1].comparable);
+  // Extractors can drop them.
+  EXPECT_TRUE(rtts_of(outcomes, /*comparable_only=*/true).empty());
+  EXPECT_EQ(rtts_of(outcomes).size(), 2u);
+}
+
+TEST_F(MetricsTest, SizeMismatchThrows) {
+  EXPECT_THROW(
+      (void)evaluate_crp_selection(gt_, clients_,
+                                   std::span<const core::RatioMap>{}),
+      std::invalid_argument);
+}
+
+TEST_F(MetricsTest, FixedSelectionEvaluation) {
+  const std::vector<std::size_t> chosen{2, 0};
+  const auto outcomes = evaluate_fixed_selection(gt_, chosen);
+  EXPECT_DOUBLE_EQ(outcomes[0].rtt_ms, 30.0);
+  EXPECT_DOUBLE_EQ(outcomes[0].rank, 2.0);
+  EXPECT_DOUBLE_EQ(outcomes[0].relative_error_ms, 20.0);
+  EXPECT_DOUBLE_EQ(outcomes[1].rtt_ms, 30.0);
+}
+
+TEST_F(MetricsTest, ExtractorsPullFields) {
+  const auto outcomes = evaluate_crp_selection(gt_, clients_, candidates_);
+  EXPECT_EQ(rtts_of(outcomes), (std::vector<double>{10.0, 10.0}));
+  EXPECT_EQ(ranks_of(outcomes), (std::vector<double>{0.0, 0.0}));
+  EXPECT_EQ(relative_errors_of(outcomes), (std::vector<double>{0.0, 0.0}));
+}
+
+TEST(PairwiseComparisons, FractionWithin) {
+  const std::vector<double> a{1.0, 5.0, 10.0};
+  const std::vector<double> b{2.0, 5.0, 30.0};
+  EXPECT_NEAR(fraction_within(a, b, 1.0), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(fraction_within(a, b, 100.0), 1.0);
+  EXPECT_DOUBLE_EQ(fraction_within(a, std::vector<double>{1.0}, 1.0), 0.0);
+}
+
+TEST(PairwiseComparisons, FractionBetter) {
+  const std::vector<double> a{1.0, 5.0, 10.0};
+  const std::vector<double> b{2.0, 5.0, 9.0};
+  EXPECT_NEAR(fraction_better(a, b), 1.0 / 3.0, 1e-12);
+}
+
+TEST(PairwiseComparisons, FractionRatioAbove) {
+  const std::vector<double> a{10.0, 30.0};
+  const std::vector<double> b{5.0, 20.0};
+  EXPECT_NEAR(fraction_ratio_above(a, b, 1.9), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(fraction_ratio_above(a, b, 10.0), 0.0);
+}
+
+}  // namespace
+}  // namespace crp::eval

@@ -1,0 +1,59 @@
+#include "eval/series.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace crp::eval {
+namespace {
+
+TEST(Series, SortedCurvesPrintsAllPercentiles) {
+  std::ostringstream out;
+  print_sorted_curves(out, "client", {{"crp", {3.0, 1.0, 2.0}},
+                                      {"meridian", {5.0, 4.0, 6.0}}});
+  const std::string text = out.str();
+  EXPECT_NE(text.find("client"), std::string::npos);
+  EXPECT_NE(text.find("crp"), std::string::npos);
+  EXPECT_NE(text.find("meridian"), std::string::npos);
+  // 0th percentile row shows the minima of each sorted series.
+  EXPECT_NE(text.find("1.0"), std::string::npos);
+  EXPECT_NE(text.find("4.0"), std::string::npos);
+  // 21 rows (0..100 step 5) plus header and rule.
+  std::size_t lines = 0;
+  for (char c : text) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 23u);
+}
+
+TEST(Series, EmptySeriesRendersDashes) {
+  std::ostringstream out;
+  print_sorted_curves(out, "x", {{"empty", {}}});
+  EXPECT_NE(out.str().find('-'), std::string::npos);
+}
+
+TEST(Series, CdfHeaderMentionsLabel) {
+  std::ostringstream out;
+  print_cdf(out, "intra-cluster distance (ms)", {{"crp", {1.0, 2.0}}});
+  EXPECT_NE(out.str().find("intra-cluster distance (ms)"),
+            std::string::npos);
+}
+
+TEST(Series, BannerContainsSeedAndExperiment) {
+  std::ostringstream out;
+  print_banner(out, "My bench", "Figure 4", 42);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("My bench"), std::string::npos);
+  EXPECT_NE(text.find("Figure 4"), std::string::npos);
+  EXPECT_NE(text.find("42"), std::string::npos);
+}
+
+TEST(Series, DifferentLengthSeriesTolerated) {
+  std::ostringstream out;
+  print_sorted_curves(out, "x",
+                      {{"short", {1.0}}, {"long", {1.0, 2.0, 3.0, 4.0}}});
+  EXPECT_FALSE(out.str().empty());
+}
+
+}  // namespace
+}  // namespace crp::eval

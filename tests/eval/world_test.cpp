@@ -1,0 +1,161 @@
+#include "eval/world.hpp"
+
+#include <gtest/gtest.h>
+
+namespace crp::eval {
+namespace {
+
+WorldConfig small_config(std::uint64_t seed = 5) {
+  WorldConfig config;
+  config.seed = seed;
+  config.num_candidates = 15;
+  config.num_dns_servers = 25;
+  config.cdn.target_replicas = 120;
+  return config;
+}
+
+TEST(World, BuildsAllRoles) {
+  World world{small_config()};
+  EXPECT_EQ(world.candidates().size(), 15u);
+  EXPECT_EQ(world.dns_servers().size(), 25u);
+  EXPECT_EQ(world.participants().size(), 40u);
+  EXPECT_GT(world.deployment().size(), 100u);
+  EXPECT_EQ(world.catalog().size(), 2u);
+}
+
+TEST(World, ResolversAndNodesForAllParticipants) {
+  World world{small_config(6)};
+  for (HostId h : world.participants()) {
+    EXPECT_EQ(world.resolver(h).host(), h);
+    EXPECT_EQ(world.crp_node(h).host(), h);
+  }
+}
+
+TEST(World, ResolverThrowsForNonParticipant) {
+  World world{small_config(7)};
+  EXPECT_THROW((void)world.resolver(HostId{999999}), std::invalid_argument);
+  EXPECT_THROW((void)world.crp_node(HostId{999999}), std::invalid_argument);
+}
+
+TEST(World, ProbingFillsHistories) {
+  World world{small_config(8)};
+  const std::size_t rounds = world.run_probing(
+      SimTime::epoch(), SimTime::epoch() + Hours(6), Minutes(30));
+  EXPECT_EQ(rounds, 13u);
+  for (HostId h : world.participants()) {
+    EXPECT_GE(world.crp_node(h).history().num_probes(), rounds - 2);
+    EXPECT_FALSE(world.crp_node(h).ratio_map().empty());
+  }
+  EXPECT_GT(world.cdn_queries_served(), 0u);
+  EXPECT_EQ(world.campaign_end(), SimTime::epoch() + Hours(6));
+}
+
+TEST(World, RejectsBadProbingWindow) {
+  World world{small_config(9)};
+  EXPECT_THROW((void)world.run_probing(SimTime::epoch() + Hours(1),
+                                       SimTime::epoch(), Minutes(10)),
+               std::invalid_argument);
+  EXPECT_THROW((void)world.run_probing(SimTime::epoch(),
+                                       SimTime::epoch() + Hours(1),
+                                       Duration{0}),
+               std::invalid_argument);
+}
+
+TEST(World, GroundTruthSymmetricPositive) {
+  World world{small_config(10)};
+  const HostId a = world.candidates()[0];
+  const HostId b = world.dns_servers()[0];
+  const double ab = world.ground_truth_rtt_ms(a, b);
+  EXPECT_GT(ab, 0.0);
+  EXPECT_DOUBLE_EQ(ab, world.ground_truth_rtt_ms(b, a));
+  EXPECT_DOUBLE_EQ(world.ground_truth_rtt_ms(a, a), 0.0);
+}
+
+TEST(World, DeterministicForSeed) {
+  World a{small_config(11)};
+  World b{small_config(11)};
+  (void)a.run_probing(SimTime::epoch(), SimTime::epoch() + Hours(2),
+                      Minutes(20));
+  (void)b.run_probing(SimTime::epoch(), SimTime::epoch() + Hours(2),
+                      Minutes(20));
+  for (std::size_t i = 0; i < a.participants().size(); ++i) {
+    const HostId h = a.participants()[i];
+    EXPECT_EQ(a.crp_node(h).ratio_map().entries().size(),
+              b.crp_node(h).ratio_map().entries().size());
+  }
+}
+
+TEST(World, PolicyKindSelectsImplementation) {
+  for (PolicyKind kind : {PolicyKind::kLatencyDriven, PolicyKind::kGeoStatic,
+                          PolicyKind::kRandom, PolicyKind::kSticky}) {
+    WorldConfig config = small_config(12);
+    config.policy_kind = kind;
+    World world{config};
+    EXPECT_STREQ(world.policy().name(), to_string(kind));
+  }
+}
+
+TEST(World, KingMatrixShapeAndSymmetry) {
+  World world{small_config(13)};
+  std::vector<HostId> hosts{world.dns_servers().begin(),
+                            world.dns_servers().begin() + 6};
+  const auto m = world.king_matrix(hosts);
+  ASSERT_EQ(m.size(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_DOUBLE_EQ(m[i][i], 0.0);
+    for (std::size_t j = 0; j < 6; ++j) EXPECT_DOUBLE_EQ(m[i][j], m[j][i]);
+  }
+}
+
+TEST(World, ReplicaLookupRoundTrips) {
+  World world{small_config(14)};
+  for (const auto& replica : world.deployment().replicas()) {
+    const Ipv4 addr = world.topology().host(replica.host).address();
+    const auto found = world.replica_of(addr);
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(*found, replica.id);
+  }
+}
+
+TEST(World, CandidateRegionsRestrictPlacement) {
+  WorldConfig config = small_config(15);
+  config.candidate_regions = {"na-east"};
+  World world{config};
+  for (HostId h : world.candidates()) {
+    EXPECT_EQ(world.topology().region(world.topology().host(h).region).name,
+              "na-east");
+  }
+  // DNS servers remain worldwide.
+  bool outside = false;
+  for (HostId h : world.dns_servers()) {
+    outside |= world.topology()
+                   .region(world.topology().host(h).region)
+                   .name != "na-east";
+  }
+  EXPECT_TRUE(outside);
+}
+
+TEST(World, GroundTruthWindowFractionChangesSampling) {
+  WorldConfig config = small_config(16);
+  config.latency.route_shift_sigma = 0.5;  // make epochs matter
+  config.latency.route_shift_epoch = Hours(6);
+  World world{config};
+  (void)world.run_probing(SimTime::epoch(), SimTime::epoch() + Hours(48),
+                          Hours(1));
+  const HostId a = world.candidates()[0];
+  const HostId b = world.dns_servers()[0];
+  const double whole = world.ground_truth_rtt_ms(a, b);
+
+  WorldConfig tail_config = config;
+  tail_config.ground_truth_window_fraction = 0.05;
+  World tail_world{tail_config};
+  (void)tail_world.run_probing(SimTime::epoch(),
+                               SimTime::epoch() + Hours(48), Hours(1));
+  const double tail = tail_world.ground_truth_rtt_ms(a, b);
+  // Same topology/placement (same seed), but sampling windows differ, so
+  // under strong drift the two ground truths should disagree.
+  EXPECT_NE(whole, tail);
+}
+
+}  // namespace
+}  // namespace crp::eval

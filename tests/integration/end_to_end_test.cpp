@@ -1,0 +1,237 @@
+// Integration tests: the full stack (topology -> CDN -> DNS -> CRP)
+// exercised together, asserting the paper's qualitative claims hold in
+// the simulated world.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "asn/asn_clustering.hpp"
+#include "core/cluster_quality.hpp"
+#include "core/clustering.hpp"
+#include "core/selection.hpp"
+#include "eval/ground_truth.hpp"
+#include "eval/metrics.hpp"
+#include "eval/world.hpp"
+#include "meridian/overlay.hpp"
+
+namespace crp {
+namespace {
+
+// One shared world for the whole file: building + probing dominates the
+// runtime, and every test here only reads from it.
+class EndToEndTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    eval::WorldConfig config;
+    config.seed = 2026;
+    config.num_candidates = 40;
+    config.num_dns_servers = 80;
+    config.cdn.target_replicas = 250;
+    world_ = new eval::World{config};
+    world_->run_probing(SimTime::epoch(), SimTime::epoch() + Hours(24),
+                        Minutes(10));
+
+    client_maps_ = new std::vector<core::RatioMap>;
+    for (HostId h : world_->dns_servers()) {
+      client_maps_->push_back(world_->crp_node(h).ratio_map());
+    }
+    candidate_maps_ = new std::vector<core::RatioMap>;
+    for (HostId h : world_->candidates()) {
+      candidate_maps_->push_back(world_->crp_node(h).ratio_map());
+    }
+    gt_ = new eval::GroundTruthMatrix{*world_, world_->dns_servers(),
+                                      world_->candidates()};
+  }
+
+  static void TearDownTestSuite() {
+    delete gt_;
+    delete candidate_maps_;
+    delete client_maps_;
+    delete world_;
+    gt_ = nullptr;
+    candidate_maps_ = nullptr;
+    client_maps_ = nullptr;
+    world_ = nullptr;
+  }
+
+  static eval::World* world_;
+  static std::vector<core::RatioMap>* client_maps_;
+  static std::vector<core::RatioMap>* candidate_maps_;
+  static eval::GroundTruthMatrix* gt_;
+};
+
+eval::World* EndToEndTest::world_ = nullptr;
+std::vector<core::RatioMap>* EndToEndTest::client_maps_ = nullptr;
+std::vector<core::RatioMap>* EndToEndTest::candidate_maps_ = nullptr;
+eval::GroundTruthMatrix* EndToEndTest::gt_ = nullptr;
+
+TEST_F(EndToEndTest, EveryParticipantBuiltARatioMap) {
+  for (const core::RatioMap& m : *client_maps_) {
+    EXPECT_FALSE(m.empty());
+  }
+  for (const core::RatioMap& m : *candidate_maps_) {
+    EXPECT_FALSE(m.empty());
+  }
+}
+
+TEST_F(EndToEndTest, HostsSeeSmallReplicaSets) {
+  // Paper §III.B: hosts see a small set of replicas (< 20) frequently.
+  std::size_t total = 0;
+  for (HostId h : world_->dns_servers()) {
+    total += world_->crp_node(h).history().distinct_replicas();
+  }
+  const double mean =
+      static_cast<double>(total) /
+      static_cast<double>(world_->dns_servers().size());
+  EXPECT_LT(mean, 40.0);
+  EXPECT_GT(mean, 2.0);
+}
+
+TEST_F(EndToEndTest, CrpSelectionFarBetterThanRandom) {
+  const auto outcomes =
+      eval::evaluate_crp_selection(*gt_, *client_maps_, *candidate_maps_);
+  double crp_rank_sum = 0.0;
+  for (const auto& o : outcomes) crp_rank_sum += o.rank;
+  const double crp_mean_rank =
+      crp_rank_sum / static_cast<double>(outcomes.size());
+  // Random selection over 40 candidates has expected rank ~19.5; CRP must
+  // be dramatically better.
+  EXPECT_LT(crp_mean_rank, 8.0);
+}
+
+TEST_F(EndToEndTest, CosineSimilarityAnticorrelatesWithRtt) {
+  // The core hypothesis: higher similarity <=> lower RTT.
+  std::size_t consistent = 0;
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < client_maps_->size(); c += 4) {
+    for (std::size_t i = 0; i < candidate_maps_->size(); ++i) {
+      for (std::size_t j = i + 1; j < candidate_maps_->size(); ++j) {
+        const double si =
+            core::cosine_similarity((*client_maps_)[c],
+                                    (*candidate_maps_)[i]);
+        const double sj =
+            core::cosine_similarity((*client_maps_)[c],
+                                    (*candidate_maps_)[j]);
+        // Only judge decisively different similarities.
+        if (std::abs(si - sj) < 0.2) continue;
+        ++total;
+        const bool rtt_agrees = (si > sj) == (gt_->rtt_ms(c, i) <
+                                              gt_->rtt_ms(c, j));
+        if (rtt_agrees) ++consistent;
+      }
+    }
+  }
+  ASSERT_GT(total, 100u);
+  EXPECT_GT(static_cast<double>(consistent) / static_cast<double>(total),
+            0.80);
+}
+
+TEST_F(EndToEndTest, CrpClusteringProducesGoodClusters) {
+  core::SmfConfig config;
+  config.threshold = 0.1;
+  const core::Clustering clustering = core::smf_cluster(*client_maps_,
+                                                        config);
+  const auto rtt = [&](std::size_t i, std::size_t j) {
+    return world_->ground_truth_rtt_ms(world_->dns_servers()[i],
+                                       world_->dns_servers()[j]);
+  };
+  const auto qualities = core::filter_by_diameter(
+      core::evaluate_clusters(clustering, rtt), 75.0);
+  ASSERT_FALSE(qualities.empty());
+  std::size_t good = 0;
+  for (const auto& q : qualities) {
+    if (q.good()) ++good;
+  }
+  // Most tight clusters must be genuinely good.
+  EXPECT_GT(static_cast<double>(good) /
+                static_cast<double>(qualities.size()),
+            0.7);
+}
+
+TEST_F(EndToEndTest, CrpClustersMoreNodesThanAsn) {
+  // Table I's headline: CRP clusters far more nodes than ASN-based
+  // clustering because it can group across AS boundaries.
+  core::SmfConfig config;
+  config.threshold = 0.1;
+  const auto crp_stats = core::clustering_stats(
+      core::smf_cluster(*client_maps_, config), client_maps_->size());
+
+  const std::vector<HostId> nodes{world_->dns_servers().begin(),
+                                  world_->dns_servers().end()};
+  const auto asn_stats = core::clustering_stats(
+      asn::asn_cluster(world_->topology(), nodes, nullptr), nodes.size());
+
+  // In this small fixture CRP may merge nodes into fewer, larger
+  // clusters; the robust cross-scale claim is node coverage (the
+  // cluster-count comparison is exercised at Table I scale by
+  // bench/table1_clustering).
+  EXPECT_GT(crp_stats.nodes_clustered, asn_stats.nodes_clustered);
+  EXPECT_GT(crp_stats.fraction_clustered,
+            1.5 * asn_stats.fraction_clustered);
+}
+
+TEST_F(EndToEndTest, MeridianAndCrpComparable) {
+  // Figs. 4-5's qualitative claim: CRP's accuracy is comparable to
+  // Meridian's despite issuing zero probes.
+  meridian::MeridianConfig mconfig;
+  mconfig.seed = 9;
+  meridian::MeridianOverlay overlay{
+      world_->oracle(),
+      {world_->candidates().begin(), world_->candidates().end()},
+      mconfig};
+  overlay.bootstrap(SimTime::epoch());
+
+  std::vector<std::size_t> meridian_choice;
+  Rng rng{4};
+  for (HostId client : world_->dns_servers()) {
+    const auto result = overlay.closest_node(
+        overlay.random_entry(rng), client, SimTime::epoch() + Hours(25));
+    const auto it =
+        std::find(world_->candidates().begin(), world_->candidates().end(),
+                  result.selected);
+    meridian_choice.push_back(static_cast<std::size_t>(
+        it - world_->candidates().begin()));
+  }
+  const auto meridian_outcomes =
+      eval::evaluate_fixed_selection(*gt_, meridian_choice);
+  const auto crp_outcomes = eval::evaluate_crp_selection(
+      *gt_, *client_maps_, *candidate_maps_, /*top_k=*/1);
+
+  double meridian_mean = 0.0;
+  double crp_mean = 0.0;
+  for (const auto& o : meridian_outcomes) meridian_mean += o.rtt_ms;
+  for (const auto& o : crp_outcomes) crp_mean += o.rtt_ms;
+  meridian_mean /= static_cast<double>(meridian_outcomes.size());
+  crp_mean /= static_cast<double>(crp_outcomes.size());
+
+  // "Comparable": within a factor of two of each other, both far below
+  // the random-selection mean.
+  EXPECT_LT(crp_mean, meridian_mean * 2.0);
+  double random_mean = 0.0;
+  for (std::size_t c = 0; c < gt_->num_clients(); ++c) {
+    for (std::size_t k = 0; k < gt_->num_candidates(); ++k) {
+      random_mean += gt_->rtt_ms(c, k);
+    }
+  }
+  random_mean /= static_cast<double>(gt_->num_clients() *
+                                     gt_->num_candidates());
+  EXPECT_LT(crp_mean, random_mean * 0.5);
+  EXPECT_LT(meridian_mean, random_mean * 0.5);
+
+  // And CRP did it without a single probe of its own; Meridian paid.
+  EXPECT_GT(overlay.total_probes(), 1000u);
+}
+
+TEST_F(EndToEndTest, CdnLoadIsBoundedPerNodePerRound) {
+  // O(1) scalability: total CDN queries == participants x rounds x names
+  // (within rounding of the staggered start).
+  const std::size_t participants = world_->participants().size();
+  const std::size_t names = world_->catalog().size();
+  const std::size_t rounds = 145;  // 24h at 10 min + 1
+  const std::size_t upper = participants * rounds * names;
+  EXPECT_LE(world_->cdn_queries_served(), upper + participants * names);
+  EXPECT_GE(world_->cdn_queries_served(), upper / 2);
+}
+
+}  // namespace
+}  // namespace crp

@@ -1,0 +1,136 @@
+// Failure injection across the stack: CRP must degrade gracefully when
+// pieces of the infrastructure it reuses misbehave — names that stop
+// resolving, heavy replica churn, resolvers without caches, and CDN
+// answers the client cannot attribute.
+#include <gtest/gtest.h>
+
+#include "core/selection.hpp"
+#include "dns/zone.hpp"
+#include "eval/ground_truth.hpp"
+#include "eval/metrics.hpp"
+#include "eval/world.hpp"
+
+namespace crp {
+namespace {
+
+eval::WorldConfig small_config(std::uint64_t seed) {
+  eval::WorldConfig config;
+  config.seed = seed;
+  config.num_candidates = 20;
+  config.num_dns_servers = 30;
+  config.cdn.target_replicas = 150;
+  return config;
+}
+
+double mean_rank_of_world(eval::World& world) {
+  std::vector<core::RatioMap> clients;
+  for (HostId h : world.dns_servers()) {
+    clients.push_back(world.crp_node(h).ratio_map());
+  }
+  std::vector<core::RatioMap> candidates;
+  for (HostId h : world.candidates()) {
+    candidates.push_back(world.crp_node(h).ratio_map());
+  }
+  const eval::GroundTruthMatrix gt{world, world.dns_servers(),
+                                   world.candidates()};
+  const auto outcomes = eval::evaluate_crp_selection(gt, clients, candidates);
+  double sum = 0.0;
+  for (const auto& o : outcomes) sum += o.rank;
+  return sum / static_cast<double>(outcomes.size());
+}
+
+TEST(FailureInjection, SurvivesOneDeadCustomerName) {
+  // One of the two tracked names stops resolving entirely (customer
+  // zone removed). Probes for it fail, but the other name carries CRP.
+  eval::WorldConfig config = small_config(301);
+  eval::World world{config};
+
+  // Sabotage: re-register customer 1's zone with an empty static zone on
+  // the same apex, so lookups NXDOMAIN.
+  const dns::Name& web = world.catalog().customer(1).web_name;
+  dns::Name apex;
+  {
+    const auto labels = web.labels();
+    std::string text;
+    for (std::size_t i = 1; i < labels.size(); ++i) {
+      if (!text.empty()) text += '.';
+      text += labels[i];
+    }
+    apex = dns::Name::parse(text);
+  }
+  dns::StaticZone dead_zone{apex, HostId{}};
+  world.registry_mut().register_zone(apex, &dead_zone);
+
+  world.run_probing(SimTime::epoch(), SimTime::epoch() + Hours(12),
+                    Minutes(10));
+  // Failures were recorded, but maps still formed and selection works.
+  std::size_t failures = 0;
+  for (HostId h : world.dns_servers()) {
+    failures += world.crp_node(h).failed_lookups();
+    EXPECT_FALSE(world.crp_node(h).ratio_map().empty());
+  }
+  EXPECT_GT(failures, 0u);
+  EXPECT_LT(mean_rank_of_world(world), 6.0);
+}
+
+TEST(FailureInjection, SurvivesHeavyReplicaChurn) {
+  eval::WorldConfig config = small_config(302);
+  config.health.outage_probability = 0.4;  // 40% of fleet down per epoch
+  config.health.outage_epoch = Hours(3);
+  eval::World world{config};
+  world.run_probing(SimTime::epoch(), SimTime::epoch() + Hours(12),
+                    Minutes(10));
+  // Redirection always found *some* replica; accuracy degrades but stays
+  // far better than random (expected rank 9.5).
+  for (HostId h : world.dns_servers()) {
+    EXPECT_FALSE(world.crp_node(h).ratio_map().empty());
+  }
+  EXPECT_LT(mean_rank_of_world(world), 7.5);
+}
+
+TEST(FailureInjection, WorksWithoutResolverCaches) {
+  // Paranoid deployment: resolvers cache nothing. The CDN's 20 s TTL is
+  // below the probe interval anyway, so accuracy must be unaffected;
+  // only query counts rise (the CNAME is re-fetched every probe).
+  eval::WorldConfig cached_config = small_config(303);
+  eval::World cached{cached_config};
+  cached.run_probing(SimTime::epoch(), SimTime::epoch() + Hours(12),
+                     Minutes(10));
+
+  eval::WorldConfig uncached_config = small_config(303);
+  uncached_config.resolver.max_cache_entries = 0;
+  eval::World uncached{uncached_config};
+  uncached.run_probing(SimTime::epoch(), SimTime::epoch() + Hours(12),
+                       Minutes(10));
+
+  // The CDN's 20 s A answers expire between probes either way, so the
+  // CDN sees identical load; caching only saves the long-TTL customer
+  // CNAME fetches, visible in total upstream queries.
+  EXPECT_EQ(uncached.cdn_queries_served(), cached.cdn_queries_served());
+  const auto total_upstream = [](eval::World& world) {
+    std::size_t total = 0;
+    for (HostId h : world.participants()) {
+      total += world.resolver(h).queries_sent();
+    }
+    return total;
+  };
+  EXPECT_GT(total_upstream(uncached), total_upstream(cached));
+  EXPECT_NEAR(mean_rank_of_world(cached), mean_rank_of_world(uncached),
+              1.0);
+}
+
+TEST(FailureInjection, SelectionWithEmptyClientMapIsDeterministic) {
+  // A client that never saw a redirection still gets an answer (the
+  // paper's CRP always answers; it is just not comparable).
+  std::vector<core::RatioMap> candidates{
+      core::RatioMap::from_ratios(
+          std::vector<core::RatioMap::Entry>{{ReplicaId{1}, 1.0}}),
+      core::RatioMap::from_ratios(
+          std::vector<core::RatioMap::Entry>{{ReplicaId{2}, 1.0}})};
+  const std::size_t pick = core::select_closest(core::RatioMap{}, candidates);
+  EXPECT_EQ(pick, 0u);
+  EXPECT_EQ(core::comparable_count(core::RatioMap{}, candidates), 0u);
+}
+
+}  // namespace
+}  // namespace crp

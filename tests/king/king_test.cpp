@@ -1,0 +1,122 @@
+#include "king/king.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "../test_util.hpp"
+
+namespace crp::king {
+namespace {
+
+class KingTest : public ::testing::Test {
+ protected:
+  KingTest() : world_{51}, estimator_{*world_.oracle, world_.infra[0]} {}
+
+  test::MiniWorld world_;
+  KingEstimator estimator_;
+};
+
+TEST_F(KingTest, SelfEstimateIsZero) {
+  EXPECT_DOUBLE_EQ(
+      estimator_.estimate_ms(world_.clients[0], world_.clients[0],
+                             SimTime::epoch()),
+      0.0);
+}
+
+TEST_F(KingTest, EstimatesTrackTrueRtt) {
+  // King's error should be modest: within ~25% for most pairs.
+  int close = 0;
+  int total = 0;
+  for (std::size_t i = 0; i < 15; ++i) {
+    for (std::size_t j = i + 1; j < 15; ++j) {
+      const double est = estimator_.estimate_ms(
+          world_.clients[i], world_.clients[j], SimTime::epoch());
+      const double truth = world_.oracle->base_rtt_ms(world_.clients[i],
+                                                      world_.clients[j]);
+      ++total;
+      if (std::abs(est - truth) / truth < 0.25) ++close;
+    }
+  }
+  EXPECT_GT(static_cast<double>(close) / total, 0.85);
+}
+
+TEST_F(KingTest, EstimateNeverNegative) {
+  for (std::size_t i = 0; i < 10; ++i) {
+    for (std::size_t j = 0; j < 10; ++j) {
+      EXPECT_GE(estimator_.estimate_ms(world_.clients[i], world_.clients[j],
+                                       SimTime::epoch() + Minutes(i)),
+                0.0);
+    }
+  }
+}
+
+TEST_F(KingTest, DeterministicForSameInputs) {
+  const double a = estimator_.estimate_ms(world_.clients[0],
+                                          world_.clients[1],
+                                          SimTime::epoch());
+  const double b = estimator_.estimate_ms(world_.clients[0],
+                                          world_.clients[1],
+                                          SimTime::epoch());
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST_F(KingTest, ErrorIsNonZero) {
+  // It is an estimator, not an oracle: some pairs must deviate.
+  bool any_deviation = false;
+  for (std::size_t i = 0; i < 10 && !any_deviation; ++i) {
+    const double est = estimator_.estimate_ms(
+        world_.clients[i], world_.clients[i + 1], SimTime::epoch());
+    const double truth = world_.oracle->base_rtt_ms(world_.clients[i],
+                                                    world_.clients[i + 1]);
+    any_deviation = std::abs(est - truth) > 1e-9;
+  }
+  EXPECT_TRUE(any_deviation);
+}
+
+TEST_F(KingTest, MoreSamplesReduceSpread) {
+  KingConfig one_sample;
+  one_sample.seed = 19;
+  one_sample.samples = 1;
+  KingConfig many_samples;
+  many_samples.seed = 19;
+  many_samples.samples = 9;
+  const KingEstimator coarse{*world_.oracle, world_.infra[0], one_sample};
+  const KingEstimator fine{*world_.oracle, world_.infra[0], many_samples};
+
+  double coarse_err = 0.0;
+  double fine_err = 0.0;
+  for (std::size_t i = 0; i < 12; ++i) {
+    for (std::size_t j = i + 1; j < 12; ++j) {
+      const double truth = world_.oracle->base_rtt_ms(world_.clients[i],
+                                                      world_.clients[j]);
+      coarse_err += std::abs(coarse.estimate_ms(world_.clients[i],
+                                                world_.clients[j],
+                                                SimTime::epoch()) -
+                             truth) /
+                    truth;
+      fine_err += std::abs(fine.estimate_ms(world_.clients[i],
+                                            world_.clients[j],
+                                            SimTime::epoch()) -
+                           truth) /
+                  truth;
+    }
+  }
+  EXPECT_LT(fine_err, coarse_err * 1.1);  // median over more trials helps
+}
+
+TEST_F(KingTest, PairwiseMatrixSymmetricZeroDiagonal) {
+  std::vector<HostId> hosts{world_.clients.begin(),
+                            world_.clients.begin() + 8};
+  const auto m = estimator_.pairwise_matrix(hosts, SimTime::epoch());
+  ASSERT_EQ(m.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(m[i][i], 0.0);
+    for (std::size_t j = 0; j < 8; ++j) {
+      EXPECT_DOUBLE_EQ(m[i][j], m[j][i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace crp::king

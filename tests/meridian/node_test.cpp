@@ -1,0 +1,132 @@
+#include "meridian/node.hpp"
+
+#include <gtest/gtest.h>
+
+namespace crp::meridian {
+namespace {
+
+RingConfig small_rings() {
+  RingConfig config;
+  config.num_rings = 5;
+  config.innermost_ms = 2.0;
+  config.ring_capacity = 3;
+  return config;
+}
+
+TEST(MeridianNode, RingIndexBoundaries) {
+  MeridianNode node{HostId{0}, small_rings()};
+  // Ring 0: [0, 2), ring 1: [2, 4), ring 2: [4, 8), ring 3: [8, 16),
+  // ring 4: [16, inf).
+  EXPECT_EQ(node.ring_index(0.5), 0);
+  EXPECT_EQ(node.ring_index(2.0), 0);  // boundary belongs below
+  EXPECT_EQ(node.ring_index(2.1), 1);
+  EXPECT_EQ(node.ring_index(5.0), 2);
+  EXPECT_EQ(node.ring_index(10.0), 3);
+  EXPECT_EQ(node.ring_index(1000.0), 4);  // clamped to outermost
+}
+
+TEST(MeridianNode, InsertPlacesInCorrectRing) {
+  MeridianNode node{HostId{0}, small_rings()};
+  EXPECT_EQ(node.insert(HostId{1}, 1.0), 0);
+  EXPECT_EQ(node.insert(HostId{2}, 3.0), 1);
+  EXPECT_EQ(node.insert(HostId{3}, 100.0), 4);
+  EXPECT_TRUE(node.knows(HostId{1}));
+  EXPECT_EQ(node.peer_count(), 3u);
+}
+
+TEST(MeridianNode, InsertIgnoresSelfAndDuplicates) {
+  MeridianNode node{HostId{0}, small_rings()};
+  EXPECT_EQ(node.insert(HostId{0}, 1.0), -1);
+  EXPECT_EQ(node.insert(HostId{1}, 1.0), 0);
+  EXPECT_EQ(node.insert(HostId{1}, 5.0), -1);  // already known
+  EXPECT_EQ(node.peer_count(), 1u);
+}
+
+TEST(MeridianNode, ForgetRemovesFromRing) {
+  MeridianNode node{HostId{0}, small_rings()};
+  node.insert(HostId{1}, 1.0);
+  node.forget(HostId{1});
+  EXPECT_FALSE(node.knows(HostId{1}));
+  EXPECT_TRUE(node.ring(0).empty());
+  node.forget(HostId{99});  // unknown: no-op
+}
+
+TEST(MeridianNode, ResolveOverflowKeepsMostDiverse) {
+  MeridianNode node{HostId{0}, small_rings()};
+  // Fill ring 4 beyond capacity with peers 1..4; peers 1 and 2 are
+  // mutually close (distance 1), the rest far apart.
+  node.insert(HostId{1}, 20.0);
+  node.insert(HostId{2}, 21.0);
+  node.insert(HostId{3}, 25.0);
+  node.insert(HostId{4}, 30.0);
+  ASSERT_EQ(node.ring(4).size(), 4u);
+  const auto rtt = [](HostId a, HostId b) {
+    // Peers 1, 2 close together; 3 and 4 far from everyone.
+    if ((a == HostId{1} && b == HostId{2}) ||
+        (a == HostId{2} && b == HostId{1})) {
+      return 1.0;
+    }
+    return 50.0;
+  };
+  node.resolve_overflow(4, rtt);
+  EXPECT_EQ(node.ring(4).size(), 3u);
+  // One of the redundant pair {1, 2} must have been dropped.
+  EXPECT_FALSE(node.knows(HostId{1}) && node.knows(HostId{2}));
+  EXPECT_TRUE(node.knows(HostId{3}));
+  EXPECT_TRUE(node.knows(HostId{4}));
+}
+
+TEST(MeridianNode, PeersInRangeIntersectsRings) {
+  MeridianNode node{HostId{0}, small_rings()};
+  node.insert(HostId{1}, 1.0);    // ring 0
+  node.insert(HostId{2}, 3.0);    // ring 1
+  node.insert(HostId{3}, 6.0);    // ring 2
+  node.insert(HostId{4}, 100.0);  // ring 4
+  // Range [2.5, 7]: rings 1 and 2 intersect.
+  const auto peers = node.peers_in_range(2.5, 7.0);
+  EXPECT_EQ(peers.size(), 2u);
+  // Full range catches everything.
+  EXPECT_EQ(node.peers_in_range(0.0, 1e9).size(), 4u);
+  // Range beyond all rings' content still returns ring members whose ring
+  // intersects (outermost ring is unbounded).
+  EXPECT_EQ(node.peers_in_range(1e6, 1e7).size(), 1u);
+}
+
+TEST(MeridianNode, AllPeersCollectsAcrossRings) {
+  MeridianNode node{HostId{0}, small_rings()};
+  node.insert(HostId{1}, 1.0);
+  node.insert(HostId{2}, 50.0);
+  EXPECT_EQ(node.all_peers().size(), 2u);
+}
+
+TEST(MeridianNode, SelfishStateExpires) {
+  MeridianNode node{HostId{0}, small_rings()};
+  node.set_state(NodeState::kSelfishBootstrap);
+  node.set_selfish_until(SimTime::epoch() + Hours(7));
+  EXPECT_EQ(node.state_at(SimTime::epoch() + Hours(3)),
+            NodeState::kSelfishBootstrap);
+  EXPECT_EQ(node.state_at(SimTime::epoch() + Hours(8)), NodeState::kNormal);
+}
+
+TEST(MeridianNode, OtherStatesDoNotExpire) {
+  MeridianNode node{HostId{0}, small_rings()};
+  node.set_state(NodeState::kDead);
+  EXPECT_EQ(node.state_at(SimTime::epoch() + Hours(1000)), NodeState::kDead);
+}
+
+TEST(MeridianNode, RejectsZeroRings) {
+  RingConfig config;
+  config.num_rings = 0;
+  EXPECT_THROW((MeridianNode{HostId{0}, config}), std::invalid_argument);
+}
+
+TEST(MeridianNode, StateNames) {
+  EXPECT_STREQ(to_string(NodeState::kNormal), "normal");
+  EXPECT_STREQ(to_string(NodeState::kSelfishBootstrap),
+               "selfish-bootstrap");
+  EXPECT_STREQ(to_string(NodeState::kPartitioned), "partitioned");
+  EXPECT_STREQ(to_string(NodeState::kDead), "dead");
+}
+
+}  // namespace
+}  // namespace crp::meridian

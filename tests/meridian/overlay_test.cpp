@@ -1,0 +1,163 @@
+#include "meridian/overlay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "../test_util.hpp"
+
+namespace crp::meridian {
+namespace {
+
+class OverlayTest : public ::testing::Test {
+ protected:
+  OverlayTest() : world_{61} {}
+
+  MeridianOverlay make_overlay(FaultSpec faults = {}) {
+    MeridianConfig config;
+    config.seed = 5;
+    MeridianOverlay overlay{*world_.oracle, world_.infra, config, faults};
+    overlay.bootstrap(SimTime::epoch());
+    return overlay;
+  }
+
+  test::MiniWorld world_;
+};
+
+TEST_F(OverlayTest, BootstrapPopulatesRings) {
+  MeridianOverlay overlay = make_overlay();
+  std::size_t with_peers = 0;
+  for (HostId h : overlay.members()) {
+    if (overlay.node(h).peer_count() > 0) ++with_peers;
+  }
+  EXPECT_GT(with_peers, overlay.members().size() * 3 / 4);
+  EXPECT_GT(overlay.total_probes(), 0u);
+}
+
+TEST_F(OverlayTest, GossipSpreadsKnowledge) {
+  MeridianConfig config;
+  config.seed = 5;
+  MeridianOverlay overlay{*world_.oracle, world_.infra, config};
+  overlay.bootstrap(SimTime::epoch(), /*gossip_rounds=*/0);
+  std::size_t before = 0;
+  for (HostId h : overlay.members()) before += overlay.node(h).peer_count();
+  for (int r = 0; r < 6; ++r) {
+    overlay.gossip_round(SimTime::epoch() + Minutes(r));
+  }
+  std::size_t after = 0;
+  for (HostId h : overlay.members()) after += overlay.node(h).peer_count();
+  EXPECT_GT(after, before);
+}
+
+TEST_F(OverlayTest, ClosestNodeFindsGoodCandidate) {
+  MeridianOverlay overlay = make_overlay();
+  const SimTime t = SimTime::epoch() + Hours(1);
+  // For several targets, Meridian should select a member much closer than
+  // the median member.
+  int good = 0;
+  int total = 0;
+  for (std::size_t c = 0; c < 10; ++c) {
+    const HostId target = world_.clients[c];
+    Rng rng{static_cast<std::uint64_t>(c)};
+    const HostId entry = overlay.random_entry(rng);
+    const QueryResult result = overlay.closest_node(entry, target, t);
+
+    std::vector<double> all;
+    for (HostId m : overlay.members()) {
+      all.push_back(world_.oracle->base_rtt_ms(m, target));
+    }
+    std::sort(all.begin(), all.end());
+    const double achieved =
+        world_.oracle->base_rtt_ms(result.selected, target);
+    ++total;
+    if (achieved <= all[all.size() / 4]) ++good;  // top quartile
+  }
+  EXPECT_GE(good, total * 6 / 10);
+}
+
+TEST_F(OverlayTest, QueriesCostProbes) {
+  MeridianOverlay overlay = make_overlay();
+  const std::uint64_t before = overlay.total_probes();
+  Rng rng{1};
+  (void)overlay.closest_node(overlay.random_entry(rng), world_.clients[0],
+                             SimTime::epoch() + Hours(1));
+  EXPECT_GT(overlay.total_probes(), before);
+}
+
+TEST_F(OverlayTest, SelfishEntryReturnsItself) {
+  FaultSpec faults;
+  faults.selfish_fraction = 1.0;  // everyone selfish
+  faults.selfish_duration = Hours(7);
+  MeridianOverlay overlay = make_overlay(faults);
+  const HostId entry = overlay.members().front();
+  const QueryResult result = overlay.closest_node(
+      entry, world_.clients[0], SimTime::epoch() + Hours(1));
+  EXPECT_EQ(result.selected, entry);
+  EXPECT_TRUE(result.fault_affected);
+  EXPECT_EQ(result.probes, 0);
+}
+
+TEST_F(OverlayTest, SelfishStateExpiresAfterDuration) {
+  FaultSpec faults;
+  faults.selfish_fraction = 1.0;
+  faults.selfish_duration = Hours(7);
+  MeridianOverlay overlay = make_overlay(faults);
+  const HostId entry = overlay.members().front();
+  const QueryResult result = overlay.closest_node(
+      entry, world_.clients[0], SimTime::epoch() + Hours(10));
+  EXPECT_FALSE(result.fault_affected);
+}
+
+TEST_F(OverlayTest, DeadNodesNeverSelected) {
+  FaultSpec faults;
+  faults.dead_fraction = 0.3;
+  MeridianOverlay overlay = make_overlay(faults);
+  EXPECT_LT(overlay.live_member_count(), overlay.members().size());
+  const SimTime t = SimTime::epoch() + Hours(1);
+  Rng rng{2};
+  for (int i = 0; i < 10; ++i) {
+    const QueryResult result = overlay.closest_node(
+        overlay.random_entry(rng), world_.clients[static_cast<std::size_t>(i)],
+        t);
+    EXPECT_NE(overlay.node(result.selected).state(), NodeState::kDead);
+  }
+}
+
+TEST_F(OverlayTest, PartitionedNodesKnowOnlyTheirSite) {
+  FaultSpec faults;
+  faults.partitioned_fraction = 0.4;
+  MeridianOverlay overlay = make_overlay(faults);
+  for (HostId h : overlay.members()) {
+    if (overlay.node(h).state() == NodeState::kPartitioned) {
+      EXPECT_LE(overlay.node(h).peer_count(), 1u);
+    }
+  }
+}
+
+TEST_F(OverlayTest, ThrowsForNonMemberEntry) {
+  MeridianOverlay overlay = make_overlay();
+  EXPECT_THROW(
+      (void)overlay.closest_node(world_.clients[0], world_.clients[1],
+                                 SimTime::epoch()),
+      std::invalid_argument);
+}
+
+TEST_F(OverlayTest, ThrowsOnEmptyMembership) {
+  EXPECT_THROW(MeridianOverlay(*world_.oracle, {}, MeridianConfig{}),
+               std::invalid_argument);
+}
+
+TEST_F(OverlayTest, HopsBounded) {
+  MeridianOverlay overlay = make_overlay();
+  Rng rng{3};
+  for (int i = 0; i < 10; ++i) {
+    const QueryResult result = overlay.closest_node(
+        overlay.random_entry(rng),
+        world_.clients[static_cast<std::size_t>(i)],
+        SimTime::epoch() + Hours(2));
+    EXPECT_LE(result.hops, 16);
+  }
+}
+
+}  // namespace
+}  // namespace crp::meridian

@@ -1,0 +1,82 @@
+#include "netsim/geo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace crp::netsim {
+namespace {
+
+TEST(Geo, ZeroDistanceToSelf) {
+  const GeoPoint p{40.7, -74.0};
+  EXPECT_DOUBLE_EQ(great_circle_km(p, p), 0.0);
+}
+
+TEST(Geo, Symmetric) {
+  const GeoPoint a{40.7, -74.0};
+  const GeoPoint b{51.5, -0.1};
+  EXPECT_DOUBLE_EQ(great_circle_km(a, b), great_circle_km(b, a));
+}
+
+TEST(Geo, KnownDistances) {
+  // New York <-> London: ~5,570 km.
+  const GeoPoint nyc{40.7128, -74.0060};
+  const GeoPoint london{51.5074, -0.1278};
+  EXPECT_NEAR(great_circle_km(nyc, london), 5570.0, 60.0);
+
+  // Antipodal points: half the Earth's circumference, ~20,015 km.
+  const GeoPoint north{90.0, 0.0};
+  const GeoPoint south{-90.0, 0.0};
+  EXPECT_NEAR(great_circle_km(north, south), 20015.0, 10.0);
+}
+
+TEST(Geo, EquatorDegree) {
+  // One degree of longitude at the equator is ~111.2 km.
+  const GeoPoint a{0.0, 0.0};
+  const GeoPoint b{0.0, 1.0};
+  EXPECT_NEAR(great_circle_km(a, b), 111.2, 0.5);
+}
+
+TEST(Geo, DatelineWrap) {
+  const GeoPoint a{0.0, 179.5};
+  const GeoPoint b{0.0, -179.5};
+  // 1 degree apart across the dateline, not 359.
+  EXPECT_NEAR(great_circle_km(a, b), 111.2, 0.5);
+}
+
+TEST(Geo, PropagationSpeed) {
+  // 200 km of fibre is 1 ms one-way.
+  EXPECT_DOUBLE_EQ(propagation_one_way_ms(200.0), 1.0);
+  EXPECT_DOUBLE_EQ(propagation_one_way_ms(0.0), 0.0);
+  // Transatlantic ~5570 km -> ~28 ms one-way.
+  EXPECT_NEAR(propagation_one_way_ms(5570.0), 27.85, 0.01);
+}
+
+TEST(Geo, OffsetRoundTripsDistance) {
+  const GeoPoint origin{48.0, 11.0};
+  for (double bearing : {0.0, 90.0, 180.0, 270.0, 45.0}) {
+    const GeoPoint p = offset(origin, bearing, 300.0);
+    EXPECT_NEAR(great_circle_km(origin, p), 300.0, 1.0) << bearing;
+  }
+}
+
+TEST(Geo, OffsetZeroDistanceIsIdentity) {
+  const GeoPoint origin{10.0, 20.0};
+  const GeoPoint p = offset(origin, 123.0, 0.0);
+  EXPECT_NEAR(p.lat_deg, origin.lat_deg, 1e-9);
+  EXPECT_NEAR(p.lon_deg, origin.lon_deg, 1e-9);
+}
+
+TEST(Geo, OffsetNormalizesLongitude) {
+  const GeoPoint origin{0.0, 179.9};
+  const GeoPoint p = offset(origin, 90.0, 200.0);  // eastwards over the line
+  EXPECT_GE(p.lon_deg, -180.0);
+  EXPECT_LT(p.lon_deg, 180.0);
+}
+
+TEST(Geo, ToStringFormat) {
+  EXPECT_EQ(to_string(GeoPoint{1.0, -2.0}), "(1.000, -2.000)");
+}
+
+}  // namespace
+}  // namespace crp::netsim

@@ -1,0 +1,260 @@
+#include "netsim/latency_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netsim/topology_builder.hpp"
+
+namespace crp::netsim {
+namespace {
+
+class LatencyModelTest : public ::testing::Test {
+ protected:
+  LatencyModelTest() {
+    TopologyConfig config;
+    config.seed = 21;
+    topo_ = build_topology(config);
+    Rng rng{99};
+    hosts_ = place_hosts(topo_, HostKind::kClient, 200, rng);
+    LatencyConfig lat;
+    lat.seed = 77;
+    oracle_ = std::make_unique<LatencyOracle>(topo_, lat);
+  }
+
+  Topology topo_;
+  std::vector<HostId> hosts_;
+  std::unique_ptr<LatencyOracle> oracle_;
+};
+
+TEST_F(LatencyModelTest, SelfRttIsZero) {
+  EXPECT_DOUBLE_EQ(oracle_->base_rtt_ms(hosts_[0], hosts_[0]), 0.0);
+  EXPECT_DOUBLE_EQ(
+      oracle_->rtt_ms(hosts_[0], hosts_[0], SimTime::epoch()), 0.0);
+}
+
+TEST_F(LatencyModelTest, BaseRttSymmetric) {
+  for (std::size_t i = 0; i < 20; ++i) {
+    for (std::size_t j = i + 1; j < 20; ++j) {
+      EXPECT_DOUBLE_EQ(oracle_->base_rtt_ms(hosts_[i], hosts_[j]),
+                       oracle_->base_rtt_ms(hosts_[j], hosts_[i]));
+    }
+  }
+}
+
+TEST_F(LatencyModelTest, DynamicRttSymmetric) {
+  const SimTime t = SimTime::epoch() + Minutes(42);
+  for (std::size_t i = 0; i < 10; ++i) {
+    for (std::size_t j = i + 1; j < 10; ++j) {
+      EXPECT_DOUBLE_EQ(oracle_->rtt_ms(hosts_[i], hosts_[j], t),
+                       oracle_->rtt_ms(hosts_[j], hosts_[i], t));
+    }
+  }
+}
+
+TEST_F(LatencyModelTest, RttPositiveForDistinctHosts) {
+  for (std::size_t i = 1; i < hosts_.size(); ++i) {
+    ASSERT_GT(oracle_->base_rtt_ms(hosts_[0], hosts_[i]), 0.0);
+  }
+}
+
+TEST_F(LatencyModelTest, GeographyDominates) {
+  // Average intra-region RTT must be far below average inter-region RTT.
+  double intra_sum = 0.0;
+  std::size_t intra_n = 0;
+  double inter_sum = 0.0;
+  std::size_t inter_n = 0;
+  for (std::size_t i = 0; i < 60; ++i) {
+    for (std::size_t j = i + 1; j < 60; ++j) {
+      const double rtt = oracle_->base_rtt_ms(hosts_[i], hosts_[j]);
+      if (topo_.host(hosts_[i]).region == topo_.host(hosts_[j]).region) {
+        intra_sum += rtt;
+        ++intra_n;
+      } else {
+        inter_sum += rtt;
+        ++inter_n;
+      }
+    }
+  }
+  ASSERT_GT(intra_n, 0u);
+  ASSERT_GT(inter_n, 0u);
+  EXPECT_LT(intra_sum / static_cast<double>(intra_n),
+            0.5 * inter_sum / static_cast<double>(inter_n));
+}
+
+TEST_F(LatencyModelTest, DeterministicAcrossInstances) {
+  LatencyConfig lat;
+  lat.seed = 77;
+  const LatencyOracle other{topo_, lat};
+  const SimTime t = SimTime::epoch() + Hours(3);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(oracle_->rtt_ms(hosts_[0], hosts_[i], t),
+                     other.rtt_ms(hosts_[0], hosts_[i], t));
+  }
+}
+
+TEST_F(LatencyModelTest, SeedChangesQuirks) {
+  LatencyConfig lat;
+  lat.seed = 78;
+  const LatencyOracle other{topo_, lat};
+  bool any_differs = false;
+  for (std::size_t i = 1; i < 50 && !any_differs; ++i) {
+    any_differs = oracle_->base_rtt_ms(hosts_[0], hosts_[i]) !=
+                  other.base_rtt_ms(hosts_[0], hosts_[i]);
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST_F(LatencyModelTest, JitterVariesOverTimeAroundBase) {
+  const HostId a = hosts_[0];
+  const HostId b = hosts_[1];
+  const double base = oracle_->base_rtt_ms(a, b);
+  bool saw_different = false;
+  double prev = -1.0;
+  for (int i = 0; i < 20; ++i) {
+    const double rtt =
+        oracle_->rtt_ms(a, b, SimTime::epoch() + Seconds(10 * i));
+    EXPECT_GT(rtt, base * 0.5);
+    EXPECT_LT(rtt, base * 3.5);
+    if (prev >= 0.0 && rtt != prev) saw_different = true;
+    prev = rtt;
+  }
+  EXPECT_TRUE(saw_different);
+}
+
+TEST_F(LatencyModelTest, JitterStableWithinEpoch) {
+  const SimTime t = SimTime::epoch() + Seconds(100);
+  // Same jitter epoch (10 s) -> identical values.
+  EXPECT_DOUBLE_EQ(oracle_->rtt_ms(hosts_[0], hosts_[1], t),
+                   oracle_->rtt_ms(hosts_[0], hosts_[1], t + Seconds(5)));
+}
+
+TEST_F(LatencyModelTest, CongestionSometimesPresent) {
+  // Over many pops and epochs, congestion must appear with roughly the
+  // configured probability.
+  std::size_t congested = 0;
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < 50; ++i) {
+    for (int e = 0; e < 40; ++e) {
+      ++total;
+      if (oracle_->congestion_extra(hosts_[i],
+                                    SimTime::epoch() + Minutes(30 * e)) >
+          0.0) {
+        ++congested;
+      }
+    }
+  }
+  const double frac = static_cast<double>(congested) /
+                      static_cast<double>(total);
+  EXPECT_GT(frac, 0.03);
+  EXPECT_LT(frac, 0.20);
+}
+
+TEST_F(LatencyModelTest, NoJitterWhenSigmaZero) {
+  LatencyConfig lat;
+  lat.seed = 77;
+  lat.jitter_sigma = 0.0;
+  lat.congestion_probability = 0.0;
+  const LatencyOracle quiet{topo_, lat};
+  const double base = quiet.base_rtt_ms(hosts_[0], hosts_[1]);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(
+        quiet.rtt_ms(hosts_[0], hosts_[1], SimTime::epoch() + Minutes(i)),
+        base);
+  }
+}
+
+TEST_F(LatencyModelTest, SomeTriangleInequalityViolationsExist) {
+  // Routing quirks should produce occasional TIV — a real-Internet
+  // property coordinate systems struggle with.
+  std::size_t violations = 0;
+  std::size_t checked = 0;
+  for (std::size_t i = 0; i < 40; ++i) {
+    for (std::size_t j = i + 1; j < 40; ++j) {
+      for (std::size_t k = 0; k < 40; k += 7) {
+        if (k == i || k == j) continue;
+        ++checked;
+        const double direct = oracle_->base_rtt_ms(hosts_[i], hosts_[j]);
+        const double via = oracle_->base_rtt_ms(hosts_[i], hosts_[k]) +
+                           oracle_->base_rtt_ms(hosts_[k], hosts_[j]);
+        if (via < direct) ++violations;
+      }
+    }
+  }
+  EXPECT_GT(violations, 0u);
+  EXPECT_LT(violations, checked / 2);
+}
+
+TEST_F(LatencyModelTest, RttsInPlausibleInternetRange) {
+  for (std::size_t i = 0; i < 50; ++i) {
+    for (std::size_t j = i + 1; j < 50; ++j) {
+      const double rtt = oracle_->base_rtt_ms(hosts_[i], hosts_[j]);
+      EXPECT_GT(rtt, 0.1);
+      EXPECT_LT(rtt, 1200.0);
+    }
+  }
+}
+
+TEST_F(LatencyModelTest, RouteShiftOffByDefault) {
+  EXPECT_DOUBLE_EQ(
+      oracle_->route_shift_factor(hosts_[0], hosts_[1], SimTime::epoch()),
+      1.0);
+}
+
+TEST_F(LatencyModelTest, RouteShiftDriftsAcrossEpochsOnly) {
+  LatencyConfig lat;
+  lat.seed = 77;
+  lat.route_shift_sigma = 0.4;
+  lat.route_shift_epoch = Hours(12);
+  const LatencyOracle drifting{topo_, lat};
+  const double f0 = drifting.route_shift_factor(hosts_[0], hosts_[1],
+                                                SimTime::epoch());
+  const double f0b = drifting.route_shift_factor(
+      hosts_[0], hosts_[1], SimTime::epoch() + Hours(11));
+  EXPECT_DOUBLE_EQ(f0, f0b);  // same epoch -> frozen
+  bool changed = false;
+  for (int e = 1; e < 6 && !changed; ++e) {
+    changed = drifting.route_shift_factor(
+                  hosts_[0], hosts_[1], SimTime::epoch() + Hours(12 * e)) !=
+              f0;
+  }
+  EXPECT_TRUE(changed);
+  // Symmetric and positive.
+  EXPECT_DOUBLE_EQ(
+      drifting.route_shift_factor(hosts_[1], hosts_[0], SimTime::epoch()),
+      f0);
+  EXPECT_GT(f0, 0.0);
+}
+
+TEST_F(LatencyModelTest, RouteShiftReranksNeighbours) {
+  // With strong drift, the closest host to a reference point changes
+  // across epochs for at least some references.
+  LatencyConfig lat;
+  lat.seed = 77;
+  lat.route_shift_sigma = 0.5;
+  lat.route_shift_epoch = Hours(12);
+  lat.jitter_sigma = 0.0;
+  lat.congestion_probability = 0.0;
+  const LatencyOracle drifting{topo_, lat};
+  int changed = 0;
+  for (std::size_t ref = 0; ref < 20; ++ref) {
+    auto closest_at = [&](SimTime t) {
+      std::size_t best = 0;
+      double best_rtt = 1e18;
+      for (std::size_t i = 20; i < 60; ++i) {
+        const double rtt = drifting.rtt_ms(hosts_[ref], hosts_[i], t);
+        if (rtt < best_rtt) {
+          best_rtt = rtt;
+          best = i;
+        }
+      }
+      return best;
+    };
+    if (closest_at(SimTime::epoch()) !=
+        closest_at(SimTime::epoch() + Hours(24 * 4))) {
+      ++changed;
+    }
+  }
+  EXPECT_GT(changed, 0);
+}
+
+}  // namespace
+}  // namespace crp::netsim

@@ -1,0 +1,161 @@
+#include "netsim/topology_builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace crp::netsim {
+namespace {
+
+TEST(TopologyBuilder, DefaultWorldHasElevenRegions) {
+  const auto regions = default_world_regions();
+  EXPECT_EQ(regions.size(), 11u);
+  // Coverage must be uneven — that's what produces the paper's tails.
+  double min_cov = 1e9;
+  double max_cov = -1e9;
+  for (const Region& r : regions) {
+    min_cov = std::min(min_cov, r.cdn_coverage);
+    max_cov = std::max(max_cov, r.cdn_coverage);
+  }
+  EXPECT_LT(min_cov, 0.3);
+  EXPECT_GE(max_cov, 1.0);
+}
+
+TEST(TopologyBuilder, BuildsAsesProportionalToWeight) {
+  TopologyConfig config;
+  config.seed = 5;
+  const Topology topo = build_topology(config);
+  EXPECT_EQ(topo.num_regions(), 11u);
+  EXPECT_GT(topo.num_ases(), 50u);
+  EXPECT_GT(topo.num_pops(), topo.num_ases());  // every AS has >= 2 pops
+  // Each region got at least one AS.
+  std::set<RegionId> regions_with_as;
+  for (const AutonomousSystem& as : topo.ases()) {
+    regions_with_as.insert(as.region);
+  }
+  EXPECT_EQ(regions_with_as.size(), topo.num_regions());
+}
+
+TEST(TopologyBuilder, DeterministicForSeed) {
+  TopologyConfig config;
+  config.seed = 11;
+  const Topology a = build_topology(config);
+  const Topology b = build_topology(config);
+  ASSERT_EQ(a.num_pops(), b.num_pops());
+  for (std::size_t i = 0; i < a.num_pops(); ++i) {
+    EXPECT_EQ(a.pops()[i].location.lat_deg, b.pops()[i].location.lat_deg);
+  }
+}
+
+TEST(TopologyBuilder, SeedChangesLayout) {
+  TopologyConfig c1;
+  c1.seed = 1;
+  TopologyConfig c2;
+  c2.seed = 2;
+  const Topology a = build_topology(c1);
+  const Topology b = build_topology(c2);
+  bool any_differs = a.num_pops() != b.num_pops();
+  for (std::size_t i = 0; !any_differs && i < a.num_pops(); ++i) {
+    any_differs = a.pops()[i].location.lat_deg != b.pops()[i].location.lat_deg;
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(TopologyBuilder, PopsStayWithinRegionRadius) {
+  TopologyConfig config;
+  config.seed = 3;
+  const Topology topo = build_topology(config);
+  for (const Pop& pop : topo.pops()) {
+    const Region& region = topo.region(pop.region);
+    EXPECT_LE(great_circle_km(region.center, pop.location),
+              region.radius_km * 1.01);
+  }
+}
+
+TEST(TopologyBuilder, TierFractionsRoughlyRespected) {
+  TopologyConfig config;
+  config.seed = 17;
+  const Topology topo = build_topology(config);
+  std::size_t tier1 = 0;
+  for (const AutonomousSystem& as : topo.ases()) {
+    ASSERT_GE(as.tier, 1);
+    ASSERT_LE(as.tier, 3);
+    if (as.tier == 1) ++tier1;
+  }
+  const double frac =
+      static_cast<double>(tier1) / static_cast<double>(topo.num_ases());
+  EXPECT_GT(frac, 0.02);
+  EXPECT_LT(frac, 0.25);
+}
+
+TEST(PlaceHosts, CountAndKind) {
+  TopologyConfig config;
+  config.seed = 7;
+  Topology topo = build_topology(config);
+  Rng rng{42};
+  const auto hosts =
+      place_hosts(topo, HostKind::kDnsResolver, 50, rng);
+  EXPECT_EQ(hosts.size(), 50u);
+  for (HostId h : hosts) {
+    EXPECT_EQ(topo.host(h).kind, HostKind::kDnsResolver);
+    EXPECT_GT(topo.host(h).access_one_way_ms, 0.0);
+    EXPECT_FALSE(topo.host(h).name.empty());
+  }
+}
+
+TEST(PlaceHosts, PopulationWeightBiasesPlacement) {
+  TopologyConfig config;
+  config.seed = 9;
+  Topology topo = build_topology(config);
+  Rng rng{43};
+  const auto hosts = place_hosts(topo, HostKind::kClient, 800, rng);
+  // Count hosts in the heaviest (weight 3.0) vs lightest (0.5) regions.
+  std::size_t heavy = 0;
+  std::size_t light = 0;
+  for (HostId h : hosts) {
+    const auto& name = topo.region(topo.host(h).region).name;
+    if (name == "na-east" || name == "eu-west") ++heavy;
+    if (name == "africa-south") ++light;
+  }
+  EXPECT_GT(heavy, light * 2);
+}
+
+TEST(PlaceHosts, ReplicaAccessLatencyIsTiny) {
+  TopologyConfig config;
+  config.seed = 13;
+  Topology topo = build_topology(config);
+  Rng rng{44};
+  const HostId replica = place_host_at_pop(
+      topo, HostKind::kReplicaServer, topo.pops()[0].id, rng);
+  const HostId client = place_host_at_pop(
+      topo, HostKind::kClient, topo.pops()[0].id, rng);
+  EXPECT_LT(topo.host(replica).access_one_way_ms,
+            topo.host(client).access_one_way_ms);
+}
+
+TEST(PlaceHostsInRegions, RestrictsToNamedRegions) {
+  TopologyConfig config;
+  config.seed = 31;
+  Topology topo = build_topology(config);
+  Rng rng{45};
+  const auto hosts = place_hosts_in_regions(
+      topo, HostKind::kInfraNode, 40, rng, {"na-east", "eu-west"});
+  EXPECT_EQ(hosts.size(), 40u);
+  for (HostId h : hosts) {
+    const auto& name = topo.region(topo.host(h).region).name;
+    EXPECT_TRUE(name == "na-east" || name == "eu-west") << name;
+  }
+}
+
+TEST(PlaceHostsInRegions, ThrowsOnUnknownRegion) {
+  TopologyConfig config;
+  config.seed = 32;
+  Topology topo = build_topology(config);
+  Rng rng{46};
+  EXPECT_THROW((void)place_hosts_in_regions(topo, HostKind::kClient, 5, rng,
+                                            {"atlantis"}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace crp::netsim

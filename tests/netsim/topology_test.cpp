@@ -1,0 +1,109 @@
+#include "netsim/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace crp::netsim {
+namespace {
+
+Topology tiny_topology() {
+  Topology topo;
+  Region region;
+  region.name = "test-region";
+  region.center = GeoPoint{10.0, 10.0};
+  const RegionId r = topo.add_region(std::move(region));
+
+  AutonomousSystem as;
+  as.region = r;
+  as.tier = 2;
+  as.name = "as-test";
+  const AsnId asn = topo.add_as(std::move(as));
+
+  Pop pop;
+  pop.asn = asn;
+  pop.region = r;
+  pop.location = GeoPoint{10.1, 10.1};
+  topo.add_pop(pop);
+  return topo;
+}
+
+TEST(Topology, IdsAreSequential) {
+  Topology topo = tiny_topology();
+  EXPECT_EQ(topo.num_regions(), 1u);
+  EXPECT_EQ(topo.num_ases(), 1u);
+  EXPECT_EQ(topo.num_pops(), 1u);
+  EXPECT_EQ(topo.region(RegionId{0}).name, "test-region");
+  EXPECT_EQ(topo.as_of(AsnId{0}).name, "as-test");
+}
+
+TEST(Topology, PopRegisteredWithItsAs) {
+  Topology topo = tiny_topology();
+  ASSERT_EQ(topo.as_of(AsnId{0}).pops.size(), 1u);
+  EXPECT_EQ(topo.as_of(AsnId{0}).pops[0], PopId{0});
+}
+
+TEST(Topology, HostInheritsAsnAndRegionFromPop) {
+  Topology topo = tiny_topology();
+  Host host;
+  host.kind = HostKind::kClient;
+  host.pop = PopId{0};
+  host.location = GeoPoint{10.0, 10.0};
+  const HostId id = topo.add_host(std::move(host));
+  EXPECT_EQ(topo.host(id).asn, AsnId{0});
+  EXPECT_EQ(topo.host(id).region, RegionId{0});
+}
+
+TEST(Topology, HostAddressEncodesId) {
+  Topology topo = tiny_topology();
+  Host host;
+  host.pop = PopId{0};
+  const HostId id = topo.add_host(std::move(host));
+  const Ipv4 addr = topo.host(id).address();
+  EXPECT_EQ(addr.value() >> 24, 10u);
+  EXPECT_EQ(addr.value() & 0x00ffffffu, id.value());
+}
+
+TEST(Topology, RejectsDanglingReferences) {
+  Topology topo;
+  AutonomousSystem as;
+  as.region = RegionId{5};  // no such region
+  EXPECT_THROW((void)topo.add_as(std::move(as)), std::invalid_argument);
+
+  Topology topo2 = tiny_topology();
+  Pop pop;
+  pop.asn = AsnId{7};
+  pop.region = RegionId{0};
+  EXPECT_THROW((void)topo2.add_pop(pop), std::invalid_argument);
+
+  Host host;
+  host.pop = PopId{9};
+  EXPECT_THROW((void)topo2.add_host(std::move(host)), std::invalid_argument);
+}
+
+TEST(Topology, HostsOfKindFilters) {
+  Topology topo = tiny_topology();
+  for (HostKind kind : {HostKind::kInfraNode, HostKind::kDnsResolver,
+                        HostKind::kInfraNode}) {
+    Host host;
+    host.kind = kind;
+    host.pop = PopId{0};
+    topo.add_host(std::move(host));
+  }
+  EXPECT_EQ(topo.hosts_of_kind(HostKind::kInfraNode).size(), 2u);
+  EXPECT_EQ(topo.hosts_of_kind(HostKind::kDnsResolver).size(), 1u);
+  EXPECT_TRUE(topo.hosts_of_kind(HostKind::kReplicaServer).empty());
+}
+
+TEST(Topology, PopsInRegion) {
+  Topology topo = tiny_topology();
+  EXPECT_EQ(topo.pops_in_region(RegionId{0}).size(), 1u);
+}
+
+TEST(Topology, HostKindNames) {
+  EXPECT_STREQ(to_string(HostKind::kInfraNode), "infra");
+  EXPECT_STREQ(to_string(HostKind::kDnsResolver), "dns-resolver");
+  EXPECT_STREQ(to_string(HostKind::kClient), "client");
+  EXPECT_STREQ(to_string(HostKind::kReplicaServer), "replica");
+}
+
+}  // namespace
+}  // namespace crp::netsim

@@ -1,0 +1,163 @@
+#include "service/gossip.hpp"
+
+#include <gtest/gtest.h>
+
+namespace crp::service {
+namespace {
+
+core::RatioMap map_of(std::uint32_t replica) {
+  return core::RatioMap::from_ratios(
+      std::vector<core::RatioMap::Entry>{{ReplicaId{replica}, 1.0}});
+}
+
+TEST(GossipMesh, AddNodeRejectsDuplicatesAndEmpty) {
+  GossipMesh mesh;
+  mesh.add_node("a");
+  EXPECT_THROW(mesh.add_node("a"), std::invalid_argument);
+  EXPECT_THROW(mesh.add_node(""), std::invalid_argument);
+}
+
+TEST(GossipMesh, LinksRequireKnownNodes) {
+  GossipMesh mesh;
+  mesh.add_node("a");
+  EXPECT_THROW(mesh.add_link("a", "zz"), std::invalid_argument);
+  EXPECT_THROW((void)mesh.store("zz"), std::invalid_argument);
+}
+
+TEST(GossipMesh, PublishLocalVisibleInOwnStoreOnly) {
+  GossipMesh mesh;
+  mesh.add_node("a");
+  mesh.add_node("b");
+  mesh.add_link("a", "b");
+  EXPECT_TRUE(mesh.publish_local("a", map_of(1), SimTime::epoch()));
+  EXPECT_TRUE(mesh.store("a").map_of("a").has_value());
+  EXPECT_FALSE(mesh.store("b").map_of("a").has_value());
+}
+
+TEST(GossipMesh, OneRoundPropagatesToDirectPeers) {
+  GossipMesh mesh;
+  mesh.add_node("a");
+  mesh.add_node("b");
+  mesh.add_link("a", "b");
+  mesh.publish_local("a", map_of(1), SimTime::epoch());
+  const std::size_t sent = mesh.round(SimTime::epoch() + Minutes(1));
+  EXPECT_GT(sent, 0u);
+  EXPECT_TRUE(mesh.store("b").map_of("a").has_value());
+  EXPECT_GT(mesh.bytes_gossiped(), 0u);
+}
+
+TEST(GossipMesh, ConvergesOnSparseRandomGraph) {
+  GossipConfig config;
+  config.seed = 9;
+  GossipMesh mesh{config};
+  const int n = 30;
+  for (int i = 0; i < n; ++i) {
+    mesh.add_node("node" + std::to_string(i));
+  }
+  // Ring plus a few chords: connected but sparse.
+  Rng rng{4};
+  for (int i = 0; i < n; ++i) {
+    mesh.add_link("node" + std::to_string(i),
+                  "node" + std::to_string((i + 1) % n));
+  }
+  for (int c = 0; c < n / 3; ++c) {
+    mesh.add_link(
+        "node" + std::to_string(rng.uniform_int(0, n - 1)),
+        "node" + std::to_string(rng.uniform_int(0, n - 1)));
+  }
+  for (int i = 0; i < n; ++i) {
+    mesh.publish_local("node" + std::to_string(i),
+                       map_of(static_cast<std::uint32_t>(i)),
+                       SimTime::epoch());
+  }
+  EXPECT_LT(mesh.coverage(SimTime::epoch()), 0.2);
+  SimTime t = SimTime::epoch();
+  for (int round = 0; round < 40; ++round) {
+    t = t + Minutes(5);
+    mesh.round(t);
+  }
+  EXPECT_GT(mesh.coverage(t), 0.95);
+}
+
+TEST(GossipMesh, FresherReportWinsAcrossHops) {
+  GossipMesh mesh;
+  for (const char* id : {"a", "b", "c"}) mesh.add_node(id);
+  mesh.add_link("a", "b");
+  mesh.add_link("b", "c");
+
+  mesh.publish_local("a", map_of(1), SimTime::epoch());
+  SimTime t = SimTime::epoch();
+  for (int i = 0; i < 6; ++i) {
+    t = t + Minutes(5);
+    mesh.round(t);
+  }
+  ASSERT_TRUE(mesh.store("c").map_of("a").has_value());
+  EXPECT_TRUE(mesh.store("c").map_of("a")->contains(ReplicaId{1}));
+
+  // Node a republishes a newer map; it must replace the old one at c.
+  mesh.publish_local("a", map_of(2), t + Minutes(1));
+  for (int i = 0; i < 6; ++i) {
+    t = t + Minutes(5);
+    mesh.round(t);
+  }
+  EXPECT_TRUE(mesh.store("c").map_of("a")->contains(ReplicaId{2}));
+}
+
+TEST(GossipMesh, StaleReportsAreNotAccepted) {
+  GossipConfig config;
+  config.store.staleness_bound = Hours(1);
+  GossipMesh mesh{config};
+  mesh.add_node("a");
+  mesh.add_node("b");
+  mesh.add_link("a", "b");
+  mesh.publish_local("a", map_of(1), SimTime::epoch());
+  // Two hours later, a's old report is stale: gossip must not spread it.
+  mesh.round(SimTime::epoch() + Hours(2));
+  EXPECT_FALSE(mesh.store("b").map_of("a").has_value());
+}
+
+TEST(GossipMesh, LocalStoreAnswersQueriesAfterConvergence) {
+  GossipMesh mesh;
+  for (int i = 0; i < 6; ++i) mesh.add_node("n" + std::to_string(i));
+  mesh.fully_connect();
+  // Two groups by replica overlap.
+  for (int i = 0; i < 3; ++i) {
+    mesh.publish_local("n" + std::to_string(i), map_of(1),
+                       SimTime::epoch());
+  }
+  for (int i = 3; i < 6; ++i) {
+    mesh.publish_local("n" + std::to_string(i), map_of(9),
+                       SimTime::epoch());
+  }
+  SimTime t = SimTime::epoch();
+  for (int r = 0; r < 10; ++r) {
+    t = t + Minutes(5);
+    mesh.round(t);
+  }
+  // n0 answers a cluster query locally, with no service round-trip.
+  const auto mates = mesh.store("n0").same_cluster("n0", t);
+  EXPECT_EQ(mates, (std::vector<std::string>{"n1", "n2"}));
+}
+
+TEST(GossipMesh, ScheduledRoundsRun) {
+  GossipMesh mesh;
+  mesh.add_node("a");
+  mesh.add_node("b");
+  mesh.add_link("a", "b");
+  mesh.publish_local("a", map_of(1), SimTime::epoch());
+  sim::EventScheduler sched;
+  mesh.schedule(sched, SimTime::epoch() + Minutes(5),
+                SimTime::epoch() + Hours(1));
+  sched.run_until(SimTime::epoch() + Hours(1));
+  EXPECT_TRUE(mesh.store("b").map_of("a").has_value());
+}
+
+TEST(GossipMesh, CoverageEmptyCases) {
+  GossipMesh mesh;
+  EXPECT_DOUBLE_EQ(mesh.coverage(SimTime::epoch()), 0.0);
+  mesh.add_node("a");
+  EXPECT_DOUBLE_EQ(mesh.coverage(SimTime::epoch()), 0.0);  // none published
+}
+
+}  // namespace
+}  // namespace crp::service

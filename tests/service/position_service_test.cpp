@@ -1,0 +1,183 @@
+#include "service/position_service.hpp"
+
+#include <gtest/gtest.h>
+
+namespace crp::service {
+namespace {
+
+core::RatioMap map_of(std::vector<std::pair<ReplicaId, double>> entries) {
+  return core::RatioMap::from_ratios(entries);
+}
+
+PositionReport report(const std::string& id,
+                      std::vector<std::pair<ReplicaId, double>> entries,
+                      SimTime when = SimTime::epoch()) {
+  PositionReport r;
+  r.node_id = id;
+  r.when = when;
+  r.map = map_of(std::move(entries));
+  return r;
+}
+
+class PositionServiceTest : public ::testing::Test {
+ protected:
+  PositionServiceTest() {
+    // Two groups: a/b/c around replicas {1,2}, d/e around {8,9}.
+    const SimTime t0 = SimTime::epoch();
+    service_.publish(report("a", {{ReplicaId{1}, 0.7}, {ReplicaId{2}, 0.3}},
+                            t0),
+                     t0);
+    service_.publish(report("b", {{ReplicaId{1}, 0.6}, {ReplicaId{2}, 0.4}},
+                            t0),
+                     t0);
+    service_.publish(report("c", {{ReplicaId{1}, 0.8}, {ReplicaId{2}, 0.2}},
+                            t0),
+                     t0);
+    service_.publish(report("d", {{ReplicaId{8}, 0.5}, {ReplicaId{9}, 0.5}},
+                            t0),
+                     t0);
+    service_.publish(report("e", {{ReplicaId{8}, 0.4}, {ReplicaId{9}, 0.6}},
+                            t0),
+                     t0);
+  }
+
+  PositionService service_;
+};
+
+TEST_F(PositionServiceTest, PublishAndInspect) {
+  EXPECT_EQ(service_.size(), 5u);
+  EXPECT_TRUE(service_.map_of("a").has_value());
+  EXPECT_FALSE(service_.map_of("z").has_value());
+  EXPECT_EQ(service_.live_nodes(SimTime::epoch()),
+            (std::vector<std::string>{"a", "b", "c", "d", "e"}));
+  EXPECT_EQ(service_.reports_accepted(), 5u);
+}
+
+TEST_F(PositionServiceTest, RejectsBadReports) {
+  const SimTime now = SimTime::epoch();
+  EXPECT_FALSE(service_.publish(report("", {{ReplicaId{1}, 1.0}}), now));
+  EXPECT_FALSE(service_.publish(report("x", {}), now));  // empty map
+  // Future-dated report.
+  EXPECT_FALSE(service_.publish(
+      report("x", {{ReplicaId{1}, 1.0}}, now + Hours(1)), now));
+  // Stale on arrival.
+  EXPECT_FALSE(service_.publish(report("x", {{ReplicaId{1}, 1.0}},
+                                       SimTime::epoch()),
+                                SimTime::epoch() + Hours(100)));
+  EXPECT_EQ(service_.reports_rejected(), 4u);
+}
+
+TEST_F(PositionServiceTest, RejectsOutOfOrderOlderReport) {
+  const SimTime later = SimTime::epoch() + Hours(1);
+  ASSERT_TRUE(service_.publish(
+      report("a", {{ReplicaId{5}, 1.0}}, later), later));
+  // An older report for the same node must not clobber the newer one.
+  EXPECT_FALSE(service_.publish(
+      report("a", {{ReplicaId{6}, 1.0}}, SimTime::epoch()), later));
+  EXPECT_TRUE(service_.map_of("a")->contains(ReplicaId{5}));
+}
+
+TEST_F(PositionServiceTest, NewerReportReplaces) {
+  const SimTime later = SimTime::epoch() + Minutes(5);
+  ASSERT_TRUE(service_.publish(
+      report("a", {{ReplicaId{42}, 1.0}}, later), later));
+  EXPECT_TRUE(service_.map_of("a")->contains(ReplicaId{42}));
+  EXPECT_EQ(service_.size(), 5u);
+}
+
+TEST_F(PositionServiceTest, ClosestRanksBySimilarity) {
+  const std::vector<std::string> candidates{"b", "c", "d", "e"};
+  const auto ranked =
+      service_.closest("a", candidates, 4, SimTime::epoch());
+  ASSERT_EQ(ranked.size(), 4u);
+  // c (0.8/0.2) is most similar to a (0.7/0.3); d/e share nothing.
+  EXPECT_EQ(ranked[0].node_id, "c");
+  EXPECT_DOUBLE_EQ(ranked[2].similarity, 0.0);
+  EXPECT_DOUBLE_EQ(ranked[3].similarity, 0.0);
+}
+
+TEST_F(PositionServiceTest, ClosestSkipsSelfUnknownAndLimitsK) {
+  const std::vector<std::string> candidates{"a", "b", "zz"};
+  const auto ranked =
+      service_.closest("a", candidates, 10, SimTime::epoch());
+  ASSERT_EQ(ranked.size(), 1u);  // self and unknown dropped
+  EXPECT_EQ(ranked[0].node_id, "b");
+  EXPECT_TRUE(service_.closest("zz", candidates, 3, SimTime::epoch())
+                  .empty());
+}
+
+TEST_F(PositionServiceTest, ClosestAnyUsesAllLiveNodes) {
+  const auto ranked = service_.closest_any("a", 2, SimTime::epoch());
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0].node_id, "c");
+  EXPECT_EQ(ranked[1].node_id, "b");
+}
+
+TEST_F(PositionServiceTest, SameClusterQuery) {
+  const auto mates = service_.same_cluster("a", SimTime::epoch());
+  EXPECT_EQ(mates, (std::vector<std::string>{"b", "c"}));
+  const auto other = service_.same_cluster("d", SimTime::epoch());
+  EXPECT_EQ(other, (std::vector<std::string>{"e"}));
+  EXPECT_TRUE(service_.same_cluster("zz", SimTime::epoch()).empty());
+}
+
+TEST_F(PositionServiceTest, ClusterAssignmentCoversLiveNodes) {
+  const auto assignment = service_.cluster_assignment(SimTime::epoch());
+  EXPECT_EQ(assignment.size(), 5u);
+  EXPECT_EQ(assignment.at("a"), assignment.at("b"));
+  EXPECT_NE(assignment.at("a"), assignment.at("d"));
+}
+
+TEST_F(PositionServiceTest, DiverseSetPicksAcrossClusters) {
+  const auto set = service_.diverse_set(2, SimTime::epoch(), 1);
+  ASSERT_EQ(set.size(), 2u);
+  const auto assignment = service_.cluster_assignment(SimTime::epoch());
+  EXPECT_NE(assignment.at(set[0]), assignment.at(set[1]));
+  // Requesting more than there are clusters returns one per cluster.
+  const auto all = service_.diverse_set(10, SimTime::epoch(), 1);
+  EXPECT_EQ(all.size(), 2u);
+}
+
+TEST_F(PositionServiceTest, ClusteringCacheInvalidatedByPublish) {
+  (void)service_.same_cluster("a", SimTime::epoch());
+  // New node joins group 2.
+  service_.publish(report("f", {{ReplicaId{8}, 0.45}, {ReplicaId{9}, 0.55}},
+                          SimTime::epoch() + Minutes(1)),
+                   SimTime::epoch() + Minutes(1));
+  const auto mates =
+      service_.same_cluster("d", SimTime::epoch() + Minutes(1));
+  EXPECT_EQ(mates, (std::vector<std::string>{"e", "f"}));
+}
+
+TEST_F(PositionServiceTest, StaleReportsExpireAndDropFromQueries) {
+  const SimTime later = SimTime::epoch() + Hours(7);  // staleness 6 h
+  EXPECT_TRUE(service_.closest_any("a", 5, later).empty());  // all stale
+  EXPECT_EQ(service_.expire(later), 5u);
+  EXPECT_EQ(service_.size(), 0u);
+}
+
+TEST_F(PositionServiceTest, RemoveDropsNode) {
+  service_.remove("a");
+  EXPECT_EQ(service_.size(), 4u);
+  EXPECT_FALSE(service_.map_of("a").has_value());
+  service_.remove("a");  // idempotent
+}
+
+TEST_F(PositionServiceTest, PublishEncodedAcceptsWireAndRejectsJunk) {
+  PositionReport r = report("wire-node", {{ReplicaId{1}, 1.0}},
+                            SimTime::epoch());
+  EXPECT_TRUE(service_.publish_encoded(encode(r), SimTime::epoch()));
+  EXPECT_TRUE(service_.map_of("wire-node").has_value());
+  EXPECT_FALSE(service_.publish_encoded("garbage", SimTime::epoch()));
+}
+
+TEST_F(PositionServiceTest, QueryCounterAdvances) {
+  const auto before = service_.queries_served();
+  (void)service_.closest_any("a", 1, SimTime::epoch());
+  (void)service_.same_cluster("a", SimTime::epoch());
+  (void)service_.diverse_set(1, SimTime::epoch());
+  EXPECT_EQ(service_.queries_served(), before + 3);
+}
+
+}  // namespace
+}  // namespace crp::service

@@ -1,0 +1,162 @@
+#include "service/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/rng.hpp"
+
+namespace crp::service {
+namespace {
+
+PositionReport sample_report() {
+  PositionReport report;
+  report.node_id = "dns-42.as7.eu-west";
+  report.when = SimTime::epoch() + Hours(3);
+  report.map = core::RatioMap::from_ratios(
+      std::vector<core::RatioMap::Entry>{{ReplicaId{3}, 0.25},
+                                         {ReplicaId{17}, 0.75}});
+  return report;
+}
+
+TEST(Wire, RoundTrip) {
+  const PositionReport report = sample_report();
+  const std::string bytes = encode(report);
+  const auto decoded = decode(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, report);
+}
+
+TEST(Wire, EncodedSizeMatches) {
+  const PositionReport report = sample_report();
+  EXPECT_EQ(encode(report).size(), encoded_size(report));
+}
+
+TEST(Wire, EmptyMapRoundTrips) {
+  PositionReport report;
+  report.node_id = "x";
+  report.when = SimTime::epoch();
+  const auto decoded = decode(encode(report));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->map.empty());
+}
+
+TEST(Wire, RejectsBadMagic) {
+  std::string bytes = encode(sample_report());
+  bytes[0] = 'X';
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(Wire, RejectsBadVersion) {
+  std::string bytes = encode(sample_report());
+  bytes[3] = 99;
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(Wire, RejectsEveryTruncation) {
+  const std::string bytes = encode(sample_report());
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(decode(std::string_view{bytes.data(), len}).has_value())
+        << "accepted truncation at " << len;
+  }
+}
+
+TEST(Wire, RejectsTrailingGarbage) {
+  std::string bytes = encode(sample_report());
+  bytes.push_back('\0');
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(Wire, RejectsCorruptRatio) {
+  // Flip the ratio bytes of the first entry to a NaN pattern.
+  PositionReport report = sample_report();
+  std::string bytes = encode(report);
+  // Layout: 3 magic + 1 ver + 2 len + id + 8 ts + 4 count + 4 replica.
+  const std::size_t ratio_offset =
+      3 + 1 + 2 + report.node_id.size() + 8 + 4 + 4;
+  for (int i = 0; i < 8; ++i) bytes[ratio_offset + i] = '\xff';
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(Wire, RejectsOversizedCount) {
+  PositionReport report = sample_report();
+  std::string bytes = encode(report);
+  const std::size_t count_offset = 3 + 1 + 2 + report.node_id.size() + 8;
+  bytes[count_offset + 3] = '\x7f';  // huge count
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(Wire, DecodeNormalizesRatios) {
+  // Hand-build bytes whose ratios do not sum to 1.
+  PositionReport report;
+  report.node_id = "n";
+  report.when = SimTime::epoch();
+  report.map = core::RatioMap::from_ratios(
+      std::vector<core::RatioMap::Entry>{{ReplicaId{1}, 0.5},
+                                         {ReplicaId{2}, 0.5}});
+  std::string bytes = encode(report);
+  // Double the second ratio in place: 0.5 -> 1.0.
+  const std::size_t second_ratio =
+      bytes.size() - 8;  // last field is the final ratio
+  const double two_thirds_breaker = 1.0;
+  std::memcpy(bytes.data() + second_ratio, &two_thirds_breaker,
+              sizeof(double));
+  const auto decoded = decode(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_NEAR(decoded->map.ratio_of(ReplicaId{1}), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(decoded->map.ratio_of(ReplicaId{2}), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Wire, RandomizedRoundTripSweep) {
+  Rng rng{424242};
+  for (int trial = 0; trial < 200; ++trial) {
+    PositionReport report;
+    const auto id_len = static_cast<std::size_t>(rng.uniform_int(1, 40));
+    for (std::size_t i = 0; i < id_len; ++i) {
+      report.node_id.push_back(
+          static_cast<char>('a' + rng.uniform_int(0, 25)));
+    }
+    report.when = SimTime{rng.uniform_int(0, 1'000'000'000)};
+    std::vector<core::RatioMap::Entry> entries;
+    const auto n = static_cast<std::size_t>(rng.uniform_int(1, 30));
+    for (std::size_t i = 0; i < n; ++i) {
+      entries.emplace_back(ReplicaId{static_cast<std::uint32_t>(
+                               rng.uniform_int(0, 5000))},
+                           rng.uniform(0.001, 1.0));
+    }
+    report.map = core::RatioMap::from_ratios(entries);
+    const auto decoded = decode(encode(report));
+    ASSERT_TRUE(decoded.has_value());
+    ASSERT_EQ(decoded->node_id, report.node_id);
+    ASSERT_EQ(decoded->when, report.when);
+    // Decode re-normalizes, so ratios may differ in the last ulp.
+    ASSERT_EQ(decoded->map.size(), report.map.size());
+    for (const auto& [replica, ratio] : report.map.entries()) {
+      ASSERT_NEAR(decoded->map.ratio_of(replica), ratio, 1e-12);
+    }
+  }
+}
+
+TEST(Wire, FuzzDecodeNeverCrashes) {
+  Rng rng{777};
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string junk;
+    const auto len = static_cast<std::size_t>(rng.uniform_int(0, 120));
+    for (std::size_t i = 0; i < len; ++i) {
+      junk.push_back(static_cast<char>(rng.uniform_int(0, 255)));
+    }
+    (void)decode(junk);  // must not crash or throw
+  }
+  // Mutated valid messages, too.
+  const std::string valid = encode(sample_report());
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string mutated = valid;
+    const auto pos = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(mutated.size()) - 1));
+    mutated[pos] = static_cast<char>(rng.uniform_int(0, 255));
+    (void)decode(mutated);
+  }
+}
+
+}  // namespace
+}  // namespace crp::service

@@ -1,0 +1,159 @@
+#include "sim/event_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace crp::sim {
+namespace {
+
+TEST(EventScheduler, RunsEventsInTimeOrder) {
+  EventScheduler sched;
+  std::vector<int> order;
+  sched.at(SimTime{300}, [&] { order.push_back(3); });
+  sched.at(SimTime{100}, [&] { order.push_back(1); });
+  sched.at(SimTime{200}, [&] { order.push_back(2); });
+  sched.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sched.now(), SimTime{300});
+}
+
+TEST(EventScheduler, FifoTieBreakAtSameInstant) {
+  EventScheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sched.at(SimTime{100}, [&order, i] { order.push_back(i); });
+  }
+  sched.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventScheduler, AfterIsRelativeToNow) {
+  EventScheduler sched;
+  SimTime fired;
+  sched.at(SimTime{100}, [&] {
+    sched.after(Micros(50), [&] { fired = sched.now(); });
+  });
+  sched.run_all();
+  EXPECT_EQ(fired, SimTime{150});
+}
+
+TEST(EventScheduler, PastEventsClampToNow) {
+  EventScheduler sched;
+  sched.at(SimTime{100}, [] {});
+  sched.run_all();
+  bool fired = false;
+  sched.at(SimTime{50}, [&] { fired = true; });  // in the past
+  sched.run_all();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sched.now(), SimTime{100});  // clock never goes backwards
+}
+
+TEST(EventScheduler, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  EventScheduler sched;
+  int count = 0;
+  sched.at(SimTime{100}, [&] { ++count; });
+  sched.at(SimTime{200}, [&] { ++count; });
+  sched.at(SimTime{300}, [&] { ++count; });
+  EXPECT_EQ(sched.run_until(SimTime{200}), 2u);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sched.now(), SimTime{200});
+  EXPECT_EQ(sched.pending(), 1u);
+  sched.run_all();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(EventScheduler, RunUntilAdvancesClockEvenWithNoEvents) {
+  EventScheduler sched;
+  sched.run_until(SimTime{500});
+  EXPECT_EQ(sched.now(), SimTime{500});
+}
+
+TEST(EventScheduler, EveryRecursUntilCallbackStops) {
+  EventScheduler sched;
+  int ticks = 0;
+  sched.every(SimTime{0}, Micros(10), [&] {
+    ++ticks;
+    return ticks < 5;
+  });
+  sched.run_all();
+  EXPECT_EQ(ticks, 5);
+  EXPECT_EQ(sched.now(), SimTime{40});
+}
+
+TEST(EventScheduler, EveryFiresAtExactPeriods) {
+  EventScheduler sched;
+  std::vector<std::int64_t> times;
+  sched.every(SimTime{100}, Micros(25), [&] {
+    times.push_back(sched.now().micros());
+    return times.size() < 3;
+  });
+  sched.run_all();
+  EXPECT_EQ(times, (std::vector<std::int64_t>{100, 125, 150}));
+}
+
+TEST(EventScheduler, EveryRejectsNonPositivePeriod) {
+  EventScheduler sched;
+  EXPECT_THROW(sched.every(SimTime{0}, Duration{0}, [] { return false; }),
+               std::invalid_argument);
+}
+
+TEST(EventScheduler, CancelSingleEvent) {
+  EventScheduler sched;
+  bool fired = false;
+  const EventHandle h = sched.at(SimTime{100}, [&] { fired = true; });
+  EXPECT_TRUE(sched.cancel(h));
+  sched.run_all();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventScheduler, CancelPeriodicStopsRecurrence) {
+  EventScheduler sched;
+  int ticks = 0;
+  EventHandle h = sched.every(SimTime{0}, Micros(10), [&] {
+    ++ticks;
+    return true;
+  });
+  sched.at(SimTime{35}, [&] { sched.cancel(h); });
+  sched.run_until(SimTime{200});
+  EXPECT_EQ(ticks, 4);  // t = 0, 10, 20, 30
+}
+
+TEST(EventScheduler, CancelInvalidHandleIsNoop) {
+  EventScheduler sched;
+  EXPECT_FALSE(sched.cancel(EventHandle{}));
+}
+
+TEST(EventScheduler, EventsScheduledDuringRunAreExecuted) {
+  EventScheduler sched;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 10) sched.after(Micros(1), recurse);
+  };
+  sched.at(SimTime{0}, recurse);
+  sched.run_all();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(sched.now(), SimTime{9});
+}
+
+TEST(EventScheduler, InterleavedPeriodicTasksStayDeterministic) {
+  EventScheduler sched;
+  std::vector<char> log;
+  sched.every(SimTime{0}, Micros(10), [&] {
+    log.push_back('a');
+    return log.size() < 12;
+  });
+  sched.every(SimTime{5}, Micros(10), [&] {
+    log.push_back('b');
+    return log.size() < 12;
+  });
+  sched.run_all();
+  ASSERT_GE(log.size(), 4u);
+  EXPECT_EQ(log[0], 'a');
+  EXPECT_EQ(log[1], 'b');
+  EXPECT_EQ(log[2], 'a');
+  EXPECT_EQ(log[3], 'b');
+}
+
+}  // namespace
+}  // namespace crp::sim

@@ -1,0 +1,60 @@
+// Shared test fixtures: a small but fully functional world.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cdn/customer.hpp"
+#include "cdn/deployment.hpp"
+#include "cdn/measurement.hpp"
+#include "cdn/redirection.hpp"
+#include "common/rng.hpp"
+#include "netsim/latency_model.hpp"
+#include "netsim/topology_builder.hpp"
+
+namespace crp::test {
+
+/// Small topology + CDN + oracle used by cdn/king/meridian unit tests.
+struct MiniWorld {
+  explicit MiniWorld(std::uint64_t seed = 1, std::size_t num_clients = 40,
+                     std::size_t num_replicas = 120) {
+    netsim::TopologyConfig topo_config;
+    topo_config.seed = seed;
+    topo = netsim::build_topology(topo_config);
+
+    Rng rng{hash_combine({seed, stable_hash("mini-world")})};
+    clients =
+        netsim::place_hosts(topo, netsim::HostKind::kDnsResolver,
+                            num_clients, rng);
+    infra = netsim::place_hosts(topo, netsim::HostKind::kInfraNode, 20, rng);
+
+    cdn::DeploymentConfig cdn_config;
+    cdn_config.seed = seed + 1;
+    cdn_config.target_replicas = num_replicas;
+    deployment = cdn::Deployment::build(topo, cdn_config);
+
+    netsim::LatencyConfig lat;
+    lat.seed = seed + 2;
+    oracle = std::make_unique<netsim::LatencyOracle>(topo, lat);
+
+    cdn::CustomerCatalogConfig cust_config;
+    cust_config.seed = seed + 3;
+    cust_config.num_customers = 2;
+    catalog = cdn::CustomerCatalog::build(deployment, cust_config);
+
+    cdn::MeasurementConfig meas_config;
+    meas_config.seed = seed + 4;
+    measurement =
+        std::make_unique<cdn::MeasurementSystem>(*oracle, meas_config);
+  }
+
+  netsim::Topology topo;
+  std::vector<HostId> clients;
+  std::vector<HostId> infra;
+  cdn::Deployment deployment;
+  std::unique_ptr<netsim::LatencyOracle> oracle;
+  cdn::CustomerCatalog catalog;
+  std::unique_ptr<cdn::MeasurementSystem> measurement;
+};
+
+}  // namespace crp::test
