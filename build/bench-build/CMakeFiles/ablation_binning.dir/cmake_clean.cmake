@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_binning"
+  "../bench/ablation_binning.pdb"
+  "CMakeFiles/ablation_binning.dir/ablation_binning.cpp.o"
+  "CMakeFiles/ablation_binning.dir/ablation_binning.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_binning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_name_filtering"
+  "../bench/ablation_name_filtering.pdb"
+  "CMakeFiles/ablation_name_filtering.dir/ablation_name_filtering.cpp.o"
+  "CMakeFiles/ablation_name_filtering.dir/ablation_name_filtering.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_name_filtering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

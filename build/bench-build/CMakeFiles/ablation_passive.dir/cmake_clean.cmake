@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_passive"
+  "../bench/ablation_passive.pdb"
+  "CMakeFiles/ablation_passive.dir/ablation_passive.cpp.o"
+  "CMakeFiles/ablation_passive.dir/ablation_passive.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_passive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

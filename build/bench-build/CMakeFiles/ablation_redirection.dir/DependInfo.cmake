@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_redirection.cpp" "bench-build/CMakeFiles/ablation_redirection.dir/ablation_redirection.cpp.o" "gcc" "bench-build/CMakeFiles/ablation_redirection.dir/ablation_redirection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/crp_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/service/CMakeFiles/crp_service.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/crp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdn/CMakeFiles/crp_cdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/king/CMakeFiles/crp_king.dir/DependInfo.cmake"
+  "/root/repo/build/src/meridian/CMakeFiles/crp_meridian.dir/DependInfo.cmake"
+  "/root/repo/build/src/asn/CMakeFiles/crp_asn.dir/DependInfo.cmake"
+  "/root/repo/build/src/coord/CMakeFiles/crp_coord.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/crp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/crp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/crp_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/crp_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/crp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

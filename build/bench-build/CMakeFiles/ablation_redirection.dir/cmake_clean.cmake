@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_redirection"
+  "../bench/ablation_redirection.pdb"
+  "CMakeFiles/ablation_redirection.dir/ablation_redirection.cpp.o"
+  "CMakeFiles/ablation_redirection.dir/ablation_redirection.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_redirection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

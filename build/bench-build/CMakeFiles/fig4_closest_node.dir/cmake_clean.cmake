@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_closest_node"
+  "../bench/fig4_closest_node.pdb"
+  "CMakeFiles/fig4_closest_node.dir/fig4_closest_node.cpp.o"
+  "CMakeFiles/fig4_closest_node.dir/fig4_closest_node.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_closest_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

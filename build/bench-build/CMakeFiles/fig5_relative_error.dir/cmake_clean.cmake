@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_relative_error"
+  "../bench/fig5_relative_error.pdb"
+  "CMakeFiles/fig5_relative_error.dir/fig5_relative_error.cpp.o"
+  "CMakeFiles/fig5_relative_error.dir/fig5_relative_error.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_relative_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

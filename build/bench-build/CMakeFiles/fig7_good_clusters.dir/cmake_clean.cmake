@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_good_clusters"
+  "../bench/fig7_good_clusters.pdb"
+  "CMakeFiles/fig7_good_clusters.dir/fig7_good_clusters.cpp.o"
+  "CMakeFiles/fig7_good_clusters.dir/fig7_good_clusters.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_good_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_probe_interval"
+  "../bench/fig8_probe_interval.pdb"
+  "CMakeFiles/fig8_probe_interval.dir/fig8_probe_interval.cpp.o"
+  "CMakeFiles/fig8_probe_interval.dir/fig8_probe_interval.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_probe_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

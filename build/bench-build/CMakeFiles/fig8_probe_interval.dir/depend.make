@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8_probe_interval.
+# This may be replaced when dependencies are built.

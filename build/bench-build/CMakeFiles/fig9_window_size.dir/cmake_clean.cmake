@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_window_size"
+  "../bench/fig9_window_size.pdb"
+  "CMakeFiles/fig9_window_size.dir/fig9_window_size.cpp.o"
+  "CMakeFiles/fig9_window_size.dir/fig9_window_size.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_window_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

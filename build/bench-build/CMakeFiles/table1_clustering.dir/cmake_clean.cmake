@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_clustering"
+  "../bench/table1_clustering.pdb"
+  "CMakeFiles/table1_clustering.dir/table1_clustering.cpp.o"
+  "CMakeFiles/table1_clustering.dir/table1_clustering.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detour_routing.dir/detour_routing.cpp.o"
+  "CMakeFiles/detour_routing.dir/detour_routing.cpp.o.d"
+  "detour_routing"
+  "detour_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detour_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/game_server_selection.dir/game_server_selection.cpp.o"
+  "CMakeFiles/game_server_selection.dir/game_server_selection.cpp.o.d"
+  "game_server_selection"
+  "game_server_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/game_server_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gossip_library.dir/gossip_library.cpp.o"
+  "CMakeFiles/gossip_library.dir/gossip_library.cpp.o.d"
+  "gossip_library"
+  "gossip_library.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gossip_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

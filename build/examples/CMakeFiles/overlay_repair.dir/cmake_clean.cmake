@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overlay_repair.dir/overlay_repair.cpp.o"
+  "CMakeFiles/overlay_repair.dir/overlay_repair.cpp.o.d"
+  "overlay_repair"
+  "overlay_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlay_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

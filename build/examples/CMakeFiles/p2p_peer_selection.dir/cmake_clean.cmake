@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2p_peer_selection.dir/p2p_peer_selection.cpp.o"
+  "CMakeFiles/p2p_peer_selection.dir/p2p_peer_selection.cpp.o.d"
+  "p2p_peer_selection"
+  "p2p_peer_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2p_peer_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

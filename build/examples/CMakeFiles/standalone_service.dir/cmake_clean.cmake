@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/standalone_service.dir/standalone_service.cpp.o"
+  "CMakeFiles/standalone_service.dir/standalone_service.cpp.o.d"
+  "standalone_service"
+  "standalone_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/standalone_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/asn/asn_clustering.cpp" "src/asn/CMakeFiles/crp_asn.dir/asn_clustering.cpp.o" "gcc" "src/asn/CMakeFiles/crp_asn.dir/asn_clustering.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/crp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/crp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/crp_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/crp_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/crp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

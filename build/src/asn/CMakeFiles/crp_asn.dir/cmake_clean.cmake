@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crp_asn.dir/asn_clustering.cpp.o"
+  "CMakeFiles/crp_asn.dir/asn_clustering.cpp.o.d"
+  "libcrp_asn.a"
+  "libcrp_asn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crp_asn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

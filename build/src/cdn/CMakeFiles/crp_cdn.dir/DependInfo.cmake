@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cdn/authoritative.cpp" "src/cdn/CMakeFiles/crp_cdn.dir/authoritative.cpp.o" "gcc" "src/cdn/CMakeFiles/crp_cdn.dir/authoritative.cpp.o.d"
+  "/root/repo/src/cdn/customer.cpp" "src/cdn/CMakeFiles/crp_cdn.dir/customer.cpp.o" "gcc" "src/cdn/CMakeFiles/crp_cdn.dir/customer.cpp.o.d"
+  "/root/repo/src/cdn/deployment.cpp" "src/cdn/CMakeFiles/crp_cdn.dir/deployment.cpp.o" "gcc" "src/cdn/CMakeFiles/crp_cdn.dir/deployment.cpp.o.d"
+  "/root/repo/src/cdn/measurement.cpp" "src/cdn/CMakeFiles/crp_cdn.dir/measurement.cpp.o" "gcc" "src/cdn/CMakeFiles/crp_cdn.dir/measurement.cpp.o.d"
+  "/root/repo/src/cdn/redirection.cpp" "src/cdn/CMakeFiles/crp_cdn.dir/redirection.cpp.o" "gcc" "src/cdn/CMakeFiles/crp_cdn.dir/redirection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/crp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/crp_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/crp_dns.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crp_cdn.dir/authoritative.cpp.o"
+  "CMakeFiles/crp_cdn.dir/authoritative.cpp.o.d"
+  "CMakeFiles/crp_cdn.dir/customer.cpp.o"
+  "CMakeFiles/crp_cdn.dir/customer.cpp.o.d"
+  "CMakeFiles/crp_cdn.dir/deployment.cpp.o"
+  "CMakeFiles/crp_cdn.dir/deployment.cpp.o.d"
+  "CMakeFiles/crp_cdn.dir/measurement.cpp.o"
+  "CMakeFiles/crp_cdn.dir/measurement.cpp.o.d"
+  "CMakeFiles/crp_cdn.dir/redirection.cpp.o"
+  "CMakeFiles/crp_cdn.dir/redirection.cpp.o.d"
+  "libcrp_cdn.a"
+  "libcrp_cdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crp_cdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

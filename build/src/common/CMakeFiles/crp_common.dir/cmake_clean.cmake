@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crp_common.dir/rng.cpp.o"
+  "CMakeFiles/crp_common.dir/rng.cpp.o.d"
+  "CMakeFiles/crp_common.dir/stats.cpp.o"
+  "CMakeFiles/crp_common.dir/stats.cpp.o.d"
+  "CMakeFiles/crp_common.dir/table.cpp.o"
+  "CMakeFiles/crp_common.dir/table.cpp.o.d"
+  "libcrp_common.a"
+  "libcrp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coord/binning.cpp" "src/coord/CMakeFiles/crp_coord.dir/binning.cpp.o" "gcc" "src/coord/CMakeFiles/crp_coord.dir/binning.cpp.o.d"
+  "/root/repo/src/coord/gnp.cpp" "src/coord/CMakeFiles/crp_coord.dir/gnp.cpp.o" "gcc" "src/coord/CMakeFiles/crp_coord.dir/gnp.cpp.o.d"
+  "/root/repo/src/coord/vivaldi.cpp" "src/coord/CMakeFiles/crp_coord.dir/vivaldi.cpp.o" "gcc" "src/coord/CMakeFiles/crp_coord.dir/vivaldi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/crp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/crp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/crp_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/crp_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/crp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

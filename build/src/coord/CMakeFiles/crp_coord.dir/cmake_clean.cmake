@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crp_coord.dir/binning.cpp.o"
+  "CMakeFiles/crp_coord.dir/binning.cpp.o.d"
+  "CMakeFiles/crp_coord.dir/gnp.cpp.o"
+  "CMakeFiles/crp_coord.dir/gnp.cpp.o.d"
+  "CMakeFiles/crp_coord.dir/vivaldi.cpp.o"
+  "CMakeFiles/crp_coord.dir/vivaldi.cpp.o.d"
+  "libcrp_coord.a"
+  "libcrp_coord.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crp_coord.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cluster_quality.cpp" "src/core/CMakeFiles/crp_core.dir/cluster_quality.cpp.o" "gcc" "src/core/CMakeFiles/crp_core.dir/cluster_quality.cpp.o.d"
+  "/root/repo/src/core/clustering.cpp" "src/core/CMakeFiles/crp_core.dir/clustering.cpp.o" "gcc" "src/core/CMakeFiles/crp_core.dir/clustering.cpp.o.d"
+  "/root/repo/src/core/history.cpp" "src/core/CMakeFiles/crp_core.dir/history.cpp.o" "gcc" "src/core/CMakeFiles/crp_core.dir/history.cpp.o.d"
+  "/root/repo/src/core/hybrid.cpp" "src/core/CMakeFiles/crp_core.dir/hybrid.cpp.o" "gcc" "src/core/CMakeFiles/crp_core.dir/hybrid.cpp.o.d"
+  "/root/repo/src/core/name_filter.cpp" "src/core/CMakeFiles/crp_core.dir/name_filter.cpp.o" "gcc" "src/core/CMakeFiles/crp_core.dir/name_filter.cpp.o.d"
+  "/root/repo/src/core/node.cpp" "src/core/CMakeFiles/crp_core.dir/node.cpp.o" "gcc" "src/core/CMakeFiles/crp_core.dir/node.cpp.o.d"
+  "/root/repo/src/core/ratio_map.cpp" "src/core/CMakeFiles/crp_core.dir/ratio_map.cpp.o" "gcc" "src/core/CMakeFiles/crp_core.dir/ratio_map.cpp.o.d"
+  "/root/repo/src/core/selection.cpp" "src/core/CMakeFiles/crp_core.dir/selection.cpp.o" "gcc" "src/core/CMakeFiles/crp_core.dir/selection.cpp.o.d"
+  "/root/repo/src/core/similarity.cpp" "src/core/CMakeFiles/crp_core.dir/similarity.cpp.o" "gcc" "src/core/CMakeFiles/crp_core.dir/similarity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/crp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/crp_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/crp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/crp_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crp_core.dir/cluster_quality.cpp.o"
+  "CMakeFiles/crp_core.dir/cluster_quality.cpp.o.d"
+  "CMakeFiles/crp_core.dir/clustering.cpp.o"
+  "CMakeFiles/crp_core.dir/clustering.cpp.o.d"
+  "CMakeFiles/crp_core.dir/history.cpp.o"
+  "CMakeFiles/crp_core.dir/history.cpp.o.d"
+  "CMakeFiles/crp_core.dir/hybrid.cpp.o"
+  "CMakeFiles/crp_core.dir/hybrid.cpp.o.d"
+  "CMakeFiles/crp_core.dir/name_filter.cpp.o"
+  "CMakeFiles/crp_core.dir/name_filter.cpp.o.d"
+  "CMakeFiles/crp_core.dir/node.cpp.o"
+  "CMakeFiles/crp_core.dir/node.cpp.o.d"
+  "CMakeFiles/crp_core.dir/ratio_map.cpp.o"
+  "CMakeFiles/crp_core.dir/ratio_map.cpp.o.d"
+  "CMakeFiles/crp_core.dir/selection.cpp.o"
+  "CMakeFiles/crp_core.dir/selection.cpp.o.d"
+  "CMakeFiles/crp_core.dir/similarity.cpp.o"
+  "CMakeFiles/crp_core.dir/similarity.cpp.o.d"
+  "libcrp_core.a"
+  "libcrp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

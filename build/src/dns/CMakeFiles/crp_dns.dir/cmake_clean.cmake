@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crp_dns.dir/name.cpp.o"
+  "CMakeFiles/crp_dns.dir/name.cpp.o.d"
+  "CMakeFiles/crp_dns.dir/record.cpp.o"
+  "CMakeFiles/crp_dns.dir/record.cpp.o.d"
+  "CMakeFiles/crp_dns.dir/resolver.cpp.o"
+  "CMakeFiles/crp_dns.dir/resolver.cpp.o.d"
+  "CMakeFiles/crp_dns.dir/zone.cpp.o"
+  "CMakeFiles/crp_dns.dir/zone.cpp.o.d"
+  "libcrp_dns.a"
+  "libcrp_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crp_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

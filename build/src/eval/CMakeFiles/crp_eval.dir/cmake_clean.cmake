@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crp_eval.dir/ground_truth.cpp.o"
+  "CMakeFiles/crp_eval.dir/ground_truth.cpp.o.d"
+  "CMakeFiles/crp_eval.dir/metrics.cpp.o"
+  "CMakeFiles/crp_eval.dir/metrics.cpp.o.d"
+  "CMakeFiles/crp_eval.dir/series.cpp.o"
+  "CMakeFiles/crp_eval.dir/series.cpp.o.d"
+  "CMakeFiles/crp_eval.dir/world.cpp.o"
+  "CMakeFiles/crp_eval.dir/world.cpp.o.d"
+  "libcrp_eval.a"
+  "libcrp_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crp_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

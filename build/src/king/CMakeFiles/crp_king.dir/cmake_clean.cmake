@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crp_king.dir/king.cpp.o"
+  "CMakeFiles/crp_king.dir/king.cpp.o.d"
+  "libcrp_king.a"
+  "libcrp_king.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crp_king.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crp_meridian.dir/node.cpp.o"
+  "CMakeFiles/crp_meridian.dir/node.cpp.o.d"
+  "CMakeFiles/crp_meridian.dir/overlay.cpp.o"
+  "CMakeFiles/crp_meridian.dir/overlay.cpp.o.d"
+  "libcrp_meridian.a"
+  "libcrp_meridian.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crp_meridian.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

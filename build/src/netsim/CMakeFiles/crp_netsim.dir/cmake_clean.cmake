@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crp_netsim.dir/geo.cpp.o"
+  "CMakeFiles/crp_netsim.dir/geo.cpp.o.d"
+  "CMakeFiles/crp_netsim.dir/latency_model.cpp.o"
+  "CMakeFiles/crp_netsim.dir/latency_model.cpp.o.d"
+  "CMakeFiles/crp_netsim.dir/topology.cpp.o"
+  "CMakeFiles/crp_netsim.dir/topology.cpp.o.d"
+  "CMakeFiles/crp_netsim.dir/topology_builder.cpp.o"
+  "CMakeFiles/crp_netsim.dir/topology_builder.cpp.o.d"
+  "libcrp_netsim.a"
+  "libcrp_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crp_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

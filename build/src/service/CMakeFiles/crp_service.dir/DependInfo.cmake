@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/service/gossip.cpp" "src/service/CMakeFiles/crp_service.dir/gossip.cpp.o" "gcc" "src/service/CMakeFiles/crp_service.dir/gossip.cpp.o.d"
+  "/root/repo/src/service/position_service.cpp" "src/service/CMakeFiles/crp_service.dir/position_service.cpp.o" "gcc" "src/service/CMakeFiles/crp_service.dir/position_service.cpp.o.d"
+  "/root/repo/src/service/service_node.cpp" "src/service/CMakeFiles/crp_service.dir/service_node.cpp.o" "gcc" "src/service/CMakeFiles/crp_service.dir/service_node.cpp.o.d"
+  "/root/repo/src/service/wire.cpp" "src/service/CMakeFiles/crp_service.dir/wire.cpp.o" "gcc" "src/service/CMakeFiles/crp_service.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/crp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/crp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/crp_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/crp_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/crp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

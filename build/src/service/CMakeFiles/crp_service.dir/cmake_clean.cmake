@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crp_service.dir/gossip.cpp.o"
+  "CMakeFiles/crp_service.dir/gossip.cpp.o.d"
+  "CMakeFiles/crp_service.dir/position_service.cpp.o"
+  "CMakeFiles/crp_service.dir/position_service.cpp.o.d"
+  "CMakeFiles/crp_service.dir/service_node.cpp.o"
+  "CMakeFiles/crp_service.dir/service_node.cpp.o.d"
+  "CMakeFiles/crp_service.dir/wire.cpp.o"
+  "CMakeFiles/crp_service.dir/wire.cpp.o.d"
+  "libcrp_service.a"
+  "libcrp_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crp_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crp_sim.dir/event_scheduler.cpp.o"
+  "CMakeFiles/crp_sim.dir/event_scheduler.cpp.o.d"
+  "libcrp_sim.a"
+  "libcrp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

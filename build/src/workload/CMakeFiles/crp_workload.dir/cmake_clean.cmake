@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crp_workload.dir/browsing.cpp.o"
+  "CMakeFiles/crp_workload.dir/browsing.cpp.o.d"
+  "libcrp_workload.a"
+  "libcrp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

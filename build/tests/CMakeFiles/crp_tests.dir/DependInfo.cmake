@@ -1,0 +1,81 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/asn/asn_clustering_test.cpp" "tests/CMakeFiles/crp_tests.dir/asn/asn_clustering_test.cpp.o" "gcc" "tests/CMakeFiles/crp_tests.dir/asn/asn_clustering_test.cpp.o.d"
+  "/root/repo/tests/cdn/authoritative_test.cpp" "tests/CMakeFiles/crp_tests.dir/cdn/authoritative_test.cpp.o" "gcc" "tests/CMakeFiles/crp_tests.dir/cdn/authoritative_test.cpp.o.d"
+  "/root/repo/tests/cdn/customer_test.cpp" "tests/CMakeFiles/crp_tests.dir/cdn/customer_test.cpp.o" "gcc" "tests/CMakeFiles/crp_tests.dir/cdn/customer_test.cpp.o.d"
+  "/root/repo/tests/cdn/deployment_test.cpp" "tests/CMakeFiles/crp_tests.dir/cdn/deployment_test.cpp.o" "gcc" "tests/CMakeFiles/crp_tests.dir/cdn/deployment_test.cpp.o.d"
+  "/root/repo/tests/cdn/health_test.cpp" "tests/CMakeFiles/crp_tests.dir/cdn/health_test.cpp.o" "gcc" "tests/CMakeFiles/crp_tests.dir/cdn/health_test.cpp.o.d"
+  "/root/repo/tests/cdn/measurement_test.cpp" "tests/CMakeFiles/crp_tests.dir/cdn/measurement_test.cpp.o" "gcc" "tests/CMakeFiles/crp_tests.dir/cdn/measurement_test.cpp.o.d"
+  "/root/repo/tests/cdn/redirection_test.cpp" "tests/CMakeFiles/crp_tests.dir/cdn/redirection_test.cpp.o" "gcc" "tests/CMakeFiles/crp_tests.dir/cdn/redirection_test.cpp.o.d"
+  "/root/repo/tests/common/ids_test.cpp" "tests/CMakeFiles/crp_tests.dir/common/ids_test.cpp.o" "gcc" "tests/CMakeFiles/crp_tests.dir/common/ids_test.cpp.o.d"
+  "/root/repo/tests/common/ipv4_test.cpp" "tests/CMakeFiles/crp_tests.dir/common/ipv4_test.cpp.o" "gcc" "tests/CMakeFiles/crp_tests.dir/common/ipv4_test.cpp.o.d"
+  "/root/repo/tests/common/rng_test.cpp" "tests/CMakeFiles/crp_tests.dir/common/rng_test.cpp.o" "gcc" "tests/CMakeFiles/crp_tests.dir/common/rng_test.cpp.o.d"
+  "/root/repo/tests/common/stats_test.cpp" "tests/CMakeFiles/crp_tests.dir/common/stats_test.cpp.o" "gcc" "tests/CMakeFiles/crp_tests.dir/common/stats_test.cpp.o.d"
+  "/root/repo/tests/common/table_test.cpp" "tests/CMakeFiles/crp_tests.dir/common/table_test.cpp.o" "gcc" "tests/CMakeFiles/crp_tests.dir/common/table_test.cpp.o.d"
+  "/root/repo/tests/common/time_test.cpp" "tests/CMakeFiles/crp_tests.dir/common/time_test.cpp.o" "gcc" "tests/CMakeFiles/crp_tests.dir/common/time_test.cpp.o.d"
+  "/root/repo/tests/coord/binning_test.cpp" "tests/CMakeFiles/crp_tests.dir/coord/binning_test.cpp.o" "gcc" "tests/CMakeFiles/crp_tests.dir/coord/binning_test.cpp.o.d"
+  "/root/repo/tests/coord/gnp_test.cpp" "tests/CMakeFiles/crp_tests.dir/coord/gnp_test.cpp.o" "gcc" "tests/CMakeFiles/crp_tests.dir/coord/gnp_test.cpp.o.d"
+  "/root/repo/tests/coord/vivaldi_test.cpp" "tests/CMakeFiles/crp_tests.dir/coord/vivaldi_test.cpp.o" "gcc" "tests/CMakeFiles/crp_tests.dir/coord/vivaldi_test.cpp.o.d"
+  "/root/repo/tests/core/cluster_quality_test.cpp" "tests/CMakeFiles/crp_tests.dir/core/cluster_quality_test.cpp.o" "gcc" "tests/CMakeFiles/crp_tests.dir/core/cluster_quality_test.cpp.o.d"
+  "/root/repo/tests/core/clustering_test.cpp" "tests/CMakeFiles/crp_tests.dir/core/clustering_test.cpp.o" "gcc" "tests/CMakeFiles/crp_tests.dir/core/clustering_test.cpp.o.d"
+  "/root/repo/tests/core/history_test.cpp" "tests/CMakeFiles/crp_tests.dir/core/history_test.cpp.o" "gcc" "tests/CMakeFiles/crp_tests.dir/core/history_test.cpp.o.d"
+  "/root/repo/tests/core/hybrid_test.cpp" "tests/CMakeFiles/crp_tests.dir/core/hybrid_test.cpp.o" "gcc" "tests/CMakeFiles/crp_tests.dir/core/hybrid_test.cpp.o.d"
+  "/root/repo/tests/core/name_filter_test.cpp" "tests/CMakeFiles/crp_tests.dir/core/name_filter_test.cpp.o" "gcc" "tests/CMakeFiles/crp_tests.dir/core/name_filter_test.cpp.o.d"
+  "/root/repo/tests/core/node_test.cpp" "tests/CMakeFiles/crp_tests.dir/core/node_test.cpp.o" "gcc" "tests/CMakeFiles/crp_tests.dir/core/node_test.cpp.o.d"
+  "/root/repo/tests/core/ratio_map_test.cpp" "tests/CMakeFiles/crp_tests.dir/core/ratio_map_test.cpp.o" "gcc" "tests/CMakeFiles/crp_tests.dir/core/ratio_map_test.cpp.o.d"
+  "/root/repo/tests/core/selection_test.cpp" "tests/CMakeFiles/crp_tests.dir/core/selection_test.cpp.o" "gcc" "tests/CMakeFiles/crp_tests.dir/core/selection_test.cpp.o.d"
+  "/root/repo/tests/core/similarity_test.cpp" "tests/CMakeFiles/crp_tests.dir/core/similarity_test.cpp.o" "gcc" "tests/CMakeFiles/crp_tests.dir/core/similarity_test.cpp.o.d"
+  "/root/repo/tests/dns/name_test.cpp" "tests/CMakeFiles/crp_tests.dir/dns/name_test.cpp.o" "gcc" "tests/CMakeFiles/crp_tests.dir/dns/name_test.cpp.o.d"
+  "/root/repo/tests/dns/record_test.cpp" "tests/CMakeFiles/crp_tests.dir/dns/record_test.cpp.o" "gcc" "tests/CMakeFiles/crp_tests.dir/dns/record_test.cpp.o.d"
+  "/root/repo/tests/dns/resolver_test.cpp" "tests/CMakeFiles/crp_tests.dir/dns/resolver_test.cpp.o" "gcc" "tests/CMakeFiles/crp_tests.dir/dns/resolver_test.cpp.o.d"
+  "/root/repo/tests/dns/zone_test.cpp" "tests/CMakeFiles/crp_tests.dir/dns/zone_test.cpp.o" "gcc" "tests/CMakeFiles/crp_tests.dir/dns/zone_test.cpp.o.d"
+  "/root/repo/tests/eval/ground_truth_test.cpp" "tests/CMakeFiles/crp_tests.dir/eval/ground_truth_test.cpp.o" "gcc" "tests/CMakeFiles/crp_tests.dir/eval/ground_truth_test.cpp.o.d"
+  "/root/repo/tests/eval/metrics_test.cpp" "tests/CMakeFiles/crp_tests.dir/eval/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/crp_tests.dir/eval/metrics_test.cpp.o.d"
+  "/root/repo/tests/eval/series_test.cpp" "tests/CMakeFiles/crp_tests.dir/eval/series_test.cpp.o" "gcc" "tests/CMakeFiles/crp_tests.dir/eval/series_test.cpp.o.d"
+  "/root/repo/tests/eval/world_test.cpp" "tests/CMakeFiles/crp_tests.dir/eval/world_test.cpp.o" "gcc" "tests/CMakeFiles/crp_tests.dir/eval/world_test.cpp.o.d"
+  "/root/repo/tests/integration/end_to_end_test.cpp" "tests/CMakeFiles/crp_tests.dir/integration/end_to_end_test.cpp.o" "gcc" "tests/CMakeFiles/crp_tests.dir/integration/end_to_end_test.cpp.o.d"
+  "/root/repo/tests/integration/failure_test.cpp" "tests/CMakeFiles/crp_tests.dir/integration/failure_test.cpp.o" "gcc" "tests/CMakeFiles/crp_tests.dir/integration/failure_test.cpp.o.d"
+  "/root/repo/tests/integration/invariants_test.cpp" "tests/CMakeFiles/crp_tests.dir/integration/invariants_test.cpp.o" "gcc" "tests/CMakeFiles/crp_tests.dir/integration/invariants_test.cpp.o.d"
+  "/root/repo/tests/integration/properties_test.cpp" "tests/CMakeFiles/crp_tests.dir/integration/properties_test.cpp.o" "gcc" "tests/CMakeFiles/crp_tests.dir/integration/properties_test.cpp.o.d"
+  "/root/repo/tests/king/king_test.cpp" "tests/CMakeFiles/crp_tests.dir/king/king_test.cpp.o" "gcc" "tests/CMakeFiles/crp_tests.dir/king/king_test.cpp.o.d"
+  "/root/repo/tests/meridian/node_test.cpp" "tests/CMakeFiles/crp_tests.dir/meridian/node_test.cpp.o" "gcc" "tests/CMakeFiles/crp_tests.dir/meridian/node_test.cpp.o.d"
+  "/root/repo/tests/meridian/overlay_test.cpp" "tests/CMakeFiles/crp_tests.dir/meridian/overlay_test.cpp.o" "gcc" "tests/CMakeFiles/crp_tests.dir/meridian/overlay_test.cpp.o.d"
+  "/root/repo/tests/netsim/geo_test.cpp" "tests/CMakeFiles/crp_tests.dir/netsim/geo_test.cpp.o" "gcc" "tests/CMakeFiles/crp_tests.dir/netsim/geo_test.cpp.o.d"
+  "/root/repo/tests/netsim/latency_model_test.cpp" "tests/CMakeFiles/crp_tests.dir/netsim/latency_model_test.cpp.o" "gcc" "tests/CMakeFiles/crp_tests.dir/netsim/latency_model_test.cpp.o.d"
+  "/root/repo/tests/netsim/topology_builder_test.cpp" "tests/CMakeFiles/crp_tests.dir/netsim/topology_builder_test.cpp.o" "gcc" "tests/CMakeFiles/crp_tests.dir/netsim/topology_builder_test.cpp.o.d"
+  "/root/repo/tests/netsim/topology_test.cpp" "tests/CMakeFiles/crp_tests.dir/netsim/topology_test.cpp.o" "gcc" "tests/CMakeFiles/crp_tests.dir/netsim/topology_test.cpp.o.d"
+  "/root/repo/tests/service/gossip_test.cpp" "tests/CMakeFiles/crp_tests.dir/service/gossip_test.cpp.o" "gcc" "tests/CMakeFiles/crp_tests.dir/service/gossip_test.cpp.o.d"
+  "/root/repo/tests/service/position_service_test.cpp" "tests/CMakeFiles/crp_tests.dir/service/position_service_test.cpp.o" "gcc" "tests/CMakeFiles/crp_tests.dir/service/position_service_test.cpp.o.d"
+  "/root/repo/tests/service/service_node_test.cpp" "tests/CMakeFiles/crp_tests.dir/service/service_node_test.cpp.o" "gcc" "tests/CMakeFiles/crp_tests.dir/service/service_node_test.cpp.o.d"
+  "/root/repo/tests/service/wire_test.cpp" "tests/CMakeFiles/crp_tests.dir/service/wire_test.cpp.o" "gcc" "tests/CMakeFiles/crp_tests.dir/service/wire_test.cpp.o.d"
+  "/root/repo/tests/sim/event_scheduler_test.cpp" "tests/CMakeFiles/crp_tests.dir/sim/event_scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/crp_tests.dir/sim/event_scheduler_test.cpp.o.d"
+  "/root/repo/tests/workload/browsing_test.cpp" "tests/CMakeFiles/crp_tests.dir/workload/browsing_test.cpp.o" "gcc" "tests/CMakeFiles/crp_tests.dir/workload/browsing_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/crp_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/service/CMakeFiles/crp_service.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/crp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdn/CMakeFiles/crp_cdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/king/CMakeFiles/crp_king.dir/DependInfo.cmake"
+  "/root/repo/build/src/meridian/CMakeFiles/crp_meridian.dir/DependInfo.cmake"
+  "/root/repo/build/src/asn/CMakeFiles/crp_asn.dir/DependInfo.cmake"
+  "/root/repo/build/src/coord/CMakeFiles/crp_coord.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/crp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/crp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/crp_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/crp_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/crp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
