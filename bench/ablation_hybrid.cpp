@@ -15,6 +15,7 @@
 #include "coord/gnp.hpp"
 #include "coord/vivaldi.hpp"
 #include "core/hybrid.hpp"
+#include "core/similarity_engine.hpp"
 #include "eval/series.hpp"
 
 int main() {
@@ -73,6 +74,7 @@ int main() {
   Row crp_all, viv_all, gnp_all, hyb_all, hyb_gnp_all;
   Row crp_blind, viv_blind, gnp_blind, hyb_blind, hyb_gnp_blind;
   std::size_t blind = 0;
+  const core::SimilarityEngine candidate_engine{exp.candidate_maps};
 
   for (std::size_t c = 0; c < n_clients; ++c) {
     const core::RatioMap& client_map = exp.client_maps[c];
@@ -86,7 +88,7 @@ int main() {
     };
 
     const std::size_t crp_pick =
-        core::select_closest(client_map, exp.candidate_maps);
+        core::select_closest(client_map, candidate_engine).value();
     const auto best_by = [&](const auto& estimate) {
       double best_est = 1e18;
       std::size_t pick = 0;
@@ -106,7 +108,7 @@ int main() {
         core::hybrid_select(client_map, exp.candidate_maps, gnp_estimate);
 
     const bool is_blind =
-        core::comparable_count(client_map, exp.candidate_maps) == 0;
+        core::comparable_count(client_map, candidate_engine) == 0;
     if (is_blind) ++blind;
 
     const auto record = [&](Row& row, std::size_t pick) {

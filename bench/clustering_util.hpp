@@ -14,6 +14,7 @@
 #include "asn/asn_clustering.hpp"
 #include "core/cluster_quality.hpp"
 #include "core/clustering.hpp"
+#include "core/similarity_engine.hpp"
 #include "eval/world.hpp"
 
 namespace crp::bench {
@@ -42,6 +43,9 @@ struct ClusteringExperiment {
     for (HostId h : nodes) {
       maps.push_back(world->crp_node(h).ratio_map());
     }
+    // One corpus index serves every threshold/seeding variant a bench
+    // sweeps (Table I runs three thresholds over the same maps).
+    engine = std::make_unique<core::SimilarityEngine>(maps);
 
     std::fprintf(stderr,
                  "[king] measuring %zu x %zu ground-truth matrix...\n",
@@ -57,7 +61,7 @@ struct ClusteringExperiment {
     core::SmfConfig config;
     config.threshold = threshold;
     config.seed = world->config().seed + 7;
-    return core::smf_cluster(maps, config);
+    return core::smf_cluster(*engine, config);
   }
 
   [[nodiscard]] core::Clustering asn_clustering() const {
@@ -67,6 +71,7 @@ struct ClusteringExperiment {
   std::unique_ptr<eval::World> world;
   std::vector<HostId> nodes;
   std::vector<core::RatioMap> maps;
+  std::unique_ptr<core::SimilarityEngine> engine;
   std::vector<std::vector<double>> king;
 };
 

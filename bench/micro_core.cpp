@@ -7,10 +7,12 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "core/hybrid.hpp"
 #include "core/clustering.hpp"
 #include "core/ratio_map.hpp"
 #include "core/selection.hpp"
+#include "core/similarity_engine.hpp"
 #include "meridian/overlay.hpp"
 #include "netsim/latency_model.hpp"
 #include "netsim/topology_builder.hpp"
@@ -181,6 +183,72 @@ void BM_HybridRank(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HybridRank)->Arg(240);
+
+// --- similarity engine vs naive per-pair selection ---
+//
+// Corpus shape matches a large CRP deployment: 16-entry maps over a
+// ~2000-replica fleet, so most pairs share no replica and the engine's
+// inverted index skips them. The naive loop pays a full scan per query
+// regardless. Args are {corpus size, threads}; the naive baseline is
+// single-threaded by construction (that is the thing being replaced).
+constexpr std::uint32_t kEngineIdSpace = 2000;
+constexpr int kEngineEntries = 16;
+constexpr std::size_t kEngineTopK = 8;
+
+std::vector<core::RatioMap> engine_corpus(std::size_t n) {
+  Rng rng{14};
+  std::vector<core::RatioMap> maps;
+  maps.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    maps.push_back(random_map(rng, kEngineEntries, kEngineIdSpace));
+  }
+  return maps;
+}
+
+void BM_NaiveTopKLoop(benchmark::State& state) {
+  const auto maps = engine_corpus(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    for (const core::RatioMap& query : maps) {
+      benchmark::DoNotOptimize(
+          core::select_top_k(query, maps, kEngineTopK));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(maps.size()));
+}
+BENCHMARK(BM_NaiveTopKLoop)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+void BM_EngineTopK(benchmark::State& state) {
+  const auto maps = engine_corpus(static_cast<std::size_t>(state.range(0)));
+  const core::SimilarityEngine engine{maps};
+  ThreadPool pool{static_cast<std::size_t>(state.range(1))};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.all_top_k(kEngineTopK, &pool));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(maps.size()));
+}
+BENCHMARK(BM_EngineTopK)
+    ->Args({256, 1})->Args({256, 4})->Args({256, 8})
+    ->Args({1024, 1})->Args({1024, 4})->Args({1024, 8})
+    ->Args({4096, 1})->Args({4096, 4})->Args({4096, 8})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EngineAllPairs(benchmark::State& state) {
+  const auto maps = engine_corpus(static_cast<std::size_t>(state.range(0)));
+  const core::SimilarityEngine engine{maps};
+  ThreadPool pool{static_cast<std::size_t>(state.range(1))};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.pairwise_similarities(&pool));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(maps.size()));
+}
+BENCHMARK(BM_EngineAllPairs)
+    ->Args({256, 1})->Args({256, 4})->Args({256, 8})
+    ->Args({1024, 1})->Args({1024, 4})->Args({1024, 8})
+    ->Args({4096, 1})->Args({4096, 4})->Args({4096, 8})
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

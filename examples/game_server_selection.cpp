@@ -44,7 +44,8 @@ int main() {
   Rng rng{5};
   for (HostId player : world.dns_servers()) {
     const core::RatioMap player_map = world.crp_node(player).ratio_map();
-    const std::size_t chosen = core::select_closest(player_map, server_maps);
+    const std::size_t chosen =
+        core::select_closest(player_map, server_maps).value();
     assignment.push_back(chosen);
     crp_rtt.add(world.ground_truth_rtt_ms(player,
                                           world.candidates()[chosen]));

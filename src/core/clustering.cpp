@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <numeric>
+#include <stdexcept>
 
 #include "common/rng.hpp"
 #include "common/stats.hpp"
+#include "core/similarity_engine.hpp"
 
 namespace crp::core {
 
@@ -24,9 +26,17 @@ std::size_t Clustering::nodes_clustered() const {
   return count;
 }
 
-Clustering smf_cluster(std::span<const RatioMap> maps,
-                       const SmfConfig& config) {
-  const std::size_t n = maps.size();
+namespace {
+
+/// SMF given a per-node similarity source. `node_scores(node, sims)`
+/// fills `sims` with the node's similarity to every other node; the rest
+/// of the algorithm is shared between the engine-backed and reference
+/// paths, which guarantees their outputs can differ only if the scores
+/// do (and the engine's scores are bit-identical to similarity()'s).
+template <typename StrengthFn, typename ScoresFn>
+Clustering smf_cluster_impl(std::size_t n, const SmfConfig& config,
+                            const StrengthFn& strength,
+                            const ScoresFn& node_scores) {
   Clustering out;
   out.assignment.assign(n, 0);
 
@@ -37,21 +47,22 @@ Clustering smf_cluster(std::span<const RatioMap> maps,
   if (config.seeding == SmfConfig::Seeding::kStrongestFirst) {
     std::stable_sort(order.begin(), order.end(),
                      [&](std::size_t a, std::size_t b) {
-                       return maps[a].strongest_mapping() >
-                              maps[b].strongest_mapping();
+                       return strength(a) > strength(b);
                      });
   } else {
     rng.shuffle(order);
   }
 
+  std::vector<double> sims(n, 0.0);
+
   // Pass 1: each node joins its most similar existing center if above
   // threshold, otherwise founds a new cluster with itself as center.
   for (std::size_t node : order) {
+    node_scores(node, sims);
     std::size_t best_cluster = 0;
     double best_sim = -1.0;
     for (std::size_t c = 0; c < out.clusters.size(); ++c) {
-      const double s = similarity(config.metric, maps[node],
-                                  maps[out.clusters[c].center]);
+      const double s = sims[out.clusters[c].center];
       if (s > best_sim) {
         best_sim = s;
         best_cluster = c;
@@ -82,11 +93,11 @@ Clustering smf_cluster(std::span<const RatioMap> maps,
     for (std::size_t ci : singles) {
       if (absorbed[ci]) continue;
       const std::size_t center = out.clusters[ci].center;
+      node_scores(center, sims);
       for (std::size_t cj : singles) {
         if (cj == ci || absorbed[cj]) continue;
         const std::size_t other = out.clusters[cj].center;
-        if (similarity(config.metric, maps[other], maps[center]) >=
-            config.threshold) {
+        if (sims[other] >= config.threshold) {
           out.clusters[ci].members.push_back(other);
           out.assignment[other] = ci;
           absorbed[cj] = true;
@@ -107,6 +118,40 @@ Clustering smf_cluster(std::span<const RatioMap> maps,
     out = std::move(compacted);
   }
   return out;
+}
+
+}  // namespace
+
+Clustering smf_cluster(const SimilarityEngine& engine,
+                       const SmfConfig& config) {
+  if (engine.kind() != config.metric) {
+    throw std::invalid_argument{
+        "smf_cluster: engine metric disagrees with config.metric"};
+  }
+  return smf_cluster_impl(
+      engine.size(), config,
+      [&engine](std::size_t i) { return engine.strongest_mapping(i); },
+      [&engine](std::size_t node, std::vector<double>& sims) {
+        engine.scores_of(node, sims);
+      });
+}
+
+Clustering smf_cluster(std::span<const RatioMap> maps,
+                       const SmfConfig& config) {
+  const SimilarityEngine engine{maps, config.metric};
+  return smf_cluster(engine, config);
+}
+
+Clustering smf_cluster_reference(std::span<const RatioMap> maps,
+                                 const SmfConfig& config) {
+  return smf_cluster_impl(
+      maps.size(), config,
+      [&maps](std::size_t i) { return maps[i].strongest_mapping(); },
+      [&maps, &config](std::size_t node, std::vector<double>& sims) {
+        for (std::size_t i = 0; i < maps.size(); ++i) {
+          sims[i] = similarity(config.metric, maps[node], maps[i]);
+        }
+      });
 }
 
 ClusteringStats clustering_stats(const Clustering& clustering,

@@ -55,9 +55,25 @@ struct SmfConfig {
   std::uint64_t seed = 23;
 };
 
+class SimilarityEngine;
+
 /// Runs SMF over `maps`. Nodes with empty ratio maps become singletons.
+/// Internally builds a `SimilarityEngine` over the maps and queries it for
+/// the pass-1 center scan and the pass-2 singleton rescue.
 [[nodiscard]] Clustering smf_cluster(std::span<const RatioMap> maps,
                                      const SmfConfig& config = {});
+
+/// Same, over a prebuilt engine (reuse it across thresholds/seeds: the
+/// corpus indexing is the expensive part). Throws std::invalid_argument
+/// if `config.metric` disagrees with the engine's metric.
+[[nodiscard]] Clustering smf_cluster(const SimilarityEngine& engine,
+                                     const SmfConfig& config = {});
+
+/// Reference implementation with per-pair similarity() calls, kept for
+/// equivalence testing (its output is bit-identical to smf_cluster's)
+/// and as executable documentation of the paper's algorithm.
+[[nodiscard]] Clustering smf_cluster_reference(std::span<const RatioMap> maps,
+                                               const SmfConfig& config = {});
 
 /// Summary statistics matching Table I's columns.
 struct ClusteringStats {

@@ -1,7 +1,8 @@
 #include "core/selection.hpp"
 
 #include <algorithm>
-#include <limits>
+
+#include "core/similarity_engine.hpp"
 
 namespace crp::core {
 
@@ -21,6 +22,11 @@ std::vector<RankedCandidate> rank_candidates(
   return ranked;
 }
 
+std::vector<RankedCandidate> rank_candidates(const RatioMap& client,
+                                             const SimilarityEngine& corpus) {
+  return corpus.rank_all(client);
+}
+
 std::vector<RankedCandidate> select_top_k(const RatioMap& client,
                                           std::span<const RatioMap> candidates,
                                           std::size_t k,
@@ -30,10 +36,16 @@ std::vector<RankedCandidate> select_top_k(const RatioMap& client,
   return ranked;
 }
 
-std::size_t select_closest(const RatioMap& client,
-                           std::span<const RatioMap> candidates,
-                           SimilarityKind kind) {
-  if (candidates.empty()) return std::numeric_limits<std::size_t>::max();
+std::vector<RankedCandidate> select_top_k(const RatioMap& client,
+                                          const SimilarityEngine& corpus,
+                                          std::size_t k) {
+  return corpus.top_k(client, k);
+}
+
+std::optional<std::size_t> select_closest(const RatioMap& client,
+                                          std::span<const RatioMap> candidates,
+                                          SimilarityKind kind) {
+  if (candidates.empty()) return std::nullopt;
   std::size_t best = 0;
   double best_sim = -1.0;
   for (std::size_t i = 0; i < candidates.size(); ++i) {
@@ -46,6 +58,13 @@ std::size_t select_closest(const RatioMap& client,
   return best;
 }
 
+std::optional<std::size_t> select_closest(const RatioMap& client,
+                                          const SimilarityEngine& corpus) {
+  if (corpus.empty()) return std::nullopt;
+  const auto top = corpus.top_k(client, 1);
+  return top.front().index;
+}
+
 std::size_t comparable_count(const RatioMap& client,
                              std::span<const RatioMap> candidates,
                              SimilarityKind kind) {
@@ -54,6 +73,11 @@ std::size_t comparable_count(const RatioMap& client,
     if (similarity(kind, client, c) > 0.0) ++count;
   }
   return count;
+}
+
+std::size_t comparable_count(const RatioMap& client,
+                             const SimilarityEngine& corpus) {
+  return corpus.comparable_count(client);
 }
 
 }  // namespace crp::core

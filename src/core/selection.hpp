@@ -4,9 +4,16 @@
 // the candidates by similarity to the client: the most similar candidate
 // is CRP's closest-node recommendation. Candidates sharing no replica with
 // the client have similarity zero — CRP can then only say "not nearby".
+//
+// Each function has two forms: the original span-based form (per-pair
+// similarity merges, fine for one-off queries) and a corpus-based overload
+// taking a prebuilt `SimilarityEngine`, which amortizes corpus indexing
+// across queries and skips zero-overlap candidates. The two forms return
+// bit-identical results.
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -14,6 +21,8 @@
 #include "core/similarity.hpp"
 
 namespace crp::core {
+
+class SimilarityEngine;
 
 struct RankedCandidate {
   std::size_t index = 0;   // position in the input span
@@ -30,22 +39,32 @@ struct RankedCandidate {
 [[nodiscard]] std::vector<RankedCandidate> rank_candidates(
     const RatioMap& client, std::span<const RatioMap> candidates,
     SimilarityKind kind = SimilarityKind::kCosine);
+[[nodiscard]] std::vector<RankedCandidate> rank_candidates(
+    const RatioMap& client, const SimilarityEngine& corpus);
 
 /// Top-k of `rank_candidates` (k clamped to the candidate count).
 [[nodiscard]] std::vector<RankedCandidate> select_top_k(
     const RatioMap& client, std::span<const RatioMap> candidates,
     std::size_t k, SimilarityKind kind = SimilarityKind::kCosine);
+[[nodiscard]] std::vector<RankedCandidate> select_top_k(
+    const RatioMap& client, const SimilarityEngine& corpus, std::size_t k);
 
-/// Index of the single best candidate, or SIZE_MAX if `candidates` is
+/// Index of the single best candidate, or nullopt iff `candidates` is
 /// empty. A zero-similarity winner is still returned (the paper's CRP
-/// always answers; accuracy in poorly covered regions suffers instead).
-[[nodiscard]] std::size_t select_closest(
+/// always answers; accuracy in poorly covered regions suffers instead) —
+/// with an empty or fully disjoint client map that winner is simply the
+/// first candidate.
+[[nodiscard]] std::optional<std::size_t> select_closest(
     const RatioMap& client, std::span<const RatioMap> candidates,
     SimilarityKind kind = SimilarityKind::kCosine);
+[[nodiscard]] std::optional<std::size_t> select_closest(
+    const RatioMap& client, const SimilarityEngine& corpus);
 
 /// Number of candidates with strictly positive similarity to the client.
 [[nodiscard]] std::size_t comparable_count(
     const RatioMap& client, std::span<const RatioMap> candidates,
     SimilarityKind kind = SimilarityKind::kCosine);
+[[nodiscard]] std::size_t comparable_count(const RatioMap& client,
+                                           const SimilarityEngine& corpus);
 
 }  // namespace crp::core

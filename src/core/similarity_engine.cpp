@@ -1,0 +1,305 @@
+#include "core/similarity_engine.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "common/thread_pool.hpp"
+
+namespace crp::core {
+
+// Reused across queries (thread_local, see scratch()): `mark`/`epoch`
+// implement O(touched) clearing — a slot belongs to the current query only
+// if mark[m] == epoch, so no O(corpus) zeroing per query is needed.
+struct SimilarityEngine::Scratch {
+  std::vector<double> acc;          // cosine / weighted-overlap partial sums
+  std::vector<std::uint32_t> inter;  // jaccard intersection counts
+  std::vector<std::uint64_t> mark;
+  std::uint64_t epoch = 0;
+  std::vector<std::uint32_t> touched;
+
+  void begin(std::size_t n) {
+    if (mark.size() < n) {
+      mark.resize(n, 0);
+      acc.resize(n, 0.0);
+      inter.resize(n, 0);
+    }
+    ++epoch;
+    touched.clear();
+  }
+};
+
+SimilarityEngine::Scratch& SimilarityEngine::scratch() {
+  static thread_local Scratch s;
+  return s;
+}
+
+SimilarityEngine::SimilarityEngine(std::span<const RatioMap> corpus,
+                                   SimilarityKind kind)
+    : kind_(kind) {
+  const std::size_t n = corpus.size();
+  std::size_t total = 0;
+  for (const RatioMap& map : corpus) total += map.size();
+
+  offsets_.reserve(n + 1);
+  offsets_.push_back(0);
+  entries_.reserve(total);
+  norms_.reserve(n);
+  strongest_.reserve(n);
+  for (const RatioMap& map : corpus) {
+    const auto row = map.entries();
+    entries_.insert(entries_.end(), row.begin(), row.end());
+    offsets_.push_back(entries_.size());
+    norms_.push_back(map.norm());
+    strongest_.push_back(map.strongest_mapping());
+  }
+
+  replica_ids_.reserve(total);
+  for (const auto& [id, ratio] : entries_) replica_ids_.push_back(id);
+  std::sort(replica_ids_.begin(), replica_ids_.end());
+  replica_ids_.erase(std::unique(replica_ids_.begin(), replica_ids_.end()),
+                     replica_ids_.end());
+
+  const std::size_t num_replicas = replica_ids_.size();
+  post_offsets_.assign(num_replicas + 1, 0);
+  for (const auto& [id, ratio] : entries_) {
+    const auto it =
+        std::lower_bound(replica_ids_.begin(), replica_ids_.end(), id);
+    ++post_offsets_[static_cast<std::size_t>(it - replica_ids_.begin()) + 1];
+  }
+  for (std::size_t r = 0; r < num_replicas; ++r) {
+    post_offsets_[r + 1] += post_offsets_[r];
+  }
+  post_map_.resize(total);
+  post_ratio_.resize(total);
+  std::vector<std::size_t> cursor{post_offsets_.begin(),
+                                  post_offsets_.end() - 1};
+  // Filling in map order keeps each posting list sorted by map index.
+  for (std::size_t m = 0; m < n; ++m) {
+    for (std::size_t e = offsets_[m]; e < offsets_[m + 1]; ++e) {
+      const auto it = std::lower_bound(replica_ids_.begin(),
+                                       replica_ids_.end(), entries_[e].first);
+      const auto r = static_cast<std::size_t>(it - replica_ids_.begin());
+      post_map_[cursor[r]] = static_cast<std::uint32_t>(m);
+      post_ratio_[cursor[r]] = entries_[e].second;
+      ++cursor[r];
+    }
+  }
+}
+
+void SimilarityEngine::accumulate(std::span<const RatioMap::Entry> entries,
+                                  Scratch& s) const {
+  s.begin(size());
+  for (const auto& [id, q_ratio] : entries) {
+    const auto it =
+        std::lower_bound(replica_ids_.begin(), replica_ids_.end(), id);
+    if (it == replica_ids_.end() || *it != id) continue;
+    const auto r = static_cast<std::size_t>(it - replica_ids_.begin());
+    const std::size_t lo = post_offsets_[r];
+    const std::size_t hi = post_offsets_[r + 1];
+    // Query entries arrive in increasing replica-id order, so each touched
+    // map accumulates its shared replicas in exactly the order the
+    // per-pair sorted merge visits them — scores stay bit-identical.
+    switch (kind_) {
+      case SimilarityKind::kCosine:
+        for (std::size_t p = lo; p < hi; ++p) {
+          const std::uint32_t m = post_map_[p];
+          if (s.mark[m] != s.epoch) {
+            s.mark[m] = s.epoch;
+            s.acc[m] = 0.0;
+            s.touched.push_back(m);
+          }
+          s.acc[m] += q_ratio * post_ratio_[p];
+        }
+        break;
+      case SimilarityKind::kJaccard:
+        for (std::size_t p = lo; p < hi; ++p) {
+          const std::uint32_t m = post_map_[p];
+          if (s.mark[m] != s.epoch) {
+            s.mark[m] = s.epoch;
+            s.inter[m] = 0;
+            s.touched.push_back(m);
+          }
+          ++s.inter[m];
+        }
+        break;
+      case SimilarityKind::kWeightedOverlap:
+        for (std::size_t p = lo; p < hi; ++p) {
+          const std::uint32_t m = post_map_[p];
+          if (s.mark[m] != s.epoch) {
+            s.mark[m] = s.epoch;
+            s.acc[m] = 0.0;
+            s.touched.push_back(m);
+          }
+          s.acc[m] += std::min(q_ratio, post_ratio_[p]);
+        }
+        break;
+    }
+  }
+}
+
+double SimilarityEngine::score_touched(std::size_t m, double query_norm,
+                                       std::size_t query_size,
+                                       const Scratch& s) const {
+  switch (kind_) {
+    case SimilarityKind::kCosine: {
+      const double denominator = query_norm * norms_[m];
+      if (denominator <= 0.0) return 0.0;
+      return std::clamp(s.acc[m] / denominator, 0.0, 1.0);
+    }
+    case SimilarityKind::kJaccard: {
+      const std::size_t inter = s.inter[m];
+      const std::size_t uni =
+          query_size + (offsets_[m + 1] - offsets_[m]) - inter;
+      if (uni == 0) return 0.0;
+      return static_cast<double>(inter) / static_cast<double>(uni);
+    }
+    case SimilarityKind::kWeightedOverlap:
+      return std::clamp(s.acc[m], 0.0, 1.0);
+  }
+  return 0.0;
+}
+
+void SimilarityEngine::scores(const RatioMap& query,
+                              std::span<double> out) const {
+  Scratch& s = scratch();
+  accumulate(query.entries(), s);
+  std::fill(out.begin(), out.end(), 0.0);
+  const double query_norm = query.norm();
+  for (const std::uint32_t m : s.touched) {
+    out[m] = score_touched(m, query_norm, query.size(), s);
+  }
+}
+
+std::vector<double> SimilarityEngine::scores(const RatioMap& query) const {
+  std::vector<double> out(size());
+  scores(query, out);
+  return out;
+}
+
+void SimilarityEngine::scores_of(std::size_t index,
+                                 std::span<double> out) const {
+  Scratch& s = scratch();
+  const auto entries = row(index);
+  accumulate(entries, s);
+  std::fill(out.begin(), out.end(), 0.0);
+  for (const std::uint32_t m : s.touched) {
+    out[m] = score_touched(m, norms_[index], entries.size(), s);
+  }
+}
+
+std::vector<double> SimilarityEngine::scores_of(std::size_t index) const {
+  std::vector<double> out(size());
+  scores_of(index, out);
+  return out;
+}
+
+std::vector<RankedCandidate> SimilarityEngine::rank_all(
+    const RatioMap& query) const {
+  // Same algorithm as rank_candidates, with the per-pair merges replaced
+  // by one engine query: dense scores, then a stable descending sort.
+  const std::vector<double> all = scores(query);
+  std::vector<RankedCandidate> ranked;
+  ranked.reserve(all.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    ranked.push_back(RankedCandidate{i, all[i]});
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const RankedCandidate& a, const RankedCandidate& b) {
+                     return a.similarity > b.similarity;
+                   });
+  return ranked;
+}
+
+void SimilarityEngine::top_k_into(std::span<const RatioMap::Entry> entries,
+                                  double query_norm, std::size_t query_size,
+                                  std::size_t k,
+                                  std::vector<RankedCandidate>& out) const {
+  out.clear();
+  const std::size_t want = std::min(k, size());
+  if (want == 0) return;
+
+  Scratch& s = scratch();
+  accumulate(entries, s);
+  std::vector<RankedCandidate> positives;
+  positives.reserve(s.touched.size());
+  for (const std::uint32_t m : s.touched) {
+    const double score = score_touched(m, query_norm, query_size, s);
+    if (score > 0.0) positives.push_back(RankedCandidate{m, score});
+  }
+  // (similarity, index) pairs are unique per map, so this unstable sort is
+  // a total order — the result matches rank_candidates' stable sort.
+  std::sort(positives.begin(), positives.end(),
+            [](const RankedCandidate& a, const RankedCandidate& b) {
+              return a.similarity > b.similarity ||
+                     (a.similarity == b.similarity && a.index < b.index);
+            });
+
+  const std::size_t from_positives = std::min(want, positives.size());
+  out.assign(positives.begin(),
+             positives.begin() + static_cast<std::ptrdiff_t>(from_positives));
+  if (out.size() == want) return;
+
+  // Pad with zero-similarity maps in corpus order (the order the stable
+  // sort leaves ties in), skipping the maps already ranked.
+  std::vector<std::uint32_t> taken;
+  taken.reserve(positives.size());
+  for (const RankedCandidate& rc : positives) {
+    taken.push_back(static_cast<std::uint32_t>(rc.index));
+  }
+  std::sort(taken.begin(), taken.end());
+  std::size_t next_taken = 0;
+  for (std::size_t m = 0; m < size() && out.size() < want; ++m) {
+    if (next_taken < taken.size() && taken[next_taken] == m) {
+      ++next_taken;
+      continue;
+    }
+    out.push_back(RankedCandidate{m, 0.0});
+  }
+}
+
+std::vector<RankedCandidate> SimilarityEngine::top_k(const RatioMap& query,
+                                                     std::size_t k) const {
+  std::vector<RankedCandidate> out;
+  top_k_into(query.entries(), query.norm(), query.size(), k, out);
+  return out;
+}
+
+std::size_t SimilarityEngine::comparable_count(const RatioMap& query) const {
+  Scratch& s = scratch();
+  accumulate(query.entries(), s);
+  std::size_t count = 0;
+  for (const std::uint32_t m : s.touched) {
+    // A touched map shares a replica, so its intersection (jaccard) or
+    // partial sum (cosine, weighted overlap) is positive unless the
+    // products underflowed — the same condition similarity() > 0 tests.
+    if (kind_ == SimilarityKind::kJaccard ? s.inter[m] > 0
+                                          : s.acc[m] > 0.0) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::vector<std::vector<RankedCandidate>> SimilarityEngine::all_top_k(
+    std::size_t k, ThreadPool* pool) const {
+  std::vector<std::vector<RankedCandidate>> out(size());
+  ThreadPool& p = pool != nullptr ? *pool : ThreadPool::shared();
+  p.parallel_for(0, size(), [this, k, &out](std::size_t i) {
+    const auto entries = row(i);
+    top_k_into(entries, norms_[i], entries.size(), k, out[i]);
+  });
+  return out;
+}
+
+std::vector<std::vector<double>> SimilarityEngine::pairwise_similarities(
+    ThreadPool* pool) const {
+  std::vector<std::vector<double>> out(size());
+  ThreadPool& p = pool != nullptr ? *pool : ThreadPool::shared();
+  p.parallel_for(0, size(), [this, &out](std::size_t i) {
+    out[i].resize(size());
+    scores_of(i, out[i]);
+  });
+  return out;
+}
+
+}  // namespace crp::core

@@ -1,0 +1,154 @@
+// Batch similarity engine over a corpus of ratio maps.
+//
+// Every evaluation path of the reproduction — closest-node selection,
+// SMF clustering, the ablations — reduces to "compare one ratio map
+// against ~a thousand others". Doing that with per-pair sorted merges
+// (`similarity()` in a loop) rescans every candidate map for every query
+// and does work even for pairs that share no replica, whose similarity is
+// 0 *by construction* for all three metrics. The engine exploits that
+// sparsity structure:
+//
+//   * CSR corpus storage — all maps flattened into contiguous replica-id
+//     and ratio arrays with per-map offsets, plus precomputed norms,
+//     entry counts and strongest mappings. One cache-friendly block
+//     replaces a thousand small vectors.
+//   * Inverted replica index — for each replica, the posting list of
+//     (map index, ratio) pairs that contain it. A query walks only the
+//     postings of its own replicas, so maps sharing no replica with the
+//     query are never touched (they keep similarity 0 implicitly).
+//   * Dense per-query accumulator — scatter-add over postings instead of
+//     per-pair merges. For each touched map the partial sums accumulate
+//     in increasing replica-id order — the same order as the sorted
+//     merge — so every score is bit-identical to `similarity()`.
+//
+// Determinism contract (the repo's first parallel subsystem; later ones
+// follow the same conventions): all batch results are indexed by query
+// position and each slot is computed independently, so results are
+// bit-identical regardless of the thread pool's size, including the
+// inline (0-thread) pool.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/ratio_map.hpp"
+#include "core/selection.hpp"
+#include "core/similarity.hpp"
+
+namespace crp {
+class ThreadPool;
+}
+
+namespace crp::core {
+
+class SimilarityEngine {
+ public:
+  /// Ingests `corpus` (maps are copied into CSR form; the span need not
+  /// outlive the engine). `kind` fixes the metric for all queries.
+  explicit SimilarityEngine(std::span<const RatioMap> corpus,
+                            SimilarityKind kind = SimilarityKind::kCosine);
+
+  [[nodiscard]] std::size_t size() const { return offsets_.size() - 1; }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  [[nodiscard]] SimilarityKind kind() const { return kind_; }
+  /// Number of distinct replicas across the corpus.
+  [[nodiscard]] std::size_t distinct_replicas() const {
+    return replica_ids_.size();
+  }
+  /// Corpus map i's strongest mapping (max ratio; 0 for an empty map).
+  [[nodiscard]] double strongest_mapping(std::size_t index) const {
+    return strongest_[index];
+  }
+
+  // --- single-query paths ---
+
+  /// Similarity of `query` to every corpus map, indexed by corpus
+  /// position. Bit-identical to calling `similarity(kind, query, map)`
+  /// per map.
+  [[nodiscard]] std::vector<double> scores(const RatioMap& query) const;
+  void scores(const RatioMap& query, std::span<double> out) const;
+
+  /// Same, with corpus map `index` as the query (no RatioMap needed; uses
+  /// the CSR row). scores_of(i)[i] is the self-similarity (1 for any
+  /// non-empty map under all three metrics).
+  [[nodiscard]] std::vector<double> scores_of(std::size_t index) const;
+  void scores_of(std::size_t index, std::span<double> out) const;
+
+  /// All corpus maps ranked by similarity to `query`, best first, ties
+  /// and zero-similarity maps in corpus order — the same contract (and
+  /// bit-identical result) as `rank_candidates`.
+  [[nodiscard]] std::vector<RankedCandidate> rank_all(
+      const RatioMap& query) const;
+
+  /// Top-k of `rank_all` without materializing the full ranking: only
+  /// maps sharing a replica with the query are scored and sorted;
+  /// zero-similarity maps pad the tail in corpus order if k exceeds the
+  /// number of comparable maps.
+  [[nodiscard]] std::vector<RankedCandidate> top_k(const RatioMap& query,
+                                                   std::size_t k) const;
+
+  /// Number of corpus maps with strictly positive similarity to `query`.
+  /// Fast path: counts touched postings, computes no scores.
+  [[nodiscard]] std::size_t comparable_count(const RatioMap& query) const;
+
+  // --- batch paths (parallel across queries, deterministic) ---
+
+  /// top_k for every corpus map as the query, indexed by query position.
+  /// `pool` defaults to `ThreadPool::shared()`.
+  [[nodiscard]] std::vector<std::vector<RankedCandidate>> all_top_k(
+      std::size_t k, ThreadPool* pool = nullptr) const;
+
+  /// Full similarity matrix, `result[i][j] = similarity(map_i, map_j)`.
+  /// Symmetric; diagonal is the self-similarity.
+  [[nodiscard]] std::vector<std::vector<double>> pairwise_similarities(
+      ThreadPool* pool = nullptr) const;
+
+ private:
+  struct Scratch;
+
+  /// Per-thread query scratch (accumulators + touched list), reused
+  /// across queries and engines so steady-state queries allocate nothing.
+  [[nodiscard]] static Scratch& scratch();
+
+  /// Scatter-adds `entries` (sorted by replica id, with `query_size`
+  /// entries and norm `query_norm`) over the posting lists. Afterwards
+  /// `scratch.touched` lists every corpus map sharing a replica with the
+  /// query, with per-map partial sums in `scratch.acc` / `scratch.inter`.
+  void accumulate(std::span<const RatioMap::Entry> entries,
+                  Scratch& scratch) const;
+
+  /// Final score of touched map `m` given the query's norm and size.
+  [[nodiscard]] double score_touched(std::size_t m, double query_norm,
+                                     std::size_t query_size,
+                                     const Scratch& scratch) const;
+
+  [[nodiscard]] std::span<const RatioMap::Entry> row(std::size_t index) const {
+    return {entries_.data() + offsets_[index],
+            offsets_[index + 1] - offsets_[index]};
+  }
+
+  void top_k_into(std::span<const RatioMap::Entry> entries, double query_norm,
+                  std::size_t query_size, std::size_t k,
+                  std::vector<RankedCandidate>& out) const;
+
+  SimilarityKind kind_;
+
+  // CSR corpus: entries_[offsets_[i] .. offsets_[i+1]) is map i, sorted
+  // by replica id (RatioMap's own invariant, preserved verbatim).
+  std::vector<std::size_t> offsets_;
+  std::vector<RatioMap::Entry> entries_;
+  std::vector<double> norms_;       // RatioMap::norm() per map
+  std::vector<double> strongest_;   // RatioMap::strongest_mapping() per map
+
+  // Inverted index: postings of replica r (dense id) are
+  // post_map_/post_ratio_[post_offsets_[r] .. post_offsets_[r+1]),
+  // ordered by map index (build order), which makes each map's
+  // accumulation follow increasing replica id within a query.
+  std::vector<ReplicaId> replica_ids_;  // sorted unique, dense id -> replica
+  std::vector<std::size_t> post_offsets_;
+  std::vector<std::uint32_t> post_map_;
+  std::vector<double> post_ratio_;
+};
+
+}  // namespace crp::core

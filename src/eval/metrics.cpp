@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/thread_pool.hpp"
+#include "core/similarity_engine.hpp"
+
 namespace crp::eval {
 
 std::vector<SelectionOutcome> evaluate_crp_selection(
@@ -15,31 +18,35 @@ std::vector<SelectionOutcome> evaluate_crp_selection(
   }
   if (top_k == 0) top_k = 1;
 
-  std::vector<SelectionOutcome> outcomes;
-  outcomes.reserve(client_maps.size());
-  for (std::size_t c = 0; c < client_maps.size(); ++c) {
-    const auto ranked =
-        core::select_top_k(client_maps[c], candidate_maps, top_k, kind);
-    SelectionOutcome outcome;
-    outcome.client = c;
-    outcome.selected = ranked.empty() ? 0 : ranked.front().index;
-    outcome.comparable = !ranked.empty() && ranked.front().similarity > 0.0;
+  // One engine over the candidate corpus serves every client's query;
+  // clients are scored in parallel (outcomes are per-client slots, so the
+  // result is thread-count independent).
+  const core::SimilarityEngine engine{candidate_maps, kind};
+  std::vector<SelectionOutcome> outcomes(client_maps.size());
+  ThreadPool::shared().parallel_for(
+      0, client_maps.size(), [&](std::size_t c) {
+        const auto ranked = core::select_top_k(client_maps[c], engine, top_k);
+        SelectionOutcome outcome;
+        outcome.client = c;
+        outcome.selected = ranked.empty() ? 0 : ranked.front().index;
+        outcome.comparable =
+            !ranked.empty() && ranked.front().similarity > 0.0;
 
-    double rtt_sum = 0.0;
-    double rank_sum = 0.0;
-    std::size_t counted = 0;
-    for (const core::RankedCandidate& rc : ranked) {
-      rtt_sum += gt.rtt_ms(c, rc.index);
-      rank_sum += static_cast<double>(gt.rank_of(c, rc.index));
-      ++counted;
-    }
-    if (counted > 0) {
-      outcome.rtt_ms = rtt_sum / static_cast<double>(counted);
-      outcome.rank = rank_sum / static_cast<double>(counted);
-      outcome.relative_error_ms = outcome.rtt_ms - gt.optimal_rtt_ms(c);
-    }
-    outcomes.push_back(outcome);
-  }
+        double rtt_sum = 0.0;
+        double rank_sum = 0.0;
+        std::size_t counted = 0;
+        for (const core::RankedCandidate& rc : ranked) {
+          rtt_sum += gt.rtt_ms(c, rc.index);
+          rank_sum += static_cast<double>(gt.rank_of(c, rc.index));
+          ++counted;
+        }
+        if (counted > 0) {
+          outcome.rtt_ms = rtt_sum / static_cast<double>(counted);
+          outcome.rank = rank_sum / static_cast<double>(counted);
+          outcome.relative_error_ms = outcome.rtt_ms - gt.optimal_rtt_ms(c);
+        }
+        outcomes[c] = outcome;
+      });
   return outcomes;
 }
 

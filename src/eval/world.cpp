@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/stats.hpp"
+#include "common/thread_pool.hpp"
 
 namespace crp::eval {
 
@@ -198,7 +199,9 @@ std::vector<std::vector<double>> World::king_matrix(
                         ? SimTime::epoch() + Hours(12)
                         : SimTime::epoch() + (campaign_end_ -
                                               SimTime::epoch()) * 0.5;
-  return estimator.pairwise_matrix(hosts, t);
+  // O(n^2) King estimates dominate clustering-bench setup; the campaign
+  // is embarrassingly parallel and deterministic (see pairwise_matrix).
+  return estimator.pairwise_matrix(hosts, t, &ThreadPool::shared());
 }
 
 }  // namespace crp::eval

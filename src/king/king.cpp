@@ -5,6 +5,7 @@
 #include <numbers>
 
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 
 namespace crp::king {
 
@@ -65,15 +66,23 @@ double KingEstimator::estimate_ms(HostId r1, HostId r2, SimTime t) const {
 }
 
 std::vector<std::vector<double>> KingEstimator::pairwise_matrix(
-    const std::vector<HostId>& hosts, SimTime t) const {
+    const std::vector<HostId>& hosts, SimTime t, ThreadPool* pool) const {
   const std::size_t n = hosts.size();
   std::vector<std::vector<double>> m(n, std::vector<double>(n, 0.0));
-  for (std::size_t i = 0; i < n; ++i) {
+  // Row i fills only its own upper-triangle cells, so rows are
+  // independent; the mirror pass runs after every row is done.
+  const auto fill_row = [&](std::size_t i) {
     for (std::size_t j = i + 1; j < n; ++j) {
-      const double est = estimate_ms(hosts[i], hosts[j], t);
-      m[i][j] = est;
-      m[j][i] = est;
+      m[i][j] = estimate_ms(hosts[i], hosts[j], t);
     }
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(0, n, fill_row);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) fill_row(i);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) m[j][i] = m[i][j];
   }
   return m;
 }

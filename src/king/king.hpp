@@ -20,6 +20,10 @@
 #include "common/time.hpp"
 #include "netsim/latency_model.hpp"
 
+namespace crp {
+class ThreadPool;
+}
+
 namespace crp::king {
 
 struct KingConfig {
@@ -46,8 +50,12 @@ class KingEstimator {
 
   /// Full pairwise matrix over `hosts` (upper triangle measured, mirrored;
   /// diagonal zero). Index [i][j] corresponds to hosts[i], hosts[j].
+  /// Every cell is an independent hash-derived estimate, so rows can be
+  /// measured in parallel: pass a pool to spread the campaign across
+  /// threads (nullptr = serial). The matrix is identical either way.
   [[nodiscard]] std::vector<std::vector<double>> pairwise_matrix(
-      const std::vector<HostId>& hosts, SimTime t) const;
+      const std::vector<HostId>& hosts, SimTime t,
+      ThreadPool* pool = nullptr) const;
 
  private:
   [[nodiscard]] double one_trial_ms(HostId r1, HostId r2, SimTime t,

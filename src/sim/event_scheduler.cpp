@@ -28,11 +28,17 @@ EventHandle EventScheduler::every(SimTime start, Duration period,
   // The periodic task re-arms itself under the same ID, so one handle
   // cancels the whole recurrence.
   auto tick = std::make_shared<std::function<void(SimTime)>>();
-  *tick = [this, id, period, cb = std::move(cb), tick](SimTime when) {
+  // The stored function must not capture `tick` strongly — that would be
+  // a shared_ptr cycle and the recurrence would leak once the queue
+  // drains. Only the queued events hold strong references; the event
+  // being fired keeps the function alive for the re-arm, so lock()
+  // always succeeds there.
+  std::weak_ptr<std::function<void(SimTime)>> weak = tick;
+  *tick = [this, id, period, cb = std::move(cb), weak](SimTime when) {
     if (!cb()) return;
     const SimTime next = when + period;
     queue_.push(Event{next, next_seq_++, id,
-                      [tick, next] { (*tick)(next); }});
+                      [self = weak.lock(), next] { (*self)(next); }});
   };
   if (start < now_) start = now_;
   queue_.push(Event{start, next_seq_++, id, [tick, start] { (*tick)(start); }});

@@ -1,0 +1,112 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace crp {
+namespace {
+
+TEST(ThreadPoolTest, ZeroWorkersRunsInline) {
+  ThreadPool pool{0};
+  EXPECT_EQ(pool.size(), 0u);
+  std::vector<int> hits(100, 0);
+  pool.parallel_for(0, hits.size(),
+                    [&](std::size_t i) { hits[i] += 1; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, EveryIndexRunsExactlyOnce) {
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2},
+                              std::size_t{8}}) {
+    ThreadPool pool{threads};
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallel_for(0, hits.size(),
+                      [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, EmptyAndSingletonRanges) {
+  ThreadPool pool{2};
+  int calls = 0;
+  pool.parallel_for(5, 5, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.parallel_for(7, 8, [&](std::size_t i) {
+    ++calls;
+    EXPECT_EQ(i, 7u);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, ResultsIndependentOfThreadCount) {
+  // The determinism contract: per-index output slots make the result a
+  // pure function of the input, whatever the pool size.
+  const auto compute = [](ThreadPool& pool) {
+    std::vector<double> out(500);
+    pool.parallel_for(0, out.size(), [&](std::size_t i) {
+      double acc = 0.0;
+      for (std::size_t j = 0; j < 50; ++j) {
+        acc += static_cast<double>(i * 31 + j * 7 % 13);
+      }
+      out[i] = acc;
+    });
+    return out;
+  };
+  ThreadPool inline_pool{0};
+  const auto reference = compute(inline_pool);
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2},
+                              std::size_t{8}}) {
+    ThreadPool pool{threads};
+    EXPECT_EQ(compute(pool), reference) << threads << " threads";
+  }
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  ThreadPool pool{4};
+  std::vector<std::atomic<int>> hits(64);
+  EXPECT_THROW(
+      pool.parallel_for(0, hits.size(),
+                        [&](std::size_t i) {
+                          hits[i].fetch_add(1);
+                          if (i == 13) throw std::runtime_error{"boom"};
+                        }),
+      std::runtime_error);
+  // No index ran twice; indices after the throwing one in its chunk are
+  // skipped, so some may not have run at all.
+  for (const auto& h : hits) EXPECT_LE(h.load(), 1);
+  EXPECT_EQ(hits[13].load(), 1);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineOnWorkers) {
+  ThreadPool pool{2};
+  std::vector<std::atomic<int>> hits(32 * 16);
+  pool.parallel_for(0, 32, [&](std::size_t i) {
+    pool.parallel_for(0, 16, [&](std::size_t j) {
+      hits[i * 16 + j].fetch_add(1);
+    });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossCalls) {
+  ThreadPool pool{3};
+  std::size_t total = 0;
+  for (int round = 0; round < 20; ++round) {
+    std::vector<std::size_t> out(97);
+    pool.parallel_for(0, out.size(), [&](std::size_t i) { out[i] = i; });
+    total += std::accumulate(out.begin(), out.end(), std::size_t{0});
+  }
+  EXPECT_EQ(total, 20u * (96u * 97u / 2u));
+}
+
+TEST(ThreadPoolTest, SharedPoolIsASingleton) {
+  EXPECT_EQ(&ThreadPool::shared(), &ThreadPool::shared());
+  EXPECT_GE(ThreadPool::shared().size(), 1u);
+}
+
+}  // namespace
+}  // namespace crp

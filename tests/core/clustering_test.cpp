@@ -93,7 +93,8 @@ TEST(SmfClustering, EmptyMapsBecomeSingletons) {
 }
 
 TEST(SmfClustering, EmptyInput) {
-  const Clustering clustering = smf_cluster({}, SmfConfig{});
+  const Clustering clustering =
+      smf_cluster(std::span<const RatioMap>{}, SmfConfig{});
   EXPECT_TRUE(clustering.clusters.empty());
   EXPECT_TRUE(clustering.assignment.empty());
   const auto stats = clustering_stats(clustering, 0);

@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include <limits>
+#include <optional>
 
 #include "common/rng.hpp"
 
@@ -47,8 +47,8 @@ TEST_F(SelectionTest, SelectClosestMatchesRankTop) {
 }
 
 TEST_F(SelectionTest, SelectClosestEmptyCandidates) {
-  EXPECT_EQ(select_closest(client_, {}),
-            std::numeric_limits<std::size_t>::max());
+  EXPECT_EQ(select_closest(client_, std::span<const RatioMap>{}),
+            std::nullopt);
 }
 
 TEST_F(SelectionTest, ComparableCountExcludesDisjoint) {
@@ -97,7 +97,7 @@ TEST(SelectionProperty, Top1MaximizesSimilarity) {
     std::vector<RatioMap> candidates;
     for (int i = 0; i < 8; ++i) candidates.push_back(random_map());
 
-    const std::size_t best = select_closest(client, candidates);
+    const std::size_t best = select_closest(client, candidates).value();
     const double best_sim = cosine_similarity(client, candidates[best]);
     for (const RatioMap& c : candidates) {
       ASSERT_LE(cosine_similarity(client, c), best_sim + 1e-12);

@@ -1,0 +1,245 @@
+#include "core/similarity_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "core/clustering.hpp"
+#include "core/selection.hpp"
+#include "core/similarity.hpp"
+
+namespace crp::core {
+namespace {
+
+RatioMap map_of(std::vector<std::pair<ReplicaId, double>> entries) {
+  return RatioMap::from_ratios(entries);
+}
+
+/// Random corpus including empty maps and disjoint replica ranges, so the
+/// inverted-index skip path and the zero-score padding are exercised.
+std::vector<RatioMap> random_corpus(Rng& rng, std::size_t n,
+                                    std::uint32_t id_space) {
+  std::vector<RatioMap> maps;
+  maps.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.uniform(0.0, 1.0) < 0.1) {
+      maps.emplace_back();  // empty map
+      continue;
+    }
+    std::vector<RatioMap::Entry> entries;
+    const int k = static_cast<int>(rng.uniform_int(1, 8));
+    // Half the maps draw from the upper half of the id space only, making
+    // many pairs fully disjoint.
+    const std::uint32_t lo = rng.uniform(0.0, 1.0) < 0.5 ? id_space / 2 : 0;
+    for (int j = 0; j < k; ++j) {
+      entries.emplace_back(
+          ReplicaId{lo + static_cast<std::uint32_t>(
+                             rng.uniform_int(0, id_space / 2 - 1))},
+          rng.uniform(0.05, 1.0));
+    }
+    maps.push_back(RatioMap::from_ratios(entries));
+  }
+  return maps;
+}
+
+class EngineEquivalenceTest
+    : public ::testing::TestWithParam<SimilarityKind> {};
+
+TEST_P(EngineEquivalenceTest, ScoresMatchNaiveSimilarityBitForBit) {
+  const SimilarityKind kind = GetParam();
+  Rng rng{411 + static_cast<std::uint64_t>(kind)};
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto corpus = random_corpus(rng, 60, 40);
+    const SimilarityEngine engine{corpus, kind};
+    ASSERT_EQ(engine.size(), corpus.size());
+
+    // External queries, including an empty one.
+    auto queries = random_corpus(rng, 8, 40);
+    queries.emplace_back();
+    for (const RatioMap& query : queries) {
+      const auto got = engine.scores(query);
+      ASSERT_EQ(got.size(), corpus.size());
+      for (std::size_t i = 0; i < corpus.size(); ++i) {
+        // Bit-identical, not approximately equal: the engine accumulates
+        // each pair's products in the naive merge's order.
+        EXPECT_EQ(got[i], similarity(kind, query, corpus[i]))
+            << to_string(kind) << " map " << i;
+      }
+    }
+
+    // Corpus maps as queries, via the CSR row (no RatioMap rebuild).
+    for (std::size_t q = 0; q < corpus.size(); ++q) {
+      EXPECT_EQ(engine.scores_of(q), engine.scores(corpus[q])) << q;
+    }
+  }
+}
+
+TEST_P(EngineEquivalenceTest, RankTopKAndCountsMatchSpanSelection) {
+  const SimilarityKind kind = GetParam();
+  Rng rng{777 + static_cast<std::uint64_t>(kind)};
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto corpus = random_corpus(rng, 50, 30);
+    const SimilarityEngine engine{corpus, kind};
+    const auto queries = random_corpus(rng, 6, 30);
+    for (const RatioMap& query : queries) {
+      const auto naive = rank_candidates(query, corpus, kind);
+      const auto ranked = engine.rank_all(query);
+      ASSERT_EQ(ranked.size(), naive.size());
+      for (std::size_t i = 0; i < naive.size(); ++i) {
+        EXPECT_EQ(ranked[i].index, naive[i].index);
+        EXPECT_EQ(ranked[i].similarity, naive[i].similarity);
+      }
+      for (std::size_t k : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                            corpus.size(), corpus.size() + 5}) {
+        const auto top = engine.top_k(query, k);
+        ASSERT_EQ(top.size(), std::min(k, corpus.size()));
+        for (std::size_t i = 0; i < top.size(); ++i) {
+          EXPECT_EQ(top[i].index, naive[i].index);
+          EXPECT_EQ(top[i].similarity, naive[i].similarity);
+        }
+      }
+      EXPECT_EQ(engine.comparable_count(query),
+                comparable_count(query, corpus));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, EngineEquivalenceTest,
+                         ::testing::Values(SimilarityKind::kCosine,
+                                           SimilarityKind::kJaccard,
+                                           SimilarityKind::kWeightedOverlap),
+                         [](const auto& info) {
+                           std::string name = to_string(info.param);
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(SimilarityEngineTest, EmptyCorpus) {
+  const SimilarityEngine engine{std::span<const RatioMap>{}};
+  EXPECT_TRUE(engine.empty());
+  EXPECT_EQ(engine.distinct_replicas(), 0u);
+  const RatioMap query = map_of({{ReplicaId{1}, 1.0}});
+  EXPECT_TRUE(engine.scores(query).empty());
+  EXPECT_TRUE(engine.top_k(query, 3).empty());
+  EXPECT_EQ(engine.comparable_count(query), 0u);
+  EXPECT_TRUE(engine.all_top_k(2).empty());
+  EXPECT_TRUE(engine.pairwise_similarities().empty());
+}
+
+TEST(SimilarityEngineTest, StrongestMappingAndReplicaAccounting) {
+  const std::vector<RatioMap> corpus{
+      map_of({{ReplicaId{1}, 0.2}, {ReplicaId{5}, 0.8}}),
+      map_of({{ReplicaId{5}, 1.0}}),
+      RatioMap{},
+  };
+  const SimilarityEngine engine{corpus};
+  EXPECT_EQ(engine.distinct_replicas(), 2u);
+  EXPECT_DOUBLE_EQ(engine.strongest_mapping(0), 0.8);
+  EXPECT_DOUBLE_EQ(engine.strongest_mapping(1), 1.0);
+  EXPECT_DOUBLE_EQ(engine.strongest_mapping(2), 0.0);
+}
+
+TEST(SimilarityEngineTest, SelectionOverloadsMatchSpanForms) {
+  Rng rng{5150};
+  const auto corpus = random_corpus(rng, 40, 24);
+  const SimilarityEngine engine{corpus};
+  const auto queries = random_corpus(rng, 10, 24);
+  for (const RatioMap& query : queries) {
+    EXPECT_EQ(select_closest(query, engine), select_closest(query, corpus));
+    EXPECT_EQ(comparable_count(query, engine),
+              comparable_count(query, corpus));
+    const auto a = select_top_k(query, engine, 5);
+    const auto b = select_top_k(query, corpus, 5);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].index, b[i].index);
+      EXPECT_EQ(a[i].similarity, b[i].similarity);
+    }
+  }
+  const SimilarityEngine empty_engine{std::span<const RatioMap>{}};
+  EXPECT_EQ(select_closest(queries.front(), empty_engine), std::nullopt);
+}
+
+TEST(SimilarityEngineTest, BatchResultsIndependentOfThreadCount) {
+  Rng rng{31337};
+  const auto corpus = random_corpus(rng, 80, 32);
+  const SimilarityEngine engine{corpus};
+
+  ThreadPool inline_pool{0};
+  const auto topk_ref = engine.all_top_k(4, &inline_pool);
+  const auto pairs_ref = engine.pairwise_similarities(&inline_pool);
+  ASSERT_EQ(topk_ref.size(), corpus.size());
+  ASSERT_EQ(pairs_ref.size(), corpus.size());
+
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2},
+                              std::size_t{8}}) {
+    ThreadPool pool{threads};
+    const auto topk = engine.all_top_k(4, &pool);
+    ASSERT_EQ(topk.size(), topk_ref.size()) << threads;
+    for (std::size_t q = 0; q < topk.size(); ++q) {
+      ASSERT_EQ(topk[q].size(), topk_ref[q].size());
+      for (std::size_t i = 0; i < topk[q].size(); ++i) {
+        EXPECT_EQ(topk[q][i].index, topk_ref[q][i].index);
+        EXPECT_EQ(topk[q][i].similarity, topk_ref[q][i].similarity);
+      }
+    }
+    EXPECT_EQ(engine.pairwise_similarities(&pool), pairs_ref) << threads;
+  }
+}
+
+TEST(SimilarityEngineTest, PairwiseMatrixMatchesNaiveAndIsSymmetric) {
+  Rng rng{2718};
+  const auto corpus = random_corpus(rng, 30, 20);
+  const SimilarityEngine engine{corpus, SimilarityKind::kCosine};
+  ThreadPool inline_pool{0};
+  const auto matrix = engine.pairwise_similarities(&inline_pool);
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    for (std::size_t j = 0; j < corpus.size(); ++j) {
+      EXPECT_EQ(matrix[i][j],
+                similarity(SimilarityKind::kCosine, corpus[i], corpus[j]));
+      EXPECT_EQ(matrix[i][j], matrix[j][i]);
+    }
+  }
+}
+
+TEST(SimilarityEngineTest, SmfClusterMatchesReferenceImplementation) {
+  Rng rng{909};
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto maps = random_corpus(rng, 70, 28);
+    for (const double threshold : {0.05, 0.1, 0.3}) {
+      SmfConfig config;
+      config.threshold = threshold;
+      config.second_pass = (trial % 2 == 0);
+      config.seed = 23 + static_cast<std::uint64_t>(trial);
+      const Clustering expected = smf_cluster_reference(maps, config);
+      const Clustering via_span = smf_cluster(maps, config);
+      const SimilarityEngine engine{maps, config.metric};
+      const Clustering via_engine = smf_cluster(engine, config);
+      // Identical assignment vectors — not merely equivalent partitions.
+      EXPECT_EQ(via_span.assignment, expected.assignment);
+      EXPECT_EQ(via_engine.assignment, expected.assignment);
+      ASSERT_EQ(via_engine.clusters.size(), expected.clusters.size());
+      for (std::size_t c = 0; c < expected.clusters.size(); ++c) {
+        EXPECT_EQ(via_engine.clusters[c].center, expected.clusters[c].center);
+        EXPECT_EQ(via_engine.clusters[c].members,
+                  expected.clusters[c].members);
+      }
+    }
+  }
+}
+
+TEST(SimilarityEngineTest, SmfClusterRejectsMetricMismatch) {
+  const std::vector<RatioMap> maps{map_of({{ReplicaId{1}, 1.0}})};
+  const SimilarityEngine engine{maps, SimilarityKind::kJaccard};
+  SmfConfig config;
+  config.metric = SimilarityKind::kCosine;
+  EXPECT_THROW((void)smf_cluster(engine, config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace crp::core

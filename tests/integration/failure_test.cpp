@@ -127,7 +127,8 @@ TEST(FailureInjection, SelectionWithEmptyClientMapIsDeterministic) {
           std::vector<core::RatioMap::Entry>{{ReplicaId{1}, 1.0}}),
       core::RatioMap::from_ratios(
           std::vector<core::RatioMap::Entry>{{ReplicaId{2}, 1.0}})};
-  const std::size_t pick = core::select_closest(core::RatioMap{}, candidates);
+  const std::size_t pick =
+      core::select_closest(core::RatioMap{}, candidates).value();
   EXPECT_EQ(pick, 0u);
   EXPECT_EQ(core::comparable_count(core::RatioMap{}, candidates), 0u);
 }
