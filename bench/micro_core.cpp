@@ -156,7 +156,7 @@ void BM_WireDecode(benchmark::State& state) {
   report.node_id = "dns-123.as45.eu-west";
   report.when = SimTime{123456789};
   report.map = random_map(rng, static_cast<int>(state.range(0)), 500);
-  const std::string bytes = service::encode(report);
+  const std::string bytes = *service::encode(report);
   for (auto _ : state) {
     benchmark::DoNotOptimize(service::decode(bytes));
   }

@@ -1,0 +1,231 @@
+// Throughput benchmark for the engine-backed PositionService under a
+// realistic serving mix: every iteration refreshes one node's position
+// report (an engine update() in place) and answers one closest_any
+// query (one inverted-index pass over the corpus).
+//
+// The naive baseline replicates what the service did before the engine
+// rewire: reports in a hash map, each query recomputing per-pair
+// similarity() against every live node. It is the yardstick for the
+// BENCH_position_service.json snapshot; the engine path must beat it at
+// 10k nodes on the combined publish+query mix.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/ratio_map.hpp"
+#include "core/similarity.hpp"
+#include "service/position_service.hpp"
+
+namespace {
+
+using namespace crp;
+
+// Corpus shape of a large CRP deployment: 16-entry windows over a
+// ~2000-replica fleet, so most node pairs share no replica and the
+// engine's posting lists skip them.
+constexpr std::uint32_t kIdSpace = 2000;
+constexpr int kEntries = 16;
+constexpr std::size_t kTopK = 5;
+
+core::RatioMap random_map(Rng& rng) {
+  std::vector<core::RatioMap::Entry> e;
+  e.reserve(kEntries);
+  for (int i = 0; i < kEntries; ++i) {
+    e.emplace_back(ReplicaId{static_cast<std::uint32_t>(
+                       rng.uniform_int(0, kIdSpace - 1))},
+                   rng.uniform(0.01, 1.0));
+  }
+  return core::RatioMap::from_ratios(e);
+}
+
+std::vector<std::string> node_ids(std::size_t n) {
+  std::vector<std::string> ids;
+  ids.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ids.push_back("dns-" + std::to_string(i));
+  }
+  return ids;
+}
+
+service::PositionReport make_report(const std::string& id,
+                                    core::RatioMap map, SimTime when) {
+  service::PositionReport r;
+  r.node_id = id;
+  r.when = when;
+  r.map = std::move(map);
+  return r;
+}
+
+// The pre-rewire implementation shape: store reports, recompute every
+// pair on every query.
+struct NaiveService {
+  Duration staleness_bound = Hours(6);
+  core::SimilarityKind metric = core::SimilarityKind::kCosine;
+  std::unordered_map<std::string, service::PositionReport> reports;
+
+  void publish(service::PositionReport report) {
+    reports[report.node_id] = std::move(report);
+  }
+
+  std::vector<service::RankedNode> closest_any(const std::string& client,
+                                               std::size_t k,
+                                               SimTime now) const {
+    const auto it = reports.find(client);
+    if (it == reports.end()) return {};
+    const core::RatioMap& client_map = it->second.map;
+    std::vector<service::RankedNode> ranked;
+    ranked.reserve(reports.size());
+    for (const auto& [id, report] : reports) {
+      if (id == client || now - report.when > staleness_bound) continue;
+      ranked.push_back(service::RankedNode{
+          id, core::similarity(metric, client_map, report.map)});
+    }
+    const auto cmp = [](const service::RankedNode& a,
+                        const service::RankedNode& b) {
+      if (a.similarity != b.similarity) return a.similarity > b.similarity;
+      return a.node_id < b.node_id;
+    };
+    const std::size_t keep = std::min(k, ranked.size());
+    std::partial_sort(ranked.begin(),
+                      ranked.begin() + static_cast<std::ptrdiff_t>(keep),
+                      ranked.end(), cmp);
+    ranked.resize(keep);
+    return ranked;
+  }
+};
+
+// One benchmark "item" = one publish (report refresh) + one closest_any.
+void BM_ServicePublishQueryMix(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto ids = node_ids(n);
+  Rng rng{42};
+  service::PositionService svc;
+  std::int64_t tick = 0;
+  for (const auto& id : ids) {
+    svc.publish(make_report(id, random_map(rng), SimTime{tick}),
+                SimTime{tick});
+    ++tick;
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const SimTime now{tick++};
+    const std::string& refreshed = ids[i % n];
+    benchmark::DoNotOptimize(
+        svc.publish(make_report(refreshed, random_map(rng), now), now));
+    const std::string& client = ids[(i * 7 + 13) % n];
+    benchmark::DoNotOptimize(svc.closest_any(client, kTopK, now));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ServicePublishQueryMix)
+    ->Arg(1000)->Arg(10000)->Unit(benchmark::kMicrosecond);
+
+void BM_NaivePublishQueryMix(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto ids = node_ids(n);
+  Rng rng{42};
+  NaiveService svc;
+  std::int64_t tick = 0;
+  for (const auto& id : ids) {
+    svc.publish(make_report(id, random_map(rng), SimTime{tick}));
+    ++tick;
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const SimTime now{tick++};
+    const std::string& refreshed = ids[i % n];
+    svc.publish(make_report(refreshed, random_map(rng), now));
+    const std::string& client = ids[(i * 7 + 13) % n];
+    benchmark::DoNotOptimize(svc.closest_any(client, kTopK, now));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_NaivePublishQueryMix)
+    ->Arg(1000)->Arg(10000)->Unit(benchmark::kMicrosecond);
+
+// Query-only throughput, isolating the inverted-index advantage from
+// the publish-path cost.
+void BM_ServiceQueryOnly(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto ids = node_ids(n);
+  Rng rng{43};
+  service::PositionService svc;
+  std::int64_t tick = 0;
+  for (const auto& id : ids) {
+    svc.publish(make_report(id, random_map(rng), SimTime{tick}),
+                SimTime{tick});
+    ++tick;
+  }
+  const SimTime now{tick};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        svc.closest_any(ids[(i * 7 + 13) % n], kTopK, now));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ServiceQueryOnly)
+    ->Arg(1000)->Arg(10000)->Unit(benchmark::kMicrosecond);
+
+void BM_NaiveQueryOnly(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto ids = node_ids(n);
+  Rng rng{43};
+  NaiveService svc;
+  std::int64_t tick = 0;
+  for (const auto& id : ids) {
+    svc.publish(make_report(id, random_map(rng), SimTime{tick}));
+    ++tick;
+  }
+  const SimTime now{tick};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        svc.closest_any(ids[(i * 7 + 13) % n], kTopK, now));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_NaiveQueryOnly)
+    ->Arg(1000)->Arg(10000)->Unit(benchmark::kMicrosecond);
+
+// Cluster-query serving with membership churn: each iteration refreshes
+// one report (invalidating the clustering cache) and asks same_cluster.
+// Pre-rewire this recopied every map and rebuilt an engine per
+// recluster; now SMF runs straight off the incrementally maintained
+// corpus.
+void BM_ServiceClusterChurn(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto ids = node_ids(n);
+  Rng rng{44};
+  service::PositionService svc;
+  std::int64_t tick = 0;
+  for (const auto& id : ids) {
+    svc.publish(make_report(id, random_map(rng), SimTime{tick}),
+                SimTime{tick});
+    ++tick;
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const SimTime now{tick++};
+    const std::string& refreshed = ids[i % n];
+    benchmark::DoNotOptimize(
+        svc.publish(make_report(refreshed, random_map(rng), now), now));
+    benchmark::DoNotOptimize(svc.same_cluster(ids[(i * 3 + 7) % n], now));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ServiceClusterChurn)
+    ->Arg(1000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

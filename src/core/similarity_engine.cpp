@@ -1,6 +1,7 @@
 #include "core/similarity_engine.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cstddef>
 
 #include "common/thread_pool.hpp"
@@ -33,6 +34,8 @@ SimilarityEngine::Scratch& SimilarityEngine::scratch() {
   return s;
 }
 
+SimilarityEngine::SimilarityEngine(SimilarityKind kind) : kind_(kind) {}
+
 SimilarityEngine::SimilarityEngine(std::span<const RatioMap> corpus,
                                    SimilarityKind kind)
     : kind_(kind) {
@@ -40,80 +43,157 @@ SimilarityEngine::SimilarityEngine(std::span<const RatioMap> corpus,
   std::size_t total = 0;
   for (const RatioMap& map : corpus) total += map.size();
 
-  offsets_.reserve(n + 1);
-  offsets_.push_back(0);
+  rows_.reserve(n);
   entries_.reserve(total);
   norms_.reserve(n);
   strongest_.reserve(n);
-  for (const RatioMap& map : corpus) {
-    const auto row = map.entries();
-    entries_.insert(entries_.end(), row.begin(), row.end());
-    offsets_.push_back(entries_.size());
-    norms_.push_back(map.norm());
-    strongest_.push_back(map.strongest_mapping());
-  }
+  // Building via add() keeps each posting list ordered by row index
+  // (insertion order), matching the historical static build.
+  for (const RatioMap& map : corpus) (void)add(map);
+  mstats_ = MutationStats{};  // a fresh build is not "mutation" churn
+}
 
-  replica_ids_.reserve(total);
-  for (const auto& [id, ratio] : entries_) replica_ids_.push_back(id);
-  std::sort(replica_ids_.begin(), replica_ids_.end());
-  replica_ids_.erase(std::unique(replica_ids_.begin(), replica_ids_.end()),
-                     replica_ids_.end());
+void SimilarityEngine::write_row(std::size_t index, const RatioMap& map) {
+  Row& r = rows_[index];
+  r.begin = entries_.size();
+  r.len = static_cast<std::uint32_t>(map.size());
+  r.live = true;
+  const auto src = map.entries();
+  entries_.insert(entries_.end(), src.begin(), src.end());
+  norms_[index] = map.norm();
+  strongest_[index] = map.strongest_mapping();
+  live_entries_ += map.size();
 
-  const std::size_t num_replicas = replica_ids_.size();
-  post_offsets_.assign(num_replicas + 1, 0);
-  for (const auto& [id, ratio] : entries_) {
-    const auto it =
-        std::lower_bound(replica_ids_.begin(), replica_ids_.end(), id);
-    ++post_offsets_[static_cast<std::size_t>(it - replica_ids_.begin()) + 1];
+  for (const auto& [id, ratio] : src) {
+    const auto [it, inserted] =
+        replica_slot_.try_emplace(id, static_cast<std::uint32_t>(post_.size()));
+    if (inserted) post_.emplace_back();
+    PostingList& list = post_[it->second];
+    if (list.live == 0) ++live_replicas_;
+    ++list.live;
+    list.items.push_back(
+        Posting{static_cast<std::uint32_t>(index), ratio});
   }
-  for (std::size_t r = 0; r < num_replicas; ++r) {
-    post_offsets_[r + 1] += post_offsets_[r];
-  }
-  post_map_.resize(total);
-  post_ratio_.resize(total);
-  std::vector<std::size_t> cursor{post_offsets_.begin(),
-                                  post_offsets_.end() - 1};
-  // Filling in map order keeps each posting list sorted by map index.
-  for (std::size_t m = 0; m < n; ++m) {
-    for (std::size_t e = offsets_[m]; e < offsets_[m + 1]; ++e) {
-      const auto it = std::lower_bound(replica_ids_.begin(),
-                                       replica_ids_.end(), entries_[e].first);
-      const auto r = static_cast<std::size_t>(it - replica_ids_.begin());
-      post_map_[cursor[r]] = static_cast<std::uint32_t>(m);
-      post_ratio_[cursor[r]] = entries_[e].second;
-      ++cursor[r];
+}
+
+void SimilarityEngine::tombstone_row(std::size_t index) {
+  const Row& r = rows_[index];
+  for (const auto& [id, ratio] : row(index)) {
+    PostingList& list = post_[replica_slot_.at(id)];
+    for (Posting& p : list.items) {
+      // Tombstoned postings carry kDeadPosting, so this match finds the
+      // row's single live posting for the replica.
+      if (p.map == static_cast<std::uint32_t>(index)) {
+        p.map = kDeadPosting;
+        break;
+      }
     }
+    if (--list.live == 0) --live_replicas_;
+    ++mstats_.postings_tombstoned;
   }
+  dead_entries_ += r.len;
+  live_entries_ -= r.len;
+}
+
+std::size_t SimilarityEngine::add(const RatioMap& map) {
+  std::size_t index;
+  if (!free_rows_.empty()) {
+    index = free_rows_.back();
+    free_rows_.pop_back();
+  } else {
+    index = rows_.size();
+    rows_.emplace_back();
+    norms_.push_back(0.0);
+    strongest_.push_back(0.0);
+  }
+  write_row(index, map);
+  ++live_rows_;
+  ++mstats_.adds;
+  return index;
+}
+
+void SimilarityEngine::update(std::size_t index, const RatioMap& map) {
+  assert(index < rows_.size() && rows_[index].live);
+  tombstone_row(index);
+  write_row(index, map);
+  ++mstats_.updates;
+  maybe_compact();
+}
+
+void SimilarityEngine::remove(std::size_t index) {
+  assert(index < rows_.size() && rows_[index].live);
+  tombstone_row(index);
+  Row& r = rows_[index];
+  r.live = false;
+  r.len = 0;
+  norms_[index] = 0.0;
+  strongest_[index] = 0.0;
+  free_rows_.push_back(static_cast<std::uint32_t>(index));
+  --live_rows_;
+  ++mstats_.removes;
+  maybe_compact();
+}
+
+void SimilarityEngine::maybe_compact() {
+  if (dead_entries_ >= kCompactMinDeadEntries &&
+      dead_entries_ >= live_entries_) {
+    compact();
+  }
+}
+
+void SimilarityEngine::compact() {
+  if (dead_entries_ == 0) return;
+  // Repack live row segments in row order; dead rows keep their slot
+  // (and their zero length), so no external index moves.
+  std::vector<RatioMap::Entry> packed;
+  packed.reserve(live_entries_);
+  for (Row& r : rows_) {
+    if (!r.live) continue;
+    const std::size_t begin = packed.size();
+    packed.insert(packed.end(), entries_.begin() + static_cast<std::ptrdiff_t>(r.begin),
+                  entries_.begin() + static_cast<std::ptrdiff_t>(r.begin + r.len));
+    r.begin = begin;
+  }
+  entries_ = std::move(packed);
+
+  // Drop tombstoned postings, preserving the survivors' order.
+  for (PostingList& list : post_) {
+    std::erase_if(list.items,
+                  [](const Posting& p) { return p.map == kDeadPosting; });
+    list.items.shrink_to_fit();
+  }
+  dead_entries_ = 0;
+  ++mstats_.compactions;
 }
 
 void SimilarityEngine::accumulate(std::span<const RatioMap::Entry> entries,
                                   Scratch& s) const {
   s.begin(size());
   for (const auto& [id, q_ratio] : entries) {
-    const auto it =
-        std::lower_bound(replica_ids_.begin(), replica_ids_.end(), id);
-    if (it == replica_ids_.end() || *it != id) continue;
-    const auto r = static_cast<std::size_t>(it - replica_ids_.begin());
-    const std::size_t lo = post_offsets_[r];
-    const std::size_t hi = post_offsets_[r + 1];
+    const auto it = replica_slot_.find(id);
+    if (it == replica_slot_.end()) continue;
+    const PostingList& list = post_[it->second];
+    if (list.live == 0) continue;
     // Query entries arrive in increasing replica-id order, so each touched
     // map accumulates its shared replicas in exactly the order the
     // per-pair sorted merge visits them — scores stay bit-identical.
     switch (kind_) {
       case SimilarityKind::kCosine:
-        for (std::size_t p = lo; p < hi; ++p) {
-          const std::uint32_t m = post_map_[p];
+        for (const Posting& p : list.items) {
+          if (p.map == kDeadPosting) continue;
+          const std::uint32_t m = p.map;
           if (s.mark[m] != s.epoch) {
             s.mark[m] = s.epoch;
             s.acc[m] = 0.0;
             s.touched.push_back(m);
           }
-          s.acc[m] += q_ratio * post_ratio_[p];
+          s.acc[m] += q_ratio * p.ratio;
         }
         break;
       case SimilarityKind::kJaccard:
-        for (std::size_t p = lo; p < hi; ++p) {
-          const std::uint32_t m = post_map_[p];
+        for (const Posting& p : list.items) {
+          if (p.map == kDeadPosting) continue;
+          const std::uint32_t m = p.map;
           if (s.mark[m] != s.epoch) {
             s.mark[m] = s.epoch;
             s.inter[m] = 0;
@@ -123,14 +203,15 @@ void SimilarityEngine::accumulate(std::span<const RatioMap::Entry> entries,
         }
         break;
       case SimilarityKind::kWeightedOverlap:
-        for (std::size_t p = lo; p < hi; ++p) {
-          const std::uint32_t m = post_map_[p];
+        for (const Posting& p : list.items) {
+          if (p.map == kDeadPosting) continue;
+          const std::uint32_t m = p.map;
           if (s.mark[m] != s.epoch) {
             s.mark[m] = s.epoch;
             s.acc[m] = 0.0;
             s.touched.push_back(m);
           }
-          s.acc[m] += std::min(q_ratio, post_ratio_[p]);
+          s.acc[m] += std::min(q_ratio, p.ratio);
         }
         break;
     }
@@ -148,8 +229,7 @@ double SimilarityEngine::score_touched(std::size_t m, double query_norm,
     }
     case SimilarityKind::kJaccard: {
       const std::size_t inter = s.inter[m];
-      const std::size_t uni =
-          query_size + (offsets_[m + 1] - offsets_[m]) - inter;
+      const std::size_t uni = query_size + rows_[m].len - inter;
       if (uni == 0) return 0.0;
       return static_cast<double>(inter) / static_cast<double>(uni);
     }
@@ -159,8 +239,8 @@ double SimilarityEngine::score_touched(std::size_t m, double query_norm,
   return 0.0;
 }
 
-void SimilarityEngine::scores(const RatioMap& query,
-                              std::span<double> out) const {
+void SimilarityEngine::scores(const RatioMap& query, std::span<double> out,
+                              std::size_t* touched_maps) const {
   Scratch& s = scratch();
   accumulate(query.entries(), s);
   std::fill(out.begin(), out.end(), 0.0);
@@ -168,6 +248,7 @@ void SimilarityEngine::scores(const RatioMap& query,
   for (const std::uint32_t m : s.touched) {
     out[m] = score_touched(m, query_norm, query.size(), s);
   }
+  if (touched_maps != nullptr) *touched_maps = s.touched.size();
 }
 
 std::vector<double> SimilarityEngine::scores(const RatioMap& query) const {
@@ -176,8 +257,8 @@ std::vector<double> SimilarityEngine::scores(const RatioMap& query) const {
   return out;
 }
 
-void SimilarityEngine::scores_of(std::size_t index,
-                                 std::span<double> out) const {
+void SimilarityEngine::scores_of(std::size_t index, std::span<double> out,
+                                 std::size_t* touched_maps) const {
   Scratch& s = scratch();
   const auto entries = row(index);
   accumulate(entries, s);
@@ -185,6 +266,7 @@ void SimilarityEngine::scores_of(std::size_t index,
   for (const std::uint32_t m : s.touched) {
     out[m] = score_touched(m, norms_[index], entries.size(), s);
   }
+  if (touched_maps != nullptr) *touched_maps = s.touched.size();
 }
 
 std::vector<double> SimilarityEngine::scores_of(std::size_t index) const {
@@ -197,10 +279,12 @@ std::vector<RankedCandidate> SimilarityEngine::rank_all(
     const RatioMap& query) const {
   // Same algorithm as rank_candidates, with the per-pair merges replaced
   // by one engine query: dense scores, then a stable descending sort.
+  // Dead rows are dropped up front — they are not corpus members.
   const std::vector<double> all = scores(query);
   std::vector<RankedCandidate> ranked;
-  ranked.reserve(all.size());
+  ranked.reserve(live_rows_);
   for (std::size_t i = 0; i < all.size(); ++i) {
+    if (!rows_[i].live) continue;
     ranked.push_back(RankedCandidate{i, all[i]});
   }
   std::stable_sort(ranked.begin(), ranked.end(),
@@ -215,7 +299,7 @@ void SimilarityEngine::top_k_into(std::span<const RatioMap::Entry> entries,
                                   std::size_t k,
                                   std::vector<RankedCandidate>& out) const {
   out.clear();
-  const std::size_t want = std::min(k, size());
+  const std::size_t want = std::min(k, live_rows_);
   if (want == 0) return;
 
   Scratch& s = scratch();
@@ -239,7 +323,7 @@ void SimilarityEngine::top_k_into(std::span<const RatioMap::Entry> entries,
              positives.begin() + static_cast<std::ptrdiff_t>(from_positives));
   if (out.size() == want) return;
 
-  // Pad with zero-similarity maps in corpus order (the order the stable
+  // Pad with zero-similarity live maps in row order (the order the stable
   // sort leaves ties in), skipping the maps already ranked.
   std::vector<std::uint32_t> taken;
   taken.reserve(positives.size());
@@ -253,6 +337,7 @@ void SimilarityEngine::top_k_into(std::span<const RatioMap::Entry> entries,
       ++next_taken;
       continue;
     }
+    if (!rows_[m].live) continue;
     out.push_back(RankedCandidate{m, 0.0});
   }
 }

@@ -9,9 +9,9 @@
 // sparsity structure:
 //
 //   * CSR corpus storage — all maps flattened into contiguous replica-id
-//     and ratio arrays with per-map offsets, plus precomputed norms,
-//     entry counts and strongest mappings. One cache-friendly block
-//     replaces a thousand small vectors.
+//     and ratio arrays with per-map (begin, length) rows, plus
+//     precomputed norms, entry counts and strongest mappings. One
+//     cache-friendly block replaces a thousand small vectors.
 //   * Inverted replica index — for each replica, the posting list of
 //     (map index, ratio) pairs that contain it. A query walks only the
 //     postings of its own replicas, so maps sharing no replica with the
@@ -21,15 +21,29 @@
 //     in increasing replica-id order — the same order as the sorted
 //     merge — so every score is bit-identical to `similarity()`.
 //
+// Incremental corpus maintenance (the PositionService's serving mode —
+// see DESIGN.md §6): `add`/`update`/`remove` mutate the corpus in place.
+// Updated and removed rows leave tombstones — dead segments in the entry
+// array and dead postings (map index `kDeadPosting`) in the posting
+// lists — which queries skip. Once tombstones outnumber live entries the
+// engine compacts in place, rewriting both stores without disturbing row
+// indices (removed rows keep their slot; `add` reuses freed slots).
+// Scores over a mutated engine are bit-identical to scores over a
+// freshly built engine of the live maps: per touched map, accumulation
+// still follows increasing replica-id order, and norms/sizes come from
+// the same `RatioMap` the fresh build would ingest.
+//
 // Determinism contract (the repo's first parallel subsystem; later ones
 // follow the same conventions): all batch results are indexed by query
 // position and each slot is computed independently, so results are
 // bit-identical regardless of the thread pool's size, including the
-// inline (0-thread) pool.
+// inline (0-thread) pool. Mutations are not thread-safe; quiesce queries
+// before calling add/update/remove/compact.
 #pragma once
 
 #include <cstdint>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "core/ratio_map.hpp"
@@ -44,47 +58,103 @@ namespace crp::core {
 
 class SimilarityEngine {
  public:
+  /// Mutation counters (monotonic over the engine's lifetime).
+  struct MutationStats {
+    std::uint64_t adds = 0;
+    std::uint64_t updates = 0;
+    std::uint64_t removes = 0;
+    /// Postings (== corpus entries) turned into tombstones by
+    /// update/remove. Compaction reclaims them without resetting this.
+    std::uint64_t postings_tombstoned = 0;
+    std::uint64_t compactions = 0;
+  };
+
+  /// Dead-entry floor below which automatic compaction never triggers
+  /// (tiny corpora churn freely without rewrite storms).
+  static constexpr std::size_t kCompactMinDeadEntries = 256;
+
+  /// An empty mutable engine; grow it with `add`.
+  explicit SimilarityEngine(SimilarityKind kind);
+
   /// Ingests `corpus` (maps are copied into CSR form; the span need not
   /// outlive the engine). `kind` fixes the metric for all queries.
   explicit SimilarityEngine(std::span<const RatioMap> corpus,
                             SimilarityKind kind = SimilarityKind::kCosine);
 
-  [[nodiscard]] std::size_t size() const { return offsets_.size() - 1; }
+  /// Number of row slots, dead ones included — the length of dense score
+  /// vectors. Equals the corpus size for a never-mutated engine.
+  [[nodiscard]] std::size_t size() const { return rows_.size(); }
   [[nodiscard]] bool empty() const { return size() == 0; }
-  [[nodiscard]] SimilarityKind kind() const { return kind_; }
-  /// Number of distinct replicas across the corpus.
-  [[nodiscard]] std::size_t distinct_replicas() const {
-    return replica_ids_.size();
+  /// Rows currently holding a live map.
+  [[nodiscard]] std::size_t live_size() const { return live_rows_; }
+  /// Whether row `index` holds a live map (false once removed).
+  [[nodiscard]] bool alive(std::size_t index) const {
+    return rows_[index].live;
   }
-  /// Corpus map i's strongest mapping (max ratio; 0 for an empty map).
+  [[nodiscard]] SimilarityKind kind() const { return kind_; }
+  /// Number of distinct replicas across the live corpus.
+  [[nodiscard]] std::size_t distinct_replicas() const {
+    return live_replicas_;
+  }
+  /// Corpus map i's strongest mapping (max ratio; 0 for an empty or
+  /// removed map).
   [[nodiscard]] double strongest_mapping(std::size_t index) const {
     return strongest_[index];
   }
 
+  // --- incremental corpus maintenance ---
+
+  /// Adds a map and returns its row index. Freed slots (from `remove`)
+  /// are reused before new ones are appended, so `size()` stays bounded
+  /// by the high-water mark of live rows.
+  std::size_t add(const RatioMap& map);
+  /// Replaces the map at live row `index` (precondition: alive(index)).
+  /// The old row's entries and postings become tombstones.
+  void update(std::size_t index, const RatioMap& map);
+  /// Removes the map at live row `index` (precondition: alive(index)).
+  /// The slot survives — dense scores keep their positions — and scores
+  /// against it are 0 from here on.
+  void remove(std::size_t index);
+  /// Rewrites the entry array and posting lists without the tombstones,
+  /// preserving every row index. Called automatically once dead entries
+  /// outnumber live ones (past `kCompactMinDeadEntries`); callable
+  /// explicitly after bulk churn.
+  void compact();
+  /// Tombstoned entries not yet reclaimed by compaction.
+  [[nodiscard]] std::size_t dead_entries() const { return dead_entries_; }
+  [[nodiscard]] const MutationStats& mutation_stats() const {
+    return mstats_;
+  }
+
   // --- single-query paths ---
 
-  /// Similarity of `query` to every corpus map, indexed by corpus
-  /// position. Bit-identical to calling `similarity(kind, query, map)`
-  /// per map.
+  /// Similarity of `query` to every corpus row, indexed by row position
+  /// (0 for dead rows). Bit-identical to calling
+  /// `similarity(kind, query, map)` per live map. If `touched_maps` is
+  /// non-null it receives the number of corpus maps sharing at least one
+  /// replica with the query — the work the inverted index actually did.
   [[nodiscard]] std::vector<double> scores(const RatioMap& query) const;
-  void scores(const RatioMap& query, std::span<double> out) const;
+  void scores(const RatioMap& query, std::span<double> out,
+              std::size_t* touched_maps = nullptr) const;
 
-  /// Same, with corpus map `index` as the query (no RatioMap needed; uses
+  /// Same, with corpus row `index` as the query (no RatioMap needed; uses
   /// the CSR row). scores_of(i)[i] is the self-similarity (1 for any
-  /// non-empty map under all three metrics).
+  /// non-empty live map under all three metrics). A dead row scores 0
+  /// against everything.
   [[nodiscard]] std::vector<double> scores_of(std::size_t index) const;
-  void scores_of(std::size_t index, std::span<double> out) const;
+  void scores_of(std::size_t index, std::span<double> out,
+                 std::size_t* touched_maps = nullptr) const;
 
-  /// All corpus maps ranked by similarity to `query`, best first, ties
-  /// and zero-similarity maps in corpus order — the same contract (and
-  /// bit-identical result) as `rank_candidates`.
+  /// All *live* corpus maps ranked by similarity to `query`, best first,
+  /// ties and zero-similarity maps in row order — the same contract (and
+  /// bit-identical result) as `rank_candidates` over the live maps.
   [[nodiscard]] std::vector<RankedCandidate> rank_all(
       const RatioMap& query) const;
 
   /// Top-k of `rank_all` without materializing the full ranking: only
   /// maps sharing a replica with the query are scored and sorted;
-  /// zero-similarity maps pad the tail in corpus order if k exceeds the
-  /// number of comparable maps.
+  /// zero-similarity live maps pad the tail in row order if k exceeds
+  /// the number of comparable maps. Dead rows are never returned.
   [[nodiscard]] std::vector<RankedCandidate> top_k(const RatioMap& query,
                                                    std::size_t k) const;
 
@@ -94,18 +164,39 @@ class SimilarityEngine {
 
   // --- batch paths (parallel across queries, deterministic) ---
 
-  /// top_k for every corpus map as the query, indexed by query position.
+  /// top_k for every corpus row as the query, indexed by row position.
   /// `pool` defaults to `ThreadPool::shared()`.
   [[nodiscard]] std::vector<std::vector<RankedCandidate>> all_top_k(
       std::size_t k, ThreadPool* pool = nullptr) const;
 
   /// Full similarity matrix, `result[i][j] = similarity(map_i, map_j)`.
-  /// Symmetric; diagonal is the self-similarity.
+  /// Symmetric; diagonal is the self-similarity; dead rows/columns are 0.
   [[nodiscard]] std::vector<std::vector<double>> pairwise_similarities(
       ThreadPool* pool = nullptr) const;
 
  private:
   struct Scratch;
+
+  /// A CSR row: entries_[begin .. begin + len). Updates point `begin` at
+  /// a fresh segment and orphan the old one until compaction.
+  struct Row {
+    std::size_t begin = 0;
+    std::uint32_t len = 0;
+    bool live = false;
+  };
+
+  /// One posting: a corpus row containing the replica, with its ratio.
+  /// `map == kDeadPosting` marks a tombstone.
+  struct Posting {
+    std::uint32_t map = 0;
+    double ratio = 0.0;
+  };
+  static constexpr std::uint32_t kDeadPosting = 0xffffffffu;
+
+  struct PostingList {
+    std::vector<Posting> items;
+    std::uint32_t live = 0;  // non-tombstoned items
+  };
 
   /// Per-thread query scratch (accumulators + touched list), reused
   /// across queries and engines so steady-state queries allocate nothing.
@@ -124,31 +215,41 @@ class SimilarityEngine {
                                      const Scratch& scratch) const;
 
   [[nodiscard]] std::span<const RatioMap::Entry> row(std::size_t index) const {
-    return {entries_.data() + offsets_[index],
-            offsets_[index + 1] - offsets_[index]};
+    return {entries_.data() + rows_[index].begin, rows_[index].len};
   }
 
   void top_k_into(std::span<const RatioMap::Entry> entries, double query_norm,
                   std::size_t query_size, std::size_t k,
                   std::vector<RankedCandidate>& out) const;
 
+  /// Writes `map`'s entries as row `index`'s segment (at the tail of
+  /// entries_) and appends its postings.
+  void write_row(std::size_t index, const RatioMap& map);
+  /// Tombstones row `index`'s postings and orphans its entry segment.
+  void tombstone_row(std::size_t index);
+  void maybe_compact();
+
   SimilarityKind kind_;
 
-  // CSR corpus: entries_[offsets_[i] .. offsets_[i+1]) is map i, sorted
-  // by replica id (RatioMap's own invariant, preserved verbatim).
-  std::vector<std::size_t> offsets_;
+  // CSR corpus. Entry segments are append-only between compactions.
+  std::vector<Row> rows_;
   std::vector<RatioMap::Entry> entries_;
-  std::vector<double> norms_;       // RatioMap::norm() per map
-  std::vector<double> strongest_;   // RatioMap::strongest_mapping() per map
+  std::vector<double> norms_;       // RatioMap::norm() per row
+  std::vector<double> strongest_;   // RatioMap::strongest_mapping() per row
+  std::vector<std::uint32_t> free_rows_;  // dead slots, reused LIFO by add
+  std::size_t live_rows_ = 0;
+  std::size_t live_entries_ = 0;
+  std::size_t dead_entries_ = 0;
 
-  // Inverted index: postings of replica r (dense id) are
-  // post_map_/post_ratio_[post_offsets_[r] .. post_offsets_[r+1]),
-  // ordered by map index (build order), which makes each map's
-  // accumulation follow increasing replica id within a query.
-  std::vector<ReplicaId> replica_ids_;  // sorted unique, dense id -> replica
-  std::vector<std::size_t> post_offsets_;
-  std::vector<std::uint32_t> post_map_;
-  std::vector<double> post_ratio_;
+  // Inverted index: replica -> posting list. Lists keep insertion order;
+  // within one replica each live row appears at most once, so posting
+  // order never affects the per-map accumulation order (which follows
+  // the query's sorted entries).
+  std::unordered_map<ReplicaId, std::uint32_t> replica_slot_;
+  std::vector<PostingList> post_;
+  std::size_t live_replicas_ = 0;  // posting lists with live > 0
+
+  MutationStats mstats_;
 };
 
 }  // namespace crp::core

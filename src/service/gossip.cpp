@@ -77,10 +77,12 @@ std::size_t GossipMesh::round(SimTime now) {
         if (!report.has_value()) continue;
         // Travel over the wire format, exactly as a real library would,
         // keeping the original timestamp so freshness rules hold across
-        // multiple hops.
-        const std::string bytes = encode(*report);
-        bytes_ += bytes.size();
-        (void)receiver.store->publish_encoded(bytes, now);
+        // multiple hops. Reports the wire bounds reject (oversized ids
+        // are possible via publish_local) simply don't gossip.
+        const auto bytes = encode(*report);
+        if (!bytes.has_value()) continue;
+        bytes_ += bytes->size();
+        (void)receiver.store->publish_encoded(*bytes, now);
         ++transmitted;
       }
     }

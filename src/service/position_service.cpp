@@ -7,11 +7,21 @@
 namespace crp::service {
 
 PositionService::PositionService(ServiceConfig config)
-    : config_(config) {}
+    : config_(config), engine_(config.metric) {
+  // One engine serves both selection and clustering, so a single metric
+  // governs both query families.
+  config_.clustering.metric = config_.metric;
+}
 
 bool PositionService::is_live(const PositionReport& report,
                               SimTime now) const {
   return now - report.when <= config_.staleness_bound;
+}
+
+bool PositionService::is_live_id(const std::string& node_id,
+                                 SimTime now) const {
+  const auto it = reports_.find(node_id);
+  return it != reports_.end() && is_live(it->second, now);
 }
 
 bool PositionService::publish(PositionReport report, SimTime now) {
@@ -25,7 +35,19 @@ bool PositionService::publish(PositionReport report, SimTime now) {
     ++reports_rejected_;  // out-of-order delivery of an older report
     return false;
   }
-  reports_[report.node_id] = std::move(report);
+  if (it != reports_.end()) {
+    engine_.update(slot_of_.at(report.node_id), report.map);
+    it->second = std::move(report);
+  } else {
+    const std::size_t slot = engine_.add(report.map);
+    slot_of_.emplace(report.node_id, slot);
+    if (slot == node_at_.size()) {
+      node_at_.push_back(report.node_id);
+    } else {
+      node_at_[slot] = report.node_id;  // reused tombstoned slot
+    }
+    reports_.emplace(report.node_id, std::move(report));
+  }
   ++reports_accepted_;
   ++membership_epoch_;
   return true;
@@ -40,8 +62,18 @@ bool PositionService::publish_encoded(std::string_view bytes, SimTime now) {
   return publish(std::move(*report), now);
 }
 
+void PositionService::drop_node(const std::string& node_id) {
+  const auto it = slot_of_.find(node_id);
+  if (it == slot_of_.end()) return;
+  engine_.remove(it->second);
+  node_at_[it->second].clear();
+  slot_of_.erase(it);
+  reports_.erase(node_id);
+  ++membership_epoch_;
+}
+
 void PositionService::remove(const std::string& node_id) {
-  if (reports_.erase(node_id) > 0) ++membership_epoch_;
+  drop_node(node_id);
 }
 
 std::optional<core::RatioMap> PositionService::map_of(
@@ -68,6 +100,14 @@ std::vector<std::string> PositionService::live_nodes(SimTime now) const {
   return nodes;
 }
 
+void PositionService::similarity_scores(std::size_t client_slot,
+                                        std::span<double> out) const {
+  std::size_t touched = 0;
+  engine_.scores_of(client_slot, out, &touched);
+  ++similarity_queries_;
+  maps_touched_ += touched;
+}
+
 std::vector<RankedNode> PositionService::closest(
     const std::string& client, std::span<const std::string> candidates,
     std::size_t k, SimTime now) const {
@@ -76,14 +116,17 @@ std::vector<RankedNode> PositionService::closest(
   if (client_it == reports_.end() || !is_live(client_it->second, now)) {
     return {};
   }
+  // One engine query scores the whole corpus; candidates then just look
+  // up their slot. Engine scores are bit-identical to per-pair
+  // similarity(), so the ranking matches the naive loop byte for byte.
+  std::vector<double> scores(engine_.size());
+  similarity_scores(slot_of_.at(client), scores);
   std::vector<RankedNode> ranked;
   for (const std::string& candidate : candidates) {
     if (candidate == client) continue;
     const auto it = reports_.find(candidate);
     if (it == reports_.end() || !is_live(it->second, now)) continue;
-    ranked.push_back(RankedNode{
-        candidate, core::similarity(config_.metric, client_it->second.map,
-                                    it->second.map)});
+    ranked.push_back(RankedNode{candidate, scores[slot_of_.at(candidate)]});
   }
   std::stable_sort(ranked.begin(), ranked.end(),
                    [](const RankedNode& a, const RankedNode& b) {
@@ -97,24 +140,47 @@ std::vector<RankedNode> PositionService::closest(
 }
 
 std::vector<RankedNode> PositionService::closest_any(
-    const std::string& client, std::size_t k, SimTime now) {
-  const auto nodes = live_nodes(now);
-  return closest(client, nodes, k, now);
+    const std::string& client, std::size_t k, SimTime now) const {
+  ++queries_served_;
+  const auto client_it = reports_.find(client);
+  if (client_it == reports_.end() || !is_live(client_it->second, now)) {
+    return {};
+  }
+  std::vector<double> scores(engine_.size());
+  similarity_scores(slot_of_.at(client), scores);
+  std::vector<RankedNode> ranked;
+  ranked.reserve(reports_.size());
+  for (const auto& [id, report] : reports_) {
+    if (id == client || !is_live(report, now)) continue;
+    ranked.push_back(RankedNode{id, scores[slot_of_.at(id)]});
+  }
+  // (similarity, node_id) is a total order, so partial_sort + truncate
+  // equals the full stable sort the candidate-list path does.
+  const auto cmp = [](const RankedNode& a, const RankedNode& b) {
+    if (a.similarity != b.similarity) return a.similarity > b.similarity;
+    return a.node_id < b.node_id;
+  };
+  const std::size_t keep = std::min(k, ranked.size());
+  std::partial_sort(ranked.begin(),
+                    ranked.begin() + static_cast<std::ptrdiff_t>(keep),
+                    ranked.end(), cmp);
+  ranked.resize(keep);
+  return ranked;
 }
 
 void PositionService::ensure_clustering(SimTime now) {
   const bool fresh = clustered_epoch_ == membership_epoch_ &&
                      clustered_at_ >= SimTime::epoch() &&
                      now - clustered_at_ <= config_.recluster_after;
-  if (fresh) return;
-
-  cluster_nodes_ = live_nodes(now);
-  std::vector<core::RatioMap> maps;
-  maps.reserve(cluster_nodes_.size());
-  for (const std::string& id : cluster_nodes_) {
-    maps.push_back(reports_.at(id).map);
+  if (fresh) {
+    ++clustering_cache_hits_;
+    return;
   }
-  clustering_ = core::smf_cluster(maps, config_.clustering);
+  // SMF runs straight off the engine's corpus — no per-recluster map
+  // copies, no fresh engine build. Tombstoned rows score 0 against
+  // everything and end up as singletons the answers skip.
+  clustering_ = core::smf_cluster(engine_, config_.clustering);
+  ++engine_rebuilds_avoided_;
   clustered_at_ = now;
   clustered_epoch_ = membership_epoch_;
 }
@@ -122,17 +188,19 @@ void PositionService::ensure_clustering(SimTime now) {
 std::vector<std::string> PositionService::same_cluster(
     const std::string& node_id, SimTime now) {
   ++queries_served_;
+  if (!is_live_id(node_id, now)) return {};
   ensure_clustering(now);
-  const auto it = std::find(cluster_nodes_.begin(), cluster_nodes_.end(),
-                            node_id);
-  if (it == cluster_nodes_.end()) return {};
-  const auto index =
-      static_cast<std::size_t>(it - cluster_nodes_.begin());
+  const std::size_t slot = slot_of_.at(node_id);
   const auto& cluster =
-      clustering_.clusters[clustering_.assignment[index]];
+      clustering_.clusters[clustering_.assignment[slot]];
   std::vector<std::string> out;
   for (std::size_t member : cluster.members) {
-    if (member != index) out.push_back(cluster_nodes_[member]);
+    if (member == slot) continue;
+    const std::string& id = node_at_[member];
+    // Tombstoned slots and members whose reports went stale since the
+    // clustering was cached are filtered here, at answer time.
+    if (id.empty() || !is_live_id(id, now)) continue;
+    out.push_back(id);
   }
   std::sort(out.begin(), out.end());
   return out;
@@ -143,8 +211,10 @@ PositionService::cluster_assignment(SimTime now) {
   ++queries_served_;
   ensure_clustering(now);
   std::unordered_map<std::string, std::size_t> out;
-  for (std::size_t i = 0; i < cluster_nodes_.size(); ++i) {
-    out[cluster_nodes_[i]] = clustering_.assignment[i];
+  for (std::size_t slot = 0; slot < node_at_.size(); ++slot) {
+    const std::string& id = node_at_[slot];
+    if (id.empty() || !is_live_id(id, now)) continue;
+    out[id] = clustering_.assignment[slot];
   }
   return out;
 }
@@ -155,36 +225,75 @@ std::vector<std::string> PositionService::diverse_set(std::size_t n,
   ++queries_served_;
   ensure_clustering(now);
 
-  // One representative per cluster, preferring multi-member clusters
-  // (their centers are corroborated positions), in random order.
-  std::vector<std::size_t> cluster_order(clustering_.clusters.size());
+  // One live representative per cluster, preferring clusters with more
+  // live members (their centers are corroborated positions), in random
+  // order. Clusters with no live member contribute nothing.
+  struct Candidate {
+    std::string id;
+    std::size_t live_members = 0;
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(clustering_.clusters.size());
+  for (const auto& cluster : clustering_.clusters) {
+    Candidate c;
+    bool center_live = false;
+    std::string smallest;
+    for (std::size_t member : cluster.members) {
+      const std::string& id = node_at_[member];
+      if (id.empty() || !is_live_id(id, now)) continue;
+      ++c.live_members;
+      if (member == cluster.center) center_live = true;
+      if (smallest.empty() || id < smallest) smallest = id;
+    }
+    if (c.live_members == 0) continue;
+    // Prefer the center; if it went stale, the lexicographically
+    // smallest live member stands in for it.
+    c.id = center_live ? node_at_[cluster.center] : smallest;
+    candidates.push_back(std::move(c));
+  }
+
+  std::vector<std::size_t> cluster_order(candidates.size());
   for (std::size_t i = 0; i < cluster_order.size(); ++i) {
     cluster_order[i] = i;
   }
   Rng rng{hash_combine({seed, stable_hash("diverse-set")})};
   rng.shuffle(cluster_order);
   std::stable_sort(cluster_order.begin(), cluster_order.end(),
-                   [this](std::size_t a, std::size_t b) {
-                     return clustering_.clusters[a].members.size() >
-                            clustering_.clusters[b].members.size();
+                   [&candidates](std::size_t a, std::size_t b) {
+                     return candidates[a].live_members >
+                            candidates[b].live_members;
                    });
 
   std::vector<std::string> out;
   for (std::size_t ci : cluster_order) {
     if (out.size() == n) break;
-    out.push_back(cluster_nodes_[clustering_.clusters[ci].center]);
+    out.push_back(candidates[ci].id);
   }
   return out;
 }
 
 std::size_t PositionService::expire(SimTime now) {
-  const std::size_t before = reports_.size();
-  std::erase_if(reports_, [this, now](const auto& kv) {
-    return !is_live(kv.second, now);
-  });
-  const std::size_t removed = before - reports_.size();
-  if (removed > 0) ++membership_epoch_;
-  return removed;
+  std::vector<std::string> stale;
+  for (const auto& [id, report] : reports_) {
+    if (!is_live(report, now)) stale.push_back(id);
+  }
+  for (const std::string& id : stale) drop_node(id);
+  return stale.size();
+}
+
+ServiceStats PositionService::stats() const {
+  const auto& engine = engine_.mutation_stats();
+  ServiceStats s;
+  s.queries_served = queries_served_;
+  s.reports_accepted = reports_accepted_;
+  s.reports_rejected = reports_rejected_;
+  s.clustering_cache_hits = clustering_cache_hits_;
+  s.engine_rebuilds_avoided = engine_rebuilds_avoided_;
+  s.postings_tombstoned = engine.postings_tombstoned;
+  s.compactions = engine.compactions;
+  s.similarity_queries = similarity_queries_;
+  s.maps_touched = maps_touched_;
+  return s;
 }
 
 }  // namespace crp::service

@@ -7,8 +7,22 @@
 //  * Nodes publish `PositionReport`s (ratio map + timestamp); newer
 //    reports replace older ones, stale reports expire.
 //  * `closest` ranks candidate nodes by similarity to a client node.
-//  * Cluster queries run SMF lazily over the live reports and cache the
-//    result until the membership changes or the cache ages out.
+//  * Cluster queries run SMF lazily over the engine corpus and cache the
+//    result until the membership changes or the cache ages out. Stale
+//    members are filtered out of every answer at query time, so a cached
+//    clustering never serves nodes whose reports have aged past the
+//    staleness bound.
+//
+// Serving machinery: the service keeps one incrementally maintained
+// `core::SimilarityEngine` (DESIGN.md §6) as the source of truth for
+// similarity. publish/remove/expire mutate the engine in place
+// (add/update/remove with tombstones + compaction) instead of rebuilding
+// a corpus copy; `closest`/`closest_any` answer from one engine query
+// per request, and `ensure_clustering` feeds `smf_cluster` straight from
+// the engine without recopying a single map. Engine scores are
+// bit-identical to per-pair `similarity()` (the §6 determinism
+// contract), so query answers are byte-for-byte what the naive per-pair
+// implementation produced.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +36,7 @@
 #include "core/clustering.hpp"
 #include "core/ratio_map.hpp"
 #include "core/similarity.hpp"
+#include "core/similarity_engine.hpp"
 #include "service/wire.hpp"
 
 namespace crp::service {
@@ -29,11 +44,14 @@ namespace crp::service {
 struct ServiceConfig {
   /// Reports older than this are ignored and eventually dropped.
   Duration staleness_bound = Hours(6);
+  /// Similarity metric for every query the service answers — selection
+  /// and clustering share the one engine, so `clustering.metric` is
+  /// overridden with this value at construction.
   core::SimilarityKind metric = core::SimilarityKind::kCosine;
   /// SMF settings for the cluster queries.
   core::SmfConfig clustering;
   /// Cached clustering is recomputed after this long, or whenever the
-  /// set of live nodes changes.
+  /// set of known nodes changes.
   Duration recluster_after = Minutes(30);
 };
 
@@ -41,6 +59,26 @@ struct ServiceConfig {
 struct RankedNode {
   std::string node_id;
   double similarity = 0.0;
+};
+
+/// Serving counters, cumulative since construction (see stats()).
+struct ServiceStats {
+  std::uint64_t queries_served = 0;
+  std::uint64_t reports_accepted = 0;
+  std::uint64_t reports_rejected = 0;
+  /// Cluster queries answered from the cached clustering.
+  std::uint64_t clustering_cache_hits = 0;
+  /// Reclusterings that reused the incrementally maintained engine —
+  /// each one is a from-scratch corpus copy + engine build avoided.
+  std::uint64_t engine_rebuilds_avoided = 0;
+  /// Engine churn (mirrors SimilarityEngine::MutationStats).
+  std::uint64_t postings_tombstoned = 0;
+  std::uint64_t compactions = 0;
+  /// Similarity queries answered and the corpus maps they touched
+  /// (shared ≥1 replica with the client) — touched/query is the
+  /// effective fan-out of the engine's inverted index.
+  std::uint64_t similarity_queries = 0;
+  std::uint64_t maps_touched = 0;
 };
 
 class PositionService {
@@ -77,16 +115,18 @@ class PositionService {
       std::size_t k, SimTime now) const;
   /// Same, but over every live node except the client.
   [[nodiscard]] std::vector<RankedNode> closest_any(
-      const std::string& client, std::size_t k, SimTime now);
+      const std::string& client, std::size_t k, SimTime now) const;
 
   // --- §IV.B clustering queries ---
-  /// Query 1: nodes in the same cluster as `node_id` (excluding it).
+  /// Query 1: live nodes in the same cluster as `node_id` (excluding
+  /// it). Empty if `node_id` is unknown or stale at `now`.
   [[nodiscard]] std::vector<std::string> same_cluster(
       const std::string& node_id, SimTime now);
-  /// Query 2: cluster index for every live node.
+  /// Query 2: cluster index for every live node. Indices are
+  /// engine-internal — meaningful for equality comparisons only.
   [[nodiscard]] std::unordered_map<std::string, std::size_t>
   cluster_assignment(SimTime now);
-  /// Query 3: up to n nodes, pairwise in different clusters (for
+  /// Query 3: up to n live nodes, pairwise in different clusters (for
   /// failure-independent peer sets). Deterministic given the seed.
   [[nodiscard]] std::vector<std::string> diverse_set(std::size_t n,
                                                      SimTime now,
@@ -104,28 +144,51 @@ class PositionService {
   [[nodiscard]] std::uint64_t reports_rejected() const {
     return reports_rejected_;
   }
+  /// Snapshot of all serving counters, engine churn included.
+  [[nodiscard]] ServiceStats stats() const;
+  /// The engine slots currently backing the corpus (live + tombstoned);
+  /// exposed for tests and capacity monitoring.
+  [[nodiscard]] std::size_t engine_slots() const { return engine_.size(); }
 
  private:
   [[nodiscard]] bool is_live(const PositionReport& report,
                              SimTime now) const;
-  /// Rebuilds the cached clustering if membership changed or the cache
-  /// aged out.
+  [[nodiscard]] bool is_live_id(const std::string& node_id,
+                                SimTime now) const;
+  /// Erases one node from the report map, the engine, and the slot maps.
+  void drop_node(const std::string& node_id);
+  /// One engine query for `client_slot`'s similarity to the whole
+  /// corpus, with stats accounting. `out` must have engine_.size() slots.
+  void similarity_scores(std::size_t client_slot,
+                         std::span<double> out) const;
+  /// Recomputes the cached clustering if membership changed or the cache
+  /// aged out. The clustering covers every engine row (stale-but-known
+  /// nodes included); answers filter liveness afterwards.
   void ensure_clustering(SimTime now);
 
   ServiceConfig config_;
   std::unordered_map<std::string, PositionReport> reports_;
 
-  // Cached clustering over a snapshot of live nodes.
-  std::vector<std::string> cluster_nodes_;  // index -> node_id
+  // The similarity corpus. node_at_[slot] is the node occupying an
+  // engine row ("" for tombstoned rows); slot_of_ is the inverse.
+  core::SimilarityEngine engine_;
+  std::unordered_map<std::string, std::size_t> slot_of_;
+  std::vector<std::string> node_at_;
+
+  // Cached clustering over the engine corpus.
   core::Clustering clustering_;
   SimTime clustered_at_ = SimTime{-1};
   std::uint64_t membership_epoch_ = 0;   // bumped on publish/remove
   std::uint64_t clustered_epoch_ = ~0ULL;
 
-  // mutable: read-path queries update the counter through const methods.
+  // mutable: read-path queries update counters through const methods.
   mutable std::uint64_t queries_served_ = 0;
   std::uint64_t reports_accepted_ = 0;
   std::uint64_t reports_rejected_ = 0;
+  std::uint64_t clustering_cache_hits_ = 0;
+  std::uint64_t engine_rebuilds_avoided_ = 0;
+  mutable std::uint64_t similarity_queries_ = 0;
+  mutable std::uint64_t maps_touched_ = 0;
 };
 
 }  // namespace crp::service

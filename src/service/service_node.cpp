@@ -23,9 +23,10 @@ bool ServiceNode::publish_now(SimTime now) {
   report.map = node_->ratio_map(config_.window);
   if (report.map.empty()) return false;
 
-  const std::string bytes = encode(report);
-  bytes_sent_ += bytes.size();
-  if (!service_->publish_encoded(bytes, now)) return false;
+  const auto bytes = encode(report);
+  if (!bytes.has_value()) return false;
+  bytes_sent_ += bytes->size();
+  if (!service_->publish_encoded(*bytes, now)) return false;
   ++publishes_;
   return true;
 }

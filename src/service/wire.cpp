@@ -93,20 +93,24 @@ class Reader {
 
 }  // namespace
 
-std::size_t encoded_size(const PositionReport& report) {
+std::optional<std::size_t> encoded_size(const PositionReport& report) {
+  if (report.node_id.size() > kMaxNodeIdBytes ||
+      report.map.size() > kMaxEntries) {
+    return std::nullopt;
+  }
   return 3 + 1 + 2 + report.node_id.size() + 8 + 4 +
          report.map.size() * 12;
 }
 
-std::string encode(const PositionReport& report) {
+std::optional<std::string> encode(const PositionReport& report) {
+  const auto size = encoded_size(report);
+  if (!size.has_value()) return std::nullopt;
   std::string out;
-  out.reserve(encoded_size(report));
+  out.reserve(*size);
   out.append(kMagic, sizeof(kMagic));
   out.push_back(static_cast<char>(kVersion));
-  put_u16(out, static_cast<std::uint16_t>(
-                   std::min(report.node_id.size(), kMaxNodeIdBytes)));
-  out.append(report.node_id.data(),
-             std::min(report.node_id.size(), kMaxNodeIdBytes));
+  put_u16(out, static_cast<std::uint16_t>(report.node_id.size()));
+  out.append(report.node_id.data(), report.node_id.size());
   put_i64(out, report.when.micros());
   put_u32(out, static_cast<std::uint32_t>(report.map.size()));
   for (const auto& [replica, ratio] : report.map.entries()) {

@@ -37,19 +37,26 @@ struct PositionReport {
                          const PositionReport&) = default;
 };
 
-/// Maximum accepted sizes (decode rejects larger — corruption guard).
+/// Maximum accepted sizes (decode rejects larger — corruption guard;
+/// encode rejects them too, so every encoding round-trips).
 inline constexpr std::size_t kMaxNodeIdBytes = 256;
 inline constexpr std::size_t kMaxEntries = 100'000;
 
-/// Serializes a report to the binary wire format.
-[[nodiscard]] std::string encode(const PositionReport& report);
+/// Serializes a report to the binary wire format. Returns nullopt for
+/// reports that violate the wire bounds (node_id longer than
+/// kMaxNodeIdBytes, or more than kMaxEntries entries): truncating the id
+/// would publish the report under a different identity after decode, and
+/// an oversized entry count would encode bytes decode() rejects.
+[[nodiscard]] std::optional<std::string> encode(const PositionReport& report);
 
 /// Parses the wire format. Returns nullopt on any malformation:
 /// bad magic/version, truncation, oversized fields, non-finite or
 /// non-positive ratios.
 [[nodiscard]] std::optional<PositionReport> decode(std::string_view bytes);
 
-/// Encoded size of a report without building the string.
-[[nodiscard]] std::size_t encoded_size(const PositionReport& report);
+/// Encoded size of a report without building the string; nullopt exactly
+/// when encode() would refuse the report.
+[[nodiscard]] std::optional<std::size_t> encoded_size(
+    const PositionReport& report);
 
 }  // namespace crp::service

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -231,6 +232,238 @@ TEST(SimilarityEngineTest, SmfClusterMatchesReferenceImplementation) {
       }
     }
   }
+}
+
+class MutationOracleTest
+    : public ::testing::TestWithParam<SimilarityKind> {};
+
+// The incremental-maintenance contract: after any sequence of
+// add/update/remove (tombstones, slot reuse, compactions included), the
+// mutated engine scores bit-identically to a fresh engine built from the
+// surviving maps — and dead slots score exactly 0.
+TEST_P(MutationOracleTest, MutateVsRebuildOracle) {
+  const SimilarityKind kind = GetParam();
+  Rng rng{1234 + static_cast<std::uint64_t>(kind)};
+
+  for (int trial = 0; trial < 6; ++trial) {
+    SimilarityEngine engine{kind};
+    // Shadow corpus by slot; nullopt marks a tombstoned row.
+    std::vector<std::optional<RatioMap>> slots;
+
+    const auto fresh_map = [&rng] {
+      auto one = random_corpus(rng, 1, 36);
+      return one.front();
+    };
+
+    const int steps = 120 + trial * 40;
+    for (int step = 0; step < steps; ++step) {
+      const double action = rng.uniform(0.0, 1.0);
+      const auto live_slot = [&]() -> std::optional<std::size_t> {
+        std::vector<std::size_t> live;
+        for (std::size_t s = 0; s < slots.size(); ++s) {
+          if (slots[s].has_value()) live.push_back(s);
+        }
+        if (live.empty()) return std::nullopt;
+        return live[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(live.size()) - 1))];
+      };
+
+      if (action < 0.55 || slots.empty()) {
+        RatioMap map = fresh_map();
+        const std::size_t slot = engine.add(map);
+        ASSERT_LE(slot, slots.size());
+        if (slot == slots.size()) {
+          slots.emplace_back(std::move(map));
+        } else {
+          ASSERT_FALSE(slots[slot].has_value()) << "clobbered a live slot";
+          slots[slot] = std::move(map);
+        }
+      } else if (action < 0.80) {
+        if (const auto slot = live_slot()) {
+          RatioMap map = fresh_map();
+          engine.update(*slot, map);
+          slots[*slot] = std::move(map);
+        }
+      } else {
+        if (const auto slot = live_slot()) {
+          engine.remove(*slot);
+          slots[*slot].reset();
+        }
+      }
+    }
+
+    // Rebuild from the live maps in slot order.
+    std::vector<RatioMap> live_maps;
+    std::vector<std::size_t> fresh_of_slot(slots.size(), ~std::size_t{0});
+    for (std::size_t s = 0; s < slots.size(); ++s) {
+      if (!slots[s].has_value()) continue;
+      fresh_of_slot[s] = live_maps.size();
+      live_maps.push_back(*slots[s]);
+    }
+    const SimilarityEngine rebuilt{live_maps, kind};
+
+    ASSERT_EQ(engine.size(), slots.size());
+    ASSERT_EQ(engine.live_size(), live_maps.size());
+    EXPECT_EQ(engine.distinct_replicas(), rebuilt.distinct_replicas());
+    for (std::size_t s = 0; s < slots.size(); ++s) {
+      ASSERT_EQ(engine.alive(s), slots[s].has_value()) << s;
+      EXPECT_EQ(engine.strongest_mapping(s),
+                slots[s].has_value()
+                    ? rebuilt.strongest_mapping(fresh_of_slot[s])
+                    : 0.0)
+          << s;
+    }
+
+    auto queries = random_corpus(rng, 6, 36);
+    queries.emplace_back();                 // empty query
+    for (const auto& s : slots) {           // corpus members as queries
+      if (s.has_value()) {
+        queries.push_back(*s);
+        break;
+      }
+    }
+    for (const RatioMap& query : queries) {
+      const auto got = engine.scores(query);
+      const auto want = rebuilt.scores(query);
+      ASSERT_EQ(got.size(), slots.size());
+      for (std::size_t s = 0; s < slots.size(); ++s) {
+        if (!slots[s].has_value()) {
+          EXPECT_EQ(got[s], 0.0) << "dead slot " << s << " scored";
+        } else {
+          // Bit-identical to the rebuilt engine AND to per-pair
+          // similarity() — EXPECT_EQ on doubles is the contract.
+          EXPECT_EQ(got[s], want[fresh_of_slot[s]]) << s;
+          EXPECT_EQ(got[s], similarity(kind, query, *slots[s])) << s;
+        }
+      }
+
+      EXPECT_EQ(engine.comparable_count(query),
+                rebuilt.comparable_count(query));
+
+      const auto ranked = engine.rank_all(query);
+      const auto ranked_want = rebuilt.rank_all(query);
+      ASSERT_EQ(ranked.size(), ranked_want.size());
+      for (std::size_t i = 0; i < ranked.size(); ++i) {
+        EXPECT_EQ(fresh_of_slot[ranked[i].index], ranked_want[i].index);
+        EXPECT_EQ(ranked[i].similarity, ranked_want[i].similarity);
+      }
+
+      for (std::size_t k : {std::size_t{1}, std::size_t{5},
+                            live_maps.size() + 3}) {
+        const auto top = engine.top_k(query, k);
+        const auto top_want = rebuilt.top_k(query, k);
+        ASSERT_EQ(top.size(), top_want.size());
+        for (std::size_t i = 0; i < top.size(); ++i) {
+          EXPECT_EQ(fresh_of_slot[top[i].index], top_want[i].index);
+          EXPECT_EQ(top[i].similarity, top_want[i].similarity);
+        }
+      }
+    }
+
+    // scores_of on live rows matches scores(map) on the same engine.
+    for (std::size_t s = 0; s < slots.size(); ++s) {
+      if (slots[s].has_value()) {
+        EXPECT_EQ(engine.scores_of(s), engine.scores(*slots[s])) << s;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, MutationOracleTest,
+                         ::testing::Values(SimilarityKind::kCosine,
+                                           SimilarityKind::kJaccard,
+                                           SimilarityKind::kWeightedOverlap),
+                         [](const auto& info) {
+                           std::string name = to_string(info.param);
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name + "Oracle";
+                         });
+
+TEST(SimilarityEngineTest, EmptyMutableEngineStartsFromNothing) {
+  SimilarityEngine engine{SimilarityKind::kCosine};
+  EXPECT_TRUE(engine.empty());
+  EXPECT_EQ(engine.live_size(), 0u);
+  EXPECT_EQ(engine.add(map_of({{ReplicaId{1}, 1.0}})), 0u);
+  EXPECT_EQ(engine.size(), 1u);
+  EXPECT_EQ(engine.live_size(), 1u);
+  const auto scores = engine.scores(map_of({{ReplicaId{1}, 1.0}}));
+  ASSERT_EQ(scores.size(), 1u);
+  EXPECT_DOUBLE_EQ(scores[0], 1.0);
+}
+
+TEST(SimilarityEngineTest, RemoveTombstonesAndAddReusesSlotsLifo) {
+  SimilarityEngine engine{SimilarityKind::kCosine};
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    engine.add(map_of({{ReplicaId{i}, 1.0}}));
+  }
+  engine.remove(1);
+  engine.remove(3);
+  EXPECT_EQ(engine.size(), 4u);
+  EXPECT_EQ(engine.live_size(), 2u);
+  EXPECT_FALSE(engine.alive(1));
+  EXPECT_FALSE(engine.alive(3));
+  EXPECT_EQ(engine.mutation_stats().removes, 2u);
+  EXPECT_EQ(engine.mutation_stats().postings_tombstoned, 2u);
+  // Dead rows score zero and are absent from rankings.
+  const auto scores = engine.scores(map_of({{ReplicaId{1}, 1.0}}));
+  EXPECT_EQ(scores[1], 0.0);
+  EXPECT_TRUE(engine.rank_all(map_of({{ReplicaId{1}, 1.0}})).size() == 2u);
+  // Freed slots come back most-recently-tombstoned first.
+  EXPECT_EQ(engine.add(map_of({{ReplicaId{9}, 1.0}})), 3u);
+  EXPECT_EQ(engine.add(map_of({{ReplicaId{10}, 1.0}})), 1u);
+  EXPECT_EQ(engine.add(map_of({{ReplicaId{11}, 1.0}})), 4u);
+  EXPECT_EQ(engine.live_size(), 5u);
+}
+
+TEST(SimilarityEngineTest, CompactionTriggersAndPreservesScores) {
+  Rng rng{606};
+  SimilarityEngine engine{SimilarityKind::kCosine};
+  std::vector<std::optional<RatioMap>> slots;
+
+  // Churn hard enough to cross the dead-entry threshold several times:
+  // every round replaces a large map, orphaning its CSR segment.
+  const auto big_map = [&rng] {
+    std::vector<RatioMap::Entry> entries;
+    for (int j = 0; j < 16; ++j) {
+      entries.emplace_back(
+          ReplicaId{static_cast<std::uint32_t>(rng.uniform_int(0, 99))},
+          rng.uniform(0.05, 1.0));
+    }
+    return RatioMap::from_ratios(entries);
+  };
+  for (int i = 0; i < 32; ++i) {
+    auto map = big_map();
+    engine.add(map);
+    slots.emplace_back(std::move(map));
+  }
+  for (int round = 0; round < 80; ++round) {
+    const auto slot = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(slots.size()) - 1));
+    auto map = big_map();
+    if (!slots[slot].has_value()) continue;
+    engine.update(slot, map);
+    slots[slot] = std::move(map);
+  }
+  EXPECT_GE(engine.mutation_stats().compactions, 1u)
+      << "churn never crossed the compaction threshold";
+  // The threshold keeps dead weight bounded by the live corpus: right
+  // after any mutation, dead < max(kCompactMinDeadEntries, live) + one
+  // row's worth of entries.
+  EXPECT_LT(engine.dead_entries(), 32u * 16u + 16u);
+
+  // Scores still bit-match a fresh build.
+  std::vector<RatioMap> live;
+  for (const auto& s : slots) live.push_back(*s);
+  const SimilarityEngine rebuilt{live, SimilarityKind::kCosine};
+  const auto query = big_map();
+  EXPECT_EQ(engine.scores(query), rebuilt.scores(query));
+
+  // An explicit compact() is idempotent and keeps indices stable.
+  engine.compact();
+  EXPECT_EQ(engine.dead_entries(), 0u);
+  EXPECT_EQ(engine.scores(query), rebuilt.scores(query));
 }
 
 TEST(SimilarityEngineTest, SmfClusterRejectsMetricMismatch) {

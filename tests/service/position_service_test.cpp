@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "core/similarity.hpp"
+
 namespace crp::service {
 namespace {
 
@@ -166,7 +171,7 @@ TEST_F(PositionServiceTest, RemoveDropsNode) {
 TEST_F(PositionServiceTest, PublishEncodedAcceptsWireAndRejectsJunk) {
   PositionReport r = report("wire-node", {{ReplicaId{1}, 1.0}},
                             SimTime::epoch());
-  EXPECT_TRUE(service_.publish_encoded(encode(r), SimTime::epoch()));
+  EXPECT_TRUE(service_.publish_encoded(*encode(r), SimTime::epoch()));
   EXPECT_TRUE(service_.map_of("wire-node").has_value());
   EXPECT_FALSE(service_.publish_encoded("garbage", SimTime::epoch()));
 }
@@ -177,6 +182,199 @@ TEST_F(PositionServiceTest, QueryCounterAdvances) {
   (void)service_.same_cluster("a", SimTime::epoch());
   (void)service_.diverse_set(1, SimTime::epoch());
   EXPECT_EQ(service_.queries_served(), before + 3);
+}
+
+TEST_F(PositionServiceTest, StatsTrackServingAndEngineChurn) {
+  const SimTime t0 = SimTime::epoch();
+  (void)service_.closest_any("a", 2, t0);
+  (void)service_.same_cluster("a", t0);  // builds the clustering
+  (void)service_.same_cluster("b", t0);  // served from cache
+  service_.remove("d");
+  (void)service_.publish(report("", {{ReplicaId{1}, 1.0}}), t0);
+
+  const ServiceStats stats = service_.stats();
+  EXPECT_EQ(stats.reports_accepted, 5u);
+  EXPECT_EQ(stats.reports_rejected, 1u);
+  EXPECT_EQ(stats.queries_served, 3u);
+  EXPECT_EQ(stats.engine_rebuilds_avoided, 1u);
+  EXPECT_EQ(stats.clustering_cache_hits, 1u);
+  // remove("d") tombstoned d's two postings in place.
+  EXPECT_EQ(stats.postings_tombstoned, 2u);
+  // closest_any issued exactly one engine query, and only a/b/c share
+  // replicas with a — the inverted index never touched d/e.
+  EXPECT_EQ(stats.similarity_queries, 1u);
+  EXPECT_EQ(stats.maps_touched, 3u);
+}
+
+TEST_F(PositionServiceTest, RemoveThenRepublishReusesEngineSlot) {
+  const std::size_t slots_before = service_.engine_slots();
+  service_.remove("c");
+  EXPECT_EQ(service_.engine_slots(), slots_before);  // tombstoned, kept
+  const SimTime later = SimTime::epoch() + Minutes(1);
+  ASSERT_TRUE(service_.publish(
+      report("fresh", {{ReplicaId{1}, 0.9}, {ReplicaId{2}, 0.1}}, later),
+      later));
+  // The new node took the tombstoned row instead of growing the corpus.
+  EXPECT_EQ(service_.engine_slots(), slots_before);
+  // The reused row serves the new occupant: b (0.6/0.4) stays closest to
+  // a (0.7/0.3), with fresh (0.9/0.1) ranked right behind it.
+  const auto ranked = service_.closest_any("a", 2, later);
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0].node_id, "b");
+  EXPECT_EQ(ranked[1].node_id, "fresh");
+}
+
+// Regression: a cached clustering must never serve nodes whose reports
+// went stale since it was computed, even if expire() was never called.
+TEST(PositionServiceStaleness, CachedClusterAnswersFilterStaleMembers) {
+  ServiceConfig config;
+  config.staleness_bound = Hours(1);
+  config.recluster_after = Hours(24);  // cache far outlives staleness
+  PositionService service{config};
+
+  const SimTime t0 = SimTime::epoch();
+  const SimTime t30 = t0 + Minutes(30);
+  ASSERT_TRUE(service.publish(
+      report("c", {{ReplicaId{1}, 0.75}, {ReplicaId{2}, 0.25}}, t0), t0));
+  ASSERT_TRUE(service.publish(
+      report("a", {{ReplicaId{1}, 0.7}, {ReplicaId{2}, 0.3}}, t30), t30));
+  ASSERT_TRUE(service.publish(
+      report("b", {{ReplicaId{1}, 0.6}, {ReplicaId{2}, 0.4}}, t30), t30));
+
+  // Warm the clustering cache while everyone is live.
+  EXPECT_EQ(service.same_cluster("a", t30),
+            (std::vector<std::string>{"b", "c"}));
+
+  // 70 minutes in, c's report (from t0) is past the 1-hour bound while
+  // a/b are still live. No expire() call — same membership epoch, cache
+  // still fresh — yet c must vanish from every answer.
+  const SimTime t70 = t0 + Minutes(70);
+  EXPECT_EQ(service.same_cluster("a", t70),
+            (std::vector<std::string>{"b"}));
+  EXPECT_TRUE(service.same_cluster("c", t70).empty());
+
+  const auto assignment = service.cluster_assignment(t70);
+  EXPECT_EQ(assignment.size(), 2u);
+  EXPECT_FALSE(assignment.contains("c"));
+
+  for (std::uint64_t seed : {0u, 1u, 2u, 3u}) {
+    for (const std::string& id : service.diverse_set(10, t70, seed)) {
+      EXPECT_NE(id, "c") << "stale node served from diverse_set";
+    }
+  }
+
+  // closest paths drop it too.
+  const std::vector<std::string> candidates{"b", "c"};
+  for (const auto& ranked : {service.closest("a", candidates, 5, t70),
+                             service.closest_any("a", 5, t70)}) {
+    ASSERT_EQ(ranked.size(), 1u);
+    EXPECT_EQ(ranked[0].node_id, "b");
+  }
+
+  // The report itself was not dropped — only filtered.
+  EXPECT_EQ(service.size(), 3u);
+  EXPECT_EQ(service.expire(t70), 1u);
+}
+
+// The engine rewire must not change a single ranking byte: compare
+// closest/closest_any against a naive per-pair reference across a
+// randomized publish/remove/expire history.
+TEST(PositionServiceEquivalence, ClosestMatchesNaivePerPairReference) {
+  Rng rng{20260806};
+  ServiceConfig config;
+  config.staleness_bound = Hours(6);
+  PositionService service{config};
+
+  std::unordered_map<std::string, PositionReport> shadow;
+  SimTime now = SimTime::epoch();
+
+  const auto random_report = [&rng](const std::string& id, SimTime when) {
+    std::vector<core::RatioMap::Entry> entries;
+    const int n = static_cast<int>(rng.uniform_int(1, 6));
+    for (int i = 0; i < n; ++i) {
+      entries.emplace_back(
+          ReplicaId{static_cast<std::uint32_t>(rng.uniform_int(0, 30))},
+          rng.uniform(0.05, 1.0));
+    }
+    PositionReport r;
+    r.node_id = id;
+    r.when = when;
+    r.map = core::RatioMap::from_ratios(entries);
+    return r;
+  };
+
+  const auto naive_rank = [&](const std::string& client,
+                              std::vector<std::string> ids, std::size_t k) {
+    std::vector<RankedNode> ranked;
+    const auto& client_map = shadow.at(client).map;
+    for (std::string& id : ids) {
+      if (id == client || !shadow.contains(id)) continue;
+      const double sim =
+          core::similarity(config.metric, client_map, shadow.at(id).map);
+      ranked.push_back(RankedNode{std::move(id), sim});
+    }
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [](const RankedNode& a, const RankedNode& b) {
+                       if (a.similarity != b.similarity) {
+                         return a.similarity > b.similarity;
+                       }
+                       return a.node_id < b.node_id;
+                     });
+    if (ranked.size() > k) ranked.resize(k);
+    return ranked;
+  };
+
+  for (int step = 0; step < 300; ++step) {
+    now = now + Minutes(1);
+    const std::string id =
+        "node-" + std::to_string(rng.uniform_int(0, 39));
+    const double action = rng.uniform(0.0, 1.0);
+    if (action < 0.70) {
+      auto r = random_report(id, now);
+      if (service.publish(r, now)) shadow[id] = r;
+    } else if (action < 0.85) {
+      service.remove(id);
+      shadow.erase(id);
+    } else {
+      service.expire(now);
+      std::erase_if(shadow, [&](const auto& kv) {
+        return now - kv.second.when > config.staleness_bound;
+      });
+    }
+
+    if (step % 10 != 9 || shadow.empty()) continue;
+
+    // Pick a live client and compare both query paths byte for byte.
+    std::vector<std::string> live;
+    for (const auto& [nid, r] : shadow) live.push_back(nid);
+    std::sort(live.begin(), live.end());
+    const std::string& client =
+        live[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(live.size()) - 1))];
+    const std::size_t k =
+        static_cast<std::size_t>(rng.uniform_int(1, 12));
+
+    const auto got_any = service.closest_any(client, k, now);
+    const auto want_any = naive_rank(client, live, k);
+    ASSERT_EQ(got_any.size(), want_any.size()) << "step " << step;
+    for (std::size_t i = 0; i < got_any.size(); ++i) {
+      ASSERT_EQ(got_any[i].node_id, want_any[i].node_id) << "step " << step;
+      ASSERT_EQ(got_any[i].similarity, want_any[i].similarity)
+          << "step " << step;  // EQ, not NEAR: bit-identical contract
+    }
+
+    // A candidate list mixing live, unknown, and the client itself.
+    std::vector<std::string> candidates = live;
+    candidates.push_back("never-published");
+    candidates.push_back(client);
+    const auto got = service.closest(client, candidates, k, now);
+    const auto want = naive_rank(client, live, k);
+    ASSERT_EQ(got.size(), want.size()) << "step " << step;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i].node_id, want[i].node_id) << "step " << step;
+      ASSERT_EQ(got[i].similarity, want[i].similarity) << "step " << step;
+    }
+  }
 }
 
 }  // namespace

@@ -21,7 +21,7 @@ PositionReport sample_report() {
 
 TEST(Wire, RoundTrip) {
   const PositionReport report = sample_report();
-  const std::string bytes = encode(report);
+  const std::string bytes = *encode(report);
   const auto decoded = decode(bytes);
   ASSERT_TRUE(decoded.has_value());
   EXPECT_EQ(*decoded, report);
@@ -29,32 +29,32 @@ TEST(Wire, RoundTrip) {
 
 TEST(Wire, EncodedSizeMatches) {
   const PositionReport report = sample_report();
-  EXPECT_EQ(encode(report).size(), encoded_size(report));
+  EXPECT_EQ(encode(report)->size(), *encoded_size(report));
 }
 
 TEST(Wire, EmptyMapRoundTrips) {
   PositionReport report;
   report.node_id = "x";
   report.when = SimTime::epoch();
-  const auto decoded = decode(encode(report));
+  const auto decoded = decode(*encode(report));
   ASSERT_TRUE(decoded.has_value());
   EXPECT_TRUE(decoded->map.empty());
 }
 
 TEST(Wire, RejectsBadMagic) {
-  std::string bytes = encode(sample_report());
+  std::string bytes = *encode(sample_report());
   bytes[0] = 'X';
   EXPECT_FALSE(decode(bytes).has_value());
 }
 
 TEST(Wire, RejectsBadVersion) {
-  std::string bytes = encode(sample_report());
+  std::string bytes = *encode(sample_report());
   bytes[3] = 99;
   EXPECT_FALSE(decode(bytes).has_value());
 }
 
 TEST(Wire, RejectsEveryTruncation) {
-  const std::string bytes = encode(sample_report());
+  const std::string bytes = *encode(sample_report());
   for (std::size_t len = 0; len < bytes.size(); ++len) {
     EXPECT_FALSE(decode(std::string_view{bytes.data(), len}).has_value())
         << "accepted truncation at " << len;
@@ -62,7 +62,7 @@ TEST(Wire, RejectsEveryTruncation) {
 }
 
 TEST(Wire, RejectsTrailingGarbage) {
-  std::string bytes = encode(sample_report());
+  std::string bytes = *encode(sample_report());
   bytes.push_back('\0');
   EXPECT_FALSE(decode(bytes).has_value());
 }
@@ -70,7 +70,7 @@ TEST(Wire, RejectsTrailingGarbage) {
 TEST(Wire, RejectsCorruptRatio) {
   // Flip the ratio bytes of the first entry to a NaN pattern.
   PositionReport report = sample_report();
-  std::string bytes = encode(report);
+  std::string bytes = *encode(report);
   // Layout: 3 magic + 1 ver + 2 len + id + 8 ts + 4 count + 4 replica.
   const std::size_t ratio_offset =
       3 + 1 + 2 + report.node_id.size() + 8 + 4 + 4;
@@ -80,7 +80,7 @@ TEST(Wire, RejectsCorruptRatio) {
 
 TEST(Wire, RejectsOversizedCount) {
   PositionReport report = sample_report();
-  std::string bytes = encode(report);
+  std::string bytes = *encode(report);
   const std::size_t count_offset = 3 + 1 + 2 + report.node_id.size() + 8;
   bytes[count_offset + 3] = '\x7f';  // huge count
   EXPECT_FALSE(decode(bytes).has_value());
@@ -94,7 +94,7 @@ TEST(Wire, DecodeNormalizesRatios) {
   report.map = core::RatioMap::from_ratios(
       std::vector<core::RatioMap::Entry>{{ReplicaId{1}, 0.5},
                                          {ReplicaId{2}, 0.5}});
-  std::string bytes = encode(report);
+  std::string bytes = *encode(report);
   // Double the second ratio in place: 0.5 -> 1.0.
   const std::size_t second_ratio =
       bytes.size() - 8;  // last field is the final ratio
@@ -125,7 +125,7 @@ TEST(Wire, RandomizedRoundTripSweep) {
                            rng.uniform(0.001, 1.0));
     }
     report.map = core::RatioMap::from_ratios(entries);
-    const auto decoded = decode(encode(report));
+    const auto decoded = decode(*encode(report));
     ASSERT_TRUE(decoded.has_value());
     ASSERT_EQ(decoded->node_id, report.node_id);
     ASSERT_EQ(decoded->when, report.when);
@@ -133,6 +133,104 @@ TEST(Wire, RandomizedRoundTripSweep) {
     ASSERT_EQ(decoded->map.size(), report.map.size());
     for (const auto& [replica, ratio] : report.map.entries()) {
       ASSERT_NEAR(decoded->map.ratio_of(replica), ratio, 1e-12);
+    }
+  }
+}
+
+TEST(Wire, EncodeRejectsOversizedNodeId) {
+  PositionReport report = sample_report();
+  report.node_id.assign(kMaxNodeIdBytes, 'x');
+  // The boundary id is legal and round-trips under its own identity.
+  const auto at_bound = encode(report);
+  ASSERT_TRUE(at_bound.has_value());
+  const auto decoded = decode(*at_bound);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->node_id, report.node_id);
+  EXPECT_EQ(*encoded_size(report), at_bound->size());
+
+  // One byte past the bound: refused outright — never silently truncated
+  // to a different identity.
+  report.node_id.push_back('y');
+  EXPECT_FALSE(encode(report).has_value());
+  EXPECT_FALSE(encoded_size(report).has_value());
+}
+
+TEST(Wire, EncodeRejectsOversizedEntryCount) {
+  PositionReport report;
+  report.node_id = "big";
+  report.when = SimTime::epoch();
+  std::vector<core::RatioMap::Entry> entries;
+  entries.reserve(kMaxEntries + 1);
+  for (std::uint32_t i = 0; i < kMaxEntries + 1; ++i) {
+    entries.emplace_back(ReplicaId{i}, 1.0);
+  }
+  report.map = core::RatioMap::from_ratios(entries);
+  ASSERT_EQ(report.map.size(), kMaxEntries + 1);
+  EXPECT_FALSE(encode(report).has_value());
+  EXPECT_FALSE(encoded_size(report).has_value());
+
+  // Exactly at the bound the encoding exists and decodes.
+  entries.pop_back();
+  report.map = core::RatioMap::from_ratios(entries);
+  const auto at_bound = encode(report);
+  ASSERT_TRUE(at_bound.has_value());
+  EXPECT_EQ(at_bound->size(), *encoded_size(report));
+  const auto decoded = decode(*at_bound);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->map.size(), kMaxEntries);
+}
+
+TEST(Wire, RoundTripPropertyAndTruncationSweep) {
+  // encode∘decode is the identity on random valid reports, including the
+  // empty-window (no entries) and max-size-id edge cases — and no strict
+  // prefix of a valid encoding ever decodes.
+  Rng rng{20260806};
+  for (int trial = 0; trial < 60; ++trial) {
+    PositionReport report;
+    // Bias the sweep toward the edges: empty ids are invalid on publish
+    // but legal on the wire; max-length ids exercise the u16 length.
+    const std::size_t id_len =
+        trial % 5 == 0 ? kMaxNodeIdBytes
+                       : static_cast<std::size_t>(rng.uniform_int(1, 64));
+    for (std::size_t i = 0; i < id_len; ++i) {
+      report.node_id.push_back(
+          static_cast<char>(rng.uniform_int(0, 255)));
+    }
+    report.when = SimTime{rng.uniform_int(0, 2'000'000'000)};
+    if (trial % 4 != 0) {  // every 4th report keeps an empty window
+      std::vector<core::RatioMap::Entry> entries;
+      const auto n = static_cast<std::size_t>(rng.uniform_int(1, 24));
+      for (std::size_t i = 0; i < n; ++i) {
+        entries.emplace_back(ReplicaId{static_cast<std::uint32_t>(
+                                 rng.uniform_int(0, 4000))},
+                             rng.uniform(0.01, 1.0));
+      }
+      report.map = core::RatioMap::from_ratios(entries);
+    }
+
+    const auto bytes = encode(report);
+    ASSERT_TRUE(bytes.has_value());
+    ASSERT_EQ(bytes->size(), *encoded_size(report));
+    const auto decoded = decode(*bytes);
+    ASSERT_TRUE(decoded.has_value());
+    ASSERT_EQ(decoded->node_id, report.node_id);
+    ASSERT_EQ(decoded->when, report.when);
+    ASSERT_EQ(decoded->map.size(), report.map.size());
+    for (const auto& [replica, ratio] : report.map.entries()) {
+      ASSERT_NEAR(decoded->map.ratio_of(replica), ratio, 1e-12);
+    }
+    // Re-encoding the decoded report reproduces the bytes exactly for
+    // already-normalized maps (the common gossip-forwarding path).
+    if (report.map.empty()) {
+      EXPECT_EQ(*encode(*decoded), *bytes);
+    }
+
+    if (trial < 8) {  // full truncation sweep on a sample of reports
+      for (std::size_t len = 0; len < bytes->size(); ++len) {
+        ASSERT_FALSE(
+            decode(std::string_view{bytes->data(), len}).has_value())
+            << "accepted truncation at " << len << " of " << bytes->size();
+      }
     }
   }
 }
@@ -148,7 +246,7 @@ TEST(Wire, FuzzDecodeNeverCrashes) {
     (void)decode(junk);  // must not crash or throw
   }
   // Mutated valid messages, too.
-  const std::string valid = encode(sample_report());
+  const std::string valid = *encode(sample_report());
   for (int trial = 0; trial < 500; ++trial) {
     std::string mutated = valid;
     const auto pos = static_cast<std::size_t>(rng.uniform_int(
