@@ -24,7 +24,8 @@
 namespace crp::bench {
 
 /// Scale knobs honoured by every bench: CRP_BENCH_SCALE=small shrinks the
-/// experiment for quick runs; full reproduces the paper's population.
+/// experiment for quick runs, =tiny to a CI smoke size; full (default)
+/// reproduces the paper's population.
 struct Scale {
   std::size_t candidates = 240;
   std::size_t dns_servers = 1000;
@@ -35,15 +36,36 @@ struct Scale {
   static Scale from_env() {
     Scale scale;
     const char* env = std::getenv("CRP_BENCH_SCALE");
-    if (env != nullptr && std::string{env} == "small") {
+    const std::string value = env == nullptr ? "" : env;
+    if (value == "small") {
       scale.candidates = 60;
       scale.dns_servers = 150;
       scale.replicas = 200;
       scale.campaign = Hours(12);
+    } else if (value == "tiny") {
+      scale.candidates = 20;
+      scale.dns_servers = 40;
+      scale.replicas = 120;
+      scale.campaign = Hours(4);
+      scale.probe_interval = Minutes(30);
     }
     return scale;
   }
 };
+
+/// One-line campaign cost banner (stderr, like the other progress lines).
+inline void print_campaign_stats(const eval::CampaignStats& stats) {
+  std::fprintf(
+      stderr,
+      "[campaign] %zu nodes x %zu rounds: %zu probes in %.2f s "
+      "(%.0f probes/s, %zu threads); resolver hit rate %.1f%%, "
+      "%zu upstream DNS queries, %zu CDN queries, "
+      "oracle pair-cache hit rate %.1f%%\n",
+      stats.participants, stats.rounds, stats.probes_issued,
+      stats.wall_seconds, stats.probes_per_second(), stats.threads,
+      100.0 * stats.resolver_hit_rate(), stats.upstream_dns_queries,
+      stats.cdn_queries, 100.0 * stats.oracle_pair_hit_rate());
+}
 
 struct SelectionExperiment {
   /// `patch` may adjust the world config before construction (e.g.
@@ -72,6 +94,7 @@ struct SelectionExperiment {
     rounds = world->run_probing(SimTime::epoch(),
                                 SimTime::epoch() + scale.campaign,
                                 scale.probe_interval);
+    print_campaign_stats(world->campaign_stats());
 
     for (HostId h : world->dns_servers()) {
       client_maps.push_back(world->crp_node(h).ratio_map());

@@ -16,7 +16,7 @@ CdnAuthoritative::CdnAuthoritative(const netsim::Topology& topo,
 
 dns::Message CdnAuthoritative::resolve(const dns::Question& question,
                                        Ipv4 resolver_addr, SimTime now) {
-  ++queries_;
+  queries_.add();
   dns::Message reply;
   reply.question = question;
 

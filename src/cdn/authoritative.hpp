@@ -12,6 +12,7 @@
 #include "cdn/customer.hpp"
 #include "cdn/deployment.hpp"
 #include "cdn/redirection.hpp"
+#include "common/sharded_counter.hpp"
 #include "common/time.hpp"
 #include "dns/zone.hpp"
 #include "netsim/topology.hpp"
@@ -38,8 +39,13 @@ class CdnAuthoritative final : public dns::AuthoritativeServer {
   [[nodiscard]] HostId host() const override { return host_; }
 
   /// Queries answered so far (the load a CRP service imposes on the CDN —
-  /// see the commensalism discussion, §VI).
-  [[nodiscard]] std::size_t queries_served() const { return queries_; }
+  /// see the commensalism discussion, §VI). Counted per thread and merged
+  /// on read, so parallel probing campaigns may query this server
+  /// concurrently (the policy must have been `prepare`d first) and the
+  /// total is identical to a sequential run.
+  [[nodiscard]] std::size_t queries_served() const {
+    return queries_.total();
+  }
 
  private:
   const netsim::Topology* topo_;
@@ -48,7 +54,7 @@ class CdnAuthoritative final : public dns::AuthoritativeServer {
   RedirectionPolicy* policy_;
   HostId host_;
   CdnAuthoritativeConfig config_;
-  std::size_t queries_ = 0;
+  ShardedCounter queries_;
 };
 
 /// Registers a full CDN DNS setup in `registry`: one static zone per

@@ -4,11 +4,41 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/thread_pool.hpp"
 #include "netsim/geo.hpp"
 
 namespace crp::cdn {
 
 namespace {
+
+/// Shared prewarm shape: computes `make(resolver)` for every resolver not
+/// already in `cache` (each result independently, optionally in parallel)
+/// and inserts the results in resolver order. Since the computation is a
+/// pure per-resolver function, prewarmed content is exactly what a lazy
+/// fill would have produced.
+template <typename MakeFn>
+void prewarm_cache(
+    std::unordered_map<crp::HostId, std::vector<ReplicaId>>& cache,
+    std::span<const crp::HostId> resolvers, crp::ThreadPool* pool,
+    MakeFn make) {
+  std::vector<crp::HostId> missing;
+  missing.reserve(resolvers.size());
+  for (crp::HostId r : resolvers) {
+    if (!cache.contains(r)) missing.push_back(r);
+  }
+  if (missing.empty()) return;
+  std::vector<std::vector<ReplicaId>> lists(missing.size());
+  const auto fill = [&](std::size_t i) { lists[i] = make(missing[i]); };
+  if (pool != nullptr) {
+    pool->parallel_for(0, missing.size(), fill);
+  } else {
+    for (std::size_t i = 0; i < missing.size(); ++i) fill(i);
+  }
+  cache.reserve(cache.size() + missing.size());
+  for (std::size_t i = 0; i < missing.size(); ++i) {
+    cache.emplace(missing[i], std::move(lists[i]));
+  }
+}
 
 /// Nearest `pool` replicas (edge only) to `resolver` under `cost`.
 template <typename CostFn>
@@ -35,6 +65,9 @@ std::int64_t epoch_index(SimTime t, Duration epoch) {
 
 }  // namespace
 
+void RedirectionPolicy::prepare(std::span<const HostId> /*resolvers*/,
+                                ThreadPool* /*pool*/) {}
+
 LatencyDrivenPolicy::LatencyDrivenPolicy(const netsim::LatencyOracle& oracle,
                                          const Deployment& deployment,
                                          const MeasurementSystem& measurement,
@@ -44,15 +77,26 @@ LatencyDrivenPolicy::LatencyDrivenPolicy(const netsim::LatencyOracle& oracle,
       measurement_(&measurement),
       config_(config) {}
 
+std::vector<ReplicaId> LatencyDrivenPolicy::nearest_for(
+    HostId resolver) const {
+  return nearest_replicas(
+      *deployment_, config_.candidate_pool, [&](const ReplicaServer& r) {
+        return oracle_->base_rtt_ms(resolver, r.host);
+      });
+}
+
 const std::vector<ReplicaId>& LatencyDrivenPolicy::candidates(
     HostId resolver) {
   const auto it = candidate_cache_.find(resolver);
   if (it != candidate_cache_.end()) return it->second;
-  auto list = nearest_replicas(
-      *deployment_, config_.candidate_pool, [&](const ReplicaServer& r) {
-        return oracle_->base_rtt_ms(resolver, r.host);
-      });
-  return candidate_cache_.emplace(resolver, std::move(list)).first->second;
+  return candidate_cache_.emplace(resolver, nearest_for(resolver))
+      .first->second;
+}
+
+void LatencyDrivenPolicy::prepare(std::span<const HostId> resolvers,
+                                  ThreadPool* pool) {
+  prewarm_cache(candidate_cache_, resolvers, pool,
+                [this](HostId resolver) { return nearest_for(resolver); });
 }
 
 std::vector<ReplicaId> LatencyDrivenPolicy::select(HostId resolver,
@@ -136,19 +180,27 @@ GeoStaticPolicy::GeoStaticPolicy(const netsim::Topology& topo,
                                  const Deployment& deployment)
     : topo_(&topo), deployment_(&deployment) {}
 
+std::vector<ReplicaId> GeoStaticPolicy::nearest_for(HostId resolver) const {
+  const netsim::GeoPoint where = topo_->host(resolver).location;
+  return nearest_replicas(
+      *deployment_, 32, [&](const ReplicaServer& r) {
+        return netsim::great_circle_km(where, topo_->host(r.host).location);
+      });
+}
+
+void GeoStaticPolicy::prepare(std::span<const HostId> resolvers,
+                              ThreadPool* pool) {
+  prewarm_cache(cache_, resolvers, pool,
+                [this](HostId resolver) { return nearest_for(resolver); });
+}
+
 std::vector<ReplicaId> GeoStaticPolicy::select(HostId resolver,
                                                const Customer& customer,
                                                SimTime /*now*/, int count) {
   if (count <= 0) return {};
   auto it = cache_.find(resolver);
   if (it == cache_.end()) {
-    const netsim::GeoPoint where = topo_->host(resolver).location;
-    auto list = nearest_replicas(
-        *deployment_, 32, [&](const ReplicaServer& r) {
-          return netsim::great_circle_km(where,
-                                         topo_->host(r.host).location);
-        });
-    it = cache_.emplace(resolver, std::move(list)).first;
+    it = cache_.emplace(resolver, nearest_for(resolver)).first;
   }
   std::vector<ReplicaId> out;
   for (ReplicaId id : it->second) {
@@ -195,6 +247,11 @@ std::vector<ReplicaId> StickyPolicy::select(HostId resolver,
                                             SimTime /*now*/, int count) {
   // Always answer as if it were the first rotation epoch.
   return inner_.select(resolver, customer, SimTime::epoch(), count);
+}
+
+void StickyPolicy::prepare(std::span<const HostId> resolvers,
+                           ThreadPool* pool) {
+  inner_.prepare(resolvers, pool);
 }
 
 }  // namespace crp::cdn

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -22,6 +23,10 @@
 #include "common/ids.hpp"
 #include "common/time.hpp"
 #include "netsim/latency_model.hpp"
+
+namespace crp {
+class ThreadPool;
+}
 
 namespace crp::cdn {
 
@@ -38,6 +43,14 @@ class RedirectionPolicy {
   [[nodiscard]] virtual std::vector<ReplicaId> select(
       HostId resolver, const Customer& customer, SimTime now,
       int count) = 0;
+
+  /// Pre-computes any lazily built per-resolver state for `resolvers`
+  /// (optionally fanning the work out over `pool`; nullptr runs inline),
+  /// after which `select` for those resolvers never mutates shared state
+  /// and may be called concurrently. Cached state is a pure per-resolver
+  /// function, so prewarming never changes what `select` answers.
+  /// Default: no-op (stateless policies are already safe).
+  virtual void prepare(std::span<const HostId> resolvers, ThreadPool* pool);
 
   [[nodiscard]] virtual const char* name() const = 0;
 };
@@ -73,6 +86,7 @@ class LatencyDrivenPolicy final : public RedirectionPolicy {
                                               const Customer& customer,
                                               SimTime now,
                                               int count) override;
+  void prepare(std::span<const HostId> resolvers, ThreadPool* pool) override;
   [[nodiscard]] const char* name() const override {
     return "latency-driven";
   }
@@ -86,6 +100,8 @@ class LatencyDrivenPolicy final : public RedirectionPolicy {
   void set_health(const ReplicaHealth* health) { health_ = health; }
 
  private:
+  [[nodiscard]] std::vector<ReplicaId> nearest_for(HostId resolver) const;
+
   const netsim::LatencyOracle* oracle_;
   const Deployment* deployment_;
   const MeasurementSystem* measurement_;
@@ -104,9 +120,12 @@ class GeoStaticPolicy final : public RedirectionPolicy {
                                               const Customer& customer,
                                               SimTime now,
                                               int count) override;
+  void prepare(std::span<const HostId> resolvers, ThreadPool* pool) override;
   [[nodiscard]] const char* name() const override { return "geo-static"; }
 
  private:
+  [[nodiscard]] std::vector<ReplicaId> nearest_for(HostId resolver) const;
+
   const netsim::Topology* topo_;
   const Deployment* deployment_;
   std::unordered_map<HostId, std::vector<ReplicaId>> cache_;
@@ -144,6 +163,7 @@ class StickyPolicy final : public RedirectionPolicy {
                                               const Customer& customer,
                                               SimTime now,
                                               int count) override;
+  void prepare(std::span<const HostId> resolvers, ThreadPool* pool) override;
   [[nodiscard]] const char* name() const override { return "sticky"; }
 
  private:

@@ -1,0 +1,59 @@
+// Thread-sharded monotonic counter.
+//
+// Shared-state counters (e.g. the CDN authoritative's queries-served
+// tally) are the only mutation left on the parallel probing path; a
+// plain integer there would be a data race and a single atomic would
+// make every worker bounce one cache line. `ShardedCounter` gives each
+// thread its own cache-line-aligned slot (picked by thread-id hash;
+// a rare hash collision just shares a slot, which the atomics make
+// safe) and merges slots in fixed slot order on read. Because integer
+// addition is commutative and associative, the merged total is
+// identical regardless of thread count or scheduling — the same
+// determinism contract the SimilarityEngine's parallel paths follow
+// (DESIGN.md §6).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+
+namespace crp {
+
+class ShardedCounter {
+ public:
+  ShardedCounter() = default;
+  ShardedCounter(const ShardedCounter&) = delete;
+  ShardedCounter& operator=(const ShardedCounter&) = delete;
+
+  void add(std::size_t n = 1) {
+    slots_[shard_index()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Sum over all shards, in fixed slot order.
+  [[nodiscard]] std::size_t total() const {
+    std::size_t sum = 0;
+    for (const Slot& slot : slots_) {
+      sum += slot.value.load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<std::size_t> value{0};
+  };
+
+  static std::size_t shard_index() {
+    static thread_local const std::size_t index =
+        std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+        kShards;
+    return index;
+  }
+
+  static constexpr std::size_t kShards = 32;
+  std::array<Slot, kShards> slots_{};
+};
+
+}  // namespace crp

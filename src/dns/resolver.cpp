@@ -20,11 +20,35 @@ void RecursiveResolver::cache_store(const Name& name, RecordType type,
                                     Rcode rcode, SimTime now) {
   if (config_.max_cache_entries == 0) return;
   if (cache_.size() >= config_.max_cache_entries) {
-    // Simple pressure valve: drop everything expired; if still full,
-    // drop the whole cache (rare in practice for our workloads).
+    // Pressure valve: drop everything expired; if still full, evict the
+    // soonest-to-expire quarter (they carry the least future value) so
+    // hot long-TTL records survive instead of losing the whole cache.
     std::erase_if(cache_,
                   [now](const auto& kv) { return kv.second.expires <= now; });
-    if (cache_.size() >= config_.max_cache_entries) cache_.clear();
+    if (cache_.size() >= config_.max_cache_entries) {
+      const std::size_t keep =
+          config_.max_cache_entries - 1 -
+          std::min(config_.max_cache_entries - 1,
+                   config_.max_cache_entries / 4);
+      const std::size_t evict = cache_.size() - keep;
+      std::vector<std::pair<SimTime, const CacheKey*>> by_expiry;
+      by_expiry.reserve(cache_.size());
+      for (const auto& [key, entry] : cache_) {
+        by_expiry.emplace_back(entry.expires, &key);
+      }
+      std::nth_element(by_expiry.begin(),
+                       by_expiry.begin() + static_cast<long>(evict) - 1,
+                       by_expiry.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.first < b.first;
+                       });
+      std::vector<CacheKey> victims;
+      victims.reserve(evict);
+      for (std::size_t i = 0; i < evict; ++i) {
+        victims.push_back(*by_expiry[i].second);
+      }
+      for (const CacheKey& victim : victims) cache_.erase(victim);
+    }
   }
   Duration min_ttl = Hours(24);
   for (const ResourceRecord& rr : records) min_ttl = std::min(min_ttl, rr.ttl);

@@ -1,6 +1,7 @@
 #include "eval/world.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 #include "common/stats.hpp"
@@ -144,27 +145,145 @@ core::CrpNode& World::crp_node(HostId host) {
   return *it->second;
 }
 
-std::size_t World::run_probing(SimTime start, SimTime end,
-                               Duration interval) {
+namespace {
+
+void check_probing_window(SimTime start, SimTime end, Duration interval) {
   if (end < start || interval <= Duration{0}) {
     throw std::invalid_argument{"World::run_probing: bad window"};
   }
+}
+
+}  // namespace
+
+std::vector<Duration> World::stagger_offsets(std::size_t count) const {
   // Stagger node start times a little so probes do not all land on the
-  // same instant (and the same CDN rotation epoch).
+  // same instant (and the same CDN rotation epoch). Offsets are drawn in
+  // participants() order, making the host -> offset mapping a pure
+  // function of the config — the sequential and parallel campaigns must
+  // hand every node the exact same probe timeline.
   Rng rng{hash_combine({config_.seed, stable_hash("stagger")})};
-  for (auto& [host, node] : crp_nodes_) {
-    const Duration offset{
+  std::vector<Duration> offsets;
+  offsets.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    offsets.emplace_back(
         static_cast<std::int64_t>(rng.uniform() *
-                                  static_cast<double>(Seconds(19).micros()))};
-    sched_.every(start + offset, interval, [&node = *node, this, end] {
-      if (sched_.now() > end) return false;
-      node.probe(sched_.now());
-      return true;
-    });
+                                  static_cast<double>(Seconds(19).micros())));
+  }
+  return offsets;
+}
+
+World::CounterBaseline World::counter_baseline() const {
+  CounterBaseline base;
+  for (const auto& [host, resolver] : resolvers_) {
+    base.upstream += resolver->queries_sent();
+    base.hits += resolver->cache_hits();
+    base.misses += resolver->cache_misses();
+  }
+  base.cdn_queries = cdn_queries_served();
+  const netsim::PairCacheStats pair = netsim::LatencyOracle::pair_cache_stats();
+  base.pair_hits = pair.hits;
+  base.pair_misses = pair.misses;
+  return base;
+}
+
+void World::finish_campaign_stats(const CounterBaseline& before,
+                                  std::size_t rounds,
+                                  std::size_t probes_issued,
+                                  std::size_t threads, double wall_seconds) {
+  const CounterBaseline after = counter_baseline();
+  campaign_stats_ = CampaignStats{};
+  campaign_stats_.participants = resolvers_.size();
+  campaign_stats_.rounds = rounds;
+  campaign_stats_.probes_issued = probes_issued;
+  campaign_stats_.upstream_dns_queries = after.upstream - before.upstream;
+  campaign_stats_.resolver_cache_hits = after.hits - before.hits;
+  campaign_stats_.resolver_cache_misses = after.misses - before.misses;
+  campaign_stats_.cdn_queries = after.cdn_queries - before.cdn_queries;
+  campaign_stats_.oracle_pair_hits = after.pair_hits - before.pair_hits;
+  campaign_stats_.oracle_pair_misses = after.pair_misses - before.pair_misses;
+  campaign_stats_.threads = threads;
+  campaign_stats_.wall_seconds = wall_seconds;
+}
+
+std::size_t World::run_probing(SimTime start, SimTime end,
+                               Duration interval) {
+  return run_probing_parallel(start, end, interval, &ThreadPool::shared());
+}
+
+std::size_t World::run_probing_parallel(SimTime start, SimTime end,
+                                        Duration interval, ThreadPool* pool) {
+  check_probing_window(start, end, interval);
+  if (pool == nullptr) pool = &ThreadPool::shared();
+  const auto wall_start = std::chrono::steady_clock::now();
+  const CounterBaseline before = counter_baseline();
+
+  const std::vector<HostId> hosts = participants();
+  const std::vector<Duration> offsets = stagger_offsets(hosts.size());
+  std::vector<core::CrpNode*> nodes;
+  nodes.reserve(hosts.size());
+  for (HostId h : hosts) nodes.push_back(&crp_node(h));
+
+  // Eliminate lazy shared-state mutation before fanning out: after
+  // prepare(), select() is read-only on policy state, the authoritative
+  // counter is thread-sharded, and everything else on the probe path is
+  // per-node or stateless — so per-node replay is safe and bit-identical
+  // to the global event order (DESIGN.md §6).
+  policy_->prepare(hosts, pool);
+
+  std::vector<std::size_t> probes(hosts.size(), 0);
+  pool->parallel_for(0, hosts.size(), [&](std::size_t i) {
+    core::CrpNode& node = *nodes[i];
+    std::size_t count = 0;
+    for (SimTime t = start + offsets[i]; t <= end; t = t + interval) {
+      node.probe(t);
+      ++count;
+    }
+    probes[i] = count;
+  });
+
+  campaign_end_ = end;
+  const std::size_t rounds =
+      static_cast<std::size_t>((end - start) / interval) + 1;
+  std::size_t probes_issued = 0;
+  for (std::size_t count : probes) probes_issued += count;
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - wall_start;
+  finish_campaign_stats(before, rounds, probes_issued, pool->size(),
+                        wall.count());
+  return rounds;
+}
+
+std::size_t World::run_probing_sequential(SimTime start, SimTime end,
+                                          Duration interval) {
+  check_probing_window(start, end, interval);
+  const auto wall_start = std::chrono::steady_clock::now();
+  const CounterBaseline before = counter_baseline();
+
+  const std::vector<HostId> hosts = participants();
+  const std::vector<Duration> offsets = stagger_offsets(hosts.size());
+  // Shared (not stack-ref) counter: a periodic event rescheduled past
+  // `end` stays queued after this function returns and still runs its
+  // final now-past-end check if the scheduler is driven again later.
+  auto probes_issued = std::make_shared<std::size_t>(0);
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    core::CrpNode& node = crp_node(hosts[i]);
+    sched_.every(start + offsets[i], interval,
+                 [&node, this, end, probes_issued] {
+                   if (sched_.now() > end) return false;
+                   node.probe(sched_.now());
+                   ++*probes_issued;
+                   return true;
+                 });
   }
   sched_.run_until(end);
+
   campaign_end_ = end;
-  return static_cast<std::size_t>((end - start) / interval) + 1;
+  const std::size_t rounds =
+      static_cast<std::size_t>((end - start) / interval) + 1;
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - wall_start;
+  finish_campaign_stats(before, rounds, *probes_issued, 0, wall.count());
+  return rounds;
 }
 
 double World::ground_truth_rtt_ms(HostId a, HostId b) const {

@@ -38,11 +38,55 @@
 #include "netsim/topology_builder.hpp"
 #include "sim/event_scheduler.hpp"
 
+namespace crp {
+class ThreadPool;
+}
+
 namespace crp::eval {
 
 enum class PolicyKind { kLatencyDriven, kGeoStatic, kRandom, kSticky };
 
 [[nodiscard]] const char* to_string(PolicyKind kind);
+
+/// Where a probing campaign's time went (filled by `run_probing*`;
+/// observability only — no result depends on it).
+struct CampaignStats {
+  std::size_t participants = 0;
+  /// Probe rounds per node (the campaign's return value).
+  std::size_t rounds = 0;
+  /// Total CrpNode::probe calls across all participants.
+  std::size_t probes_issued = 0;
+  /// Authoritative round-trips the resolvers performed (cache misses).
+  std::size_t upstream_dns_queries = 0;
+  std::size_t resolver_cache_hits = 0;
+  std::size_t resolver_cache_misses = 0;
+  /// Queries that reached the CDN's authoritative (the load CRP imposes).
+  std::size_t cdn_queries = 0;
+  /// Latency-oracle pair-cache traffic during the campaign.
+  std::uint64_t oracle_pair_hits = 0;
+  std::uint64_t oracle_pair_misses = 0;
+  /// Worker threads of the pool used (0 = inline / sequential).
+  std::size_t threads = 0;
+  double wall_seconds = 0.0;
+
+  [[nodiscard]] double resolver_hit_rate() const {
+    const std::size_t total = resolver_cache_hits + resolver_cache_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(resolver_cache_hits) /
+                            static_cast<double>(total);
+  }
+  [[nodiscard]] double oracle_pair_hit_rate() const {
+    const std::uint64_t total = oracle_pair_hits + oracle_pair_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(oracle_pair_hits) /
+                            static_cast<double>(total);
+  }
+  [[nodiscard]] double probes_per_second() const {
+    return wall_seconds <= 0.0
+               ? 0.0
+               : static_cast<double>(probes_issued) / wall_seconds;
+  }
+};
 
 struct WorldConfig {
   std::uint64_t seed = 42;
@@ -127,9 +171,31 @@ class World {
 
   // --- campaign ---
   /// Runs a probing campaign: every participant's CrpNode probes every
-  /// `interval` from `start` to `end` (inclusive of start). Returns the
-  /// number of probe rounds executed per node.
+  /// `interval` from `start` (plus a per-node stagger offset) to `end`.
+  /// Returns the number of probe rounds executed per node. Runs the
+  /// parallel campaign on the shared thread pool; results are
+  /// bit-identical to `run_probing_sequential` (see DESIGN.md §6).
   std::size_t run_probing(SimTime start, SimTime end, Duration interval);
+
+  /// The same campaign sharded across `pool`'s workers (nullptr = the
+  /// shared pool), each worker replaying its nodes' fixed probe
+  /// schedules. Nodes' probe timelines are independent, so this is
+  /// bit-identical to the sequential event-scheduler run for any pool
+  /// size, including a 0-thread (inline) pool.
+  std::size_t run_probing_parallel(SimTime start, SimTime end,
+                                   Duration interval,
+                                   ThreadPool* pool = nullptr);
+
+  /// The original single-threaded path through the global event
+  /// scheduler; kept as the equivalence oracle for the parallel
+  /// campaign.
+  std::size_t run_probing_sequential(SimTime start, SimTime end,
+                                     Duration interval);
+
+  /// Stats of the most recent campaign (any variant).
+  [[nodiscard]] const CampaignStats& campaign_stats() const {
+    return campaign_stats_;
+  }
 
   /// End of the last campaign (used to center ground-truth sampling).
   [[nodiscard]] SimTime campaign_end() const { return campaign_end_; }
@@ -151,6 +217,25 @@ class World {
   }
 
  private:
+  /// Per-participant probe start offsets (same order as `participants()`),
+  /// drawn identically for the sequential and parallel paths.
+  [[nodiscard]] std::vector<Duration> stagger_offsets(
+      std::size_t count) const;
+
+  /// Counter snapshot used to compute campaign deltas.
+  struct CounterBaseline {
+    std::size_t upstream = 0;
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t cdn_queries = 0;
+    std::uint64_t pair_hits = 0;
+    std::uint64_t pair_misses = 0;
+  };
+  [[nodiscard]] CounterBaseline counter_baseline() const;
+  void finish_campaign_stats(const CounterBaseline& before,
+                             std::size_t rounds, std::size_t probes_issued,
+                             std::size_t threads, double wall_seconds);
+
   WorldConfig config_;
   netsim::Topology topo_;
   std::vector<HostId> candidates_;
@@ -171,6 +256,7 @@ class World {
   std::unordered_map<HostId, std::unique_ptr<core::CrpNode>> crp_nodes_;
   sim::EventScheduler sched_;
   SimTime campaign_end_ = SimTime::epoch();
+  CampaignStats campaign_stats_;
 };
 
 }  // namespace crp::eval

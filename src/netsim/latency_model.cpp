@@ -1,8 +1,12 @@
 #include "netsim/latency_model.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <memory>
+#include <mutex>
 #include <numbers>
+#include <vector>
 
 namespace crp::netsim {
 
@@ -29,10 +33,72 @@ std::int64_t epoch_of(SimTime t, Duration epoch) {
   return t.micros() / std::max<std::int64_t>(1, epoch.micros());
 }
 
+// --- per-thread base-RTT pair cache -----------------------------------
+//
+// `base_rtt_ms` is the innermost call of every RTT evaluation (probing
+// campaigns, King, ground truth) and re-derives great-circle geometry,
+// AS/region inflation and quirk hashes each time, although it is a pure
+// function of the pair. The memo is a direct-mapped, fixed-size table
+// per thread: no sharing, no locks, and a hard memory bound regardless
+// of topology size. A slot collision simply overwrites — the evicted
+// pair is recomputed on its next miss — so the cache is result-neutral
+// by construction (values are only ever copied out of base_rtt_uncached_ms).
+
+struct PairCacheSlot {
+  std::uint64_t oracle_id = 0;  // 0 = empty (oracle ids start at 1)
+  std::uint64_t key = 0;        // ordered pair, packed (host ids are u32)
+  double value = 0.0;
+};
+
+// Counters outlive their thread (shared_ptr into a process-wide registry)
+// so `pair_cache_stats` still sees work done by joined pool workers.
+struct PairCacheCounters {
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> misses{0};
+};
+
+std::mutex g_pair_cache_registry_mu;
+std::vector<std::shared_ptr<PairCacheCounters>>& pair_cache_registry() {
+  static std::vector<std::shared_ptr<PairCacheCounters>> registry;
+  return registry;
+}
+
+struct PairCache {
+  static constexpr std::size_t kSlots = std::size_t{1} << 16;  // ~1.5 MiB
+
+  std::vector<PairCacheSlot> slots{kSlots};
+  std::shared_ptr<PairCacheCounters> counters =
+      std::make_shared<PairCacheCounters>();
+
+  PairCache() {
+    std::lock_guard<std::mutex> lock{g_pair_cache_registry_mu};
+    pair_cache_registry().push_back(counters);
+  }
+};
+
+PairCache& pair_cache() {
+  thread_local PairCache cache;
+  return cache;
+}
+
+std::atomic<std::uint64_t> g_next_oracle_id{1};
+
 }  // namespace
 
 LatencyOracle::LatencyOracle(const Topology& topo, LatencyConfig config)
-    : topo_(&topo), config_(config) {}
+    : topo_(&topo),
+      config_(config),
+      oracle_id_(g_next_oracle_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+PairCacheStats LatencyOracle::pair_cache_stats() {
+  PairCacheStats stats;
+  std::lock_guard<std::mutex> lock{g_pair_cache_registry_mu};
+  for (const auto& counters : pair_cache_registry()) {
+    stats.hits += counters->hits.load(std::memory_order_relaxed);
+    stats.misses += counters->misses.load(std::memory_order_relaxed);
+  }
+  return stats;
+}
 
 double LatencyOracle::pair_quirk(HostId a, HostId b) const {
   const auto [lo, hi] = ordered(a, b);
@@ -56,6 +122,24 @@ double LatencyOracle::region_interconnect(RegionId a, RegionId b) const {
 
 double LatencyOracle::base_rtt_ms(HostId a, HostId b) const {
   if (a == b) return 0.0;
+  if (!config_.pair_cache) return base_rtt_uncached_ms(a, b);
+
+  const auto [lo, hi] = ordered(a, b);
+  const std::uint64_t key = (lo << 32) | hi;
+  PairCache& cache = pair_cache();
+  PairCacheSlot& slot =
+      cache.slots[hash_mix(key ^ oracle_id_) & (PairCache::kSlots - 1)];
+  if (slot.oracle_id == oracle_id_ && slot.key == key) {
+    cache.counters->hits.fetch_add(1, std::memory_order_relaxed);
+    return slot.value;
+  }
+  cache.counters->misses.fetch_add(1, std::memory_order_relaxed);
+  const double value = base_rtt_uncached_ms(a, b);
+  slot = PairCacheSlot{oracle_id_, key, value};
+  return value;
+}
+
+double LatencyOracle::base_rtt_uncached_ms(HostId a, HostId b) const {
   const Host& ha = topo_->host(a);
   const Host& hb = topo_->host(b);
 

@@ -68,17 +68,40 @@ struct LatencyConfig {
   /// histories stale (paper §VI, Fig. 9 discussion). Off by default.
   double route_shift_sigma = 0.0;
   Duration route_shift_epoch = Hours(12);
+
+  /// Memoize `base_rtt_ms` in a bounded per-thread pair cache. The static
+  /// RTT is time-independent and deterministic, so caching cannot change
+  /// any result; the flag exists only for A/B benchmarking
+  /// (`micro_campaign`) and cache-neutrality tests.
+  bool pair_cache = true;
+};
+
+/// Hit/miss counters of the thread-local base-RTT pair caches,
+/// aggregated across every thread that has queried an oracle.
+/// Observability only — never feeds back into results.
+struct PairCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+
+  [[nodiscard]] double hit_rate() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) / static_cast<double>(total);
+  }
 };
 
 /// Deterministic latency oracle over a fixed topology (see file comment).
-/// Thread-compatible: all methods are const and stateless.
+/// Thread-safe: all methods are const; the only mutable state is a
+/// per-thread `base_rtt_ms` memo (never shared across threads) plus its
+/// relaxed-atomic hit/miss counters.
 class LatencyOracle {
  public:
   /// The topology must outlive the oracle.
   LatencyOracle(const Topology& topo, LatencyConfig config);
 
   /// Static RTT (no congestion/jitter), in milliseconds. Symmetric;
-  /// zero for a == b.
+  /// zero for a == b. Served from a bounded per-thread pair cache when
+  /// `LatencyConfig::pair_cache` is on (bit-identical either way).
   [[nodiscard]] double base_rtt_ms(HostId a, HostId b) const;
 
   /// RTT at sim time `t`, including congestion and jitter, milliseconds.
@@ -103,13 +126,22 @@ class LatencyOracle {
   [[nodiscard]] const Topology& topology() const { return *topo_; }
   [[nodiscard]] const LatencyConfig& config() const { return config_; }
 
+  /// Aggregate pair-cache counters across all threads and oracles since
+  /// process start (take a before/after delta to scope a campaign).
+  [[nodiscard]] static PairCacheStats pair_cache_stats();
+
  private:
+  [[nodiscard]] double base_rtt_uncached_ms(HostId a, HostId b) const;
   [[nodiscard]] double pair_quirk(HostId a, HostId b) const;
   [[nodiscard]] double region_interconnect(RegionId a, RegionId b) const;
   [[nodiscard]] double jitter_factor(HostId a, HostId b, SimTime t) const;
 
   const Topology* topo_;
   LatencyConfig config_;
+  /// Distinguishes this oracle's entries in the shared per-thread cache;
+  /// unique per instance and never reused, so a destroyed oracle's stale
+  /// entries can never match.
+  std::uint64_t oracle_id_;
 };
 
 }  // namespace crp::netsim

@@ -192,5 +192,48 @@ TEST_F(ResolverTest, CachePressureEvictsButStaysCorrect) {
   EXPECT_LE(resolver.cache_size(), 4u);
 }
 
+TEST(ResolverCachePressure, FullCacheKeepsHotRecords) {
+  // Regression: the pressure valve used to drop the *entire* cache when
+  // purging expired entries left it full; it must evict the
+  // soonest-to-expire entries instead, so hot long-TTL records survive.
+  StaticZone zone{Name::parse("example.com"), HostId{}};
+  zone.add(ResourceRecord::a(Name::parse("hot.example.com"),
+                             Ipv4(10, 0, 0, 1), Hours(4)));
+  for (int i = 0; i < 8; ++i) {
+    zone.add(ResourceRecord::a(
+        Name::parse("churn" + std::to_string(i) + ".example.com"),
+        Ipv4(10, 0, 0, static_cast<std::uint8_t>(10 + i)), Seconds(1)));
+  }
+  ZoneRegistry registry;
+  registry.register_zone(Name::parse("example.com"), &zone);
+
+  ResolverConfig config;
+  config.max_cache_entries = 4;
+  RecursiveResolver resolver{HostId{1}, registry, nullptr, config};
+
+  const SimTime t0 = SimTime::epoch();
+  ASSERT_TRUE(resolver.resolve(Name::parse("hot.example.com"), t0).ok());
+  // Overflow the cache with short-TTL churn, all unexpired at store time.
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(resolver
+                    .resolve(Name::parse("churn" + std::to_string(i) +
+                                         ".example.com"),
+                             t0)
+                    .ok());
+  }
+  EXPECT_LE(resolver.cache_size(), 4u);
+
+  // The hot record is still within its TTL: it must answer from cache,
+  // not go upstream again.
+  const std::size_t sent_before = resolver.queries_sent();
+  const std::size_t hits_before = resolver.cache_hits();
+  const auto again =
+      resolver.resolve(Name::parse("hot.example.com"), t0 + Seconds(30));
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.addresses.front(), Ipv4(10, 0, 0, 1));
+  EXPECT_EQ(resolver.queries_sent(), sent_before);
+  EXPECT_EQ(resolver.cache_hits(), hits_before + 1);
+}
+
 }  // namespace
 }  // namespace crp::dns

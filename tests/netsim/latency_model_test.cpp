@@ -256,5 +256,52 @@ TEST_F(LatencyModelTest, RouteShiftReranksNeighbours) {
   EXPECT_GT(changed, 0);
 }
 
+TEST_F(LatencyModelTest, PairCacheIsResultNeutral) {
+  LatencyConfig uncached_config = oracle_->config();
+  uncached_config.pair_cache = false;
+  const LatencyOracle uncached{topo_, uncached_config};
+  const SimTime t = SimTime::epoch() + Minutes(7);
+  for (std::size_t i = 0; i < 40; ++i) {
+    for (std::size_t j = 0; j < 40; ++j) {
+      EXPECT_EQ(oracle_->base_rtt_ms(hosts_[i], hosts_[j]),
+                uncached.base_rtt_ms(hosts_[i], hosts_[j]));
+      EXPECT_EQ(oracle_->rtt_ms(hosts_[i], hosts_[j], t),
+                uncached.rtt_ms(hosts_[i], hosts_[j], t));
+    }
+  }
+}
+
+TEST_F(LatencyModelTest, PairCacheCountsHitsOnRepeatedPairs) {
+  const PairCacheStats before = LatencyOracle::pair_cache_stats();
+  const double first = oracle_->base_rtt_ms(hosts_[0], hosts_[1]);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(oracle_->base_rtt_ms(hosts_[0], hosts_[1]), first);
+    EXPECT_EQ(oracle_->base_rtt_ms(hosts_[1], hosts_[0]), first);
+  }
+  const PairCacheStats after = LatencyOracle::pair_cache_stats();
+  // The 20 repeats (symmetric, so one cache entry) must all hit.
+  EXPECT_GE(after.hits - before.hits, 20u);
+  EXPECT_GE(after.misses - before.misses, 1u);
+  EXPECT_GT(after.hit_rate(), 0.0);
+}
+
+TEST_F(LatencyModelTest, PairCacheKeepsOraclesDistinct) {
+  // Same topology, different seed: cached answers must not leak between
+  // oracle instances.
+  LatencyConfig other_config = oracle_->config();
+  other_config.seed = oracle_->config().seed + 1;
+  const LatencyOracle other{topo_, other_config};
+  bool any_difference = false;
+  for (std::size_t i = 0; i < 20; ++i) {
+    const double ours = oracle_->base_rtt_ms(hosts_[i], hosts_[i + 20]);
+    const double theirs = other.base_rtt_ms(hosts_[i], hosts_[i + 20]);
+    // Re-query ours after theirs populated the shared thread cache.
+    EXPECT_EQ(oracle_->base_rtt_ms(hosts_[i], hosts_[i + 20]), ours);
+    any_difference |= ours != theirs;
+  }
+  // Different quirk seeds should disagree on at least one pair.
+  EXPECT_TRUE(any_difference);
+}
+
 }  // namespace
 }  // namespace crp::netsim
