@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/clustering.hpp"
+#include "core/similarity_engine.hpp"
 #include "eval/world.hpp"
 
 namespace {
@@ -48,9 +49,12 @@ int main() {
   std::vector<core::RatioMap> maps;
   for (HostId h : nodes) maps.push_back(world.crp_node(h).ratio_map());
 
+  // One engine serves both clustering and the similarity fallback below —
+  // the corpus is indexed once, not once per use.
   core::SmfConfig smf;
   smf.threshold = 0.1;
-  const core::Clustering clustering = core::smf_cluster(maps, smf);
+  const core::SimilarityEngine engine{maps, smf.metric};
+  const core::Clustering clustering = core::smf_cluster(engine, smf);
 
   // Build a greedy low-latency relay chain of 6 hops from node 0.
   std::vector<HostId> path{nodes[0]};
@@ -107,8 +111,19 @@ int main() {
                 world.topology().host(nodes[substitute]).name.c_str(),
                 path_latency_ms(world, repaired));
   } else {
-    std::printf("victim had no spare cluster-mate; cluster repair "
-                "unavailable\n");
+    // No spare cluster-mate: fall back to the most similar unused node,
+    // straight from the engine the clustering already used.
+    for (const auto& candidate :
+         engine.top_k(maps[victim_idx], nodes.size())) {
+      if (candidate.index == victim_idx || used[candidate.index]) continue;
+      substitute = candidate.index;
+      break;
+    }
+    repaired[victim_pos] = nodes[substitute];
+    std::printf("no spare cluster-mate; most-similar repair via %s: "
+                "one-way latency %.1f ms\n",
+                world.topology().host(nodes[substitute]).name.c_str(),
+                path_latency_ms(world, repaired));
   }
   auto random_repaired = path;
   random_repaired[victim_pos] = nodes[random_sub];

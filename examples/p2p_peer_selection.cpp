@@ -15,6 +15,7 @@
 #include "common/stats.hpp"
 #include "core/cluster_quality.hpp"
 #include "core/clustering.hpp"
+#include "core/similarity_engine.hpp"
 #include "eval/world.hpp"
 
 int main() {
@@ -38,9 +39,12 @@ int main() {
                             world.dns_servers().end()};
   for (HostId h : peers) maps.push_back(world.crp_node(h).ratio_map());
 
+  // One engine serves both the clustering and the per-peer suggestions
+  // below — the corpus is indexed once, not once per use.
   core::SmfConfig smf;
   smf.threshold = 0.1;
-  const core::Clustering clustering = core::smf_cluster(maps, smf);
+  const core::SimilarityEngine engine{maps, smf.metric};
+  const core::Clustering clustering = core::smf_cluster(engine, smf);
   const auto stats = core::clustering_stats(clustering, peers.size());
   std::printf("SMF clustering: %zu clusters, %zu/%zu peers clustered\n",
               stats.num_clusters, stats.nodes_clustered, peers.size());
@@ -70,6 +74,26 @@ int main() {
               random_rtt.mean());
   std::printf("improvement: %.1fx lower RTT, using zero probes\n",
               random_rtt.mean() / cluster_rtt.mean());
+
+  // Peers SMF left unclustered still get a suggestion: their most
+  // similar live peer, answered by the same engine the clustering used.
+  std::printf("\nclosest-peer suggestions for unclustered peers:\n");
+  std::size_t suggested = 0;
+  for (std::size_t i = 0; i < peers.size() && suggested < 3; ++i) {
+    if (clustering.clusters[clustering.assignment[i]].members.size() > 1) {
+      continue;
+    }
+    for (const auto& candidate : engine.top_k(maps[i], 2)) {
+      if (candidate.index == i) continue;
+      std::printf("  %s -> %s (similarity %.3f, rtt %.1f ms)\n",
+                  world.topology().host(peers[i]).name.c_str(),
+                  world.topology().host(peers[candidate.index]).name.c_str(),
+                  candidate.similarity,
+                  world.ground_truth_rtt_ms(peers[i], peers[candidate.index]));
+      ++suggested;
+      break;
+    }
+  }
 
   // Third clustering query from §IV.B: pick n peers in *different*
   // clusters for failure-independent replication.

@@ -2,31 +2,72 @@
 
 #include <algorithm>
 
+#include "common/thread_pool.hpp"
+
 namespace crp::core {
 
 std::vector<ClusterQuality> evaluate_clusters(const Clustering& clustering,
-                                              const DistanceFn& rtt_ms) {
-  std::vector<ClusterQuality> out;
-  for (std::size_t ci = 0; ci < clustering.clusters.size(); ++ci) {
-    const Clustering::Cluster& cluster = clustering.clusters[ci];
-    if (cluster.members.size() < 2) continue;
+                                              const DistanceFn& rtt_ms,
+                                              ThreadPool* pool) {
+  ThreadPool& p = pool != nullptr ? *pool : ThreadPool::shared();
+  const std::vector<std::size_t> multi = clustering.multi_member_clusters();
 
+  // The diameter loop is the only O(members²) part, so it alone is
+  // decomposed: one task per (cluster, tile of member rows), each task
+  // scanning its rows' upper-triangle strips into its own max slot. Tasks
+  // are independent and max is exact under any merge order, so the result
+  // matches the sequential scan bit for bit.
+  constexpr std::size_t kTileRows = 64;
+  struct DiameterTask {
+    std::size_t quality = 0;  // index into `out` / `multi`
+    std::size_t row_begin = 0;
+    std::size_t row_end = 0;
+  };
+  std::vector<DiameterTask> tasks;
+  for (std::size_t qi = 0; qi < multi.size(); ++qi) {
+    const std::size_t members =
+        clustering.clusters[multi[qi]].members.size();
+    for (std::size_t r = 0; r < members; r += kTileRows) {
+      tasks.push_back(
+          DiameterTask{qi, r, std::min(members, r + kTileRows)});
+    }
+  }
+  std::vector<double> task_max(tasks.size(), 0.0);
+  p.parallel_for(0, tasks.size(), [&](std::size_t ti) {
+    const DiameterTask& task = tasks[ti];
+    const Clustering::Cluster& cluster = clustering.clusters[multi[task.quality]];
+    double max_ms = 0.0;
+    for (std::size_t i = task.row_begin; i < task.row_end; ++i) {
+      for (std::size_t j = i + 1; j < cluster.members.size(); ++j) {
+        max_ms =
+            std::max(max_ms, rtt_ms(cluster.members[i], cluster.members[j]));
+      }
+    }
+    task_max[ti] = max_ms;
+  });
+  // Fold each cluster's tile maxima back, in task order.
+  std::vector<double> diameter(multi.size(), 0.0);
+  for (std::size_t ti = 0; ti < tasks.size(); ++ti) {
+    diameter[tasks[ti].quality] =
+        std::max(diameter[tasks[ti].quality], task_max[ti]);
+  }
+
+  // The O(members + clusters) mean distances are summed sequentially per
+  // cluster in the original order (fp addition is order-sensitive), one
+  // cluster per task.
+  std::vector<ClusterQuality> out(multi.size());
+  p.parallel_for(0, multi.size(), [&](std::size_t qi) {
+    const std::size_t ci = multi[qi];
+    const Clustering::Cluster& cluster = clustering.clusters[ci];
     ClusterQuality q;
     q.cluster_index = ci;
     q.size = cluster.members.size();
-
-    // Diameter: max pairwise member distance.
-    for (std::size_t i = 0; i < cluster.members.size(); ++i) {
-      for (std::size_t j = i + 1; j < cluster.members.size(); ++j) {
-        q.diameter_ms = std::max(
-            q.diameter_ms, rtt_ms(cluster.members[i], cluster.members[j]));
-      }
-    }
+    q.diameter_ms = diameter[qi];
 
     // Intra: mean member-to-center distance over non-center members.
     double intra_sum = 0.0;
     std::size_t intra_count = 0;
-    for (std::size_t member : cluster.members) {
+    for (const std::size_t member : cluster.members) {
       if (member == cluster.center) continue;
       intra_sum += rtt_ms(member, cluster.center);
       ++intra_count;
@@ -47,8 +88,8 @@ std::vector<ClusterQuality> evaluate_clusters(const Clustering& clustering,
                          ? 0.0
                          : inter_sum / static_cast<double>(inter_count);
 
-    out.push_back(q);
-  }
+    out[qi] = q;
+  });
   return out;
 }
 

@@ -13,10 +13,17 @@
 
 #include "core/clustering.hpp"
 
+namespace crp {
+class ThreadPool;
+}
+
 namespace crp::core {
 
 /// Ground-truth distance callback: RTT in milliseconds between node
-/// indices i and j (as used in the Clustering).
+/// indices i and j (as used in the Clustering). `evaluate_clusters` may
+/// invoke it from several threads concurrently, so it must be
+/// thread-safe — true of the repo's distance sources (matrix lookups and
+/// `LatencyOracle`, whose query paths are const + thread-local cache).
 using DistanceFn = std::function<double(std::size_t, std::size_t)>;
 
 struct ClusterQuality {
@@ -35,8 +42,16 @@ struct ClusterQuality {
 /// Evaluates every multi-member cluster. Inter-cluster distances are
 /// measured against the centers of *all* other clusters (including
 /// singleton clusters, which still have centers).
+///
+/// The O(members²) diameter scans run tiled on the pool (`pool` defaults
+/// to `ThreadPool::shared()`; pass a 0-worker pool for inline execution).
+/// Deterministic merge: each task writes only its own slot, per-cluster
+/// distance *sums* stay sequential in the original order, and the
+/// diameter is a max — exact under any reduction order — so the result
+/// is bit-identical for every pool size.
 [[nodiscard]] std::vector<ClusterQuality> evaluate_clusters(
-    const Clustering& clustering, const DistanceFn& rtt_ms);
+    const Clustering& clustering, const DistanceFn& rtt_ms,
+    ThreadPool* pool = nullptr);
 
 /// Convenience filter: qualities with diameter < `max_diameter_ms`
 /// (the paper uses 75 ms).

@@ -10,6 +10,19 @@
 // The paper deliberately avoids k-means-style algorithms (cluster count
 // unknown a priori) and hierarchical schemes (wrong node-distribution
 // assumptions); SMF is simple and deployable, which is the point.
+//
+// Two scoring strategies implement the same algorithm (DESIGN.md §6):
+//
+//   * Dense (`smf_cluster_dense`, `smf_cluster_reference`): each node is
+//     scored against the *whole corpus* and the argmax reads only the
+//     current centers' slots — O(n) score work per node, O(n²) total.
+//   * Center-indexed (`SmfClusterer`, the default `smf_cluster`): a
+//     small mutable SimilarityEngine holds only the founded centers
+//     (mirrored verbatim via RowView), and each node is scored against
+//     *it* — O(node postings × centers) per node. The second pass gets
+//     the same treatment with a singleton-center index. Both argmaxes
+//     range over exactly the centers, so the outputs are bit-identical
+//     by construction.
 #pragma once
 
 #include <cstdint>
@@ -17,8 +30,14 @@
 #include <span>
 #include <vector>
 
+#include "common/flat_matrix.hpp"
 #include "core/ratio_map.hpp"
 #include "core/similarity.hpp"
+#include "core/similarity_engine.hpp"
+
+namespace crp {
+class ThreadPool;
+}
 
 namespace crp::core {
 
@@ -55,11 +74,45 @@ struct SmfConfig {
   std::uint64_t seed = 23;
 };
 
-class SimilarityEngine;
+/// Per-run observability for the center-indexed path.
+struct SmfRunStats {
+  std::size_t nodes = 0;
+  /// Clusters founded by pass 1 (== peak center-index size).
+  std::size_t pass1_clusters = 0;
+  /// Singleton clusters entering pass 2 (0 when the pass is disabled).
+  std::size_t pass2_singletons = 0;
+  /// Engine queries issued against the center/singleton indexes.
+  std::uint64_t center_queries = 0;
+  /// Candidate rows those queries actually touched via the inverted
+  /// index — the real work done, vs. nodes × corpus for dense scoring.
+  std::uint64_t maps_touched = 0;
+};
+
+/// Center-indexed SMF. Holds the two small internal engines (pass-1
+/// centers, pass-2 singleton centers) across runs, so a long-lived
+/// clusterer — e.g. inside PositionService — re-clusters without
+/// re-allocating its index structures. Not thread-safe; one run at a
+/// time. `pool` parallelizes the pass-2 tile scoring (results are
+/// bit-identical for any pool size, including none).
+class SmfClusterer {
+ public:
+  /// Runs SMF over the engine's live corpus. Throws std::invalid_argument
+  /// if `config.metric` disagrees with the engine's metric.
+  [[nodiscard]] Clustering run(const SimilarityEngine& source,
+                               const SmfConfig& config = {},
+                               ThreadPool* pool = nullptr);
+  [[nodiscard]] const SmfRunStats& last_stats() const { return stats_; }
+
+ private:
+  SimilarityEngine centers_{SimilarityKind::kCosine};
+  SimilarityEngine singles_{SimilarityKind::kCosine};
+  FlatMatrix<double> tile_;
+  SmfRunStats stats_;
+};
 
 /// Runs SMF over `maps`. Nodes with empty ratio maps become singletons.
-/// Internally builds a `SimilarityEngine` over the maps and queries it for
-/// the pass-1 center scan and the pass-2 singleton rescue.
+/// Internally builds a `SimilarityEngine` over the maps and runs the
+/// center-indexed clusterer against it.
 [[nodiscard]] Clustering smf_cluster(std::span<const RatioMap> maps,
                                      const SmfConfig& config = {});
 
@@ -67,7 +120,15 @@ class SimilarityEngine;
 /// corpus indexing is the expensive part). Throws std::invalid_argument
 /// if `config.metric` disagrees with the engine's metric.
 [[nodiscard]] Clustering smf_cluster(const SimilarityEngine& engine,
-                                     const SmfConfig& config = {});
+                                     const SmfConfig& config = {},
+                                     ThreadPool* pool = nullptr);
+
+/// The pre-center-index engine path: every node is scored densely against
+/// the whole corpus (`scores_of`), argmax reads the center slots. Kept as
+/// the measured baseline for bench/micro_clustering and as a second
+/// equivalence oracle; output is bit-identical to `smf_cluster`'s.
+[[nodiscard]] Clustering smf_cluster_dense(const SimilarityEngine& engine,
+                                           const SmfConfig& config = {});
 
 /// Reference implementation with per-pair similarity() calls, kept for
 /// equivalence testing (its output is bit-identical to smf_cluster's)

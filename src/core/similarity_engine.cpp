@@ -53,16 +53,16 @@ SimilarityEngine::SimilarityEngine(std::span<const RatioMap> corpus,
   mstats_ = MutationStats{};  // a fresh build is not "mutation" churn
 }
 
-void SimilarityEngine::write_row(std::size_t index, const RatioMap& map) {
+void SimilarityEngine::write_row(std::size_t index, const RowView& source) {
   Row& r = rows_[index];
   r.begin = entries_.size();
-  r.len = static_cast<std::uint32_t>(map.size());
+  r.len = static_cast<std::uint32_t>(source.entries.size());
   r.live = true;
-  const auto src = map.entries();
+  const auto src = source.entries;
   entries_.insert(entries_.end(), src.begin(), src.end());
-  norms_[index] = map.norm();
-  strongest_[index] = map.strongest_mapping();
-  live_entries_ += map.size();
+  norms_[index] = source.norm;
+  strongest_[index] = source.strongest;
+  live_entries_ += src.size();
 
   for (const auto& [id, ratio] : src) {
     const auto [it, inserted] =
@@ -95,7 +95,7 @@ void SimilarityEngine::tombstone_row(std::size_t index) {
   live_entries_ -= r.len;
 }
 
-std::size_t SimilarityEngine::add(const RatioMap& map) {
+std::size_t SimilarityEngine::add_impl(const RowView& source) {
   std::size_t index;
   if (!free_rows_.empty()) {
     index = free_rows_.back();
@@ -106,16 +106,46 @@ std::size_t SimilarityEngine::add(const RatioMap& map) {
     norms_.push_back(0.0);
     strongest_.push_back(0.0);
   }
-  write_row(index, map);
+  write_row(index, source);
   ++live_rows_;
   ++mstats_.adds;
   return index;
 }
 
+std::size_t SimilarityEngine::add(const RatioMap& map) {
+  return add_impl(RowView{map.entries(), map.norm(), map.strongest_mapping()});
+}
+
+std::size_t SimilarityEngine::add_row(const RowView& row) {
+  return add_impl(row);
+}
+
+void SimilarityEngine::clear(SimilarityKind kind) {
+  kind_ = kind;
+  rows_.clear();
+  entries_.clear();
+  norms_.clear();
+  strongest_.clear();
+  free_rows_.clear();
+  live_rows_ = 0;
+  live_entries_ = 0;
+  dead_entries_ = 0;
+  // Keep the replica map's buckets and the posting-list vectors — the
+  // whole point of clear() over a fresh engine is reusing them — but
+  // empty every list.
+  for (PostingList& list : post_) {
+    list.items.clear();
+    list.live = 0;
+  }
+  live_replicas_ = 0;
+  mstats_ = MutationStats{};
+}
+
 void SimilarityEngine::update(std::size_t index, const RatioMap& map) {
   assert(index < rows_.size() && rows_[index].live);
   tombstone_row(index);
-  write_row(index, map);
+  write_row(index,
+            RowView{map.entries(), map.norm(), map.strongest_mapping()});
   ++mstats_.updates;
   maybe_compact();
 }
@@ -275,6 +305,80 @@ std::vector<double> SimilarityEngine::scores_of(std::size_t index) const {
   return out;
 }
 
+void SimilarityEngine::scores(const RowView& query, std::span<double> out,
+                              std::size_t* touched_maps) const {
+  Scratch& s = scratch();
+  accumulate(query.entries, s);
+  std::fill(out.begin(), out.end(), 0.0);
+  for (const std::uint32_t m : s.touched) {
+    out[m] = score_touched(m, query.norm, query.entries.size(), s);
+  }
+  if (touched_maps != nullptr) *touched_maps = s.touched.size();
+}
+
+void SimilarityEngine::scores_subset(const RatioMap& query,
+                                     std::span<const std::size_t> subset,
+                                     std::span<double> out,
+                                     std::size_t* touched_maps) const {
+  Scratch& s = scratch();
+  accumulate(query.entries(), s);
+  const double query_norm = query.norm();
+  for (std::size_t i = 0; i < subset.size(); ++i) {
+    const std::size_t m = subset[i];
+    out[i] = s.mark[m] == s.epoch
+                 ? score_touched(m, query_norm, query.size(), s)
+                 : 0.0;
+  }
+  if (touched_maps != nullptr) *touched_maps = s.touched.size();
+}
+
+void SimilarityEngine::scores_of_subset(std::size_t index,
+                                        std::span<const std::size_t> subset,
+                                        std::span<double> out,
+                                        std::size_t* touched_maps) const {
+  Scratch& s = scratch();
+  const auto entries = row(index);
+  accumulate(entries, s);
+  for (std::size_t i = 0; i < subset.size(); ++i) {
+    const std::size_t m = subset[i];
+    out[i] = s.mark[m] == s.epoch
+                 ? score_touched(m, norms_[index], entries.size(), s)
+                 : 0.0;
+  }
+  if (touched_maps != nullptr) *touched_maps = s.touched.size();
+}
+
+std::optional<RankedCandidate> SimilarityEngine::best_match(
+    const RowView& query, std::size_t* touched_maps) const {
+  if (live_rows_ == 0) {
+    if (touched_maps != nullptr) *touched_maps = 0;
+    return std::nullopt;
+  }
+  Scratch& s = scratch();
+  accumulate(query.entries, s);
+  if (touched_maps != nullptr) *touched_maps = s.touched.size();
+  // Scan the touched maps only. A dense argmax starting at -1 with a
+  // strict `>` comparison picks (max score, lowest index) over all rows;
+  // untouched live rows all score exactly 0, so whenever some touched map
+  // scores > 0 the touched-only scan agrees with the dense one. If no
+  // touched map beats 0, the dense argmax lands on the first live row at
+  // 0 — reproduced by the fallback below.
+  double best = 0.0;
+  std::size_t best_index = size();
+  for (const std::uint32_t m : s.touched) {
+    const double score = score_touched(m, query.norm, query.entries.size(), s);
+    if (score > best || (score == best && m < best_index)) {
+      best = score;
+      best_index = m;
+    }
+  }
+  if (best > 0.0) return RankedCandidate{best_index, best};
+  for (std::size_t m = 0; m < size(); ++m) {
+    if (rows_[m].live) return RankedCandidate{m, 0.0};
+  }
+  return std::nullopt;  // unreachable: live_rows_ > 0
+}
+
 std::vector<RankedCandidate> SimilarityEngine::rank_all(
     const RatioMap& query) const {
   // Same algorithm as rank_candidates, with the per-pair merges replaced
@@ -376,13 +480,22 @@ std::vector<std::vector<RankedCandidate>> SimilarityEngine::all_top_k(
   return out;
 }
 
-std::vector<std::vector<double>> SimilarityEngine::pairwise_similarities(
+FlatMatrix<double> SimilarityEngine::scores_many(
+    std::span<const RatioMap> queries, ThreadPool* pool) const {
+  FlatMatrix<double> out(queries.size(), size());
+  ThreadPool& p = pool != nullptr ? *pool : ThreadPool::shared();
+  p.parallel_for(0, queries.size(), [this, queries, &out](std::size_t i) {
+    scores(queries[i], out.row(i));
+  });
+  return out;
+}
+
+FlatMatrix<double> SimilarityEngine::pairwise_similarities(
     ThreadPool* pool) const {
-  std::vector<std::vector<double>> out(size());
+  FlatMatrix<double> out(size(), size());
   ThreadPool& p = pool != nullptr ? *pool : ThreadPool::shared();
   p.parallel_for(0, size(), [this, &out](std::size_t i) {
-    out[i].resize(size());
-    scores_of(i, out[i]);
+    scores_of(i, out.row(i));
   });
   return out;
 }

@@ -42,10 +42,12 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "common/flat_matrix.hpp"
 #include "core/ratio_map.hpp"
 #include "core/selection.hpp"
 #include "core/similarity.hpp"
@@ -58,6 +60,19 @@ namespace crp::core {
 
 class SimilarityEngine {
  public:
+  /// Borrowed view of one corpus row: the CSR entry segment (sorted by
+  /// replica id) plus its precomputed norm and strongest mapping. A view
+  /// of engine A's row can be replayed into engine B (`add_row`) or used
+  /// as a query (`scores`/`best_match`) with bit-identical results —
+  /// nothing is renormalized, so not a single bit of the ratios or the
+  /// norm changes in transit. This is how the center-indexed SMF mirrors
+  /// corpus rows into its small center engine. Views are invalidated by
+  /// any mutation of the owning engine.
+  struct RowView {
+    std::span<const RatioMap::Entry> entries;
+    double norm = 0.0;
+    double strongest = 0.0;
+  };
   /// Mutation counters (monotonic over the engine's lifetime).
   struct MutationStats {
     std::uint64_t adds = 0;
@@ -101,6 +116,11 @@ class SimilarityEngine {
   [[nodiscard]] double strongest_mapping(std::size_t index) const {
     return strongest_[index];
   }
+  /// Raw view of row `index` (empty for dead rows). Invalidated by any
+  /// mutation of this engine.
+  [[nodiscard]] RowView row_view(std::size_t index) const {
+    return RowView{row(index), norms_[index], strongest_[index]};
+  }
 
   // --- incremental corpus maintenance ---
 
@@ -108,6 +128,18 @@ class SimilarityEngine {
   /// are reused before new ones are appended, so `size()` stays bounded
   /// by the high-water mark of live rows.
   std::size_t add(const RatioMap& map);
+  /// Adds a preformed row (typically another engine's `row_view`)
+  /// verbatim: no renormalization, the stored norm/strongest are the
+  /// view's. Entries must be sorted by replica id with at most one entry
+  /// per replica — true of every RowView. Same slot-reuse contract as
+  /// `add`.
+  std::size_t add_row(const RowView& row);
+  /// Empties the engine (rows, entries, postings, free list, mutation
+  /// counters) and re-fixes the metric, keeping the large allocations —
+  /// the cheap way to reuse one engine across unrelated corpora, which
+  /// is what keeps the SMF center index allocation-free across
+  /// reclusterings.
+  void clear(SimilarityKind kind);
   /// Replaces the map at live row `index` (precondition: alive(index)).
   /// The old row's entries and postings become tombstones.
   void update(std::size_t index, const RatioMap& map);
@@ -145,6 +177,37 @@ class SimilarityEngine {
   void scores_of(std::size_t index, std::span<double> out,
                  std::size_t* touched_maps = nullptr) const;
 
+  /// Same, with a raw row view (possibly another engine's) as the query.
+  /// Bit-identical to `scores` over the RatioMap the view was built
+  /// from: the entries, their order and the norm are the originals.
+  void scores(const RowView& query, std::span<double> out,
+              std::size_t* touched_maps = nullptr) const;
+
+  /// Similarity of the query to the given corpus rows only:
+  /// `out[i] = similarity(query, row subset[i])`, bit-identical to the
+  /// dense `scores` read at those positions (0 for dead rows), without
+  /// materializing — or zero-filling — an engine-sized vector. Cost is
+  /// O(query postings + subset). Duplicate or unordered subset indices
+  /// are fine.
+  void scores_subset(const RatioMap& query,
+                     std::span<const std::size_t> subset,
+                     std::span<double> out,
+                     std::size_t* touched_maps = nullptr) const;
+  /// Same, with corpus row `index` as the query.
+  void scores_of_subset(std::size_t index,
+                        std::span<const std::size_t> subset,
+                        std::span<double> out,
+                        std::size_t* touched_maps = nullptr) const;
+
+  /// The best-scoring *live* row for the query — `top_k(query, 1)[0]`
+  /// without the sort or the allocation: highest similarity, ties to the
+  /// lowest row index, and the first live row (at similarity 0) when no
+  /// row shares a replica with the query. nullopt iff no live rows.
+  /// This is SMF's argmax-over-centers: O(query postings), independent
+  /// of the corpus row count.
+  [[nodiscard]] std::optional<RankedCandidate> best_match(
+      const RowView& query, std::size_t* touched_maps = nullptr) const;
+
   /// All *live* corpus maps ranked by similarity to `query`, best first,
   /// ties and zero-similarity maps in row order — the same contract (and
   /// bit-identical result) as `rank_candidates` over the live maps.
@@ -169,9 +232,17 @@ class SimilarityEngine {
   [[nodiscard]] std::vector<std::vector<RankedCandidate>> all_top_k(
       std::size_t k, ThreadPool* pool = nullptr) const;
 
-  /// Full similarity matrix, `result[i][j] = similarity(map_i, map_j)`.
-  /// Symmetric; diagonal is the self-similarity; dead rows/columns are 0.
-  [[nodiscard]] std::vector<std::vector<double>> pairwise_similarities(
+  /// Dense scores for a batch of external queries, row `i` of the
+  /// result being `scores(queries[i])`. One row-major allocation for
+  /// the whole batch; parallel across queries (each writes its own
+  /// row), bit-identical for any pool size.
+  [[nodiscard]] FlatMatrix<double> scores_many(
+      std::span<const RatioMap> queries, ThreadPool* pool = nullptr) const;
+
+  /// Full similarity matrix, `result(i, j) = similarity(map_i, map_j)`,
+  /// in one row-major allocation. Symmetric; diagonal is the
+  /// self-similarity; dead rows/columns are 0.
+  [[nodiscard]] FlatMatrix<double> pairwise_similarities(
       ThreadPool* pool = nullptr) const;
 
  private:
@@ -222,9 +293,11 @@ class SimilarityEngine {
                   std::size_t query_size, std::size_t k,
                   std::vector<RankedCandidate>& out) const;
 
-  /// Writes `map`'s entries as row `index`'s segment (at the tail of
+  /// Writes the view's entries as row `index`'s segment (at the tail of
   /// entries_) and appends its postings.
-  void write_row(std::size_t index, const RatioMap& map);
+  void write_row(std::size_t index, const RowView& source);
+  /// Shared slot pick + bookkeeping behind add/add_row.
+  std::size_t add_impl(const RowView& source);
   /// Tombstones row `index`'s postings and orphans its entry segment.
   void tombstone_row(std::size_t index);
   void maybe_compact();

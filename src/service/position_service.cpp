@@ -1,6 +1,7 @@
 #include "service/position_service.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/rng.hpp"
 
@@ -116,17 +117,29 @@ std::vector<RankedNode> PositionService::closest(
   if (client_it == reports_.end() || !is_live(client_it->second, now)) {
     return {};
   }
-  // One engine query scores the whole corpus; candidates then just look
-  // up their slot. Engine scores are bit-identical to per-pair
-  // similarity(), so the ranking matches the naive loop byte for byte.
-  std::vector<double> scores(engine_.size());
-  similarity_scores(slot_of_.at(client), scores);
+  // One subset engine query scores exactly the live candidates' slots —
+  // O(client postings + candidates), no engine-sized vector to fill or
+  // zero. Subset reads are bit-identical to the dense scores at those
+  // slots, which are bit-identical to per-pair similarity(), so the
+  // ranking matches the naive loop byte for byte.
   std::vector<RankedNode> ranked;
+  std::vector<std::size_t> slots;
+  ranked.reserve(candidates.size());
+  slots.reserve(candidates.size());
   for (const std::string& candidate : candidates) {
     if (candidate == client) continue;
     const auto it = reports_.find(candidate);
     if (it == reports_.end() || !is_live(it->second, now)) continue;
-    ranked.push_back(RankedNode{candidate, scores[slot_of_.at(candidate)]});
+    ranked.push_back(RankedNode{candidate, 0.0});
+    slots.push_back(slot_of_.at(candidate));
+  }
+  std::vector<double> scores(slots.size());
+  std::size_t touched = 0;
+  engine_.scores_of_subset(slot_of_.at(client), slots, scores, &touched);
+  ++similarity_queries_;
+  maps_touched_ += touched;
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    ranked[i].similarity = scores[i];
   }
   std::stable_sort(ranked.begin(), ranked.end(),
                    [](const RankedNode& a, const RankedNode& b) {
@@ -177,9 +190,17 @@ void PositionService::ensure_clustering(SimTime now) {
     return;
   }
   // SMF runs straight off the engine's corpus — no per-recluster map
-  // copies, no fresh engine build. Tombstoned rows score 0 against
-  // everything and end up as singletons the answers skip.
-  clustering_ = core::smf_cluster(engine_, config_.clustering);
+  // copies, no fresh engine build — through the long-lived clusterer,
+  // whose center index (and its allocations) survives across rebuilds.
+  // Tombstoned rows score 0 against everything and end up as singletons
+  // the answers skip.
+  const auto start = std::chrono::steady_clock::now();
+  clustering_ = clusterer_.run(engine_, config_.clustering);
+  recluster_seconds_ +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  ++reclusters_;
+  recluster_maps_touched_ += clusterer_.last_stats().maps_touched;
   ++engine_rebuilds_avoided_;
   clustered_at_ = now;
   clustered_epoch_ = membership_epoch_;
@@ -293,6 +314,9 @@ ServiceStats PositionService::stats() const {
   s.compactions = engine.compactions;
   s.similarity_queries = similarity_queries_;
   s.maps_touched = maps_touched_;
+  s.reclusters = reclusters_;
+  s.recluster_seconds = recluster_seconds_;
+  s.recluster_maps_touched = recluster_maps_touched_;
   return s;
 }
 

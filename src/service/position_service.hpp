@@ -79,6 +79,13 @@ struct ServiceStats {
   /// effective fan-out of the engine's inverted index.
   std::uint64_t similarity_queries = 0;
   std::uint64_t maps_touched = 0;
+  /// Clustering rebuilds actually executed (cache misses), the wall
+  /// time they took in total, and the candidate rows the center-indexed
+  /// SMF touched while doing so — touched/(nodes·rebuild) versus the
+  /// corpus size is the clustering speedup the center index delivers.
+  std::uint64_t reclusters = 0;
+  double recluster_seconds = 0.0;
+  std::uint64_t recluster_maps_touched = 0;
 };
 
 class PositionService {
@@ -175,7 +182,9 @@ class PositionService {
   std::unordered_map<std::string, std::size_t> slot_of_;
   std::vector<std::string> node_at_;
 
-  // Cached clustering over the engine corpus.
+  // Cached clustering over the engine corpus. The clusterer lives here
+  // so its center/singleton index allocations survive across rebuilds.
+  core::SmfClusterer clusterer_;
   core::Clustering clustering_;
   SimTime clustered_at_ = SimTime{-1};
   std::uint64_t membership_epoch_ = 0;   // bumped on publish/remove
@@ -189,6 +198,9 @@ class PositionService {
   std::uint64_t engine_rebuilds_avoided_ = 0;
   mutable std::uint64_t similarity_queries_ = 0;
   mutable std::uint64_t maps_touched_ = 0;
+  std::uint64_t reclusters_ = 0;
+  double recluster_seconds_ = 0.0;
+  std::uint64_t recluster_maps_touched_ = 0;
 };
 
 }  // namespace crp::service

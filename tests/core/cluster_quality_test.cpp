@@ -4,6 +4,9 @@
 
 #include <cmath>
 
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+
 namespace crp::core {
 namespace {
 
@@ -65,6 +68,61 @@ TEST(ClusterQuality, NoOtherClustersMeansZeroInter) {
   ASSERT_EQ(qualities.size(), 1u);
   EXPECT_DOUBLE_EQ(qualities[0].avg_inter_ms, 0.0);
   EXPECT_FALSE(qualities[0].good());  // inter not > intra
+}
+
+// The tiled diameter scan must be bit-identical for every pool size —
+// including clusters larger than one tile (64 member rows).
+TEST(ClusterQuality, ParallelEvaluationIsDeterministic) {
+  Rng rng{4242};
+  std::vector<double> pos(400);
+  for (double& x : pos) x = rng.uniform(0.0, 500.0);
+  const DistanceFn rtt = [&pos](std::size_t i, std::size_t j) {
+    return std::abs(pos[i] - pos[j]);
+  };
+
+  // One 150-member cluster (spans multiple tiles), several mid-size
+  // clusters and a few singletons as inter targets.
+  Clustering c;
+  c.assignment.assign(pos.size(), 0);
+  std::size_t next = 0;
+  const auto take = [&](std::size_t count) {
+    Clustering::Cluster cluster;
+    cluster.center = next;
+    for (std::size_t i = 0; i < count; ++i) cluster.members.push_back(next++);
+    const std::size_t index = c.clusters.size();
+    for (const std::size_t m : cluster.members) c.assignment[m] = index;
+    c.clusters.push_back(std::move(cluster));
+  };
+  take(150);
+  take(70);
+  take(30);
+  take(2);
+  take(1);
+  take(1);
+
+  ThreadPool inline_pool{0};
+  const auto reference = evaluate_clusters(c, rtt, &inline_pool);
+  ASSERT_EQ(reference.size(), 4u);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    ThreadPool pool{threads};
+    const auto got = evaluate_clusters(c, rtt, &pool);
+    ASSERT_EQ(got.size(), reference.size()) << threads;
+    for (std::size_t q = 0; q < got.size(); ++q) {
+      EXPECT_EQ(got[q].cluster_index, reference[q].cluster_index);
+      EXPECT_EQ(got[q].size, reference[q].size);
+      EXPECT_EQ(got[q].diameter_ms, reference[q].diameter_ms);
+      EXPECT_EQ(got[q].avg_intra_ms, reference[q].avg_intra_ms);
+      EXPECT_EQ(got[q].avg_inter_ms, reference[q].avg_inter_ms);
+    }
+  }
+  // Default-pool overload agrees too.
+  const auto shared = evaluate_clusters(c, rtt);
+  ASSERT_EQ(shared.size(), reference.size());
+  for (std::size_t q = 0; q < shared.size(); ++q) {
+    EXPECT_EQ(shared[q].diameter_ms, reference[q].diameter_ms);
+    EXPECT_EQ(shared[q].avg_intra_ms, reference[q].avg_intra_ms);
+    EXPECT_EQ(shared[q].avg_inter_ms, reference[q].avg_inter_ms);
+  }
 }
 
 TEST(FilterByDiameter, DropsWideClusters) {

@@ -2,13 +2,44 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 
 namespace crp::core {
 namespace {
 
 RatioMap map_of(std::vector<std::pair<ReplicaId, double>> entries) {
   return RatioMap::from_ratios(entries);
+}
+
+std::vector<RatioMap> random_maps(Rng& rng, std::size_t n,
+                                  int replica_space) {
+  std::vector<RatioMap> maps;
+  maps.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<RatioMap::Entry> entries;
+    const int count = static_cast<int>(rng.uniform_int(0, 5));
+    for (int j = 0; j < count; ++j) {
+      entries.emplace_back(ReplicaId{static_cast<std::uint32_t>(
+                               rng.uniform_int(0, replica_space - 1))},
+                           rng.uniform(0.05, 1.0));
+    }
+    maps.push_back(RatioMap::from_ratios(entries));
+  }
+  return maps;
+}
+
+void expect_identical(const Clustering& got, const Clustering& want,
+                      const std::string& label) {
+  EXPECT_EQ(got.assignment, want.assignment) << label;
+  ASSERT_EQ(got.clusters.size(), want.clusters.size()) << label;
+  for (std::size_t c = 0; c < want.clusters.size(); ++c) {
+    EXPECT_EQ(got.clusters[c].center, want.clusters[c].center) << label;
+    EXPECT_EQ(got.clusters[c].members, want.clusters[c].members) << label;
+  }
 }
 
 // Two obvious groups: maps around replicas {1,2} and maps around {8,9}.
@@ -149,6 +180,106 @@ TEST(SmfClustering, RandomSeedingStillValidPartition) {
   std::size_t total = 0;
   for (const auto& c : clustering.clusters) total += c.members.size();
   EXPECT_EQ(total, maps.size());
+}
+
+// Satellite oracle: the center-indexed path (SmfClusterer / smf_cluster),
+// the dense-engine path (smf_cluster_dense) and the span overload must be
+// byte-for-byte identical to the per-pair reference across corpus sizes,
+// seedings, second-pass settings, metrics and thread counts.
+TEST(SmfClustering, CenterIndexedMatchesReferenceAcrossConfigs) {
+  Rng rng{0xC1u};
+  ThreadPool pool1{1};
+  ThreadPool pool4{4};
+  SmfClusterer clusterer;  // one instance reused across every run
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1},
+                              std::size_t{50}, std::size_t{500}}) {
+    const auto maps = random_maps(rng, n, 30);
+    const SimilarityEngine cosine{maps, SimilarityKind::kCosine};
+    const SimilarityEngine jaccard{maps, SimilarityKind::kJaccard};
+    const SimilarityEngine overlap{maps, SimilarityKind::kWeightedOverlap};
+    for (const SimilarityKind kind :
+         {SimilarityKind::kCosine, SimilarityKind::kJaccard,
+          SimilarityKind::kWeightedOverlap}) {
+      const SimilarityEngine& engine =
+          kind == SimilarityKind::kCosine
+              ? cosine
+              : (kind == SimilarityKind::kJaccard ? jaccard : overlap);
+      for (const auto seeding : {SmfConfig::Seeding::kStrongestFirst,
+                                 SmfConfig::Seeding::kRandom}) {
+        for (const bool second_pass : {false, true}) {
+          SmfConfig config;
+          config.metric = kind;
+          config.seeding = seeding;
+          config.second_pass = second_pass;
+          config.threshold = 0.15;
+          config.seed = 23 + n;
+          const std::string label =
+              "n=" + std::to_string(n) + " kind=" + to_string(kind) +
+              " random_seeding=" +
+              std::to_string(seeding == SmfConfig::Seeding::kRandom) +
+              " second_pass=" + std::to_string(second_pass);
+
+          const Clustering expected = smf_cluster_reference(maps, config);
+          expect_identical(smf_cluster_dense(engine, config), expected,
+                           label + " [dense]");
+          expect_identical(smf_cluster(maps, config), expected,
+                           label + " [span]");
+          // Shared pool (0 workers at ThreadPool{0}? use default shared),
+          // inline, 1-thread and 4-thread pools must all agree.
+          expect_identical(smf_cluster(engine, config), expected,
+                           label + " [indexed/shared]");
+          ThreadPool pool0{0};
+          expect_identical(clusterer.run(engine, config, &pool0), expected,
+                           label + " [indexed/0]");
+          expect_identical(clusterer.run(engine, config, &pool1), expected,
+                           label + " [indexed/1]");
+          expect_identical(clusterer.run(engine, config, &pool4), expected,
+                           label + " [indexed/4]");
+        }
+      }
+    }
+  }
+}
+
+TEST(SmfClustering, DenseAndIndexedRejectMetricMismatch) {
+  const SimilarityEngine engine{two_groups(), SimilarityKind::kJaccard};
+  SmfConfig config;  // metric defaults to cosine
+  EXPECT_THROW((void)smf_cluster_dense(engine, config),
+               std::invalid_argument);
+  SmfClusterer clusterer;
+  EXPECT_THROW((void)clusterer.run(engine, config), std::invalid_argument);
+}
+
+TEST(SmfClustering, ClustererReportsRunStats) {
+  Rng rng{77};
+  const auto maps = random_maps(rng, 120, 12);
+  const SimilarityEngine engine{maps, SimilarityKind::kCosine};
+  SmfClusterer clusterer;
+  const Clustering clustering = clusterer.run(engine, SmfConfig{});
+  const SmfRunStats& stats = clusterer.last_stats();
+  EXPECT_EQ(stats.nodes, maps.size());
+  EXPECT_GE(stats.pass1_clusters, clustering.clusters.size());
+  EXPECT_GE(stats.center_queries, maps.size());
+  // The whole point: touched candidate rows stay far below the dense
+  // path's nodes x corpus score count.
+  EXPECT_LT(stats.maps_touched,
+            static_cast<std::uint64_t>(maps.size()) * maps.size());
+}
+
+TEST(ClusteringStats, NodesClusteredAgreesWithStatsOnMixedClusters) {
+  // Clusters with singleton and multi-member mixes — including members
+  // whose engine rows would be dead/tombstoned (the count only looks at
+  // member lists, so both helpers must agree regardless).
+  Clustering clustering;
+  clustering.clusters.push_back({0, {0, 1, 2, 3}});
+  clustering.clusters.push_back({4, {4}});
+  clustering.clusters.push_back({5, {5, 6}});
+  clustering.clusters.push_back({7, {7}});
+  clustering.assignment = {0, 0, 0, 0, 1, 2, 2, 3};
+  const auto stats = clustering_stats(clustering, 8);
+  EXPECT_EQ(clustering.nodes_clustered(), 6u);
+  EXPECT_EQ(stats.nodes_clustered, clustering.nodes_clustered());
+  EXPECT_EQ(stats.num_clusters, clustering.multi_member_clusters().size());
 }
 
 TEST(ClusteringStats, MatchesHandComputation) {

@@ -175,7 +175,8 @@ TEST(SimilarityEngineTest, BatchResultsIndependentOfThreadCount) {
   const auto topk_ref = engine.all_top_k(4, &inline_pool);
   const auto pairs_ref = engine.pairwise_similarities(&inline_pool);
   ASSERT_EQ(topk_ref.size(), corpus.size());
-  ASSERT_EQ(pairs_ref.size(), corpus.size());
+  ASSERT_EQ(pairs_ref.rows(), corpus.size());
+  ASSERT_EQ(pairs_ref.cols(), corpus.size());
 
   for (std::size_t threads : {std::size_t{1}, std::size_t{2},
                               std::size_t{8}}) {
@@ -201,11 +202,147 @@ TEST(SimilarityEngineTest, PairwiseMatrixMatchesNaiveAndIsSymmetric) {
   const auto matrix = engine.pairwise_similarities(&inline_pool);
   for (std::size_t i = 0; i < corpus.size(); ++i) {
     for (std::size_t j = 0; j < corpus.size(); ++j) {
-      EXPECT_EQ(matrix[i][j],
+      EXPECT_EQ(matrix(i, j),
                 similarity(SimilarityKind::kCosine, corpus[i], corpus[j]));
-      EXPECT_EQ(matrix[i][j], matrix[j][i]);
+      EXPECT_EQ(matrix(i, j), matrix(j, i));
     }
   }
+}
+
+class SubsetAndRowViewTest
+    : public ::testing::TestWithParam<SimilarityKind> {};
+
+TEST_P(SubsetAndRowViewTest, SubsetScoresMatchDenseReads) {
+  const SimilarityKind kind = GetParam();
+  Rng rng{9001 + static_cast<std::uint64_t>(kind)};
+  auto corpus = random_corpus(rng, 50, 30);
+  SimilarityEngine engine{corpus, kind};
+  // Kill a few rows so the subset path sees dead slots too.
+  engine.remove(3);
+  engine.remove(17);
+
+  const auto queries = random_corpus(rng, 6, 30);
+  // Unordered subset with duplicates and dead rows.
+  const std::vector<std::size_t> subset{17, 0, 5, 5, 49, 3, 12, 0};
+  std::vector<double> dense(engine.size());
+  std::vector<double> got(subset.size());
+  for (const RatioMap& query : queries) {
+    std::size_t dense_touched = 0;
+    std::size_t subset_touched = 0;
+    engine.scores(query, dense, &dense_touched);
+    engine.scores_subset(query, subset, got, &subset_touched);
+    EXPECT_EQ(subset_touched, dense_touched);
+    for (std::size_t i = 0; i < subset.size(); ++i) {
+      EXPECT_EQ(got[i], dense[subset[i]]) << "subset pos " << i;
+    }
+  }
+  // Corpus row as query.
+  for (const std::size_t row : {std::size_t{0}, std::size_t{8}}) {
+    engine.scores_of(row, dense);
+    engine.scores_of_subset(row, subset, got);
+    for (std::size_t i = 0; i < subset.size(); ++i) {
+      EXPECT_EQ(got[i], dense[subset[i]]) << "row " << row << " pos " << i;
+    }
+  }
+}
+
+TEST_P(SubsetAndRowViewTest, RowViewsMirrorBitIdentically) {
+  const SimilarityKind kind = GetParam();
+  Rng rng{1234 + static_cast<std::uint64_t>(kind)};
+  const auto corpus = random_corpus(rng, 40, 25);
+  const SimilarityEngine source{corpus, kind};
+
+  // Mirror a subset of source rows into a second engine via add_row and
+  // query it with row views: everything must match a from-scratch engine
+  // of the same maps, bit for bit.
+  const std::vector<std::size_t> picks{0, 3, 7, 11, 19, 22, 39};
+  SimilarityEngine mirror{kind};
+  std::vector<RatioMap> picked;
+  for (const std::size_t p : picks) {
+    EXPECT_EQ(mirror.add_row(source.row_view(p)), picked.size());
+    picked.push_back(corpus[p]);
+  }
+  const SimilarityEngine rebuilt{picked, kind};
+  ASSERT_EQ(mirror.size(), rebuilt.size());
+
+  std::vector<double> via_mirror(mirror.size());
+  std::vector<double> via_rebuilt(rebuilt.size());
+  for (std::size_t q = 0; q < corpus.size(); ++q) {
+    mirror.scores(source.row_view(q), via_mirror);
+    rebuilt.scores(corpus[q], via_rebuilt);
+    EXPECT_EQ(via_mirror, via_rebuilt) << "query " << q;
+
+    // best_match == top_k(query, 1), including the zero-similarity
+    // padding case and tie-breaks.
+    const auto best = mirror.best_match(source.row_view(q));
+    const auto top = rebuilt.top_k(corpus[q], 1);
+    ASSERT_TRUE(best.has_value());
+    ASSERT_EQ(top.size(), 1u);
+    EXPECT_EQ(best->index, top[0].index) << "query " << q;
+    EXPECT_EQ(best->similarity, top[0].similarity) << "query " << q;
+  }
+}
+
+TEST_P(SubsetAndRowViewTest, ClearReusesEngineAcrossCorpora) {
+  const SimilarityKind kind = GetParam();
+  Rng rng{555 + static_cast<std::uint64_t>(kind)};
+  SimilarityEngine engine{kind};
+  for (int round = 0; round < 3; ++round) {
+    const auto corpus = random_corpus(rng, 30, 20);
+    engine.clear(kind);
+    EXPECT_TRUE(engine.empty());
+    EXPECT_EQ(engine.live_size(), 0u);
+    EXPECT_EQ(engine.distinct_replicas(), 0u);
+    for (const RatioMap& map : corpus) (void)engine.add(map);
+    const SimilarityEngine fresh{corpus, kind};
+    const auto queries = random_corpus(rng, 4, 20);
+    std::vector<double> a(engine.size());
+    std::vector<double> b(fresh.size());
+    for (const RatioMap& query : queries) {
+      engine.scores(query, a);
+      fresh.scores(query, b);
+      EXPECT_EQ(a, b) << "round " << round;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, SubsetAndRowViewTest,
+                         ::testing::Values(SimilarityKind::kCosine,
+                                           SimilarityKind::kJaccard,
+                                           SimilarityKind::kWeightedOverlap),
+                         [](const auto& info) {
+                           std::string name = to_string(info.param);
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(SimilarityEngineTest, BestMatchOnEmptyEngineIsNullopt) {
+  const SimilarityEngine source{
+      std::vector<RatioMap>{map_of({{ReplicaId{1}, 1.0}})},
+      SimilarityKind::kCosine};
+  const SimilarityEngine empty{SimilarityKind::kCosine};
+  EXPECT_EQ(empty.best_match(source.row_view(0)), std::nullopt);
+}
+
+TEST(SimilarityEngineTest, ScoresManyMatchesPerQueryAcrossPools) {
+  Rng rng{86};
+  const auto corpus = random_corpus(rng, 60, 32);
+  const auto queries = random_corpus(rng, 25, 32);
+  const SimilarityEngine engine{corpus};
+
+  FlatMatrix<double> expected(queries.size(), engine.size());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    engine.scores(queries[q], expected.row(q));
+  }
+  ThreadPool inline_pool{0};
+  EXPECT_EQ(engine.scores_many(queries, &inline_pool), expected);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    ThreadPool pool{threads};
+    EXPECT_EQ(engine.scores_many(queries, &pool), expected) << threads;
+  }
+  EXPECT_EQ(engine.scores_many(queries), expected);  // shared pool
 }
 
 TEST(SimilarityEngineTest, SmfClusterMatchesReferenceImplementation) {

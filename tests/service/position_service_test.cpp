@@ -204,6 +204,25 @@ TEST_F(PositionServiceTest, StatsTrackServingAndEngineChurn) {
   // replicas with a — the inverted index never touched d/e.
   EXPECT_EQ(stats.similarity_queries, 1u);
   EXPECT_EQ(stats.maps_touched, 3u);
+  // Exactly one SMF rebuild ran (the second cluster query hit the
+  // cache), its wall time was measured, and the center-indexed pass
+  // recorded the candidate rows it touched.
+  EXPECT_EQ(stats.reclusters, 1u);
+  EXPECT_GT(stats.recluster_seconds, 0.0);
+  EXPECT_GT(stats.recluster_maps_touched, 0u);
+}
+
+TEST_F(PositionServiceTest, ReclusterCountersAccumulateAcrossRebuilds) {
+  const SimTime t0 = SimTime::epoch();
+  (void)service_.same_cluster("a", t0);
+  // Membership change invalidates the cache; the next cluster query
+  // reclusters through the same long-lived SmfClusterer.
+  service_.remove("e");
+  (void)service_.same_cluster("a", t0);
+  const ServiceStats stats = service_.stats();
+  EXPECT_EQ(stats.reclusters, 2u);
+  EXPECT_EQ(stats.clustering_cache_hits, 0u);
+  EXPECT_GT(stats.recluster_seconds, 0.0);
 }
 
 TEST_F(PositionServiceTest, RemoveThenRepublishReusesEngineSlot) {
