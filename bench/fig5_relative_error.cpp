@@ -21,6 +21,9 @@ int main() {
 
   const auto meridian =
       eval::evaluate_fixed_selection(*exp.gt, meridian_choice);
+  // CRP selection runs through the engine's batched top-k kernel (all
+  // clients tiled over one pass per posting list; see metrics.cpp) —
+  // rankings are bit-identical to the per-client path.
   const auto crp_top1 = eval::evaluate_crp_selection(
       *exp.gt, exp.client_maps, exp.candidate_maps, 1);
   const auto crp_top5 = eval::evaluate_crp_selection(

@@ -1,10 +1,12 @@
 #include "core/similarity_engine.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cstddef>
 
 #include "common/thread_pool.hpp"
+#include "common/top_k.hpp"
 
 namespace crp::core {
 
@@ -31,6 +33,61 @@ struct SimilarityEngine::Scratch {
 
 SimilarityEngine::Scratch& SimilarityEngine::scratch() {
   static thread_local Scratch s;
+  return s;
+}
+
+// Scratch for one tile of the batched kernel. The accumulator blocks are
+// SoA: acc(q, m) / inter(q, m) hold query q's partial sum against map m,
+// and qmask[m] records which queries of the tile touched map m (bit q).
+// Query-major layout on purpose: posting lists are walked in ascending
+// map order, so each query streams sequentially down its own 8-byte-
+// stride row — the same access pattern (and footprint per query) as the
+// scalar accumulator — instead of striding tile-width cache lines apart.
+// Like the scalar Scratch, clearing is O(touched): the blocks hold stale
+// garbage between tiles by design — the qmask bit decides assign-vs-add
+// on first touch, so no O(maps x tile) zeroing happens per tile.
+struct SimilarityEngine::BatchScratch {
+  struct Tagged {  // one query entry, tagged with its in-tile query index
+    ReplicaId id{};
+    std::uint32_t q = 0;
+    double ratio = 0.0;
+  };
+  std::vector<Tagged> gathered;
+  std::vector<std::uint64_t> mark;
+  std::vector<std::uint64_t> qmask;
+  std::uint64_t epoch = 0;
+  // Per-query first-touch lists: touched_q[q] holds the maps query q
+  // shares a replica with, in first-touch (ascending replica) order.
+  // Finalizing walks exactly these cells — O(touched), never O(tile x
+  // maps) — and each walk stays inside the query's own scratch row.
+  std::vector<std::vector<std::uint32_t>> touched_q;
+  FlatMatrix<double> acc;             // cosine / weighted-overlap sums
+  FlatMatrix<std::uint32_t> inter;    // jaccard intersection counts
+
+  void begin(std::size_t n, std::size_t width, SimilarityKind kind) {
+    if (mark.size() < n) {
+      mark.resize(n, 0);
+      qmask.resize(n, 0);
+    }
+    if (touched_q.size() < width) touched_q.resize(width);
+    for (std::size_t q = 0; q < width; ++q) touched_q[q].clear();
+    // Grow-only: reshaping would also re-zero rows * cols elements.
+    if (kind == SimilarityKind::kJaccard) {
+      if (inter.rows() < width || inter.cols() < n) {
+        inter.assign(std::max(width, inter.rows()), std::max(n, inter.cols()),
+                     0);
+      }
+    } else {
+      if (acc.rows() < width || acc.cols() < n) {
+        acc.assign(std::max(width, acc.rows()), std::max(n, acc.cols()), 0.0);
+      }
+    }
+    ++epoch;
+  }
+};
+
+SimilarityEngine::BatchScratch& SimilarityEngine::batch_scratch() {
+  static thread_local BatchScratch s;
   return s;
 }
 
@@ -248,25 +305,32 @@ void SimilarityEngine::accumulate(std::span<const RatioMap::Entry> entries,
   }
 }
 
-double SimilarityEngine::score_touched(std::size_t m, double query_norm,
-                                       std::size_t query_size,
-                                       const Scratch& s) const {
+double SimilarityEngine::finish_score(std::size_t m, double query_norm,
+                                      std::size_t query_size, double acc,
+                                      std::uint32_t inter) const {
   switch (kind_) {
     case SimilarityKind::kCosine: {
       const double denominator = query_norm * norms_[m];
       if (denominator <= 0.0) return 0.0;
-      return std::clamp(s.acc[m] / denominator, 0.0, 1.0);
+      return std::clamp(acc / denominator, 0.0, 1.0);
     }
     case SimilarityKind::kJaccard: {
-      const std::size_t inter = s.inter[m];
       const std::size_t uni = query_size + rows_[m].len - inter;
       if (uni == 0) return 0.0;
       return static_cast<double>(inter) / static_cast<double>(uni);
     }
     case SimilarityKind::kWeightedOverlap:
-      return std::clamp(s.acc[m], 0.0, 1.0);
+      return std::clamp(acc, 0.0, 1.0);
   }
   return 0.0;
+}
+
+double SimilarityEngine::score_touched(std::size_t m, double query_norm,
+                                       std::size_t query_size,
+                                       const Scratch& s) const {
+  // The sibling accumulator (acc for jaccard, inter otherwise) holds a
+  // stale value from an earlier query; finish_score never reads it.
+  return finish_score(m, query_norm, query_size, s.acc[m], s.inter[m]);
 }
 
 void SimilarityEngine::scores(const RatioMap& query, std::span<double> out,
@@ -408,30 +472,32 @@ void SimilarityEngine::top_k_into(std::span<const RatioMap::Entry> entries,
 
   Scratch& s = scratch();
   accumulate(entries, s);
-  std::vector<RankedCandidate> positives;
-  positives.reserve(s.touched.size());
+  // (similarity, index) pairs are unique per map, so ranking by
+  // (similarity desc, index asc) is a total order: the bounded heap keeps
+  // exactly the maps a full sort + truncate would, in the same order —
+  // matching rank_candidates' stable sort — at O(touched log k).
+  const auto better = [](const RankedCandidate& a, const RankedCandidate& b) {
+    return a.similarity > b.similarity ||
+           (a.similarity == b.similarity && a.index < b.index);
+  };
+  BoundedTopK<RankedCandidate, decltype(better)> heap(want, better);
   for (const std::uint32_t m : s.touched) {
     const double score = score_touched(m, query_norm, query_size, s);
-    if (score > 0.0) positives.push_back(RankedCandidate{m, score});
+    if (score > 0.0) heap.offer(RankedCandidate{m, score});
   }
-  // (similarity, index) pairs are unique per map, so this unstable sort is
-  // a total order — the result matches rank_candidates' stable sort.
-  std::sort(positives.begin(), positives.end(),
-            [](const RankedCandidate& a, const RankedCandidate& b) {
-              return a.similarity > b.similarity ||
-                     (a.similarity == b.similarity && a.index < b.index);
-            });
+  out = heap.take_sorted();
+  // A short heap kept every positive-similarity map, so padding skips
+  // exactly the already-ranked indices.
+  if (out.size() < want) pad_zero_rows(out, want);
+}
 
-  const std::size_t from_positives = std::min(want, positives.size());
-  out.assign(positives.begin(),
-             positives.begin() + static_cast<std::ptrdiff_t>(from_positives));
-  if (out.size() == want) return;
-
+void SimilarityEngine::pad_zero_rows(std::vector<RankedCandidate>& out,
+                                     std::size_t want) const {
   // Pad with zero-similarity live maps in row order (the order the stable
   // sort leaves ties in), skipping the maps already ranked.
   std::vector<std::uint32_t> taken;
-  taken.reserve(positives.size());
-  for (const RankedCandidate& rc : positives) {
+  taken.reserve(out.size());
+  for (const RankedCandidate& rc : out) {
     taken.push_back(static_cast<std::uint32_t>(rc.index));
   }
   std::sort(taken.begin(), taken.end());
@@ -467,6 +533,285 @@ std::size_t SimilarityEngine::comparable_count(const RatioMap& query) const {
     }
   }
   return count;
+}
+
+void SimilarityEngine::accumulate_tile(std::span<const RowView> tile,
+                                       BatchScratch& s) const {
+  assert(tile.size() <= kMaxQueryTile);
+  s.begin(size(), tile.size(), kind_);
+
+  // Gather every query entry of the tile, tagged with its query index,
+  // and order by (replica id, query). Each distinct replica of the tile
+  // then costs one slot lookup shared by every query holding it, while
+  // each query's own entries keep their increasing replica-id order.
+  // That order is the scalar accumulation order, which is what keeps
+  // every (query, map) partial sum bit-identical to `accumulate`: per
+  // pair, the same terms in the same order.
+  s.gathered.clear();
+  std::size_t total = 0;
+  for (const RowView& q : tile) total += q.entries.size();
+  s.gathered.reserve(total);
+  for (std::uint32_t q = 0; q < tile.size(); ++q) {
+    for (const auto& [id, ratio] : tile[q].entries) {
+      s.gathered.push_back(BatchScratch::Tagged{id, q, ratio});
+    }
+  }
+  std::sort(s.gathered.begin(), s.gathered.end(),
+            [](const BatchScratch::Tagged& a, const BatchScratch::Tagged& b) {
+              return a.id != b.id ? a.id < b.id : a.q < b.q;
+            });
+
+  for (std::size_t g = 0; g < s.gathered.size();) {
+    const ReplicaId id = s.gathered[g].id;
+    std::size_t g_end = g + 1;
+    while (g_end < s.gathered.size() && s.gathered[g_end].id == id) ++g_end;
+    const auto it = replica_slot_.find(id);
+    if (it == replica_slot_.end() || post_[it->second].live == 0) {
+      g = g_end;
+      continue;
+    }
+    const PostingList& list = post_[it->second];
+    // For each gathered query holding this replica, walk the posting
+    // list once, streaming terms into that query's accumulator row (maps
+    // ascend along the list, so the row is written near-sequentially).
+    // A query has at most one entry per replica, so per (query, map)
+    // pair a group contributes exactly one term — entry order within the
+    // group cannot reorder any pair's partial sums, and groups ascend by
+    // replica id, which is the scalar accumulation order. First touch
+    // per (query, map) assigns instead of adding, so the accumulator
+    // block never needs zeroing — and an assigned first term is bitwise
+    // the term itself, exactly as if added to a zeroed slot.
+    for (std::size_t t = g; t < g_end; ++t) {
+      const BatchScratch::Tagged& e = s.gathered[t];
+      const std::uint64_t bit = std::uint64_t{1} << e.q;
+      switch (kind_) {
+        case SimilarityKind::kCosine: {
+          const auto acc_row = s.acc.row(e.q);
+          auto& tq = s.touched_q[e.q];
+          for (const Posting& p : list.items) {
+            if (p.map == kDeadPosting) continue;
+            const std::uint32_t m = p.map;
+            if (s.mark[m] != s.epoch) {
+              s.mark[m] = s.epoch;
+              s.qmask[m] = 0;
+            }
+            const double v = e.ratio * p.ratio;
+            if ((s.qmask[m] & bit) != 0) {
+              acc_row[m] += v;
+            } else {
+              acc_row[m] = v;
+              s.qmask[m] |= bit;
+              tq.push_back(m);
+            }
+          }
+          break;
+        }
+        case SimilarityKind::kJaccard: {
+          const auto inter_row = s.inter.row(e.q);
+          auto& tq = s.touched_q[e.q];
+          for (const Posting& p : list.items) {
+            if (p.map == kDeadPosting) continue;
+            const std::uint32_t m = p.map;
+            if (s.mark[m] != s.epoch) {
+              s.mark[m] = s.epoch;
+              s.qmask[m] = 0;
+            }
+            if ((s.qmask[m] & bit) != 0) {
+              ++inter_row[m];
+            } else {
+              inter_row[m] = 1;
+              s.qmask[m] |= bit;
+              tq.push_back(m);
+            }
+          }
+          break;
+        }
+        case SimilarityKind::kWeightedOverlap: {
+          const auto acc_row = s.acc.row(e.q);
+          auto& tq = s.touched_q[e.q];
+          for (const Posting& p : list.items) {
+            if (p.map == kDeadPosting) continue;
+            const std::uint32_t m = p.map;
+            if (s.mark[m] != s.epoch) {
+              s.mark[m] = s.epoch;
+              s.qmask[m] = 0;
+            }
+            const double v = std::min(e.ratio, p.ratio);
+            if ((s.qmask[m] & bit) != 0) {
+              acc_row[m] += v;
+            } else {
+              acc_row[m] = v;
+              s.qmask[m] |= bit;
+              tq.push_back(m);
+            }
+          }
+          break;
+        }
+      }
+    }
+    g = g_end;
+  }
+}
+
+template <typename Finalize>
+void SimilarityEngine::batch_tiles(std::span<const RowView> queries,
+                                   ThreadPool* pool, std::size_t tile,
+                                   std::uint64_t* maps_touched,
+                                   const Finalize& finalize) const {
+  tile = std::clamp<std::size_t>(tile, 1, kMaxQueryTile);
+  const std::size_t tiles = (queries.size() + tile - 1) / tile;
+  // Per-tile slots summed in tile order afterwards: touched totals stay
+  // deterministic for any pool size (the deterministic-merge pattern).
+  std::vector<std::uint64_t> tile_touched(tiles, 0);
+  ThreadPool& p = pool != nullptr ? *pool : ThreadPool::shared();
+  p.parallel_for(0, tiles, [&](std::size_t t) {
+    const std::size_t q0 = t * tile;
+    const std::size_t qn = std::min(tile, queries.size() - q0);
+    BatchScratch& s = batch_scratch();
+    accumulate_tile(queries.subspan(q0, qn), s);
+    std::uint64_t touched = 0;
+    for (std::size_t q = 0; q < qn; ++q) touched += s.touched_q[q].size();
+    tile_touched[t] = touched;
+    finalize(q0, queries.subspan(q0, qn), s);
+  });
+  if (maps_touched != nullptr) {
+    std::uint64_t total = 0;
+    for (const std::uint64_t t : tile_touched) total += t;
+    *maps_touched = total;
+  }
+}
+
+namespace {
+/// Reads query q's accumulated value for map m out of the tile scratch.
+/// Only the kind-relevant block is allocated; the other reads as 0.
+struct TileCell {
+  double acc = 0.0;
+  std::uint32_t inter = 0;
+};
+}  // namespace
+
+FlatMatrix<double> SimilarityEngine::scores_batch(
+    std::span<const RatioMap> queries, ThreadPool* pool,
+    std::uint64_t* maps_touched, std::size_t tile) const {
+  std::vector<RowView> refs;
+  refs.reserve(queries.size());
+  for (const RatioMap& q : queries) {
+    // strongest is irrelevant to scoring; skip computing it.
+    refs.push_back(RowView{q.entries(), q.norm(), 0.0});
+  }
+  FlatMatrix<double> out(queries.size(), size());  // zero-initialised
+  const bool jaccard = kind_ == SimilarityKind::kJaccard;
+  batch_tiles(refs, pool, tile, maps_touched,
+              [this, &out, jaccard](std::size_t q0,
+                                    std::span<const RowView> tile_q,
+                                    BatchScratch& s) {
+                // Rows start zeroed, so writing the touched cells only
+                // reproduces the scalar zero-fill + touched-overwrite —
+                // and each query's walk stays inside its own scratch and
+                // output rows.
+                for (std::uint32_t q = 0; q < tile_q.size(); ++q) {
+                  const auto out_row = out.row(q0 + q);
+                  for (const std::uint32_t m : s.touched_q[q]) {
+                    TileCell cell;
+                    if (jaccard) {
+                      cell.inter = s.inter(q, m);
+                    } else {
+                      cell.acc = s.acc(q, m);
+                    }
+                    out_row[m] =
+                        finish_score(m, tile_q[q].norm,
+                                     tile_q[q].entries.size(), cell.acc,
+                                     cell.inter);
+                  }
+                }
+              });
+  return out;
+}
+
+void SimilarityEngine::scores_of_batch(std::span<const std::size_t> rows,
+                                       FlatMatrix<double>& out,
+                                       ThreadPool* pool,
+                                       std::uint64_t* maps_touched,
+                                       std::size_t tile) const {
+  std::vector<RowView> refs;
+  refs.reserve(rows.size());
+  for (const std::size_t index : rows) refs.push_back(row_view(index));
+  out.assign(rows.size(), size(), 0.0);
+  const bool jaccard = kind_ == SimilarityKind::kJaccard;
+  batch_tiles(refs, pool, tile, maps_touched,
+              [this, &out, jaccard](std::size_t q0,
+                                    std::span<const RowView> tile_q,
+                                    BatchScratch& s) {
+                for (std::uint32_t q = 0; q < tile_q.size(); ++q) {
+                  const auto out_row = out.row(q0 + q);
+                  for (const std::uint32_t m : s.touched_q[q]) {
+                    TileCell cell;
+                    if (jaccard) {
+                      cell.inter = s.inter(q, m);
+                    } else {
+                      cell.acc = s.acc(q, m);
+                    }
+                    out_row[m] =
+                        finish_score(m, tile_q[q].norm,
+                                     tile_q[q].entries.size(), cell.acc,
+                                     cell.inter);
+                  }
+                }
+              });
+}
+
+std::vector<std::vector<RankedCandidate>> SimilarityEngine::topk_batch(
+    std::span<const RatioMap> queries, std::size_t k, ThreadPool* pool,
+    std::uint64_t* maps_touched, std::size_t tile) const {
+  std::vector<RowView> refs;
+  refs.reserve(queries.size());
+  for (const RatioMap& q : queries) {
+    refs.push_back(RowView{q.entries(), q.norm(), 0.0});
+  }
+  std::vector<std::vector<RankedCandidate>> out(queries.size());
+  const std::size_t want = std::min(k, live_rows_);
+  const bool jaccard = kind_ == SimilarityKind::kJaccard;
+  const auto better = [](const RankedCandidate& a, const RankedCandidate& b) {
+    return a.similarity > b.similarity ||
+           (a.similarity == b.similarity && a.index < b.index);
+  };
+  batch_tiles(refs, pool, tile, maps_touched,
+              [this, &out, want, jaccard, better](
+                  std::size_t q0, std::span<const RowView> tile_q,
+                  BatchScratch& s) {
+                if (want == 0) return;  // out slots stay empty, as scalar
+                std::vector<BoundedTopK<RankedCandidate, decltype(better)>>
+                    heaps;
+                heaps.reserve(tile_q.size());
+                for (std::size_t q = 0; q < tile_q.size(); ++q) {
+                  heaps.emplace_back(want, better);
+                }
+                // Offers follow each query's first-touch order; the
+                // bounded heap keeps the same k for any offer order
+                // (total order), so this matches the scalar result.
+                for (std::uint32_t q = 0; q < tile_q.size(); ++q) {
+                  for (const std::uint32_t m : s.touched_q[q]) {
+                    TileCell cell;
+                    if (jaccard) {
+                      cell.inter = s.inter(q, m);
+                    } else {
+                      cell.acc = s.acc(q, m);
+                    }
+                    const double score =
+                        finish_score(m, tile_q[q].norm,
+                                     tile_q[q].entries.size(), cell.acc,
+                                     cell.inter);
+                    if (score > 0.0) heaps[q].offer(RankedCandidate{m, score});
+                  }
+                }
+                for (std::size_t q = 0; q < tile_q.size(); ++q) {
+                  out[q0 + q] = heaps[q].take_sorted();
+                  if (out[q0 + q].size() < want) {
+                    pad_zero_rows(out[q0 + q], want);
+                  }
+                }
+              });
+  return out;
 }
 
 std::vector<std::vector<RankedCandidate>> SimilarityEngine::all_top_k(

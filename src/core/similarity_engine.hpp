@@ -227,6 +227,50 @@ class SimilarityEngine {
 
   // --- batch paths (parallel across queries, deterministic) ---
 
+  /// Default / maximum tile width for the batched query kernel
+  /// (`scores_batch` / `topk_batch`). The kernel tracks which queries of
+  /// a tile touched each map in one std::uint64_t bitmask, so a tile
+  /// holds at most 64 queries; tile requests are clamped to
+  /// [1, kMaxQueryTile].
+  static constexpr std::size_t kQueryTile = 32;
+  static constexpr std::size_t kMaxQueryTile = 64;
+
+  /// Dense scores for a batch of external queries, row `i` of the result
+  /// bit-identical to `scores(queries[i])`. Unlike `scores_many` (one
+  /// full scalar query per task), queries are processed in *tiles* of
+  /// `tile`: each replica posting list touched by anyone in the tile is
+  /// traversed once, scatter-adding into a tile-wide accumulator block
+  /// (SoA via FlatMatrix), so posting-list traversal, replica-slot
+  /// lookups and scratch setup are paid once per tile instead of once
+  /// per query. Tiles run in parallel on `pool` (default
+  /// `ThreadPool::shared()`); each tile writes only its own result rows,
+  /// so output is bit-identical for any pool size including the inline
+  /// pool. If `maps_touched` is non-null it receives the summed
+  /// per-query touched counts — the same totals the scalar queries
+  /// would report.
+  [[nodiscard]] FlatMatrix<double> scores_batch(
+      std::span<const RatioMap> queries, ThreadPool* pool = nullptr,
+      std::uint64_t* maps_touched = nullptr,
+      std::size_t tile = kQueryTile) const;
+
+  /// Same tiled kernel with corpus rows as the queries: row `i` of `out`
+  /// is bit-identical to `scores_of(rows[i])`. `out` is reshaped to
+  /// rows.size() x size(). Dead rows query as empty maps (all zeros).
+  /// This is the PositionService's batched serving path.
+  void scores_of_batch(std::span<const std::size_t> rows,
+                       FlatMatrix<double>& out, ThreadPool* pool = nullptr,
+                       std::uint64_t* maps_touched = nullptr,
+                       std::size_t tile = kQueryTile) const;
+
+  /// Batched `top_k`: result `i` is bit-identical to
+  /// `top_k(queries[i], k)` — same scores, same (similarity desc, index
+  /// asc) order, same zero-similarity padding. Rankings come from a
+  /// bounded top-k heap over the tile's touched maps, never a full sort.
+  [[nodiscard]] std::vector<std::vector<RankedCandidate>> topk_batch(
+      std::span<const RatioMap> queries, std::size_t k,
+      ThreadPool* pool = nullptr, std::uint64_t* maps_touched = nullptr,
+      std::size_t tile = kQueryTile) const;
+
   /// top_k for every corpus row as the query, indexed by row position.
   /// `pool` defaults to `ThreadPool::shared()`.
   [[nodiscard]] std::vector<std::vector<RankedCandidate>> all_top_k(
@@ -247,6 +291,7 @@ class SimilarityEngine {
 
  private:
   struct Scratch;
+  struct BatchScratch;
 
   /// A CSR row: entries_[begin .. begin + len). Updates point `begin` at
   /// a fresh segment and orphan the old one until compaction.
@@ -272,6 +317,9 @@ class SimilarityEngine {
   /// Per-thread query scratch (accumulators + touched list), reused
   /// across queries and engines so steady-state queries allocate nothing.
   [[nodiscard]] static Scratch& scratch();
+  /// Per-thread scratch for the tiled batch kernel (tile-wide SoA
+  /// accumulator block + touched masks), same reuse contract.
+  [[nodiscard]] static BatchScratch& batch_scratch();
 
   /// Scatter-adds `entries` (sorted by replica id, with `query_size`
   /// entries and norm `query_norm`) over the posting lists. Afterwards
@@ -284,6 +332,34 @@ class SimilarityEngine {
   [[nodiscard]] double score_touched(std::size_t m, double query_norm,
                                      std::size_t query_size,
                                      const Scratch& scratch) const;
+
+  /// The single scoring expression behind both the scalar and batched
+  /// paths: final score of touched map `m` from its accumulated partial
+  /// sum (`acc`, cosine/weighted-overlap) or intersection count
+  /// (`inter`, jaccard). Sharing it is what makes the two paths
+  /// bit-identical by construction.
+  [[nodiscard]] double finish_score(std::size_t m, double query_norm,
+                                    std::size_t query_size, double acc,
+                                    std::uint32_t inter) const;
+
+  /// One tile of the batched kernel: scatter-adds every query in `tile`
+  /// (at most kMaxQueryTile RowViews) over the posting lists, visiting
+  /// the tile's distinct replicas in increasing replica-id order so each
+  /// (query, map) partial sum accumulates in exactly the scalar order.
+  void accumulate_tile(std::span<const RowView> tile, BatchScratch& s) const;
+
+  /// Runs `finalize(q0, tile_queries, scratch)` over `queries` split
+  /// into tiles of `tile`, tiles parallel across `pool`. Collects the
+  /// per-query touched totals into `maps_touched` deterministically.
+  template <typename Finalize>
+  void batch_tiles(std::span<const RowView> queries, ThreadPool* pool,
+                   std::size_t tile, std::uint64_t* maps_touched,
+                   const Finalize& finalize) const;
+
+  /// Appends zero-similarity live rows in row order until `out` reaches
+  /// `want` entries, skipping indices already ranked in `out`.
+  void pad_zero_rows(std::vector<RankedCandidate>& out,
+                     std::size_t want) const;
 
   [[nodiscard]] std::span<const RatioMap::Entry> row(std::size_t index) const {
     return {entries_.data() + rows_[index].begin, rows_[index].len};

@@ -6,6 +6,7 @@
 
 #include "common/stats.hpp"
 #include "common/thread_pool.hpp"
+#include "service/position_service.hpp"
 
 namespace crp::eval {
 
@@ -321,6 +322,31 @@ std::vector<std::vector<double>> World::king_matrix(
   // O(n^2) King estimates dominate clustering-bench setup; the campaign
   // is embarrassingly parallel and deterministic (see pairwise_matrix).
   return estimator.pairwise_matrix(hosts, t, &ThreadPool::shared());
+}
+
+World::ReportDelivery World::report_positions(
+    service::PositionService& service, SimTime when, ThreadPool* pool) {
+  const std::vector<HostId> hosts = participants();
+  std::vector<std::string> wire(hosts.size());
+  ThreadPool& p = pool != nullptr ? *pool : ThreadPool::shared();
+  // Encoding is pure per participant (ratio_map() reads the node's
+  // probe history, host names are fixed at construction), so it fans
+  // out into per-index slots. Participants whose encode fails — in
+  // practice none, the wire bounds dwarf real maps — leave an empty
+  // string the service rejects like any other malformed entry.
+  p.parallel_for(0, hosts.size(), [&](std::size_t i) {
+    service::PositionReport report;
+    report.node_id = topo_.host(hosts[i]).name;
+    report.when = when;
+    report.map = crp_node(hosts[i]).ratio_map();
+    if (auto bytes = service::encode(report)) wire[i] = std::move(*bytes);
+  });
+
+  ReportDelivery delivery;
+  for (const std::string& bytes : wire) delivery.wire_bytes += bytes.size();
+  delivery.accepted = service.publish_batch(wire, when, &p);
+  delivery.rejected = hosts.size() - delivery.accepted;
+  return delivery;
 }
 
 }  // namespace crp::eval

@@ -42,6 +42,10 @@ namespace crp {
 class ThreadPool;
 }
 
+namespace crp::service {
+class PositionService;
+}
+
 namespace crp::eval {
 
 enum class PolicyKind { kLatencyDriven, kGeoStatic, kRandom, kSticky };
@@ -191,6 +195,26 @@ class World {
   /// campaign.
   std::size_t run_probing_sequential(SimTime start, SimTime end,
                                      Duration interval);
+
+  /// Outcome of delivering a campaign's position reports to a
+  /// PositionService (see `report_positions`).
+  struct ReportDelivery {
+    std::size_t accepted = 0;
+    /// Participants whose report the service refused — typically nodes
+    /// whose campaign produced an empty ratio map (no usable probes).
+    std::size_t rejected = 0;
+    /// Total wire bytes of the encoded reports (the paper's map
+    /// distribution cost).
+    std::uint64_t wire_bytes = 0;
+  };
+
+  /// Campaign reporting: every participant publishes its current ratio
+  /// map to `service` under its topology host name, timestamped `when`,
+  /// through the wire format and the service's batched publish path
+  /// (encode fans out across `pool`, ingestion applies in participant
+  /// order — deterministic for any pool size).
+  ReportDelivery report_positions(service::PositionService& service,
+                                  SimTime when, ThreadPool* pool = nullptr);
 
   /// Stats of the most recent campaign (any variant).
   [[nodiscard]] const CampaignStats& campaign_stats() const {

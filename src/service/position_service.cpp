@@ -4,8 +4,39 @@
 #include <chrono>
 
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "common/top_k.hpp"
 
 namespace crp::service {
+
+namespace {
+
+/// Heap entry for the closest paths: a borrowed node id plus its score.
+/// Ranking borrows ids and copies only the k winners into RankedNodes.
+struct ScoredRef {
+  const std::string* id = nullptr;
+  double sim = 0.0;
+};
+
+/// The (similarity desc, node_id asc) total order every closest path
+/// ranks by. Total ⇒ the bounded heap's output is identical to the
+/// stable-sort-then-truncate baseline (duplicate candidates compare
+/// equal both ways and are interchangeable copies).
+bool better_ref(const ScoredRef& a, const ScoredRef& b) {
+  if (a.sim != b.sim) return a.sim > b.sim;
+  return *a.id < *b.id;
+}
+
+std::vector<RankedNode> materialize(std::vector<ScoredRef> kept) {
+  std::vector<RankedNode> ranked;
+  ranked.reserve(kept.size());
+  for (const ScoredRef& r : kept) {
+    ranked.push_back(RankedNode{*r.id, r.sim});
+  }
+  return ranked;
+}
+
+}  // namespace
 
 PositionService::PositionService(ServiceConfig config)
     : config_(config), engine_(config.metric) {
@@ -63,18 +94,45 @@ bool PositionService::publish_encoded(std::string_view bytes, SimTime now) {
   return publish(std::move(*report), now);
 }
 
-void PositionService::drop_node(const std::string& node_id) {
+std::size_t PositionService::publish_batch(std::span<const std::string> batch,
+                                           SimTime now, ThreadPool* pool) {
+  // Amortized wire handling: decoding is pure, so it fans out across the
+  // pool into per-index slots; the engine mutations then apply
+  // sequentially in batch order, so the end state — acceptances,
+  // rejections, slot assignments — is identical to calling
+  // publish_encoded element by element. A malformed entry costs its own
+  // rejection and nothing else.
+  std::vector<std::optional<PositionReport>> decoded(batch.size());
+  ThreadPool& p = pool != nullptr ? *pool : ThreadPool::shared();
+  p.parallel_for(0, batch.size(), [&batch, &decoded](std::size_t i) {
+    decoded[i] = decode(batch[i]);
+  });
+  std::size_t accepted = 0;
+  for (auto& report : decoded) {
+    if (!report.has_value()) {
+      ++reports_rejected_;
+      continue;
+    }
+    if (publish(std::move(*report), now)) ++accepted;
+  }
+  return accepted;
+}
+
+bool PositionService::drop_node(const std::string& node_id) {
   const auto it = slot_of_.find(node_id);
-  if (it == slot_of_.end()) return;
+  // Unknown id: membership is unchanged, so the cached clustering stays
+  // valid — bumping the epoch here would force a needless recluster.
+  if (it == slot_of_.end()) return false;
   engine_.remove(it->second);
   node_at_[it->second].clear();
   slot_of_.erase(it);
   reports_.erase(node_id);
   ++membership_epoch_;
+  return true;
 }
 
-void PositionService::remove(const std::string& node_id) {
-  drop_node(node_id);
+bool PositionService::remove(const std::string& node_id) {
+  return drop_node(node_id);
 }
 
 std::optional<core::RatioMap> PositionService::map_of(
@@ -105,14 +163,14 @@ void PositionService::similarity_scores(std::size_t client_slot,
                                         std::span<double> out) const {
   std::size_t touched = 0;
   engine_.scores_of(client_slot, out, &touched);
-  ++similarity_queries_;
-  maps_touched_ += touched;
+  similarity_queries_.add();
+  maps_touched_.add(touched);
 }
 
 std::vector<RankedNode> PositionService::closest(
     const std::string& client, std::span<const std::string> candidates,
     std::size_t k, SimTime now) const {
-  ++queries_served_;
+  queries_served_.add();
   const auto client_it = reports_.find(client);
   if (client_it == reports_.end() || !is_live(client_it->second, now)) {
     return {};
@@ -122,63 +180,155 @@ std::vector<RankedNode> PositionService::closest(
   // zero. Subset reads are bit-identical to the dense scores at those
   // slots, which are bit-identical to per-pair similarity(), so the
   // ranking matches the naive loop byte for byte.
-  std::vector<RankedNode> ranked;
+  std::vector<const std::string*> vetted;
   std::vector<std::size_t> slots;
-  ranked.reserve(candidates.size());
+  vetted.reserve(candidates.size());
   slots.reserve(candidates.size());
   for (const std::string& candidate : candidates) {
     if (candidate == client) continue;
     const auto it = reports_.find(candidate);
     if (it == reports_.end() || !is_live(it->second, now)) continue;
-    ranked.push_back(RankedNode{candidate, 0.0});
+    vetted.push_back(&candidate);
     slots.push_back(slot_of_.at(candidate));
   }
   std::vector<double> scores(slots.size());
   std::size_t touched = 0;
   engine_.scores_of_subset(slot_of_.at(client), slots, scores, &touched);
-  ++similarity_queries_;
-  maps_touched_ += touched;
-  for (std::size_t i = 0; i < ranked.size(); ++i) {
-    ranked[i].similarity = scores[i];
+  similarity_queries_.add();
+  maps_touched_.add(touched);
+  BoundedTopK<ScoredRef, decltype(&better_ref)> heap(k, &better_ref);
+  for (std::size_t i = 0; i < vetted.size(); ++i) {
+    heap.offer(ScoredRef{vetted[i], scores[i]});
   }
-  std::stable_sort(ranked.begin(), ranked.end(),
-                   [](const RankedNode& a, const RankedNode& b) {
-                     if (a.similarity != b.similarity) {
-                       return a.similarity > b.similarity;
-                     }
-                     return a.node_id < b.node_id;
-                   });
-  if (ranked.size() > k) ranked.resize(k);
-  return ranked;
+  return materialize(heap.take_sorted());
 }
 
 std::vector<RankedNode> PositionService::closest_any(
     const std::string& client, std::size_t k, SimTime now) const {
-  ++queries_served_;
+  queries_served_.add();
   const auto client_it = reports_.find(client);
   if (client_it == reports_.end() || !is_live(client_it->second, now)) {
     return {};
   }
   std::vector<double> scores(engine_.size());
   similarity_scores(slot_of_.at(client), scores);
-  std::vector<RankedNode> ranked;
-  ranked.reserve(reports_.size());
+  // Bounded heap instead of materialize-and-partial_sort: only the k
+  // kept nodes are ever copied, and under the (similarity, node_id)
+  // total order the result equals the full stable sort either way.
+  BoundedTopK<ScoredRef, decltype(&better_ref)> heap(k, &better_ref);
   for (const auto& [id, report] : reports_) {
     if (id == client || !is_live(report, now)) continue;
-    ranked.push_back(RankedNode{id, scores[slot_of_.at(id)]});
+    heap.offer(ScoredRef{&id, scores[slot_of_.at(id)]});
   }
-  // (similarity, node_id) is a total order, so partial_sort + truncate
-  // equals the full stable sort the candidate-list path does.
-  const auto cmp = [](const RankedNode& a, const RankedNode& b) {
-    if (a.similarity != b.similarity) return a.similarity > b.similarity;
-    return a.node_id < b.node_id;
-  };
-  const std::size_t keep = std::min(k, ranked.size());
-  std::partial_sort(ranked.begin(),
-                    ranked.begin() + static_cast<std::ptrdiff_t>(keep),
-                    ranked.end(), cmp);
-  ranked.resize(keep);
-  return ranked;
+  return materialize(heap.take_sorted());
+}
+
+std::vector<RankedNode> PositionService::rank_snapshot(
+    std::span<const SnapshotNode> snapshot, std::size_t client_slot,
+    std::span<const double> scores, std::size_t k) const {
+  BoundedTopK<ScoredRef, decltype(&better_ref)> heap(k, &better_ref);
+  for (const SnapshotNode& node : snapshot) {
+    // Slots identify nodes uniquely, so this is the scalar paths'
+    // "candidate == client" skip without the string compare.
+    if (node.slot == client_slot) continue;
+    heap.offer(ScoredRef{node.id, scores[node.slot]});
+  }
+  return materialize(heap.take_sorted());
+}
+
+std::vector<std::vector<RankedNode>> PositionService::closest_batch(
+    std::span<const std::string> clients, std::size_t k, SimTime now,
+    ThreadPool* pool) const {
+  queries_served_.add(clients.size());
+  std::vector<std::vector<RankedNode>> out(clients.size());
+  if (clients.empty()) return out;
+
+  // Shared liveness snapshot: one report-map walk (with one slot lookup
+  // per node) serves the whole batch, where the scalar path pays a map
+  // walk plus a string-hash lookup per node for every single query. The
+  // snapshot is also one consistent membership view — every query of
+  // the batch answers against the same epoch of the corpus.
+  std::vector<SnapshotNode> snapshot;
+  snapshot.reserve(reports_.size());
+  for (const auto& [id, report] : reports_) {
+    if (is_live(report, now)) {
+      snapshot.push_back(SnapshotNode{&id, slot_of_.at(id)});
+    }
+  }
+
+  // Live clients' engine rows; unknown/stale clients keep {} results,
+  // exactly like their scalar queries.
+  std::vector<std::size_t> rows;
+  std::vector<std::size_t> result_at;
+  rows.reserve(clients.size());
+  result_at.reserve(clients.size());
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    const auto it = reports_.find(clients[i]);
+    if (it == reports_.end() || !is_live(it->second, now)) continue;
+    rows.push_back(slot_of_.at(clients[i]));
+    result_at.push_back(i);
+  }
+  if (rows.empty()) return out;
+
+  ThreadPool& p = pool != nullptr ? *pool : ThreadPool::shared();
+  FlatMatrix<double> scores;
+  std::uint64_t touched = 0;
+  engine_.scores_of_batch(rows, scores, &p, &touched);
+  similarity_queries_.add(rows.size());
+  maps_touched_.add(touched);
+
+  p.parallel_for(0, rows.size(), [&](std::size_t j) {
+    out[result_at[j]] = rank_snapshot(snapshot, rows[j], scores.row(j), k);
+  });
+  return out;
+}
+
+std::vector<std::vector<RankedNode>> PositionService::closest_batch(
+    std::span<const std::string> clients,
+    std::span<const std::string> candidates, std::size_t k, SimTime now,
+    ThreadPool* pool) const {
+  queries_served_.add(clients.size());
+  std::vector<std::vector<RankedNode>> out(clients.size());
+  if (clients.empty()) return out;
+
+  // The candidate set is vetted once for the batch. Snapshot ids borrow
+  // the caller's strings; per client only the client itself (matched by
+  // slot) is additionally skipped, as in the scalar path.
+  std::vector<SnapshotNode> snapshot;
+  snapshot.reserve(candidates.size());
+  for (const std::string& candidate : candidates) {
+    const auto it = reports_.find(candidate);
+    if (it == reports_.end() || !is_live(it->second, now)) continue;
+    snapshot.push_back(SnapshotNode{&candidate, slot_of_.at(candidate)});
+  }
+
+  std::vector<std::size_t> rows;
+  std::vector<std::size_t> result_at;
+  rows.reserve(clients.size());
+  result_at.reserve(clients.size());
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    const auto it = reports_.find(clients[i]);
+    if (it == reports_.end() || !is_live(it->second, now)) continue;
+    rows.push_back(slot_of_.at(clients[i]));
+    result_at.push_back(i);
+  }
+  if (rows.empty()) return out;
+
+  // Dense batch rows; the scalar path's subset reads are bit-identical
+  // to dense reads at the same slots, so rankings agree byte for byte.
+  // (The engine query also runs when no candidate survived vetting, so
+  // the touched accounting matches the scalar loop's.)
+  ThreadPool& p = pool != nullptr ? *pool : ThreadPool::shared();
+  FlatMatrix<double> scores;
+  std::uint64_t touched = 0;
+  engine_.scores_of_batch(rows, scores, &p, &touched);
+  similarity_queries_.add(rows.size());
+  maps_touched_.add(touched);
+
+  p.parallel_for(0, rows.size(), [&](std::size_t j) {
+    out[result_at[j]] = rank_snapshot(snapshot, rows[j], scores.row(j), k);
+  });
+  return out;
 }
 
 void PositionService::ensure_clustering(SimTime now) {
@@ -208,7 +358,7 @@ void PositionService::ensure_clustering(SimTime now) {
 
 std::vector<std::string> PositionService::same_cluster(
     const std::string& node_id, SimTime now) {
-  ++queries_served_;
+  queries_served_.add();
   if (!is_live_id(node_id, now)) return {};
   ensure_clustering(now);
   const std::size_t slot = slot_of_.at(node_id);
@@ -229,7 +379,7 @@ std::vector<std::string> PositionService::same_cluster(
 
 std::unordered_map<std::string, std::size_t>
 PositionService::cluster_assignment(SimTime now) {
-  ++queries_served_;
+  queries_served_.add();
   ensure_clustering(now);
   std::unordered_map<std::string, std::size_t> out;
   for (std::size_t slot = 0; slot < node_at_.size(); ++slot) {
@@ -243,7 +393,7 @@ PositionService::cluster_assignment(SimTime now) {
 std::vector<std::string> PositionService::diverse_set(std::size_t n,
                                                       SimTime now,
                                                       std::uint64_t seed) {
-  ++queries_served_;
+  queries_served_.add();
   ensure_clustering(now);
 
   // One live representative per cluster, preferring clusters with more
@@ -298,22 +448,25 @@ std::size_t PositionService::expire(SimTime now) {
   for (const auto& [id, report] : reports_) {
     if (!is_live(report, now)) stale.push_back(id);
   }
-  for (const std::string& id : stale) drop_node(id);
-  return stale.size();
+  std::size_t dropped = 0;
+  for (const std::string& id : stale) {
+    if (drop_node(id)) ++dropped;
+  }
+  return dropped;
 }
 
 ServiceStats PositionService::stats() const {
   const auto& engine = engine_.mutation_stats();
   ServiceStats s;
-  s.queries_served = queries_served_;
+  s.queries_served = queries_served_.total();
   s.reports_accepted = reports_accepted_;
   s.reports_rejected = reports_rejected_;
   s.clustering_cache_hits = clustering_cache_hits_;
   s.engine_rebuilds_avoided = engine_rebuilds_avoided_;
   s.postings_tombstoned = engine.postings_tombstoned;
   s.compactions = engine.compactions;
-  s.similarity_queries = similarity_queries_;
-  s.maps_touched = maps_touched_;
+  s.similarity_queries = similarity_queries_.total();
+  s.maps_touched = maps_touched_.total();
   s.reclusters = reclusters_;
   s.recluster_seconds = recluster_seconds_;
   s.recluster_maps_touched = recluster_maps_touched_;

@@ -32,12 +32,17 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/sharded_counter.hpp"
 #include "common/time.hpp"
 #include "core/clustering.hpp"
 #include "core/ratio_map.hpp"
 #include "core/similarity.hpp"
 #include "core/similarity_engine.hpp"
 #include "service/wire.hpp"
+
+namespace crp {
+class ThreadPool;
+}
 
 namespace crp::service {
 
@@ -99,8 +104,17 @@ class PositionService {
   bool publish(PositionReport report, SimTime now);
   /// Convenience: publish straight from wire bytes.
   bool publish_encoded(std::string_view bytes, SimTime now);
-  /// Removes a node entirely.
-  void remove(const std::string& node_id);
+  /// Publishes a batch of wire-encoded reports: decoding (which is pure)
+  /// runs in parallel on `pool`, engine mutations then apply
+  /// sequentially in batch order — the end state is identical to calling
+  /// publish_encoded element by element. Malformed entries are rejected
+  /// individually and never affect their neighbours. Returns how many
+  /// reports were accepted.
+  std::size_t publish_batch(std::span<const std::string> batch, SimTime now,
+                            ThreadPool* pool = nullptr);
+  /// Removes a node entirely. Returns whether it was known (and hence
+  /// actually dropped).
+  bool remove(const std::string& node_id);
 
   // --- inspection ---
   [[nodiscard]] std::optional<core::RatioMap> map_of(
@@ -124,6 +138,24 @@ class PositionService {
   [[nodiscard]] std::vector<RankedNode> closest_any(
       const std::string& client, std::size_t k, SimTime now) const;
 
+  // --- batched serving (DESIGN.md §6 "Batched query execution") ---
+  /// `closest_any` for a whole batch of clients in one pass: result `i`
+  /// is bit-identical to `closest_any(clients[i], k, now)`. The
+  /// liveness snapshot is taken once and shared by every query — the
+  /// whole batch answers against one consistent membership view — the
+  /// engine runs its tiled multi-query kernel over the clients' corpus
+  /// rows, and the serving counters are updated once for the batch.
+  [[nodiscard]] std::vector<std::vector<RankedNode>> closest_batch(
+      std::span<const std::string> clients, std::size_t k, SimTime now,
+      ThreadPool* pool = nullptr) const;
+  /// Candidate-list variant: result `i` is bit-identical to
+  /// `closest(clients[i], candidates, k, now)`. The candidate set is
+  /// vetted (known + live) once for the batch.
+  [[nodiscard]] std::vector<std::vector<RankedNode>> closest_batch(
+      std::span<const std::string> clients,
+      std::span<const std::string> candidates, std::size_t k, SimTime now,
+      ThreadPool* pool = nullptr) const;
+
   // --- §IV.B clustering queries ---
   /// Query 1: live nodes in the same cluster as `node_id` (excluding
   /// it). Empty if `node_id` is unknown or stale at `now`.
@@ -143,7 +175,7 @@ class PositionService {
   /// Drops reports stale at `now`. Returns how many were removed.
   std::size_t expire(SimTime now);
   [[nodiscard]] std::uint64_t queries_served() const {
-    return queries_served_;
+    return queries_served_.total();
   }
   [[nodiscard]] std::uint64_t reports_accepted() const {
     return reports_accepted_;
@@ -163,7 +195,23 @@ class PositionService {
   [[nodiscard]] bool is_live_id(const std::string& node_id,
                                 SimTime now) const;
   /// Erases one node from the report map, the engine, and the slot maps.
-  void drop_node(const std::string& node_id);
+  /// Returns whether the node was known. The membership epoch is bumped
+  /// only on an actual drop — an unknown id is a no-op and must not
+  /// invalidate the cached clustering.
+  bool drop_node(const std::string& node_id);
+  /// One entry of a batch's shared liveness snapshot: a live node and
+  /// its engine slot. The pointed-to id lives in reports_ (or the
+  /// caller's candidate span) and outlives the query.
+  struct SnapshotNode {
+    const std::string* id = nullptr;
+    std::size_t slot = 0;
+  };
+  /// Ranks `snapshot` (minus the client itself) for one client of a
+  /// batch from its dense score row, with the (similarity desc, node_id
+  /// asc) total order shared by every closest path.
+  [[nodiscard]] std::vector<RankedNode> rank_snapshot(
+      std::span<const SnapshotNode> snapshot, std::size_t client_slot,
+      std::span<const double> scores, std::size_t k) const;
   /// One engine query for `client_slot`'s similarity to the whole
   /// corpus, with stats accounting. `out` must have engine_.size() slots.
   void similarity_scores(std::size_t client_slot,
@@ -190,14 +238,18 @@ class PositionService {
   std::uint64_t membership_epoch_ = 0;   // bumped on publish/remove
   std::uint64_t clustered_epoch_ = ~0ULL;
 
-  // mutable: read-path queries update counters through const methods.
-  mutable std::uint64_t queries_served_ = 0;
+  // Query-path counters (mutable: bumped through const query methods)
+  // are thread-sharded so concurrent const queries never race on them —
+  // a plain mutable uint64 here was a data race the moment two readers
+  // overlapped. Write-path counters stay plain integers: mutations
+  // require external quiescing anyway (see the engine's contract).
+  mutable ShardedCounter queries_served_;
   std::uint64_t reports_accepted_ = 0;
   std::uint64_t reports_rejected_ = 0;
   std::uint64_t clustering_cache_hits_ = 0;
   std::uint64_t engine_rebuilds_avoided_ = 0;
-  mutable std::uint64_t similarity_queries_ = 0;
-  mutable std::uint64_t maps_touched_ = 0;
+  mutable ShardedCounter similarity_queries_;
+  mutable ShardedCounter maps_touched_;
   std::uint64_t reclusters_ = 0;
   double recluster_seconds_ = 0.0;
   std::uint64_t recluster_maps_touched_ = 0;
