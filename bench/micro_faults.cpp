@@ -1,0 +1,221 @@
+// Chaos campaigns: accuracy vs fault intensity, plus the determinism
+// oracle for fault-injected runs.
+//
+// For each chaos intensity the bench runs a full probing campaign with
+// `sim::FaultPlan::chaos` armed, reports the fault counters (retries,
+// timeouts, outage refusals, failed probes), the fraction of
+// participants that still hold usable ratio maps, and the mean
+// closest-node selection rank against direct-measurement ground truth
+// (DESIGN.md §7). Intensity 0 doubles as the inertness check: its
+// digest must match a world that never heard of faults.
+//
+// Because the fault substrate is stateless-hash driven, a chaos
+// campaign must be bit-identical across the sequential scheduler and
+// thread pools of any size. The bench cross-checks ratio-map digests
+// for sequential + pools {0, 1, 4} at every intensity and exits 1 on
+// any mismatch.
+//
+// CRP_BENCH_SCALE=tiny|small shrinks the world for CI smoke runs.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/ratio_map.hpp"
+#include "eval/ground_truth.hpp"
+#include "eval/metrics.hpp"
+#include "eval/world.hpp"
+#include "sim/fault_plan.hpp"
+
+namespace {
+
+using namespace crp;
+
+struct Corpus {
+  std::size_t candidates;
+  std::size_t dns_servers;
+  std::size_t replicas;
+  Duration campaign;
+  Duration interval;
+};
+
+Corpus corpus_from_env() {
+  const char* env = std::getenv("CRP_BENCH_SCALE");
+  const std::string scale = env == nullptr ? "" : env;
+  if (scale == "tiny") return {8, 14, 80, Hours(3), Minutes(30)};
+  if (scale == "small") return {20, 40, 150, Hours(6), Minutes(20)};
+  return {40, 120, 250, Hours(12), Minutes(15)};
+}
+
+constexpr std::uint64_t kSeed = 4242;
+
+eval::WorldConfig make_config(const Corpus& corpus, double intensity) {
+  eval::WorldConfig config;
+  config.seed = kSeed;
+  config.num_candidates = corpus.candidates;
+  config.num_dns_servers = corpus.dns_servers;
+  config.cdn.target_replicas = corpus.replicas;
+  config.faults = sim::FaultPlan::chaos(kSeed + 1, intensity,
+                                        SimTime::epoch(),
+                                        SimTime::epoch() + corpus.campaign);
+  return config;
+}
+
+/// Order-sensitive digest over every participant's ratio map; any
+/// divergence between campaign variants changes it.
+std::uint64_t ratio_digest(eval::World& world) {
+  std::uint64_t digest = stable_hash("fault-campaign-digest");
+  for (HostId h : world.participants()) {
+    // ratio_map() returns by value; keep it alive while we iterate.
+    const core::RatioMap map = world.crp_node(h).ratio_map();
+    for (const auto& [replica, ratio] : map.entries()) {
+      std::uint64_t ratio_bits = 0;
+      static_assert(sizeof(ratio_bits) == sizeof(ratio));
+      std::memcpy(&ratio_bits, &ratio, sizeof(ratio_bits));
+      digest = hash_combine({digest, h.value(), replica.value(), ratio_bits});
+    }
+  }
+  return digest;
+}
+
+struct ChaosResult {
+  eval::CampaignStats stats;
+  std::uint64_t digest = 0;
+  double usable_fraction = 0.0;
+  double mean_rank = 0.0;
+};
+
+/// Mean closest-node selection rank over the DNS-server clients, using
+/// whatever (possibly degraded) ratio maps the chaos campaign left
+/// behind. Clients whose maps went empty still count — they select
+/// nothing useful, which is exactly the accuracy cost of the faults.
+double mean_selection_rank(eval::World& world) {
+  std::vector<core::RatioMap> clients;
+  for (HostId h : world.dns_servers()) {
+    clients.push_back(world.crp_node(h).ratio_map());
+  }
+  std::vector<core::RatioMap> candidates;
+  for (HostId h : world.candidates()) {
+    candidates.push_back(world.crp_node(h).ratio_map());
+  }
+  const eval::GroundTruthMatrix gt{world, world.dns_servers(),
+                                   world.candidates()};
+  const auto outcomes = eval::evaluate_crp_selection(gt, clients, candidates);
+  if (outcomes.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& o : outcomes) sum += o.rank;
+  return sum / static_cast<double>(outcomes.size());
+}
+
+ChaosResult run_chaos(const Corpus& corpus, double intensity,
+                      ThreadPool* pool, bool sequential, bool evaluate) {
+  eval::World world{make_config(corpus, intensity)};
+  const SimTime start = SimTime::epoch();
+  const SimTime end = start + corpus.campaign;
+  if (sequential) {
+    (void)world.run_probing_sequential(start, end, corpus.interval);
+  } else {
+    (void)world.run_probing_parallel(start, end, corpus.interval, pool);
+  }
+
+  ChaosResult result;
+  result.stats = world.campaign_stats();
+  result.digest = ratio_digest(world);
+  std::size_t usable = 0;
+  std::size_t total = 0;
+  for (HostId h : world.participants()) {
+    ++total;
+    if (!world.crp_node(h).ratio_map().empty()) ++usable;
+  }
+  result.usable_fraction =
+      total == 0 ? 0.0
+                 : static_cast<double>(usable) / static_cast<double>(total);
+  if (evaluate) result.mean_rank = mean_selection_rank(world);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const Corpus corpus = corpus_from_env();
+  std::printf(
+      "micro_faults: %zu candidates, %zu dns servers, %zu replicas, "
+      "%.0f h campaign\n",
+      corpus.candidates, corpus.dns_servers, corpus.replicas,
+      corpus.campaign.seconds() / 3600.0);
+
+  const std::vector<double> intensities = {0.0, 0.1, 0.3, 0.5};
+  bool digests_ok = true;
+
+  std::printf(
+      "  %-9s %8s %8s %8s %8s %8s %7s %9s\n", "intensity", "probes",
+      "retries", "timeouts", "refusals", "failed", "usable", "mean rank");
+  for (const double intensity : intensities) {
+    const ChaosResult seq = run_chaos(corpus, intensity, nullptr,
+                                      /*sequential=*/true, /*evaluate=*/true);
+    const eval::CampaignStats& s = seq.stats;
+    std::printf(
+        "  %9.2f %8zu %8zu %8zu %8zu %8zu %6.1f%% %9.2f\n", intensity,
+        s.probes_issued, s.dns_retries, s.dns_timeouts,
+        s.dns_outage_refusals, s.failed_probes, 100.0 * seq.usable_fraction,
+        seq.mean_rank);
+
+    // Determinism oracle: every pool size reproduces the sequential
+    // run's ratio maps bit-for-bit, faults armed or not.
+    for (const std::size_t threads : {0u, 1u, 4u}) {
+      ThreadPool pool{threads};
+      const ChaosResult par =
+          run_chaos(corpus, intensity, &pool, /*sequential=*/false,
+                    /*evaluate=*/false);
+      if (par.digest != seq.digest) {
+        digests_ok = false;
+        std::printf(
+            "  digest MISMATCH at intensity %.2f, pool %zu: "
+            "seq 0x%016llx par 0x%016llx\n",
+            intensity, threads,
+            static_cast<unsigned long long>(seq.digest),
+            static_cast<unsigned long long>(par.digest));
+      }
+    }
+  }
+
+  // Inertness: the zero-intensity chaos plan is empty and never armed —
+  // the campaign must match a plain no-fault world byte for byte.
+  {
+    eval::WorldConfig plain_config;
+    plain_config.seed = kSeed;
+    plain_config.num_candidates = corpus.candidates;
+    plain_config.num_dns_servers = corpus.dns_servers;
+    plain_config.cdn.target_replicas = corpus.replicas;
+    eval::World plain{plain_config};
+    (void)plain.run_probing_sequential(SimTime::epoch(),
+                                       SimTime::epoch() + corpus.campaign,
+                                       corpus.interval);
+    const std::uint64_t plain_digest = ratio_digest(plain);
+    const ChaosResult zero = run_chaos(corpus, 0.0, nullptr,
+                                       /*sequential=*/true,
+                                       /*evaluate=*/false);
+    if (plain_digest != zero.digest) {
+      digests_ok = false;
+      std::printf(
+          "  inertness MISMATCH: no-fault world 0x%016llx vs "
+          "zero-intensity plan 0x%016llx\n",
+          static_cast<unsigned long long>(plain_digest),
+          static_cast<unsigned long long>(zero.digest));
+    } else {
+      std::printf("  inertness: zero-intensity plan matches no-fault world "
+                  "(0x%016llx)\n",
+                  static_cast<unsigned long long>(plain_digest));
+    }
+  }
+
+  if (!digests_ok) {
+    std::fprintf(stderr, "micro_faults: FAIL — fault campaigns diverge\n");
+    return 1;
+  }
+  std::printf("  digests: identical across sequential and pools {0, 1, 4}\n");
+  return 0;
+}

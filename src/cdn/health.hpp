@@ -1,17 +1,29 @@
-// Replica availability churn.
+// Replica availability churn and drain.
 //
 // Real CDN fleets lose and regain edge servers continuously (maintenance,
 // overload suspension, deployment changes) — part of why redirection sets
-// drift over long time scales and stale CRP histories lose value. Modeled
-// as a stateless hash: replica r is out of service during outage-epoch e
-// with the configured probability, deterministically per seed.
+// drift over long time scales and stale CRP histories lose value. Two
+// deterministic sources feed availability:
+//
+//   * the probabilistic churn model: replica r is out of service during
+//     outage-epoch e with the configured probability (stateless hash,
+//     deterministic per seed), and
+//   * an armed `sim::FaultPlan` (DESIGN.md §7): kReplicaDrain rules take
+//     replicas out on an explicit schedule.
+//
+// Redirection consults `available()`, so drained replicas leave the
+// candidate set. `readmit_hysteresis` keeps a returning replica out until
+// it has been continuously healthy for a while, so a flapping replica
+// (short drain epochs) does not oscillate in and out of answers.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 
 #include "common/ids.hpp"
 #include "common/rng.hpp"
 #include "common/time.hpp"
+#include "sim/fault_plan.hpp"
 
 namespace crp::cdn {
 
@@ -20,13 +32,34 @@ struct HealthConfig {
   /// Probability a replica is unavailable during a given epoch.
   double outage_probability = 0.0;
   Duration outage_epoch = Hours(6);
+  /// A replica coming back from drain/outage is readmitted only after
+  /// being continuously healthy this long (0 = immediate readmission,
+  /// the historical behavior). The window is checked at a bounded
+  /// number of sample points, so flaps much shorter than
+  /// hysteresis/kHysteresisSamples can slip through.
+  Duration readmit_hysteresis = Duration{0};
 };
 
 class ReplicaHealth {
  public:
+  /// Sample points used to verify continuous health over the
+  /// hysteresis window.
+  static constexpr int kHysteresisSamples = 8;
+
   explicit ReplicaHealth(HealthConfig config) : config_(config) {}
 
-  [[nodiscard]] bool available(ReplicaId replica, SimTime t) const {
+  /// Arms schedule-driven drains; `plan` must outlive this object
+  /// (nullptr disarms). With no plan and zero outage probability,
+  /// every replica is always available.
+  void set_fault_plan(const sim::FaultPlan* plan) { faults_ = plan; }
+  [[nodiscard]] const sim::FaultPlan* fault_plan() const { return faults_; }
+
+  /// Instantaneous availability at `t`: neither hashed-out by the churn
+  /// model nor drained by an armed plan.
+  [[nodiscard]] bool raw_available(ReplicaId replica, SimTime t) const {
+    if (faults_ != nullptr && faults_->replica_drained(replica, t)) {
+      return false;
+    }
     if (config_.outage_probability <= 0.0) return true;
     const std::int64_t epoch =
         t.micros() / std::max<std::int64_t>(1, config_.outage_epoch.micros());
@@ -36,10 +69,30 @@ class ReplicaHealth {
     return hash_to_unit(h) >= config_.outage_probability;
   }
 
+  /// Availability as redirection sees it: instantaneous health, plus —
+  /// when hysteresis is configured — continuous health over the
+  /// trailing window, so flapping replicas stay out until they settle.
+  /// Pure function of (config, plan, replica, t): deterministic for any
+  /// query order or thread count.
+  [[nodiscard]] bool available(ReplicaId replica, SimTime t) const {
+    if (!raw_available(replica, t)) return false;
+    if (config_.readmit_hysteresis <= Duration{0}) return true;
+    const Duration step =
+        Duration{std::max<std::int64_t>(
+            1, config_.readmit_hysteresis.micros() / kHysteresisSamples)};
+    for (int i = 1; i <= kHysteresisSamples; ++i) {
+      const SimTime sample = t - step * static_cast<double>(i);
+      if (sample < SimTime::epoch()) break;  // no history before the epoch
+      if (!raw_available(replica, sample)) return false;
+    }
+    return true;
+  }
+
   [[nodiscard]] const HealthConfig& config() const { return config_; }
 
  private:
   HealthConfig config_;
+  const sim::FaultPlan* faults_ = nullptr;
 };
 
 }  // namespace crp::cdn

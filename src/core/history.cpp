@@ -36,8 +36,11 @@ RatioMap RedirectionHistory::ratio_map(std::size_t window) const {
 RatioMap RedirectionHistory::ratio_map_strided(std::size_t stride) const {
   if (stride <= 1) return ratio_map();
   std::unordered_map<ReplicaId, std::uint64_t> counts;
-  for (std::size_t i = 0; i < probes_.size(); i += stride) {
-    for (ReplicaId id : probes_[i].replicas) ++counts[id];
+  // Walk newest-backward so the subsequence is anchored on the most
+  // recent probe (see header): offsets n-1, n-1-stride, n-1-2*stride, …
+  for (std::size_t off = 0; off < probes_.size(); off += stride) {
+    const RedirectionProbe& p = probes_[probes_.size() - 1 - off];
+    for (ReplicaId id : p.replicas) ++counts[id];
   }
   std::vector<std::pair<ReplicaId, std::uint64_t>> flat{counts.begin(),
                                                         counts.end()};

@@ -45,10 +45,15 @@ class RedirectionHistory {
   /// Ratio map over the last `window` probes (kAllProbes = everything).
   [[nodiscard]] RatioMap ratio_map(std::size_t window = kAllProbes) const;
 
-  /// Ratio map over every `stride`-th probe (from the first). Probing at
-  /// a k-times-longer interval observes exactly the k-strided
-  /// subsequence of a base trace, which is how Fig. 8 derives all
-  /// interval curves from one campaign. `stride` 0 or 1 uses everything.
+  /// Ratio map over every `stride`-th probe, anchored on the most
+  /// recent one (like `ratio_map(window)`, newest first). Probing at a
+  /// k-times-longer interval observes exactly the k-strided subsequence
+  /// of a base trace, which is how Fig. 8 derives all interval curves
+  /// from one campaign. Anchoring on the newest probe keeps the sampled
+  /// subsequence stable as the bounded deque drops old probes — an
+  /// oldest-anchored stride shifts by one whenever eviction happens,
+  /// churning the map for no behavioural reason. `stride` 0 or 1 uses
+  /// everything.
   [[nodiscard]] RatioMap ratio_map_strided(std::size_t stride) const;
 
   /// Distinct replicas seen across the whole history.

@@ -80,26 +80,75 @@ std::optional<std::vector<ResourceRecord>> RecursiveResolver::lookup(
     return std::nullopt;
   }
 
-  ++queries_sent_;
-  ++result.upstream_queries;
-  if (oracle_ != nullptr && server->host().valid()) {
-    result.elapsed += oracle_->rtt(host_, server->host(), now);
-  }
-  result.elapsed += config_.processing_overhead;
+  const HostId upstream = server->host();
+  const int attempts = std::max(1, config_.max_retries + 1);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      ++retries_;
+      // Exponential backoff: wait retry_backoff * 2^(k-1) before retry k.
+      result.elapsed +=
+          config_.retry_backoff * static_cast<double>(1 << (attempt - 1));
+    }
+    ++queries_sent_;
+    ++result.upstream_queries;
+    if (attempt_lost(upstream, now, attempt)) {
+      // The query (or its answer) never arrived: charge the timeout and
+      // maybe retry. Fault losses are never negative-cached — the
+      // outage must clear the instant the plan says so, not a TTL
+      // later — and the lost attempt never reached the server, so it
+      // adds resolver-side load but no authoritative-side load.
+      result.elapsed += config_.query_timeout;
+      continue;
+    }
+    if (oracle_ != nullptr && upstream.valid()) {
+      result.elapsed += oracle_->rtt(host_, upstream, now);
+    }
+    result.elapsed += config_.processing_overhead;
 
-  const Message reply = server->resolve(Question{name, type}, address(), now);
-  if (reply.rcode != Rcode::kNoError) {
-    result.rcode = reply.rcode;
-    cache_store(name, type, {}, reply.rcode, now);
-    return std::nullopt;
+    const Message reply =
+        server->resolve(Question{name, type}, address(), now);
+    if (reply.rcode != Rcode::kNoError) {
+      result.rcode = reply.rcode;
+      cache_store(name, type, {}, reply.rcode, now);
+      return std::nullopt;
+    }
+    cache_store(name, type, reply.answers, Rcode::kNoError, now);
+    return reply.answers;
   }
-  cache_store(name, type, reply.answers, Rcode::kNoError, now);
-  return reply.answers;
+  // Every attempt lost: give up with SERVFAIL (uncached, see above).
+  ++timeouts_;
+  result.rcode = Rcode::kServFail;
+  result.timed_out = true;
+  return std::nullopt;
+}
+
+bool RecursiveResolver::attempt_lost(HostId upstream, SimTime now,
+                                     int attempt) const {
+  const auto a = static_cast<std::uint64_t>(attempt);
+  if (faults_ != nullptr) {
+    if (faults_->resolver_down(upstream, now)) return true;
+    if (faults_->query_timed_out(host_, upstream, now, a)) return true;
+  }
+  if (oracle_ != nullptr && upstream.valid()) {
+    if (oracle_->link_out(host_, upstream, now)) return true;
+    if (oracle_->send_lost(host_, upstream, now, a)) return true;
+  }
+  return false;
 }
 
 ResolveResult RecursiveResolver::resolve(const Name& name, SimTime now) {
   ResolveResult result;
   result.rcode = Rcode::kNoError;
+
+  // Resolver-host outage: the resolver itself is down, so the client's
+  // query times out before any upstream work happens.
+  if (faults_ != nullptr && faults_->resolver_down(host_, now)) {
+    ++outage_refusals_;
+    result.rcode = Rcode::kServFail;
+    result.timed_out = true;
+    result.elapsed += config_.query_timeout;
+    return result;
+  }
 
   Name current = name;
   for (int depth = 0; depth <= config_.max_chain; ++depth) {

@@ -19,6 +19,7 @@
 #include "dns/record.hpp"
 #include "dns/zone.hpp"
 #include "netsim/latency_model.hpp"
+#include "sim/fault_plan.hpp"
 
 namespace crp::dns {
 
@@ -29,10 +30,16 @@ struct ResolveResult {
   std::vector<Ipv4> addresses;
   /// Every record learned along the CNAME chain, in resolution order.
   std::vector<ResourceRecord> chain;
-  /// Simulated time spent: sum of RTTs to every authoritative queried.
+  /// Simulated time spent: sum of RTTs to every authoritative queried,
+  /// plus timeout/backoff charges for attempts that were lost.
   Duration elapsed;
-  /// Authoritative round-trips performed (0 = fully answered from cache).
+  /// Authoritative round-trips attempted (0 = fully answered from
+  /// cache); lost attempts count — they are load the resolver created.
   int upstream_queries = 0;
+  /// True when the failure was fault-induced (every upstream attempt
+  /// lost, or the resolver host itself was down) rather than a DNS-level
+  /// answer. Always false with no fault plan armed.
+  bool timed_out = false;
 
   [[nodiscard]] bool ok() const {
     return rcode == Rcode::kNoError && !addresses.empty();
@@ -46,6 +53,16 @@ struct ResolverConfig {
   int max_chain = 8;
   /// Fixed per-upstream-query processing overhead.
   Duration processing_overhead = Micros(200);
+
+  // --- fault handling (exercised only when a sim::FaultPlan is armed;
+  // without one, attempt 0 always succeeds and none of this runs) ---
+  /// Upstream attempts beyond the first before a lookup gives up and
+  /// answers SERVFAIL.
+  int max_retries = 2;
+  /// Simulated time charged for an attempt whose answer never arrived.
+  Duration query_timeout = Millis(400);
+  /// Backoff before retry k (1-based) is retry_backoff * 2^(k-1).
+  Duration retry_backoff = Millis(200);
 };
 
 /// Caching recursive resolver bound to one host.
@@ -63,11 +80,29 @@ class RecursiveResolver {
   [[nodiscard]] HostId host() const { return host_; }
   [[nodiscard]] Ipv4 address() const;
 
+  // --- fault injection (DESIGN.md §7) ---
+  /// Arms deterministic faults: upstream-host outages and per-attempt
+  /// query timeouts come from `plan`; link outages and packet loss come
+  /// from the oracle's armed plan (if any). `plan` must outlive the
+  /// resolver; nullptr disarms. Fault-induced SERVFAILs are never
+  /// negative-cached — the outage must clear the instant the plan says
+  /// so, not a TTL later.
+  void set_fault_plan(const sim::FaultPlan* plan) { faults_ = plan; }
+  [[nodiscard]] const sim::FaultPlan* fault_plan() const { return faults_; }
+
   // --- cache statistics / management ---
   [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
   [[nodiscard]] std::size_t cache_hits() const { return cache_hits_; }
   [[nodiscard]] std::size_t cache_misses() const { return cache_misses_; }
   [[nodiscard]] std::size_t queries_sent() const { return queries_sent_; }
+  /// Upstream attempts re-sent after a lost one (fault path only).
+  [[nodiscard]] std::size_t retries() const { return retries_; }
+  /// Lookups abandoned with SERVFAIL after every attempt was lost.
+  [[nodiscard]] std::size_t timeouts() const { return timeouts_; }
+  /// Resolutions refused because the resolver host itself was down.
+  [[nodiscard]] std::size_t outage_refusals() const {
+    return outage_refusals_;
+  }
   void flush_cache() { cache_.clear(); }
 
  private:
@@ -99,14 +134,23 @@ class RecursiveResolver {
                    std::vector<ResourceRecord> records, Rcode rcode,
                    SimTime now);
 
+  /// Was upstream attempt `attempt` at `now` lost? Pure function of the
+  /// armed plans — bit-identical for any replay order or thread count.
+  [[nodiscard]] bool attempt_lost(HostId upstream, SimTime now,
+                                  int attempt) const;
+
   HostId host_;
   const ZoneRegistry* registry_;
   const netsim::LatencyOracle* oracle_;
+  const sim::FaultPlan* faults_ = nullptr;
   ResolverConfig config_;
   std::unordered_map<CacheKey, CacheEntry, CacheKeyHash> cache_;
   std::size_t cache_hits_ = 0;
   std::size_t cache_misses_ = 0;
   std::size_t queries_sent_ = 0;
+  std::size_t retries_ = 0;
+  std::size_t timeouts_ = 0;
+  std::size_t outage_refusals_ = 0;
 };
 
 }  // namespace crp::dns

@@ -76,12 +76,20 @@ World::World(WorldConfig config)
   measurement_ =
       std::make_unique<cdn::MeasurementSystem>(*oracle_, measurement_config);
 
+  // Arm the fault plan only when it has rules: with no plan attached,
+  // every fault check short-circuits on a null pointer and the whole
+  // degraded-mode machinery is provably inert (DESIGN.md §7).
+  const sim::FaultPlan* faults =
+      config_.faults.empty() ? nullptr : &config_.faults;
+  oracle_->set_fault_plan(faults);
+
   cdn::LatencyPolicyConfig policy_config = config_.policy;
   policy_config.seed = hash_combine({config_.seed, stable_hash("policy")});
-  if (config_.health.outage_probability > 0.0) {
+  if (config_.health.outage_probability > 0.0 || faults != nullptr) {
     cdn::HealthConfig health_config = config_.health;
     health_config.seed = hash_combine({config_.seed, stable_hash("health")});
     health_ = std::make_unique<cdn::ReplicaHealth>(health_config);
+    health_->set_fault_plan(faults);
   }
   switch (config_.policy_kind) {
     case PolicyKind::kLatencyDriven: {
@@ -115,6 +123,7 @@ World::World(WorldConfig config)
   for (HostId h : participants()) {
     auto resolver = std::make_unique<dns::RecursiveResolver>(
         h, registry_, oracle_.get(), config_.resolver);
+    resolver->set_fault_plan(faults);
     auto node = std::make_unique<core::CrpNode>(*resolver, names, lookup,
                                                 config_.crp);
     resolvers_.emplace(h, std::move(resolver));
@@ -179,6 +188,12 @@ World::CounterBaseline World::counter_baseline() const {
     base.upstream += resolver->queries_sent();
     base.hits += resolver->cache_hits();
     base.misses += resolver->cache_misses();
+    base.retries += resolver->retries();
+    base.timeouts += resolver->timeouts();
+    base.outage_refusals += resolver->outage_refusals();
+  }
+  for (const auto& [host, node] : crp_nodes_) {
+    base.failed_probes += node->failed_lookups();
   }
   base.cdn_queries = cdn_queries_served();
   const netsim::PairCacheStats pair = netsim::LatencyOracle::pair_cache_stats();
@@ -202,6 +217,11 @@ void World::finish_campaign_stats(const CounterBaseline& before,
   campaign_stats_.cdn_queries = after.cdn_queries - before.cdn_queries;
   campaign_stats_.oracle_pair_hits = after.pair_hits - before.pair_hits;
   campaign_stats_.oracle_pair_misses = after.pair_misses - before.pair_misses;
+  campaign_stats_.dns_retries = after.retries - before.retries;
+  campaign_stats_.dns_timeouts = after.timeouts - before.timeouts;
+  campaign_stats_.dns_outage_refusals =
+      after.outage_refusals - before.outage_refusals;
+  campaign_stats_.failed_probes = after.failed_probes - before.failed_probes;
   campaign_stats_.threads = threads;
   campaign_stats_.wall_seconds = wall_seconds;
 }

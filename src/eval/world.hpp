@@ -37,6 +37,7 @@
 #include "netsim/topology.hpp"
 #include "netsim/topology_builder.hpp"
 #include "sim/event_scheduler.hpp"
+#include "sim/fault_plan.hpp"
 
 namespace crp {
 class ThreadPool;
@@ -69,6 +70,17 @@ struct CampaignStats {
   /// Latency-oracle pair-cache traffic during the campaign.
   std::uint64_t oracle_pair_hits = 0;
   std::uint64_t oracle_pair_misses = 0;
+
+  // --- fault accounting (all zero with no armed fault plan) ---
+  /// Upstream DNS attempts re-sent after a lost one.
+  std::size_t dns_retries = 0;
+  /// Lookups abandoned with SERVFAIL after every attempt was lost.
+  std::size_t dns_timeouts = 0;
+  /// Resolutions refused because the resolver host itself was down.
+  std::size_t dns_outage_refusals = 0;
+  /// Probe-round resolutions that produced no usable answer.
+  std::size_t failed_probes = 0;
+
   /// Worker threads of the pool used (0 = inline / sequential).
   std::size_t threads = 0;
   double wall_seconds = 0.0;
@@ -102,6 +114,10 @@ struct WorldConfig {
   cdn::MeasurementConfig measurement;
   /// Replica availability churn (outage_probability 0 = fleet stable).
   cdn::HealthConfig health;
+  /// Deterministic fault schedule (DESIGN.md §7). When non-empty it is
+  /// armed on the oracle, every resolver, and replica health at
+  /// construction; empty (the default) leaves every fault path inert.
+  sim::FaultPlan faults;
   cdn::LatencyPolicyConfig policy;
   cdn::CdnAuthoritativeConfig authoritative;
   core::CrpNodeConfig crp;
@@ -254,6 +270,10 @@ class World {
     std::size_t cdn_queries = 0;
     std::uint64_t pair_hits = 0;
     std::uint64_t pair_misses = 0;
+    std::size_t retries = 0;
+    std::size_t timeouts = 0;
+    std::size_t outage_refusals = 0;
+    std::size_t failed_probes = 0;
   };
   [[nodiscard]] CounterBaseline counter_baseline() const;
   void finish_campaign_stats(const CounterBaseline& before,

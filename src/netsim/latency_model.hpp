@@ -21,6 +21,7 @@
 #include "common/rng.hpp"
 #include "common/time.hpp"
 #include "netsim/topology.hpp"
+#include "sim/fault_plan.hpp"
 
 namespace crp::netsim {
 
@@ -123,6 +124,27 @@ class LatencyOracle {
   [[nodiscard]] double route_shift_factor(HostId a, HostId b,
                                           SimTime t) const;
 
+  // --- fault injection (DESIGN.md §7) ---
+  /// Arms deterministic network faults: with a plan attached,
+  /// `link_out`/`send_lost` consult it. RTT values themselves are
+  /// untouched — network faults model packets that never arrive, not
+  /// slower ones — so an armed plan cannot perturb any latency result.
+  /// `plan` must outlive the oracle; nullptr disarms.
+  void set_fault_plan(const sim::FaultPlan* plan) { faults_ = plan; }
+  [[nodiscard]] const sim::FaultPlan* fault_plan() const { return faults_; }
+
+  /// Is the pair partitioned at `t` (sends cannot arrive)? Always false
+  /// with no plan armed.
+  [[nodiscard]] bool link_out(HostId a, HostId b, SimTime t) const {
+    return faults_ != nullptr && faults_->link_out(a, b, t);
+  }
+  /// Is send `attempt` between the pair lost at `t`? Distinct attempts
+  /// draw independently (bounded retries can recover from loss).
+  [[nodiscard]] bool send_lost(HostId a, HostId b, SimTime t,
+                               std::uint64_t attempt) const {
+    return faults_ != nullptr && faults_->send_lost(a, b, t, attempt);
+  }
+
   [[nodiscard]] const Topology& topology() const { return *topo_; }
   [[nodiscard]] const LatencyConfig& config() const { return config_; }
 
@@ -138,6 +160,7 @@ class LatencyOracle {
 
   const Topology* topo_;
   LatencyConfig config_;
+  const sim::FaultPlan* faults_ = nullptr;
   /// Distinguishes this oracle's entries in the shared per-thread cache;
   /// unique per instance and never reused, so a destroyed oracle's stale
   /// entries can never match.

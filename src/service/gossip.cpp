@@ -1,6 +1,7 @@
 #include "service/gossip.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <stdexcept>
 
 #include "service/wire.hpp"
@@ -21,6 +22,20 @@ void GossipMesh::add_node(const std::string& id) {
     throw std::invalid_argument{"GossipMesh::add_node: duplicate id " + id};
   }
   order_.push_back(id);
+}
+
+void GossipMesh::remove_node(const std::string& id) {
+  const auto it = nodes_.find(id);
+  if (it == nodes_.end()) {
+    throw std::invalid_argument{"GossipMesh::remove_node: unknown node " + id};
+  }
+  for (const std::string& peer : it->second.peers) {
+    auto& back_edges = nodes_.at(peer).peers;
+    back_edges.erase(std::remove(back_edges.begin(), back_edges.end(), id),
+                     back_edges.end());
+  }
+  nodes_.erase(it);
+  order_.erase(std::remove(order_.begin(), order_.end(), id), order_.end());
 }
 
 void GossipMesh::add_link(const std::string& a, const std::string& b) {
@@ -56,6 +71,7 @@ bool GossipMesh::publish_local(const std::string& node, core::RatioMap map,
 
 std::size_t GossipMesh::round(SimTime now) {
   std::size_t transmitted = 0;
+  ++stats_.rounds;
   for (const std::string& id : order_) {
     Node& node = nodes_.at(id);
     if (node.peers.empty()) continue;
@@ -78,11 +94,18 @@ std::size_t GossipMesh::round(SimTime now) {
         // Travel over the wire format, exactly as a real library would,
         // keeping the original timestamp so freshness rules hold across
         // multiple hops. Reports the wire bounds reject (oversized ids
-        // are possible via publish_local) simply don't gossip.
+        // are possible via publish_local) don't gossip — counted so the
+        // silent-drop failure mode is visible in stats().
         const auto bytes = encode(*report);
-        if (!bytes.has_value()) continue;
-        bytes_ += bytes->size();
-        (void)receiver.store->publish_encoded(*bytes, now);
+        if (!bytes.has_value()) {
+          ++stats_.encode_rejected;
+          continue;
+        }
+        stats_.bytes += bytes->size();
+        ++stats_.reports_sent;
+        if (!receiver.store->publish_encoded(*bytes, now)) {
+          ++stats_.publish_rejected;
+        }
         ++transmitted;
       }
     }
@@ -118,6 +141,10 @@ double GossipMesh::coverage(SimTime now) const {
   std::size_t hits = 0;
   for (const std::string& id : order_) {
     const auto live = nodes_.at(id).store->live_nodes(now);
+    // binary_search is only correct because PositionService::live_nodes
+    // documents a lexicographic-order contract — pinned here so a store
+    // change that breaks it fails loudly instead of under-counting.
+    assert(std::is_sorted(live.begin(), live.end()));
     for (const std::string& p : published) {
       if (std::binary_search(live.begin(), live.end(), p)) ++hits;
     }

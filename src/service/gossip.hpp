@@ -34,12 +34,35 @@ struct GossipConfig {
   ServiceConfig store;
 };
 
+/// Cumulative mesh-level transmission accounting. Rejected counters stay
+/// zero in healthy meshes — nonzero values mean reports are silently
+/// failing to propagate (oversized node ids, stale arrivals) and
+/// coverage will stall below 1.0.
+struct GossipStats {
+  /// Reports that made it onto the wire.
+  std::uint64_t reports_sent = 0;
+  /// Reports dropped before transmission because the wire format
+  /// rejected them (e.g. node id longer than the encoding bound).
+  std::uint64_t encode_rejected = 0;
+  /// Wire-delivered reports the receiver's store refused (typically
+  /// stale: the receiver already holds a newer timestamp).
+  std::uint64_t publish_rejected = 0;
+  /// Total report bytes pushed.
+  std::uint64_t bytes = 0;
+  /// Gossip rounds executed.
+  std::uint64_t rounds = 0;
+};
+
 class GossipMesh {
  public:
   explicit GossipMesh(GossipConfig config = {});
 
   /// Adds a node with an empty store. Duplicate IDs throw.
   void add_node(const std::string& id);
+  /// Removes a node and every link to it (churn). Unknown IDs throw.
+  /// Other nodes keep any reports already gossiped from the departed
+  /// node; they age out via the store's staleness rules.
+  void remove_node(const std::string& id);
   /// Declares an undirected gossip link. Unknown IDs throw.
   void add_link(const std::string& a, const std::string& b);
   /// Wires every pair (full mesh) — convenient for small deployments.
@@ -65,7 +88,9 @@ class GossipMesh {
   /// store holds a live report for every node that published.
   [[nodiscard]] double coverage(SimTime now) const;
   /// Total report bytes pushed so far.
-  [[nodiscard]] std::uint64_t bytes_gossiped() const { return bytes_; }
+  [[nodiscard]] std::uint64_t bytes_gossiped() const { return stats_.bytes; }
+  /// Cumulative transmission/drop accounting.
+  [[nodiscard]] const GossipStats& stats() const { return stats_; }
 
  private:
   struct Node {
@@ -78,7 +103,7 @@ class GossipMesh {
   std::vector<std::string> order_;
   std::unordered_map<std::string, Node> nodes_;
   Rng rng_;
-  std::uint64_t bytes_ = 0;
+  GossipStats stats_;
 };
 
 }  // namespace crp::service

@@ -38,6 +38,34 @@ std::vector<RankedNode> materialize(std::vector<ScoredRef> kept) {
 
 }  // namespace
 
+const char* to_string(AnswerTier tier) {
+  switch (tier) {
+    case AnswerTier::kFresh:
+      return "fresh";
+    case AnswerTier::kStale:
+      return "stale";
+    case AnswerTier::kRefused:
+      return "refused";
+  }
+  return "?";
+}
+
+const char* to_string(DegradedReason reason) {
+  switch (reason) {
+    case DegradedReason::kNone:
+      return "none";
+    case DegradedReason::kUnknownClient:
+      return "unknown-client";
+    case DegradedReason::kClientExpired:
+      return "client-expired";
+    case DegradedReason::kStaleClient:
+      return "stale-client";
+    case DegradedReason::kNoUsableCandidates:
+      return "no-usable-candidates";
+  }
+  return "?";
+}
+
 PositionService::PositionService(ServiceConfig config)
     : config_(config), engine_(config.metric) {
   // One engine serves both selection and clustering, so a single metric
@@ -54,6 +82,19 @@ bool PositionService::is_live_id(const std::string& node_id,
                                  SimTime now) const {
   const auto it = reports_.find(node_id);
   return it != reports_.end() && is_live(it->second, now);
+}
+
+bool PositionService::is_stale_usable(const PositionReport& report,
+                                      SimTime now) const {
+  return config_.stale_usable_bound > config_.staleness_bound &&
+         now - report.when > config_.staleness_bound &&
+         now - report.when <= config_.stale_usable_bound;
+}
+
+Duration PositionService::usable_bound() const {
+  return config_.stale_usable_bound > config_.staleness_bound
+             ? config_.stale_usable_bound
+             : config_.staleness_bound;
 }
 
 bool PositionService::publish(PositionReport report, SimTime now) {
@@ -221,6 +262,89 @@ std::vector<RankedNode> PositionService::closest_any(
     heap.offer(ScoredRef{&id, scores[slot_of_.at(id)]});
   }
   return materialize(heap.take_sorted());
+}
+
+TieredAnswer PositionService::tiered_query(
+    const std::string& client, std::span<const std::string> candidates,
+    bool any, std::size_t k, SimTime now) const {
+  queries_served_.add();
+  TieredAnswer out;
+  const auto client_it = reports_.find(client);
+  if (client_it == reports_.end()) {
+    out.reason = DegradedReason::kUnknownClient;
+    refused_queries_.add();
+    return out;
+  }
+  const bool fresh = is_live(client_it->second, now);
+  if (!fresh && !is_stale_usable(client_it->second, now)) {
+    out.reason = DegradedReason::kClientExpired;
+    refused_queries_.add();
+    return out;
+  }
+
+  // Fresh tier ranks exactly what the plain queries rank (live
+  // candidates); the stale tier widens the candidate band to
+  // stale-but-usable reports — a degraded client deserves whatever
+  // usable information the corpus still holds.
+  const auto usable = [&](const PositionReport& report) {
+    return is_live(report, now) ||
+           (!fresh && is_stale_usable(report, now));
+  };
+
+  BoundedTopK<ScoredRef, decltype(&better_ref)> heap(k, &better_ref);
+  if (any) {
+    std::vector<double> scores(engine_.size());
+    similarity_scores(slot_of_.at(client), scores);
+    for (const auto& [id, report] : reports_) {
+      if (id == client || !usable(report)) continue;
+      heap.offer(ScoredRef{&id, scores[slot_of_.at(id)]});
+    }
+  } else {
+    std::vector<const std::string*> vetted;
+    std::vector<std::size_t> slots;
+    vetted.reserve(candidates.size());
+    slots.reserve(candidates.size());
+    for (const std::string& candidate : candidates) {
+      if (candidate == client) continue;
+      const auto it = reports_.find(candidate);
+      if (it == reports_.end() || !usable(it->second)) continue;
+      vetted.push_back(&candidate);
+      slots.push_back(slot_of_.at(candidate));
+    }
+    std::vector<double> scores(slots.size());
+    std::size_t touched = 0;
+    engine_.scores_of_subset(slot_of_.at(client), slots, scores, &touched);
+    similarity_queries_.add();
+    maps_touched_.add(touched);
+    for (std::size_t i = 0; i < vetted.size(); ++i) {
+      heap.offer(ScoredRef{vetted[i], scores[i]});
+    }
+  }
+  out.ranked = materialize(heap.take_sorted());
+  if (out.ranked.empty()) {
+    // Nothing usable to rank against: refuse explicitly rather than
+    // hand back an empty vector indistinguishable from "client gone".
+    out.tier = AnswerTier::kRefused;
+    out.reason = DegradedReason::kNoUsableCandidates;
+    refused_queries_.add();
+    return out;
+  }
+  out.tier = fresh ? AnswerTier::kFresh : AnswerTier::kStale;
+  out.reason = fresh ? DegradedReason::kNone : DegradedReason::kStaleClient;
+  (fresh ? fresh_answers_ : stale_answers_).add();
+  return out;
+}
+
+TieredAnswer PositionService::closest_any_tiered(const std::string& client,
+                                                 std::size_t k,
+                                                 SimTime now) const {
+  return tiered_query(client, {}, /*any=*/true, k, now);
+}
+
+TieredAnswer PositionService::closest_tiered(
+    const std::string& client, std::span<const std::string> candidates,
+    std::size_t k, SimTime now) const {
+  return tiered_query(client, candidates, /*any=*/false, k, now);
 }
 
 std::vector<RankedNode> PositionService::rank_snapshot(
@@ -444,9 +568,13 @@ std::vector<std::string> PositionService::diverse_set(std::size_t n,
 }
 
 std::size_t PositionService::expire(SimTime now) {
+  // With the stale tier enabled, reports in the stale-but-usable band
+  // survive expiry — they still serve degraded answers. The bound
+  // collapses to staleness_bound when the tier is off.
+  const Duration bound = usable_bound();
   std::vector<std::string> stale;
   for (const auto& [id, report] : reports_) {
-    if (!is_live(report, now)) stale.push_back(id);
+    if (now - report.when > bound) stale.push_back(id);
   }
   std::size_t dropped = 0;
   for (const std::string& id : stale) {
@@ -470,6 +598,9 @@ ServiceStats PositionService::stats() const {
   s.reclusters = reclusters_;
   s.recluster_seconds = recluster_seconds_;
   s.recluster_maps_touched = recluster_maps_touched_;
+  s.fresh_answers = fresh_answers_.total();
+  s.stale_answers = stale_answers_.total();
+  s.refused_queries = refused_queries_.total();
   return s;
 }
 

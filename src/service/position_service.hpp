@@ -49,6 +49,13 @@ namespace crp::service {
 struct ServiceConfig {
   /// Reports older than this are ignored and eventually dropped.
   Duration staleness_bound = Hours(6);
+  /// Degraded-mode serving (DESIGN.md §7): reports older than
+  /// `staleness_bound` but within this bound may still answer *tiered*
+  /// queries, marked `AnswerTier::kStale`. Must exceed
+  /// `staleness_bound` to have any effect; the default 0 disables the
+  /// stale tier entirely, leaving every non-tiered query byte-for-byte
+  /// what it always was.
+  Duration stale_usable_bound = Duration{0};
   /// Similarity metric for every query the service answers — selection
   /// and clustering share the one engine, so `clustering.metric` is
   /// overridden with this value at construction.
@@ -64,6 +71,39 @@ struct ServiceConfig {
 struct RankedNode {
   std::string node_id;
   double similarity = 0.0;
+};
+
+/// Which freshness tier a tiered query answered from.
+enum class AnswerTier : std::uint8_t {
+  kFresh,    // client and candidates within staleness_bound
+  kStale,    // answered from stale-but-usable reports (degraded mode)
+  kRefused,  // no usable answer; see DegradedReason
+};
+
+/// Why a tiered query degraded below the fresh tier or refused. Typed so
+/// callers can distinguish "ask again later" from "this node is gone" —
+/// instead of every failure collapsing into a silent empty vector.
+enum class DegradedReason : std::uint8_t {
+  kNone,               // fresh answer, nothing degraded
+  kUnknownClient,      // client never published a report
+  kClientExpired,      // client's report aged past even the stale tier
+  kStaleClient,        // answered, but from a stale-tier client report
+  kNoUsableCandidates, // client usable but nothing to rank against
+};
+
+[[nodiscard]] const char* to_string(AnswerTier tier);
+[[nodiscard]] const char* to_string(DegradedReason reason);
+
+/// Result of a tiered closest query: the ranking plus an explicit
+/// account of how degraded the answer is.
+struct TieredAnswer {
+  AnswerTier tier = AnswerTier::kRefused;
+  DegradedReason reason = DegradedReason::kNone;
+  std::vector<RankedNode> ranked;
+
+  [[nodiscard]] bool answered() const {
+    return tier != AnswerTier::kRefused;
+  }
 };
 
 /// Serving counters, cumulative since construction (see stats()).
@@ -91,6 +131,11 @@ struct ServiceStats {
   std::uint64_t reclusters = 0;
   double recluster_seconds = 0.0;
   std::uint64_t recluster_maps_touched = 0;
+  /// Degraded-mode serving outcomes (tiered queries only; the plain
+  /// query paths never touch these).
+  std::uint64_t fresh_answers = 0;
+  std::uint64_t stale_answers = 0;
+  std::uint64_t refused_queries = 0;
 };
 
 class PositionService {
@@ -125,6 +170,9 @@ class PositionService {
       const std::string& node_id) const;
   [[nodiscard]] std::size_t size() const { return reports_.size(); }
   /// Nodes with non-stale reports at `now`, in lexicographic order.
+  /// The sortedness is a contract, not an implementation detail:
+  /// GossipMesh::coverage binary-searches the result (and asserts the
+  /// order). Keep it sorted.
   [[nodiscard]] std::vector<std::string> live_nodes(SimTime now) const;
 
   // --- §IV.A closest-node selection ---
@@ -137,6 +185,22 @@ class PositionService {
   /// Same, but over every live node except the client.
   [[nodiscard]] std::vector<RankedNode> closest_any(
       const std::string& client, std::size_t k, SimTime now) const;
+
+  // --- degraded-mode serving (DESIGN.md §7) ---
+  /// `closest_any` with explicit staleness tiers: a fresh client ranks
+  /// live candidates (identical content to `closest_any`); a client in
+  /// the stale-but-usable band ranks candidates usable at that band and
+  /// the answer is marked kStale; otherwise the query *refuses* with a
+  /// typed reason instead of silently returning empty. With the stale
+  /// tier disabled (default config) only kFresh/kRefused occur.
+  [[nodiscard]] TieredAnswer closest_any_tiered(const std::string& client,
+                                                std::size_t k,
+                                                SimTime now) const;
+  /// Candidate-list variant of `closest_any_tiered`; the fresh tier
+  /// ranks exactly what `closest` would.
+  [[nodiscard]] TieredAnswer closest_tiered(
+      const std::string& client, std::span<const std::string> candidates,
+      std::size_t k, SimTime now) const;
 
   // --- batched serving (DESIGN.md §6 "Batched query execution") ---
   /// `closest_any` for a whole batch of clients in one pass: result `i`
@@ -172,7 +236,9 @@ class PositionService {
                                                      std::uint64_t seed = 0);
 
   // --- maintenance & stats ---
-  /// Drops reports stale at `now`. Returns how many were removed.
+  /// Drops reports no longer usable at `now` — older than the stale
+  /// tier's bound when it is enabled, else older than the staleness
+  /// bound (the historical behavior). Returns how many were removed.
   std::size_t expire(SimTime now);
   [[nodiscard]] std::uint64_t queries_served() const {
     return queries_served_.total();
@@ -194,6 +260,19 @@ class PositionService {
                              SimTime now) const;
   [[nodiscard]] bool is_live_id(const std::string& node_id,
                                 SimTime now) const;
+  /// Is the report in the stale-but-usable band (older than the
+  /// staleness bound, within the stale tier)? Always false when the
+  /// stale tier is disabled.
+  [[nodiscard]] bool is_stale_usable(const PositionReport& report,
+                                     SimTime now) const;
+  /// Age bound past which a report is useless even for degraded
+  /// serving (= staleness_bound unless the stale tier extends it).
+  [[nodiscard]] Duration usable_bound() const;
+  /// Shared core of the tiered queries: `candidates` empty means "every
+  /// known node" (the closest_any form).
+  [[nodiscard]] TieredAnswer tiered_query(
+      const std::string& client, std::span<const std::string> candidates,
+      bool any, std::size_t k, SimTime now) const;
   /// Erases one node from the report map, the engine, and the slot maps.
   /// Returns whether the node was known. The membership epoch is bumped
   /// only on an actual drop — an unknown id is a no-op and must not
@@ -250,6 +329,9 @@ class PositionService {
   std::uint64_t engine_rebuilds_avoided_ = 0;
   mutable ShardedCounter similarity_queries_;
   mutable ShardedCounter maps_touched_;
+  mutable ShardedCounter fresh_answers_;
+  mutable ShardedCounter stale_answers_;
+  mutable ShardedCounter refused_queries_;
   std::uint64_t reclusters_ = 0;
   double recluster_seconds_ = 0.0;
   std::uint64_t recluster_maps_touched_ = 0;

@@ -1,0 +1,147 @@
+#include "sim/fault_plan.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace crp::sim {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kLinkOutage:
+      return "link-outage";
+    case FaultKind::kPacketLoss:
+      return "packet-loss";
+    case FaultKind::kResolverOutage:
+      return "resolver-outage";
+    case FaultKind::kQueryTimeout:
+      return "query-timeout";
+    case FaultKind::kReplicaDrain:
+      return "replica-drain";
+  }
+  return "?";
+}
+
+FaultPlan& FaultPlan::add(FaultRule rule) {
+  if (rule.probability < 0.0 || rule.probability > 1.0) {
+    throw std::invalid_argument{"FaultPlan::add: probability outside [0,1]"};
+  }
+  if (rule.end < rule.start) {
+    throw std::invalid_argument{"FaultPlan::add: window end before start"};
+  }
+  rules_.push_back(rule);
+  return *this;
+}
+
+bool FaultPlan::roll(FaultKind kind,
+                     std::initializer_list<std::uint64_t> keys,
+                     std::uint64_t scope_a, std::uint64_t scope_b,
+                     SimTime t) const {
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const FaultRule& rule = rules_[i];
+    if (rule.kind != kind) continue;
+    if (t < rule.start || t >= rule.end) continue;
+    if (rule.entity != FaultRule::kAnyEntity && rule.entity != scope_a &&
+        rule.entity != scope_b) {
+      continue;
+    }
+    if (rule.probability >= 1.0) return true;
+    if (rule.probability <= 0.0) continue;
+    // Epoch index relative to the window start so shifting a window
+    // shifts its draws with it; 0-epoch rules draw once per window.
+    const std::int64_t epoch =
+        rule.epoch <= Duration{0}
+            ? 0
+            : (t - rule.start).micros() / rule.epoch.micros();
+    std::uint64_t h = hash_combine(
+        {seed_, stable_hash("fault-plan"),
+         static_cast<std::uint64_t>(kind), static_cast<std::uint64_t>(i),
+         static_cast<std::uint64_t>(epoch)});
+    for (std::uint64_t k : keys) h = hash_mix(h ^ k);
+    if (hash_to_unit(h) < rule.probability) return true;
+  }
+  return false;
+}
+
+namespace {
+
+/// Order-independent pair key: faults on (a, b) and (b, a) must agree.
+std::pair<std::uint64_t, std::uint64_t> unordered_pair(HostId a, HostId b) {
+  const std::uint64_t lo = std::min(a.value(), b.value());
+  const std::uint64_t hi = std::max(a.value(), b.value());
+  return {lo, hi};
+}
+
+}  // namespace
+
+bool FaultPlan::link_out(HostId a, HostId b, SimTime t) const {
+  if (rules_.empty()) return false;
+  const auto [lo, hi] = unordered_pair(a, b);
+  return roll(FaultKind::kLinkOutage, {lo, hi}, lo, hi, t);
+}
+
+bool FaultPlan::send_lost(HostId a, HostId b, SimTime t,
+                          std::uint64_t attempt) const {
+  if (rules_.empty()) return false;
+  const auto [lo, hi] = unordered_pair(a, b);
+  return roll(FaultKind::kPacketLoss, {lo, hi, attempt}, lo, hi, t);
+}
+
+bool FaultPlan::resolver_down(HostId h, SimTime t) const {
+  if (rules_.empty()) return false;
+  return roll(FaultKind::kResolverOutage, {h.value()}, h.value(), h.value(),
+              t);
+}
+
+bool FaultPlan::query_timed_out(HostId resolver, HostId server, SimTime t,
+                                std::uint64_t attempt) const {
+  if (rules_.empty()) return false;
+  // Directional on purpose: the timeout is the querying resolver's
+  // experience, not a property of the link.
+  return roll(FaultKind::kQueryTimeout,
+              {resolver.value(), server.value(), attempt}, resolver.value(),
+              server.value(), t);
+}
+
+bool FaultPlan::replica_drained(ReplicaId replica, SimTime t) const {
+  if (rules_.empty()) return false;
+  return roll(FaultKind::kReplicaDrain, {replica.value()}, replica.value(),
+              replica.value(), t);
+}
+
+FaultPlan FaultPlan::chaos(std::uint64_t seed, double intensity,
+                           SimTime start, SimTime end) {
+  if (intensity < 0.0 || intensity > 1.0) {
+    throw std::invalid_argument{"FaultPlan::chaos: intensity outside [0,1]"};
+  }
+  FaultPlan plan{seed};
+  if (intensity <= 0.0) return plan;
+  const Duration epoch = Minutes(30);
+  plan.add({.kind = FaultKind::kPacketLoss,
+            .start = start,
+            .end = end,
+            .probability = intensity,
+            .epoch = epoch});
+  plan.add({.kind = FaultKind::kQueryTimeout,
+            .start = start,
+            .end = end,
+            .probability = intensity,
+            .epoch = epoch});
+  plan.add({.kind = FaultKind::kReplicaDrain,
+            .start = start,
+            .end = end,
+            .probability = intensity,
+            .epoch = epoch});
+  plan.add({.kind = FaultKind::kLinkOutage,
+            .start = start,
+            .end = end,
+            .probability = intensity / 4.0,
+            .epoch = epoch});
+  plan.add({.kind = FaultKind::kResolverOutage,
+            .start = start,
+            .end = end,
+            .probability = intensity / 4.0,
+            .epoch = epoch});
+  return plan;
+}
+
+}  // namespace crp::sim

@@ -1,0 +1,129 @@
+// Deterministic fault-injection plan.
+//
+// The paper's pitch is that CRP keeps positioning nodes when active
+// measurement infrastructure degrades — but the substrate CRP itself
+// rides on (DNS resolution, CDN redirection, gossip links) degrades in
+// the real world too. `FaultPlan` is the one place such degradation is
+// declared: a seeded list of schedule-driven rules, each describing one
+// fault class over a time window. Every consumer (the latency oracle,
+// recursive resolvers, replica health, campaigns) asks the plan pure
+// questions of the form "is X faulted at time t?".
+//
+// Determinism contract (DESIGN.md §7): every query is a stateless hash
+// of (plan seed, fault kind, entities, epoch index[, attempt]) — no RNG
+// state, no mutation, no ordering sensitivity. Two runs with the same
+// seed and the same rules observe bit-identical faults regardless of
+// thread count, query order, or which subsystems bother to ask. An
+// empty plan answers "no" to everything and costs one vector-empty
+// check, so fault-path code is inert unless a plan is armed.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <limits>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
+
+namespace crp::sim {
+
+/// Fault classes, one per substrate layer that can degrade.
+enum class FaultKind : std::uint8_t {
+  /// netsim: a host pair is partitioned (sends never arrive).
+  kLinkOutage,
+  /// netsim: a send between a host pair is lost with some probability
+  /// (per attempt, so retries can succeed).
+  kPacketLoss,
+  /// dns: an authoritative/upstream host is down; every query to it
+  /// times out for the whole outage.
+  kResolverOutage,
+  /// dns: an individual upstream query times out (per attempt).
+  kQueryTimeout,
+  /// cdn: a replica is drained out of redirection candidate sets.
+  kReplicaDrain,
+};
+
+[[nodiscard]] const char* to_string(FaultKind kind);
+
+/// One schedule entry: `kind` faults apply during [start, end) with
+/// `probability` per entity per epoch.
+struct FaultRule {
+  FaultKind kind = FaultKind::kPacketLoss;
+  /// Active window (half-open). Defaults cover every non-negative sim
+  /// time; epoch indices count from `start`, so shifting a window
+  /// shifts its draws with it.
+  SimTime start = SimTime::epoch();
+  SimTime end = SimTime{std::numeric_limits<std::int64_t>::max()};
+  /// Probability the fault applies to a given (entity, epoch) draw.
+  /// 1.0 makes the rule unconditional within its window.
+  double probability = 1.0;
+  /// Granularity at which the per-entity draw re-randomizes inside the
+  /// window; 0 = one draw for the whole window. Short epochs on
+  /// kReplicaDrain model flapping replicas.
+  Duration epoch = Duration{0};
+  /// Restricts the rule to one entity (a HostId/ReplicaId value); the
+  /// default applies it to every entity probabilistically. For pair
+  /// faults, matching either endpoint scopes the rule.
+  std::uint64_t entity = kAnyEntity;
+
+  static constexpr std::uint64_t kAnyEntity =
+      std::numeric_limits<std::uint64_t>::max();
+};
+
+/// Seeded, replayable fault schedule (see file comment). Cheap to copy;
+/// all queries are const and thread-safe.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  explicit FaultPlan(std::uint64_t seed) : seed_(seed) {}
+
+  /// Appends a rule; returns *this for chaining.
+  FaultPlan& add(FaultRule rule);
+
+  [[nodiscard]] bool empty() const { return rules_.empty(); }
+  [[nodiscard]] std::size_t num_rules() const { return rules_.size(); }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  // --- queries (pure functions of (seed, rules, arguments)) ---
+
+  /// Is the (unordered) host pair partitioned at `t`?
+  [[nodiscard]] bool link_out(HostId a, HostId b, SimTime t) const;
+
+  /// Is send `attempt` between the pair lost at `t`? Distinct attempts
+  /// draw independently, so bounded retries model real loss recovery.
+  [[nodiscard]] bool send_lost(HostId a, HostId b, SimTime t,
+                               std::uint64_t attempt) const;
+
+  /// Is upstream DNS host `h` down at `t`?
+  [[nodiscard]] bool resolver_down(HostId h, SimTime t) const;
+
+  /// Does upstream query `attempt` from `resolver` to `server` time out
+  /// at `t`?
+  [[nodiscard]] bool query_timed_out(HostId resolver, HostId server,
+                                     SimTime t, std::uint64_t attempt) const;
+
+  /// Is `replica` drained out of redirection at `t`?
+  [[nodiscard]] bool replica_drained(ReplicaId replica, SimTime t) const;
+
+  /// Canned chaos schedule used by benches and tests: every fault class
+  /// active over [start, end) at `intensity` (loss/timeout/drain
+  /// probability = intensity, outage/partition probability =
+  /// intensity/4 since those hit harder), re-drawn every 30 minutes.
+  [[nodiscard]] static FaultPlan chaos(std::uint64_t seed, double intensity,
+                                       SimTime start, SimTime end);
+
+ private:
+  /// Does any rule of `kind` fire for the entity keys at `t`?
+  /// `keys` feed the hash alongside the rule index and epoch index.
+  [[nodiscard]] bool roll(FaultKind kind,
+                          std::initializer_list<std::uint64_t> keys,
+                          std::uint64_t scope_a, std::uint64_t scope_b,
+                          SimTime t) const;
+
+  std::uint64_t seed_ = 0;
+  std::vector<FaultRule> rules_;
+};
+
+}  // namespace crp::sim

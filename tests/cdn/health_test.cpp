@@ -76,5 +76,77 @@ TEST(ReplicaHealth, DeterministicForSeed) {
   }
 }
 
+TEST(ReplicaHealth, FaultPlanDrainsScheduledReplicas) {
+  sim::FaultPlan plan{9};
+  sim::FaultRule rule;
+  rule.kind = sim::FaultKind::kReplicaDrain;
+  rule.start = SimTime::epoch() + Hours(1);
+  rule.end = SimTime::epoch() + Hours(2);
+  rule.entity = 5;
+  plan.add(rule);
+
+  ReplicaHealth health{HealthConfig{}};
+  health.set_fault_plan(&plan);
+  // Drained only inside the window, and only replica 5.
+  EXPECT_TRUE(health.available(ReplicaId{5}, SimTime::epoch()));
+  EXPECT_FALSE(
+      health.available(ReplicaId{5}, SimTime::epoch() + Minutes(90)));
+  EXPECT_TRUE(health.available(ReplicaId{6}, SimTime::epoch() + Minutes(90)));
+  EXPECT_TRUE(health.available(ReplicaId{5}, SimTime::epoch() + Hours(2)));
+
+  // Disarming restores the original always-available behavior.
+  health.set_fault_plan(nullptr);
+  EXPECT_TRUE(health.available(ReplicaId{5}, SimTime::epoch() + Minutes(90)));
+}
+
+TEST(ReplicaHealth, HysteresisKeepsReturningReplicaOut) {
+  sim::FaultPlan plan{9};
+  sim::FaultRule rule;
+  rule.kind = sim::FaultKind::kReplicaDrain;
+  rule.start = SimTime::epoch() + Hours(1);
+  rule.end = SimTime::epoch() + Hours(2);
+  rule.entity = 5;
+  plan.add(rule);
+
+  HealthConfig config;
+  config.readmit_hysteresis = Minutes(40);
+  ReplicaHealth health{config};
+  health.set_fault_plan(&plan);
+
+  const SimTime back = SimTime::epoch() + Hours(2);
+  // Instantaneously healthy again, but the trailing window still covers
+  // the drain: redirection keeps it out...
+  EXPECT_TRUE(health.raw_available(ReplicaId{5}, back + Minutes(10)));
+  EXPECT_FALSE(health.available(ReplicaId{5}, back + Minutes(10)));
+  // ...until it has been continuously healthy for the full window.
+  EXPECT_TRUE(health.available(ReplicaId{5}, back + Minutes(41)));
+  // Replicas that never drained are unaffected by hysteresis.
+  EXPECT_TRUE(health.available(ReplicaId{6}, back + Minutes(10)));
+}
+
+TEST(ReplicaHealth, ZeroHysteresisReadmitsImmediately) {
+  sim::FaultPlan plan{9};
+  sim::FaultRule rule;
+  rule.kind = sim::FaultKind::kReplicaDrain;
+  rule.start = SimTime::epoch();
+  rule.end = SimTime::epoch() + Hours(1);
+  rule.entity = 3;
+  plan.add(rule);
+
+  ReplicaHealth health{HealthConfig{}};
+  health.set_fault_plan(&plan);
+  EXPECT_FALSE(health.available(ReplicaId{3}, SimTime::epoch()));
+  EXPECT_TRUE(health.available(ReplicaId{3}, SimTime::epoch() + Hours(1)));
+}
+
+TEST(ReplicaHealth, HysteresisNearEpochDoesNotUnderflow) {
+  HealthConfig config;
+  config.readmit_hysteresis = Hours(10);
+  const ReplicaHealth health{config};
+  // Samples before SimTime::epoch() are skipped, not taken at negative
+  // times: with no faults at all the replica stays available.
+  EXPECT_TRUE(health.available(ReplicaId{1}, SimTime::epoch() + Minutes(5)));
+}
+
 }  // namespace
 }  // namespace crp::cdn

@@ -106,18 +106,56 @@ TEST(RedirectionHistory, StridedRatioMapSkipsProbes) {
   for (std::uint32_t i = 0; i < 6; ++i) {
     h.record(SimTime{static_cast<std::int64_t>(i)}, replicas({i}));
   }
-  // Stride 2 -> probes 0, 2, 4.
+  // Stride 2, anchored on the newest probe -> probes 5, 3, 1.
   const RatioMap strided = h.ratio_map_strided(2);
   EXPECT_EQ(strided.size(), 3u);
-  EXPECT_TRUE(strided.contains(ReplicaId{0}));
-  EXPECT_TRUE(strided.contains(ReplicaId{2}));
-  EXPECT_TRUE(strided.contains(ReplicaId{4}));
-  EXPECT_FALSE(strided.contains(ReplicaId{1}));
+  EXPECT_TRUE(strided.contains(ReplicaId{5}));
+  EXPECT_TRUE(strided.contains(ReplicaId{3}));
+  EXPECT_TRUE(strided.contains(ReplicaId{1}));
+  EXPECT_FALSE(strided.contains(ReplicaId{0}));
   // Stride 0/1 behave like the plain map.
   EXPECT_EQ(h.ratio_map_strided(1), h.ratio_map());
   EXPECT_EQ(h.ratio_map_strided(0), h.ratio_map());
-  // Stride larger than the history keeps only the first probe.
-  EXPECT_EQ(h.ratio_map_strided(100).size(), 1u);
+  // Stride larger than the history keeps only the newest probe,
+  // matching ratio_map(1).
+  EXPECT_EQ(h.ratio_map_strided(100), h.ratio_map(1));
+}
+
+TEST(RedirectionHistory, StridedRatioMapStableUnderBoundedChurn) {
+  // A bounded history evicting its oldest probes must not shift the
+  // strided subsequence: anchoring on the newest probe keeps the parity
+  // fixed, so the Fig. 8 interval curves don't churn as old probes roll
+  // off. The oldest-anchored form flipped parity on every eviction.
+  RedirectionHistory h{/*max_probes=*/4};
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    h.record(SimTime{static_cast<std::int64_t>(i)}, replicas({i}));
+  }
+  // Holds probes 0..3; stride 2 anchored on 3 -> {3, 1}.
+  const RatioMap before = h.ratio_map_strided(2);
+  EXPECT_TRUE(before.contains(ReplicaId{3}));
+  EXPECT_TRUE(before.contains(ReplicaId{1}));
+
+  // Two more probes evict 0 and 1; deque now holds 2..5. The sampled
+  // subsequence slides with the window ({5, 3}) — every sampled probe
+  // is still stride-separated and includes the newest.
+  h.record(SimTime{4}, replicas({4}));
+  h.record(SimTime{5}, replicas({5}));
+  const RatioMap after = h.ratio_map_strided(2);
+  EXPECT_EQ(after.size(), 2u);
+  EXPECT_TRUE(after.contains(ReplicaId{5}));
+  EXPECT_TRUE(after.contains(ReplicaId{3}));
+  EXPECT_FALSE(after.contains(ReplicaId{4}));
+
+  // An unbounded history fed the same trace agrees on the suffix the
+  // bounded one retained: eviction alone never changes which of the
+  // retained probes are sampled.
+  RedirectionHistory full;
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    full.record(SimTime{static_cast<std::int64_t>(i)}, replicas({i}));
+  }
+  const RatioMap unbounded = full.ratio_map_strided(2);
+  EXPECT_TRUE(unbounded.contains(ReplicaId{5}));
+  EXPECT_TRUE(unbounded.contains(ReplicaId{3}));
 }
 
 }  // namespace

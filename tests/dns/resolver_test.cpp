@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "dns/zone.hpp"
+#include "sim/fault_plan.hpp"
 
 namespace crp::dns {
 namespace {
@@ -17,7 +18,7 @@ class CountingZone final : public AuthoritativeServer {
     ++queries;
     return inner_.resolve(question, resolver_addr, now);
   }
-  [[nodiscard]] HostId host() const override { return HostId{}; }
+  [[nodiscard]] HostId host() const override { return inner_.host(); }
 
   int queries = 0;
 
@@ -233,6 +234,136 @@ TEST(ResolverCachePressure, FullCacheKeepsHotRecords) {
   EXPECT_EQ(again.addresses.front(), Ipv4(10, 0, 0, 1));
   EXPECT_EQ(resolver.queries_sent(), sent_before);
   EXPECT_EQ(resolver.cache_hits(), hits_before + 1);
+}
+
+class ResolverFaultTest : public ::testing::Test {
+ protected:
+  static constexpr std::uint64_t kServerHost = 99;
+
+  ResolverFaultTest() : zone_([] {
+    StaticZone z{Name::parse("faulty.net"), HostId{kServerHost}};
+    z.add(ResourceRecord::a(Name::parse("www.faulty.net"), Ipv4(10, 0, 0, 5),
+                            Seconds(60)));
+    return z;
+  }()) {
+    registry_.register_zone(Name::parse("faulty.net"), &zone_);
+  }
+
+  CountingZone zone_;
+  ZoneRegistry registry_;
+};
+
+TEST_F(ResolverFaultTest, NoPlanLeavesFaultPathInert) {
+  RecursiveResolver resolver{HostId{1}, registry_, nullptr};
+  const auto result =
+      resolver.resolve(Name::parse("www.faulty.net"), SimTime::epoch());
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.timed_out);
+  EXPECT_EQ(result.upstream_queries, 1);
+  EXPECT_EQ(resolver.retries(), 0u);
+  EXPECT_EQ(resolver.timeouts(), 0u);
+  EXPECT_EQ(resolver.outage_refusals(), 0u);
+}
+
+TEST_F(ResolverFaultTest, UpstreamOutageExhaustsRetriesWithServFail) {
+  sim::FaultPlan plan{7};
+  sim::FaultRule rule;
+  rule.kind = sim::FaultKind::kResolverOutage;
+  rule.end = SimTime::epoch() + Hours(1);
+  rule.entity = kServerHost;
+  plan.add(rule);
+
+  RecursiveResolver resolver{HostId{1}, registry_, nullptr};
+  resolver.set_fault_plan(&plan);
+  const auto result =
+      resolver.resolve(Name::parse("www.faulty.net"), SimTime::epoch());
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.rcode, Rcode::kServFail);
+  EXPECT_TRUE(result.timed_out);
+  // Default config: 1 + max_retries(2) attempts, all lost.
+  EXPECT_EQ(result.upstream_queries, 3);
+  EXPECT_EQ(resolver.retries(), 2u);
+  EXPECT_EQ(resolver.timeouts(), 1u);
+  // Lost attempts never reach the authoritative.
+  EXPECT_EQ(zone_.queries, 0);
+  // Elapsed: 3 timeouts of 400 ms plus backoffs 200 + 400 ms.
+  EXPECT_EQ(result.elapsed, Millis(1800));
+}
+
+TEST_F(ResolverFaultTest, FaultServFailIsNotNegativeCached) {
+  sim::FaultPlan plan{7};
+  sim::FaultRule rule;
+  rule.kind = sim::FaultKind::kResolverOutage;
+  rule.end = SimTime::epoch() + Hours(1);
+  rule.entity = kServerHost;
+  plan.add(rule);
+
+  RecursiveResolver resolver{HostId{1}, registry_, nullptr};
+  resolver.set_fault_plan(&plan);
+  ASSERT_FALSE(
+      resolver.resolve(Name::parse("www.faulty.net"), SimTime::epoch()).ok());
+  // One instant after the outage window: the answer must come straight
+  // back — a negative-cached SERVFAIL would pin the failure for its TTL.
+  const auto recovered = resolver.resolve(Name::parse("www.faulty.net"),
+                                          SimTime::epoch() + Hours(1));
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_FALSE(recovered.timed_out);
+  EXPECT_EQ(zone_.queries, 1);
+}
+
+TEST_F(ResolverFaultTest, RetryRecoversFromPerAttemptTimeout) {
+  sim::FaultPlan plan{21};
+  sim::FaultRule rule;
+  rule.kind = sim::FaultKind::kQueryTimeout;
+  rule.probability = 0.5;
+  rule.entity = kServerHost;
+  plan.add(rule);
+
+  // Per-attempt draws are a pure hash, so hunt for a resolver host whose
+  // first attempt is lost and whose second succeeds, then check the
+  // resolver walks exactly that path.
+  const SimTime t = SimTime::epoch();
+  HostId lucky{};
+  for (std::uint32_t h = 1; h < 200; ++h) {
+    if (plan.query_timed_out(HostId{h}, HostId{kServerHost}, t, 0) &&
+        !plan.query_timed_out(HostId{h}, HostId{kServerHost}, t, 1)) {
+      lucky = HostId{h};
+      break;
+    }
+  }
+  ASSERT_TRUE(lucky.valid());
+
+  RecursiveResolver resolver{lucky, registry_, nullptr};
+  resolver.set_fault_plan(&plan);
+  const auto result = resolver.resolve(Name::parse("www.faulty.net"), t);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.timed_out);
+  EXPECT_EQ(result.upstream_queries, 2);  // lost + successful
+  EXPECT_EQ(resolver.retries(), 1u);
+  EXPECT_EQ(resolver.timeouts(), 0u);
+  EXPECT_EQ(zone_.queries, 1);  // the lost attempt never arrived
+  // The recovered answer still paid for the loss: timeout + backoff.
+  EXPECT_GE(result.elapsed, Millis(600));
+}
+
+TEST_F(ResolverFaultTest, DownResolverRefusesWithoutUpstreamWork) {
+  sim::FaultPlan plan{7};
+  sim::FaultRule rule;
+  rule.kind = sim::FaultKind::kResolverOutage;
+  rule.end = SimTime::epoch() + Hours(1);
+  plan.add(rule);  // unscoped: every host is down, including the resolver
+
+  RecursiveResolver resolver{HostId{1}, registry_, nullptr};
+  resolver.set_fault_plan(&plan);
+  const auto result =
+      resolver.resolve(Name::parse("www.faulty.net"), SimTime::epoch());
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.rcode, Rcode::kServFail);
+  EXPECT_TRUE(result.timed_out);
+  EXPECT_EQ(resolver.outage_refusals(), 1u);
+  EXPECT_EQ(resolver.queries_sent(), 0u);
+  EXPECT_EQ(zone_.queries, 0);
+  EXPECT_EQ(result.elapsed, Millis(400));
 }
 
 }  // namespace

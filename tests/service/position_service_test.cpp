@@ -295,6 +295,164 @@ TEST(PositionServiceStaleness, CachedClusterAnswersFilterStaleMembers) {
   EXPECT_EQ(service.expire(t70), 1u);
 }
 
+// live_nodes() sortedness is a documented contract (GossipMesh::coverage
+// binary-searches the result); regression-pin it under churny, decidedly
+// non-lexicographic insertion orders.
+TEST(PositionServiceContracts, LiveNodesStaysSortedUnderChurn) {
+  Rng rng{20260808};
+  PositionService service;
+  SimTime now = SimTime::epoch();
+  for (int step = 0; step < 200; ++step) {
+    now = now + Minutes(1);
+    const std::string id = "n" + std::to_string(rng.uniform_int(0, 60));
+    if (rng.uniform(0.0, 1.0) < 0.8) {
+      (void)service.publish(report(id, {{ReplicaId{1}, 1.0}}, now), now);
+    } else {
+      service.remove(id);
+    }
+    const auto live = service.live_nodes(now);
+    ASSERT_TRUE(std::is_sorted(live.begin(), live.end())) << "step " << step;
+  }
+}
+
+TEST(PositionServiceTiers, FreshStaleAndRefusedTiers) {
+  ServiceConfig config;
+  config.staleness_bound = Hours(1);
+  config.stale_usable_bound = Hours(3);
+  PositionService service{config};
+
+  const SimTime t0 = SimTime::epoch();
+  ASSERT_TRUE(service.publish(
+      report("a", {{ReplicaId{1}, 0.7}, {ReplicaId{2}, 0.3}}, t0), t0));
+  ASSERT_TRUE(service.publish(
+      report("b", {{ReplicaId{1}, 0.6}, {ReplicaId{2}, 0.4}}, t0), t0));
+
+  // Inside the staleness bound: a first-class fresh answer.
+  const auto fresh = service.closest_any_tiered("a", 5, t0 + Minutes(30));
+  EXPECT_TRUE(fresh.answered());
+  EXPECT_EQ(fresh.tier, AnswerTier::kFresh);
+  EXPECT_EQ(fresh.reason, DegradedReason::kNone);
+  ASSERT_EQ(fresh.ranked.size(), 1u);
+  EXPECT_EQ(fresh.ranked[0].node_id, "b");
+
+  // Between the bounds: the plain query refuses, the tiered one serves
+  // a clearly-labelled degraded answer from the same corpus.
+  const SimTime t2h = t0 + Hours(2);
+  EXPECT_TRUE(service.closest_any("a", 5, t2h).empty());
+  const auto stale = service.closest_any_tiered("a", 5, t2h);
+  EXPECT_TRUE(stale.answered());
+  EXPECT_EQ(stale.tier, AnswerTier::kStale);
+  EXPECT_EQ(stale.reason, DegradedReason::kStaleClient);
+  ASSERT_EQ(stale.ranked.size(), 1u);
+  EXPECT_EQ(stale.ranked[0].node_id, "b");
+
+  // Past the stale tier: typed refusal, not an empty vector.
+  const auto expired = service.closest_any_tiered("a", 5, t0 + Hours(4));
+  EXPECT_FALSE(expired.answered());
+  EXPECT_EQ(expired.tier, AnswerTier::kRefused);
+  EXPECT_EQ(expired.reason, DegradedReason::kClientExpired);
+  EXPECT_TRUE(expired.ranked.empty());
+
+  // Unknown client refuses with its own reason.
+  const auto unknown = service.closest_any_tiered("ghost", 5, t0);
+  EXPECT_EQ(unknown.reason, DegradedReason::kUnknownClient);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.fresh_answers, 1u);
+  EXPECT_EQ(stats.stale_answers, 1u);
+  EXPECT_EQ(stats.refused_queries, 2u);
+}
+
+TEST(PositionServiceTiers, CandidateFormMatchesPlainQueryWhenFresh) {
+  ServiceConfig config;
+  config.staleness_bound = Hours(1);
+  config.stale_usable_bound = Hours(3);
+  PositionService service{config};
+
+  const SimTime t0 = SimTime::epoch();
+  ASSERT_TRUE(service.publish(
+      report("a", {{ReplicaId{1}, 0.7}, {ReplicaId{2}, 0.3}}, t0), t0));
+  ASSERT_TRUE(service.publish(
+      report("b", {{ReplicaId{1}, 0.6}, {ReplicaId{2}, 0.4}}, t0), t0));
+  ASSERT_TRUE(service.publish(
+      report("c", {{ReplicaId{1}, 0.8}, {ReplicaId{2}, 0.2}}, t0), t0));
+
+  const std::vector<std::string> candidates{"b", "c", "ghost"};
+  const auto tiered = service.closest_tiered("a", candidates, 5, t0);
+  const auto plain = service.closest("a", candidates, 5, t0);
+  EXPECT_EQ(tiered.tier, AnswerTier::kFresh);
+  ASSERT_EQ(tiered.ranked.size(), plain.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(tiered.ranked[i].node_id, plain[i].node_id);
+    EXPECT_EQ(tiered.ranked[i].similarity, plain[i].similarity);
+  }
+}
+
+TEST(PositionServiceTiers, StaleClientSeesStaleCandidates) {
+  // A degraded client deserves whatever usable information remains:
+  // the stale tier ranks stale-but-usable candidates the fresh tier
+  // would hide.
+  ServiceConfig config;
+  config.staleness_bound = Hours(1);
+  config.stale_usable_bound = Hours(3);
+  PositionService service{config};
+
+  const SimTime t0 = SimTime::epoch();
+  ASSERT_TRUE(service.publish(
+      report("a", {{ReplicaId{1}, 0.7}, {ReplicaId{2}, 0.3}}, t0), t0));
+  ASSERT_TRUE(service.publish(
+      report("b", {{ReplicaId{1}, 0.6}, {ReplicaId{2}, 0.4}}, t0), t0));
+
+  const auto stale = service.closest_any_tiered("a", 5, t0 + Hours(2));
+  ASSERT_EQ(stale.ranked.size(), 1u);
+  EXPECT_EQ(stale.ranked[0].node_id, "b");
+  EXPECT_EQ(stale.tier, AnswerTier::kStale);
+
+  // No candidate at all in the usable band -> typed refusal.
+  service.remove("b");
+  const auto alone = service.closest_any_tiered("a", 5, t0 + Hours(2));
+  EXPECT_FALSE(alone.answered());
+  EXPECT_EQ(alone.reason, DegradedReason::kNoUsableCandidates);
+}
+
+TEST(PositionServiceTiers, ExpireKeepsStaleUsableReports) {
+  ServiceConfig config;
+  config.staleness_bound = Hours(1);
+  config.stale_usable_bound = Hours(3);
+  PositionService service{config};
+
+  const SimTime t0 = SimTime::epoch();
+  ASSERT_TRUE(service.publish(
+      report("a", {{ReplicaId{1}, 1.0}}, t0), t0));
+  // 2 hours in: past staleness, inside the stale tier — expire() must
+  // keep it (it still serves degraded answers).
+  EXPECT_EQ(service.expire(t0 + Hours(2)), 0u);
+  EXPECT_EQ(service.size(), 1u);
+  // Past the stale tier it finally drops.
+  EXPECT_EQ(service.expire(t0 + Hours(4)), 1u);
+  EXPECT_EQ(service.size(), 0u);
+}
+
+TEST(PositionServiceTiers, DisabledStaleTierPreservesOldBehavior) {
+  // stale_usable_bound = 0 (the default): tiered queries refuse exactly
+  // where the plain queries go empty, and expire() uses the staleness
+  // bound as before.
+  ServiceConfig config;
+  config.staleness_bound = Hours(1);
+  PositionService service{config};
+
+  const SimTime t0 = SimTime::epoch();
+  ASSERT_TRUE(service.publish(
+      report("a", {{ReplicaId{1}, 1.0}}, t0), t0));
+  ASSERT_TRUE(service.publish(
+      report("b", {{ReplicaId{1}, 0.9}, {ReplicaId{2}, 0.1}}, t0), t0));
+
+  const auto late = service.closest_any_tiered("a", 5, t0 + Hours(2));
+  EXPECT_FALSE(late.answered());
+  EXPECT_EQ(late.reason, DegradedReason::kClientExpired);
+  EXPECT_EQ(service.expire(t0 + Hours(2)), 2u);
+}
+
 // The engine rewire must not change a single ranking byte: compare
 // closest/closest_any against a naive per-pair reference across a
 // randomized publish/remove/expire history.

@@ -1,0 +1,172 @@
+#include "sim/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+
+namespace crp::sim {
+namespace {
+
+TEST(FaultPlan, EmptyPlanAnswersNoToEverything) {
+  const FaultPlan plan{123};
+  EXPECT_TRUE(plan.empty());
+  const SimTime t = SimTime::epoch() + Hours(1);
+  EXPECT_FALSE(plan.link_out(HostId{1}, HostId{2}, t));
+  EXPECT_FALSE(plan.send_lost(HostId{1}, HostId{2}, t, 0));
+  EXPECT_FALSE(plan.resolver_down(HostId{1}, t));
+  EXPECT_FALSE(plan.query_timed_out(HostId{1}, HostId{2}, t, 0));
+  EXPECT_FALSE(plan.replica_drained(ReplicaId{7}, t));
+}
+
+TEST(FaultPlan, UnconditionalRuleAppliesOnlyInsideItsWindow) {
+  FaultPlan plan{1};
+  FaultRule rule;
+  rule.kind = FaultKind::kResolverOutage;
+  rule.start = SimTime::epoch() + Hours(1);
+  rule.end = SimTime::epoch() + Hours(2);
+  rule.probability = 1.0;
+  plan.add(rule);
+
+  EXPECT_FALSE(plan.resolver_down(HostId{5}, SimTime::epoch()));
+  EXPECT_TRUE(plan.resolver_down(HostId{5}, SimTime::epoch() + Minutes(90)));
+  // Half-open window: the fault clears exactly at `end`.
+  EXPECT_TRUE(plan.resolver_down(
+      HostId{5}, SimTime::epoch() + Hours(2) - Micros(1)));
+  EXPECT_FALSE(plan.resolver_down(HostId{5}, SimTime::epoch() + Hours(2)));
+}
+
+TEST(FaultPlan, EntityScopeRestrictsTheRule) {
+  FaultPlan plan{1};
+  FaultRule rule;
+  rule.kind = FaultKind::kReplicaDrain;
+  rule.probability = 1.0;
+  rule.entity = 3;
+  plan.add(rule);
+
+  const SimTime t = SimTime::epoch() + Hours(1);
+  EXPECT_TRUE(plan.replica_drained(ReplicaId{3}, t));
+  EXPECT_FALSE(plan.replica_drained(ReplicaId{4}, t));
+}
+
+TEST(FaultPlan, PairFaultsAreSymmetric) {
+  const FaultPlan plan =
+      FaultPlan::chaos(99, 0.5, SimTime::epoch(), SimTime::epoch() + Hours(6));
+  const SimTime t = SimTime::epoch() + Hours(1);
+  for (std::uint32_t a = 0; a < 20; ++a) {
+    for (std::uint32_t b = a + 1; b < 20; ++b) {
+      EXPECT_EQ(plan.link_out(HostId{a}, HostId{b}, t),
+                plan.link_out(HostId{b}, HostId{a}, t));
+      EXPECT_EQ(plan.send_lost(HostId{a}, HostId{b}, t, 2),
+                plan.send_lost(HostId{b}, HostId{a}, t, 2));
+    }
+  }
+}
+
+TEST(FaultPlan, QueryTimeoutIsDirectional) {
+  // Resolver->server and server->resolver are distinct queries (the
+  // hash keys are ordered), so a plan can fault one direction only.
+  const FaultPlan plan =
+      FaultPlan::chaos(7, 0.5, SimTime::epoch(), SimTime::epoch() + Hours(6));
+  const SimTime t = SimTime::epoch() + Hours(1);
+  bool saw_asymmetry = false;
+  for (std::uint32_t a = 0; a < 40 && !saw_asymmetry; ++a) {
+    saw_asymmetry = plan.query_timed_out(HostId{a}, HostId{a + 100}, t, 0) !=
+                    plan.query_timed_out(HostId{a + 100}, HostId{a}, t, 0);
+  }
+  EXPECT_TRUE(saw_asymmetry);
+}
+
+TEST(FaultPlan, AttemptsDrawIndependently) {
+  // With 50% per-attempt loss, some (pair, attempt) draw must differ
+  // from attempt 0 — retries can recover.
+  const FaultPlan plan =
+      FaultPlan::chaos(3, 0.5, SimTime::epoch(), SimTime::epoch() + Hours(6));
+  const SimTime t = SimTime::epoch() + Hours(1);
+  bool differs = false;
+  for (std::uint32_t a = 0; a < 40 && !differs; ++a) {
+    differs = plan.send_lost(HostId{a}, HostId{a + 1}, t, 0) !=
+              plan.send_lost(HostId{a}, HostId{a + 1}, t, 1);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(FaultPlan, EpochGranularityRedrawsInsideTheWindow) {
+  FaultPlan plan{11};
+  FaultRule rule;
+  rule.kind = FaultKind::kReplicaDrain;
+  rule.probability = 0.5;
+  rule.epoch = Minutes(30);
+  plan.add(rule);
+
+  // Within one epoch the draw is constant...
+  const SimTime e0 = SimTime::epoch() + Minutes(10);
+  const SimTime e0_late = SimTime::epoch() + Minutes(29);
+  for (std::uint32_t r = 0; r < 20; ++r) {
+    EXPECT_EQ(plan.replica_drained(ReplicaId{r}, e0),
+              plan.replica_drained(ReplicaId{r}, e0_late));
+  }
+  // ...but across epochs some replica flips.
+  bool flipped = false;
+  for (std::uint32_t r = 0; r < 40 && !flipped; ++r) {
+    flipped = plan.replica_drained(ReplicaId{r}, e0) !=
+              plan.replica_drained(ReplicaId{r},
+                                   SimTime::epoch() + Minutes(40));
+  }
+  EXPECT_TRUE(flipped);
+}
+
+TEST(FaultPlan, SameSeedSameAnswersDifferentSeedDiverges) {
+  const SimTime end = SimTime::epoch() + Hours(6);
+  const FaultPlan a = FaultPlan::chaos(42, 0.3, SimTime::epoch(), end);
+  const FaultPlan b = FaultPlan::chaos(42, 0.3, SimTime::epoch(), end);
+  const FaultPlan c = FaultPlan::chaos(43, 0.3, SimTime::epoch(), end);
+  const SimTime t = SimTime::epoch() + Hours(2);
+  bool diverged = false;
+  for (std::uint32_t h = 0; h < 60; ++h) {
+    EXPECT_EQ(a.resolver_down(HostId{h}, t), b.resolver_down(HostId{h}, t));
+    EXPECT_EQ(a.replica_drained(ReplicaId{h}, t),
+              b.replica_drained(ReplicaId{h}, t));
+    diverged = diverged ||
+               a.replica_drained(ReplicaId{h}, t) !=
+                   c.replica_drained(ReplicaId{h}, t);
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(FaultPlan, QueriesAreOrderInsensitive) {
+  // Pure-hash contract: interleaving unrelated queries between two
+  // identical ones changes nothing (no hidden RNG state).
+  const FaultPlan plan =
+      FaultPlan::chaos(5, 0.4, SimTime::epoch(), SimTime::epoch() + Hours(6));
+  const SimTime t = SimTime::epoch() + Hours(3);
+  const bool first = plan.send_lost(HostId{1}, HostId{2}, t, 0);
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    (void)plan.resolver_down(HostId{i}, t);
+    (void)plan.replica_drained(ReplicaId{i}, t);
+  }
+  EXPECT_EQ(plan.send_lost(HostId{1}, HostId{2}, t, 0), first);
+}
+
+TEST(FaultPlan, AddValidatesRules) {
+  FaultPlan plan{1};
+  FaultRule bad_probability;
+  bad_probability.probability = 1.5;
+  EXPECT_THROW(plan.add(bad_probability), std::invalid_argument);
+
+  FaultRule backwards;
+  backwards.start = SimTime::epoch() + Hours(2);
+  backwards.end = SimTime::epoch() + Hours(1);
+  EXPECT_THROW(plan.add(backwards), std::invalid_argument);
+}
+
+TEST(FaultPlan, ChaosIntensityZeroIsEmpty) {
+  const FaultPlan plan =
+      FaultPlan::chaos(1, 0.0, SimTime::epoch(), SimTime::epoch() + Hours(1));
+  EXPECT_TRUE(plan.empty());
+}
+
+}  // namespace
+}  // namespace crp::sim
