@@ -1,0 +1,164 @@
+// Shared storage types and query kernels behind SimilarityEngine and
+// EngineSnapshot.
+//
+// The mutable engine and its frozen snapshots answer queries through the
+// *same* compiled kernels, each presenting its storage as a borrowed
+// `CorpusView`. That is the whole bit-identity argument for the
+// concurrent read path (DESIGN.md §8): a snapshot is a verbatim copy of
+// the engine's CSR arrays and posting lists, and a query never sees
+// which of the two owners lent it the view — there is no second
+// implementation to drift.
+//
+// Everything in `engine_detail` is internal: layouts and kernel
+// signatures may change freely between PRs. User code queries through
+// `SimilarityEngine` / `EngineSnapshot`.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/flat_matrix.hpp"
+#include "core/ratio_map.hpp"
+#include "core/selection.hpp"
+#include "core/similarity.hpp"
+
+namespace crp {
+class ThreadPool;
+}
+
+namespace crp::core {
+
+/// Borrowed view of one corpus row: the CSR entry segment (sorted by
+/// replica id) plus its precomputed norm and strongest mapping. A view
+/// of engine A's row can be replayed into engine B (`add_row`) or used
+/// as a query (`scores`/`best_match`) with bit-identical results —
+/// nothing is renormalized, so not a single bit of the ratios or the
+/// norm changes in transit. This is how the center-indexed SMF mirrors
+/// corpus rows into its small center engine, and how every query shape
+/// (RatioMap, corpus row, foreign row) funnels into one kernel. Views
+/// into a mutable engine are invalidated by any mutation of it; views
+/// into an EngineSnapshot stay valid as long as the snapshot is held.
+struct RowView {
+  std::span<const RatioMap::Entry> entries;
+  double norm = 0.0;
+  double strongest = 0.0;
+};
+
+namespace engine_detail {
+
+/// A CSR row: entries[begin .. begin + len). Updates point `begin` at
+/// a fresh segment and orphan the old one until compaction.
+struct Row {
+  std::size_t begin = 0;
+  std::uint32_t len = 0;
+  bool live = false;
+};
+
+/// One posting: a corpus row containing the replica, with its ratio.
+/// `map == kDeadPosting` marks a tombstone.
+struct Posting {
+  std::uint32_t map = 0;
+  double ratio = 0.0;
+};
+inline constexpr std::uint32_t kDeadPosting = 0xffffffffu;
+
+struct PostingList {
+  std::vector<Posting> items;
+  std::uint32_t live = 0;  // non-tombstoned items
+};
+
+/// Borrowed, read-only view of a whole corpus — the CSR arrays, the
+/// inverted replica index and the liveness summary. Both owners build
+/// one in O(1): the mutable engine over its members (valid until the
+/// next mutation; the single-writer contract says no mutation runs
+/// concurrently with a query), the snapshot over its frozen shared
+/// arrays (valid while the snapshot is held).
+struct CorpusView {
+  SimilarityKind kind = SimilarityKind::kCosine;
+  std::span<const Row> rows;
+  std::span<const RatioMap::Entry> entries;
+  std::span<const double> norms;
+  std::span<const double> strongest;
+  const std::unordered_map<ReplicaId, std::uint32_t>* replica_slot = nullptr;
+  std::span<const PostingList> post;
+  std::size_t live_rows = 0;
+
+  [[nodiscard]] std::size_t size() const { return rows.size(); }
+  [[nodiscard]] std::span<const RatioMap::Entry> row(std::size_t index) const {
+    return entries.subspan(rows[index].begin, rows[index].len);
+  }
+  [[nodiscard]] RowView row_view(std::size_t index) const {
+    return RowView{row(index), norms[index], strongest[index]};
+  }
+};
+
+/// Wraps a RatioMap as a query. The strongest mapping is irrelevant to
+/// scoring, so it is not computed.
+[[nodiscard]] inline RowView as_query(const RatioMap& map) {
+  return RowView{map.entries(), map.norm(), 0.0};
+}
+
+// --- scalar kernels ---
+// All take the query as a RowView; `query.entries.size()` doubles as the
+// query size (RatioMap::size() is its entry count). Each is bit-identical
+// to the corresponding pre-extraction SimilarityEngine member function —
+// the bodies moved verbatim, with member reads rewritten to view reads.
+
+/// Dense scores for every corpus row, 0 for dead/untouched rows.
+void dense_scores(const CorpusView& v, const RowView& query,
+                  std::span<double> out, std::size_t* touched_maps);
+
+/// Scores for the given rows only: out[i] = score of subset[i].
+void subset_scores(const CorpusView& v, const RowView& query,
+                   std::span<const std::size_t> subset, std::span<double> out,
+                   std::size_t* touched_maps);
+
+/// Best-scoring live row (ties to the lowest index; first live row at 0
+/// similarity when nothing is comparable); nullopt iff no live rows.
+[[nodiscard]] std::optional<RankedCandidate> best_match(
+    const CorpusView& v, const RowView& query, std::size_t* touched_maps);
+
+/// Top-k live rows by (similarity desc, index asc), zero-similarity
+/// padding in row order.
+void top_k_into(const CorpusView& v, const RowView& query, std::size_t k,
+                std::vector<RankedCandidate>& out);
+
+/// All live rows ranked, best first (stable descending sort).
+[[nodiscard]] std::vector<RankedCandidate> rank_all(const CorpusView& v,
+                                                    const RowView& query);
+
+/// Rows with strictly positive similarity to the query.
+[[nodiscard]] std::size_t comparable_count(const CorpusView& v,
+                                           const RowView& query);
+
+/// Appends zero-similarity live rows in row order until `out` reaches
+/// `want` entries, skipping indices already ranked in `out`.
+void pad_zero_rows(const CorpusView& v, std::vector<RankedCandidate>& out,
+                   std::size_t want);
+
+// --- batched kernels (tiled, parallel across tiles, deterministic) ---
+
+/// Default / maximum tile width for the batched kernels. The kernel
+/// tracks which queries of a tile touched each map in one std::uint64_t
+/// bitmask, so a tile holds at most 64 queries; tile requests are
+/// clamped to [1, kMaxQueryTile].
+inline constexpr std::size_t kQueryTile = 32;
+inline constexpr std::size_t kMaxQueryTile = 64;
+
+/// Dense scores for a batch of queries into `out` (must be pre-assigned
+/// to refs.size() x v.size(), zero-filled). Row `i` is bit-identical to
+/// `dense_scores(v, refs[i])`.
+void scores_batch(const CorpusView& v, std::span<const RowView> refs,
+                  FlatMatrix<double>& out, ThreadPool* pool,
+                  std::uint64_t* maps_touched, std::size_t tile);
+
+/// Batched top-k, result `i` bit-identical to scalar top_k of refs[i].
+[[nodiscard]] std::vector<std::vector<RankedCandidate>> topk_batch(
+    const CorpusView& v, std::span<const RowView> refs, std::size_t k,
+    ThreadPool* pool, std::uint64_t* maps_touched, std::size_t tile);
+
+}  // namespace engine_detail
+}  // namespace crp::core

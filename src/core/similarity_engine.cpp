@@ -1,95 +1,18 @@
 #include "core/similarity_engine.hpp"
 
 #include <algorithm>
-#include <bit>
 #include <cassert>
 #include <cstddef>
 
 #include "common/thread_pool.hpp"
-#include "common/top_k.hpp"
+#include "core/engine_snapshot.hpp"
 
 namespace crp::core {
 
-// Reused across queries (thread_local, see scratch()): `mark`/`epoch`
-// implement O(touched) clearing — a slot belongs to the current query only
-// if mark[m] == epoch, so no O(corpus) zeroing per query is needed.
-struct SimilarityEngine::Scratch {
-  std::vector<double> acc;          // cosine / weighted-overlap partial sums
-  std::vector<std::uint32_t> inter;  // jaccard intersection counts
-  std::vector<std::uint64_t> mark;
-  std::uint64_t epoch = 0;
-  std::vector<std::uint32_t> touched;
-
-  void begin(std::size_t n) {
-    if (mark.size() < n) {
-      mark.resize(n, 0);
-      acc.resize(n, 0.0);
-      inter.resize(n, 0);
-    }
-    ++epoch;
-    touched.clear();
-  }
-};
-
-SimilarityEngine::Scratch& SimilarityEngine::scratch() {
-  static thread_local Scratch s;
-  return s;
-}
-
-// Scratch for one tile of the batched kernel. The accumulator blocks are
-// SoA: acc(q, m) / inter(q, m) hold query q's partial sum against map m,
-// and qmask[m] records which queries of the tile touched map m (bit q).
-// Query-major layout on purpose: posting lists are walked in ascending
-// map order, so each query streams sequentially down its own 8-byte-
-// stride row — the same access pattern (and footprint per query) as the
-// scalar accumulator — instead of striding tile-width cache lines apart.
-// Like the scalar Scratch, clearing is O(touched): the blocks hold stale
-// garbage between tiles by design — the qmask bit decides assign-vs-add
-// on first touch, so no O(maps x tile) zeroing happens per tile.
-struct SimilarityEngine::BatchScratch {
-  struct Tagged {  // one query entry, tagged with its in-tile query index
-    ReplicaId id{};
-    std::uint32_t q = 0;
-    double ratio = 0.0;
-  };
-  std::vector<Tagged> gathered;
-  std::vector<std::uint64_t> mark;
-  std::vector<std::uint64_t> qmask;
-  std::uint64_t epoch = 0;
-  // Per-query first-touch lists: touched_q[q] holds the maps query q
-  // shares a replica with, in first-touch (ascending replica) order.
-  // Finalizing walks exactly these cells — O(touched), never O(tile x
-  // maps) — and each walk stays inside the query's own scratch row.
-  std::vector<std::vector<std::uint32_t>> touched_q;
-  FlatMatrix<double> acc;             // cosine / weighted-overlap sums
-  FlatMatrix<std::uint32_t> inter;    // jaccard intersection counts
-
-  void begin(std::size_t n, std::size_t width, SimilarityKind kind) {
-    if (mark.size() < n) {
-      mark.resize(n, 0);
-      qmask.resize(n, 0);
-    }
-    if (touched_q.size() < width) touched_q.resize(width);
-    for (std::size_t q = 0; q < width; ++q) touched_q[q].clear();
-    // Grow-only: reshaping would also re-zero rows * cols elements.
-    if (kind == SimilarityKind::kJaccard) {
-      if (inter.rows() < width || inter.cols() < n) {
-        inter.assign(std::max(width, inter.rows()), std::max(n, inter.cols()),
-                     0);
-      }
-    } else {
-      if (acc.rows() < width || acc.cols() < n) {
-        acc.assign(std::max(width, acc.rows()), std::max(n, acc.cols()), 0.0);
-      }
-    }
-    ++epoch;
-  }
-};
-
-SimilarityEngine::BatchScratch& SimilarityEngine::batch_scratch() {
-  static thread_local BatchScratch s;
-  return s;
-}
+using engine_detail::kDeadPosting;
+using engine_detail::Posting;
+using engine_detail::PostingList;
+using engine_detail::Row;
 
 SimilarityEngine::SimilarityEngine(SimilarityKind kind) : kind_(kind) {}
 
@@ -120,6 +43,9 @@ void SimilarityEngine::write_row(std::size_t index, const RowView& source) {
   norms_[index] = source.norm;
   strongest_[index] = source.strongest;
   live_entries_ += src.size();
+  ++rows_version_;
+  ++entries_version_;
+  ++postings_version_;
 
   for (const auto& [id, ratio] : src) {
     const auto [it, inserted] =
@@ -150,6 +76,10 @@ void SimilarityEngine::tombstone_row(std::size_t index) {
   }
   dead_entries_ += r.len;
   live_entries_ -= r.len;
+  // The orphaned entry segment's bytes are untouched, so only the
+  // posting index dirties here (entries_version_ stays put — that is
+  // what lets remove-only churn share the entry array across freezes).
+  ++postings_version_;
 }
 
 std::size_t SimilarityEngine::add_impl(const RowView& source) {
@@ -196,6 +126,9 @@ void SimilarityEngine::clear(SimilarityKind kind) {
   }
   live_replicas_ = 0;
   mstats_ = MutationStats{};
+  ++rows_version_;
+  ++entries_version_;
+  ++postings_version_;
 }
 
 void SimilarityEngine::update(std::size_t index, const RatioMap& map) {
@@ -218,6 +151,7 @@ void SimilarityEngine::remove(std::size_t index) {
   free_rows_.push_back(static_cast<std::uint32_t>(index));
   --live_rows_;
   ++mstats_.removes;
+  ++rows_version_;
   maybe_compact();
 }
 
@@ -251,98 +185,66 @@ void SimilarityEngine::compact() {
   }
   dead_entries_ = 0;
   ++mstats_.compactions;
+  ++rows_version_;
+  ++entries_version_;
+  ++postings_version_;
 }
 
-void SimilarityEngine::accumulate(std::span<const RatioMap::Entry> entries,
-                                  Scratch& s) const {
-  s.begin(size());
-  for (const auto& [id, q_ratio] : entries) {
-    const auto it = replica_slot_.find(id);
-    if (it == replica_slot_.end()) continue;
-    const PostingList& list = post_[it->second];
-    if (list.live == 0) continue;
-    // Query entries arrive in increasing replica-id order, so each touched
-    // map accumulates its shared replicas in exactly the order the
-    // per-pair sorted merge visits them — scores stay bit-identical.
-    switch (kind_) {
-      case SimilarityKind::kCosine:
-        for (const Posting& p : list.items) {
-          if (p.map == kDeadPosting) continue;
-          const std::uint32_t m = p.map;
-          if (s.mark[m] != s.epoch) {
-            s.mark[m] = s.epoch;
-            s.acc[m] = 0.0;
-            s.touched.push_back(m);
-          }
-          s.acc[m] += q_ratio * p.ratio;
-        }
-        break;
-      case SimilarityKind::kJaccard:
-        for (const Posting& p : list.items) {
-          if (p.map == kDeadPosting) continue;
-          const std::uint32_t m = p.map;
-          if (s.mark[m] != s.epoch) {
-            s.mark[m] = s.epoch;
-            s.inter[m] = 0;
-            s.touched.push_back(m);
-          }
-          ++s.inter[m];
-        }
-        break;
-      case SimilarityKind::kWeightedOverlap:
-        for (const Posting& p : list.items) {
-          if (p.map == kDeadPosting) continue;
-          const std::uint32_t m = p.map;
-          if (s.mark[m] != s.epoch) {
-            s.mark[m] = s.epoch;
-            s.acc[m] = 0.0;
-            s.touched.push_back(m);
-          }
-          s.acc[m] += std::min(q_ratio, p.ratio);
-        }
-        break;
-    }
+std::shared_ptr<const EngineSnapshot> SimilarityEngine::freeze(
+    std::uint64_t epoch) {
+  FreezeCache& c = freeze_cache_;
+  const bool clean = c.snapshot != nullptr &&
+                     c.rows_version == rows_version_ &&
+                     c.entries_version == entries_version_ &&
+                     c.postings_version == postings_version_;
+  if (clean && c.snapshot->epoch() == epoch) return c.snapshot;
+
+  auto snap = std::shared_ptr<EngineSnapshot>(new EngineSnapshot());
+  snap->kind_ = kind_;
+  snap->epoch_ = epoch;
+  snap->live_rows_ = live_rows_;
+  snap->live_replicas_ = live_replicas_;
+  // Copy exactly the components a mutation dirtied since the retained
+  // snapshot was cut; share the rest. The row-metadata component bundles
+  // rows_/norms_/strongest_ (they dirty together).
+  if (c.snapshot != nullptr && c.rows_version == rows_version_) {
+    snap->rows_ = c.snapshot->rows_;
+    snap->norms_ = c.snapshot->norms_;
+    snap->strongest_ = c.snapshot->strongest_;
+  } else {
+    snap->rows_ = std::make_shared<const std::vector<Row>>(rows_);
+    snap->norms_ = std::make_shared<const std::vector<double>>(norms_);
+    snap->strongest_ = std::make_shared<const std::vector<double>>(strongest_);
   }
-}
-
-double SimilarityEngine::finish_score(std::size_t m, double query_norm,
-                                      std::size_t query_size, double acc,
-                                      std::uint32_t inter) const {
-  switch (kind_) {
-    case SimilarityKind::kCosine: {
-      const double denominator = query_norm * norms_[m];
-      if (denominator <= 0.0) return 0.0;
-      return std::clamp(acc / denominator, 0.0, 1.0);
-    }
-    case SimilarityKind::kJaccard: {
-      const std::size_t uni = query_size + rows_[m].len - inter;
-      if (uni == 0) return 0.0;
-      return static_cast<double>(inter) / static_cast<double>(uni);
-    }
-    case SimilarityKind::kWeightedOverlap:
-      return std::clamp(acc, 0.0, 1.0);
+  if (c.snapshot != nullptr && c.entries_version == entries_version_) {
+    snap->entries_ = c.snapshot->entries_;
+  } else {
+    snap->entries_ =
+        std::make_shared<const std::vector<RatioMap::Entry>>(entries_);
   }
-  return 0.0;
+  if (c.snapshot != nullptr && c.postings_version == postings_version_) {
+    snap->replica_slot_ = c.snapshot->replica_slot_;
+    snap->post_ = c.snapshot->post_;
+  } else {
+    snap->replica_slot_ = std::make_shared<
+        const std::unordered_map<ReplicaId, std::uint32_t>>(replica_slot_);
+    snap->post_ = std::make_shared<const std::vector<PostingList>>(post_);
+  }
+  c.snapshot = snap;
+  c.rows_version = rows_version_;
+  c.entries_version = entries_version_;
+  c.postings_version = postings_version_;
+  return snap;
 }
 
-double SimilarityEngine::score_touched(std::size_t m, double query_norm,
-                                       std::size_t query_size,
-                                       const Scratch& s) const {
-  // The sibling accumulator (acc for jaccard, inter otherwise) holds a
-  // stale value from an earlier query; finish_score never reads it.
-  return finish_score(m, query_norm, query_size, s.acc[m], s.inter[m]);
-}
+// --- query forwarding: every public query runs the shared kernels over
+// --- this engine's CorpusView (bit-identity with EngineSnapshot by
+// --- construction — same code, same storage bytes).
 
 void SimilarityEngine::scores(const RatioMap& query, std::span<double> out,
                               std::size_t* touched_maps) const {
-  Scratch& s = scratch();
-  accumulate(query.entries(), s);
-  std::fill(out.begin(), out.end(), 0.0);
-  const double query_norm = query.norm();
-  for (const std::uint32_t m : s.touched) {
-    out[m] = score_touched(m, query_norm, query.size(), s);
-  }
-  if (touched_maps != nullptr) *touched_maps = s.touched.size();
+  engine_detail::dense_scores(view(), engine_detail::as_query(query), out,
+                              touched_maps);
 }
 
 std::vector<double> SimilarityEngine::scores(const RatioMap& query) const {
@@ -353,14 +255,7 @@ std::vector<double> SimilarityEngine::scores(const RatioMap& query) const {
 
 void SimilarityEngine::scores_of(std::size_t index, std::span<double> out,
                                  std::size_t* touched_maps) const {
-  Scratch& s = scratch();
-  const auto entries = row(index);
-  accumulate(entries, s);
-  std::fill(out.begin(), out.end(), 0.0);
-  for (const std::uint32_t m : s.touched) {
-    out[m] = score_touched(m, norms_[index], entries.size(), s);
-  }
-  if (touched_maps != nullptr) *touched_maps = s.touched.size();
+  engine_detail::dense_scores(view(), row_view(index), out, touched_maps);
 }
 
 std::vector<double> SimilarityEngine::scores_of(std::size_t index) const {
@@ -371,360 +266,55 @@ std::vector<double> SimilarityEngine::scores_of(std::size_t index) const {
 
 void SimilarityEngine::scores(const RowView& query, std::span<double> out,
                               std::size_t* touched_maps) const {
-  Scratch& s = scratch();
-  accumulate(query.entries, s);
-  std::fill(out.begin(), out.end(), 0.0);
-  for (const std::uint32_t m : s.touched) {
-    out[m] = score_touched(m, query.norm, query.entries.size(), s);
-  }
-  if (touched_maps != nullptr) *touched_maps = s.touched.size();
+  engine_detail::dense_scores(view(), query, out, touched_maps);
 }
 
 void SimilarityEngine::scores_subset(const RatioMap& query,
                                      std::span<const std::size_t> subset,
                                      std::span<double> out,
                                      std::size_t* touched_maps) const {
-  Scratch& s = scratch();
-  accumulate(query.entries(), s);
-  const double query_norm = query.norm();
-  for (std::size_t i = 0; i < subset.size(); ++i) {
-    const std::size_t m = subset[i];
-    out[i] = s.mark[m] == s.epoch
-                 ? score_touched(m, query_norm, query.size(), s)
-                 : 0.0;
-  }
-  if (touched_maps != nullptr) *touched_maps = s.touched.size();
+  engine_detail::subset_scores(view(), engine_detail::as_query(query), subset,
+                               out, touched_maps);
 }
 
 void SimilarityEngine::scores_of_subset(std::size_t index,
                                         std::span<const std::size_t> subset,
                                         std::span<double> out,
                                         std::size_t* touched_maps) const {
-  Scratch& s = scratch();
-  const auto entries = row(index);
-  accumulate(entries, s);
-  for (std::size_t i = 0; i < subset.size(); ++i) {
-    const std::size_t m = subset[i];
-    out[i] = s.mark[m] == s.epoch
-                 ? score_touched(m, norms_[index], entries.size(), s)
-                 : 0.0;
-  }
-  if (touched_maps != nullptr) *touched_maps = s.touched.size();
+  engine_detail::subset_scores(view(), row_view(index), subset, out,
+                               touched_maps);
 }
 
 std::optional<RankedCandidate> SimilarityEngine::best_match(
     const RowView& query, std::size_t* touched_maps) const {
-  if (live_rows_ == 0) {
-    if (touched_maps != nullptr) *touched_maps = 0;
-    return std::nullopt;
-  }
-  Scratch& s = scratch();
-  accumulate(query.entries, s);
-  if (touched_maps != nullptr) *touched_maps = s.touched.size();
-  // Scan the touched maps only. A dense argmax starting at -1 with a
-  // strict `>` comparison picks (max score, lowest index) over all rows;
-  // untouched live rows all score exactly 0, so whenever some touched map
-  // scores > 0 the touched-only scan agrees with the dense one. If no
-  // touched map beats 0, the dense argmax lands on the first live row at
-  // 0 — reproduced by the fallback below.
-  double best = 0.0;
-  std::size_t best_index = size();
-  for (const std::uint32_t m : s.touched) {
-    const double score = score_touched(m, query.norm, query.entries.size(), s);
-    if (score > best || (score == best && m < best_index)) {
-      best = score;
-      best_index = m;
-    }
-  }
-  if (best > 0.0) return RankedCandidate{best_index, best};
-  for (std::size_t m = 0; m < size(); ++m) {
-    if (rows_[m].live) return RankedCandidate{m, 0.0};
-  }
-  return std::nullopt;  // unreachable: live_rows_ > 0
+  return engine_detail::best_match(view(), query, touched_maps);
 }
 
 std::vector<RankedCandidate> SimilarityEngine::rank_all(
     const RatioMap& query) const {
-  // Same algorithm as rank_candidates, with the per-pair merges replaced
-  // by one engine query: dense scores, then a stable descending sort.
-  // Dead rows are dropped up front — they are not corpus members.
-  const std::vector<double> all = scores(query);
-  std::vector<RankedCandidate> ranked;
-  ranked.reserve(live_rows_);
-  for (std::size_t i = 0; i < all.size(); ++i) {
-    if (!rows_[i].live) continue;
-    ranked.push_back(RankedCandidate{i, all[i]});
-  }
-  std::stable_sort(ranked.begin(), ranked.end(),
-                   [](const RankedCandidate& a, const RankedCandidate& b) {
-                     return a.similarity > b.similarity;
-                   });
-  return ranked;
-}
-
-void SimilarityEngine::top_k_into(std::span<const RatioMap::Entry> entries,
-                                  double query_norm, std::size_t query_size,
-                                  std::size_t k,
-                                  std::vector<RankedCandidate>& out) const {
-  out.clear();
-  const std::size_t want = std::min(k, live_rows_);
-  if (want == 0) return;
-
-  Scratch& s = scratch();
-  accumulate(entries, s);
-  // (similarity, index) pairs are unique per map, so ranking by
-  // (similarity desc, index asc) is a total order: the bounded heap keeps
-  // exactly the maps a full sort + truncate would, in the same order —
-  // matching rank_candidates' stable sort — at O(touched log k).
-  const auto better = [](const RankedCandidate& a, const RankedCandidate& b) {
-    return a.similarity > b.similarity ||
-           (a.similarity == b.similarity && a.index < b.index);
-  };
-  BoundedTopK<RankedCandidate, decltype(better)> heap(want, better);
-  for (const std::uint32_t m : s.touched) {
-    const double score = score_touched(m, query_norm, query_size, s);
-    if (score > 0.0) heap.offer(RankedCandidate{m, score});
-  }
-  out = heap.take_sorted();
-  // A short heap kept every positive-similarity map, so padding skips
-  // exactly the already-ranked indices.
-  if (out.size() < want) pad_zero_rows(out, want);
-}
-
-void SimilarityEngine::pad_zero_rows(std::vector<RankedCandidate>& out,
-                                     std::size_t want) const {
-  // Pad with zero-similarity live maps in row order (the order the stable
-  // sort leaves ties in), skipping the maps already ranked.
-  std::vector<std::uint32_t> taken;
-  taken.reserve(out.size());
-  for (const RankedCandidate& rc : out) {
-    taken.push_back(static_cast<std::uint32_t>(rc.index));
-  }
-  std::sort(taken.begin(), taken.end());
-  std::size_t next_taken = 0;
-  for (std::size_t m = 0; m < size() && out.size() < want; ++m) {
-    if (next_taken < taken.size() && taken[next_taken] == m) {
-      ++next_taken;
-      continue;
-    }
-    if (!rows_[m].live) continue;
-    out.push_back(RankedCandidate{m, 0.0});
-  }
+  return engine_detail::rank_all(view(), engine_detail::as_query(query));
 }
 
 std::vector<RankedCandidate> SimilarityEngine::top_k(const RatioMap& query,
                                                      std::size_t k) const {
   std::vector<RankedCandidate> out;
-  top_k_into(query.entries(), query.norm(), query.size(), k, out);
+  engine_detail::top_k_into(view(), engine_detail::as_query(query), k, out);
   return out;
 }
 
 std::size_t SimilarityEngine::comparable_count(const RatioMap& query) const {
-  Scratch& s = scratch();
-  accumulate(query.entries(), s);
-  std::size_t count = 0;
-  for (const std::uint32_t m : s.touched) {
-    // A touched map shares a replica, so its intersection (jaccard) or
-    // partial sum (cosine, weighted overlap) is positive unless the
-    // products underflowed — the same condition similarity() > 0 tests.
-    if (kind_ == SimilarityKind::kJaccard ? s.inter[m] > 0
-                                          : s.acc[m] > 0.0) {
-      ++count;
-    }
-  }
-  return count;
+  return engine_detail::comparable_count(view(),
+                                         engine_detail::as_query(query));
 }
-
-void SimilarityEngine::accumulate_tile(std::span<const RowView> tile,
-                                       BatchScratch& s) const {
-  assert(tile.size() <= kMaxQueryTile);
-  s.begin(size(), tile.size(), kind_);
-
-  // Gather every query entry of the tile, tagged with its query index,
-  // and order by (replica id, query). Each distinct replica of the tile
-  // then costs one slot lookup shared by every query holding it, while
-  // each query's own entries keep their increasing replica-id order.
-  // That order is the scalar accumulation order, which is what keeps
-  // every (query, map) partial sum bit-identical to `accumulate`: per
-  // pair, the same terms in the same order.
-  s.gathered.clear();
-  std::size_t total = 0;
-  for (const RowView& q : tile) total += q.entries.size();
-  s.gathered.reserve(total);
-  for (std::uint32_t q = 0; q < tile.size(); ++q) {
-    for (const auto& [id, ratio] : tile[q].entries) {
-      s.gathered.push_back(BatchScratch::Tagged{id, q, ratio});
-    }
-  }
-  std::sort(s.gathered.begin(), s.gathered.end(),
-            [](const BatchScratch::Tagged& a, const BatchScratch::Tagged& b) {
-              return a.id != b.id ? a.id < b.id : a.q < b.q;
-            });
-
-  for (std::size_t g = 0; g < s.gathered.size();) {
-    const ReplicaId id = s.gathered[g].id;
-    std::size_t g_end = g + 1;
-    while (g_end < s.gathered.size() && s.gathered[g_end].id == id) ++g_end;
-    const auto it = replica_slot_.find(id);
-    if (it == replica_slot_.end() || post_[it->second].live == 0) {
-      g = g_end;
-      continue;
-    }
-    const PostingList& list = post_[it->second];
-    // For each gathered query holding this replica, walk the posting
-    // list once, streaming terms into that query's accumulator row (maps
-    // ascend along the list, so the row is written near-sequentially).
-    // A query has at most one entry per replica, so per (query, map)
-    // pair a group contributes exactly one term — entry order within the
-    // group cannot reorder any pair's partial sums, and groups ascend by
-    // replica id, which is the scalar accumulation order. First touch
-    // per (query, map) assigns instead of adding, so the accumulator
-    // block never needs zeroing — and an assigned first term is bitwise
-    // the term itself, exactly as if added to a zeroed slot.
-    for (std::size_t t = g; t < g_end; ++t) {
-      const BatchScratch::Tagged& e = s.gathered[t];
-      const std::uint64_t bit = std::uint64_t{1} << e.q;
-      switch (kind_) {
-        case SimilarityKind::kCosine: {
-          const auto acc_row = s.acc.row(e.q);
-          auto& tq = s.touched_q[e.q];
-          for (const Posting& p : list.items) {
-            if (p.map == kDeadPosting) continue;
-            const std::uint32_t m = p.map;
-            if (s.mark[m] != s.epoch) {
-              s.mark[m] = s.epoch;
-              s.qmask[m] = 0;
-            }
-            const double v = e.ratio * p.ratio;
-            if ((s.qmask[m] & bit) != 0) {
-              acc_row[m] += v;
-            } else {
-              acc_row[m] = v;
-              s.qmask[m] |= bit;
-              tq.push_back(m);
-            }
-          }
-          break;
-        }
-        case SimilarityKind::kJaccard: {
-          const auto inter_row = s.inter.row(e.q);
-          auto& tq = s.touched_q[e.q];
-          for (const Posting& p : list.items) {
-            if (p.map == kDeadPosting) continue;
-            const std::uint32_t m = p.map;
-            if (s.mark[m] != s.epoch) {
-              s.mark[m] = s.epoch;
-              s.qmask[m] = 0;
-            }
-            if ((s.qmask[m] & bit) != 0) {
-              ++inter_row[m];
-            } else {
-              inter_row[m] = 1;
-              s.qmask[m] |= bit;
-              tq.push_back(m);
-            }
-          }
-          break;
-        }
-        case SimilarityKind::kWeightedOverlap: {
-          const auto acc_row = s.acc.row(e.q);
-          auto& tq = s.touched_q[e.q];
-          for (const Posting& p : list.items) {
-            if (p.map == kDeadPosting) continue;
-            const std::uint32_t m = p.map;
-            if (s.mark[m] != s.epoch) {
-              s.mark[m] = s.epoch;
-              s.qmask[m] = 0;
-            }
-            const double v = std::min(e.ratio, p.ratio);
-            if ((s.qmask[m] & bit) != 0) {
-              acc_row[m] += v;
-            } else {
-              acc_row[m] = v;
-              s.qmask[m] |= bit;
-              tq.push_back(m);
-            }
-          }
-          break;
-        }
-      }
-    }
-    g = g_end;
-  }
-}
-
-template <typename Finalize>
-void SimilarityEngine::batch_tiles(std::span<const RowView> queries,
-                                   ThreadPool* pool, std::size_t tile,
-                                   std::uint64_t* maps_touched,
-                                   const Finalize& finalize) const {
-  tile = std::clamp<std::size_t>(tile, 1, kMaxQueryTile);
-  const std::size_t tiles = (queries.size() + tile - 1) / tile;
-  // Per-tile slots summed in tile order afterwards: touched totals stay
-  // deterministic for any pool size (the deterministic-merge pattern).
-  std::vector<std::uint64_t> tile_touched(tiles, 0);
-  ThreadPool& p = pool != nullptr ? *pool : ThreadPool::shared();
-  p.parallel_for(0, tiles, [&](std::size_t t) {
-    const std::size_t q0 = t * tile;
-    const std::size_t qn = std::min(tile, queries.size() - q0);
-    BatchScratch& s = batch_scratch();
-    accumulate_tile(queries.subspan(q0, qn), s);
-    std::uint64_t touched = 0;
-    for (std::size_t q = 0; q < qn; ++q) touched += s.touched_q[q].size();
-    tile_touched[t] = touched;
-    finalize(q0, queries.subspan(q0, qn), s);
-  });
-  if (maps_touched != nullptr) {
-    std::uint64_t total = 0;
-    for (const std::uint64_t t : tile_touched) total += t;
-    *maps_touched = total;
-  }
-}
-
-namespace {
-/// Reads query q's accumulated value for map m out of the tile scratch.
-/// Only the kind-relevant block is allocated; the other reads as 0.
-struct TileCell {
-  double acc = 0.0;
-  std::uint32_t inter = 0;
-};
-}  // namespace
 
 FlatMatrix<double> SimilarityEngine::scores_batch(
     std::span<const RatioMap> queries, ThreadPool* pool,
     std::uint64_t* maps_touched, std::size_t tile) const {
   std::vector<RowView> refs;
   refs.reserve(queries.size());
-  for (const RatioMap& q : queries) {
-    // strongest is irrelevant to scoring; skip computing it.
-    refs.push_back(RowView{q.entries(), q.norm(), 0.0});
-  }
+  for (const RatioMap& q : queries) refs.push_back(engine_detail::as_query(q));
   FlatMatrix<double> out(queries.size(), size());  // zero-initialised
-  const bool jaccard = kind_ == SimilarityKind::kJaccard;
-  batch_tiles(refs, pool, tile, maps_touched,
-              [this, &out, jaccard](std::size_t q0,
-                                    std::span<const RowView> tile_q,
-                                    BatchScratch& s) {
-                // Rows start zeroed, so writing the touched cells only
-                // reproduces the scalar zero-fill + touched-overwrite —
-                // and each query's walk stays inside its own scratch and
-                // output rows.
-                for (std::uint32_t q = 0; q < tile_q.size(); ++q) {
-                  const auto out_row = out.row(q0 + q);
-                  for (const std::uint32_t m : s.touched_q[q]) {
-                    TileCell cell;
-                    if (jaccard) {
-                      cell.inter = s.inter(q, m);
-                    } else {
-                      cell.acc = s.acc(q, m);
-                    }
-                    out_row[m] =
-                        finish_score(m, tile_q[q].norm,
-                                     tile_q[q].entries.size(), cell.acc,
-                                     cell.inter);
-                  }
-                }
-              });
+  engine_detail::scores_batch(view(), refs, out, pool, maps_touched, tile);
   return out;
 }
 
@@ -737,27 +327,7 @@ void SimilarityEngine::scores_of_batch(std::span<const std::size_t> rows,
   refs.reserve(rows.size());
   for (const std::size_t index : rows) refs.push_back(row_view(index));
   out.assign(rows.size(), size(), 0.0);
-  const bool jaccard = kind_ == SimilarityKind::kJaccard;
-  batch_tiles(refs, pool, tile, maps_touched,
-              [this, &out, jaccard](std::size_t q0,
-                                    std::span<const RowView> tile_q,
-                                    BatchScratch& s) {
-                for (std::uint32_t q = 0; q < tile_q.size(); ++q) {
-                  const auto out_row = out.row(q0 + q);
-                  for (const std::uint32_t m : s.touched_q[q]) {
-                    TileCell cell;
-                    if (jaccard) {
-                      cell.inter = s.inter(q, m);
-                    } else {
-                      cell.acc = s.acc(q, m);
-                    }
-                    out_row[m] =
-                        finish_score(m, tile_q[q].norm,
-                                     tile_q[q].entries.size(), cell.acc,
-                                     cell.inter);
-                  }
-                }
-              });
+  engine_detail::scores_batch(view(), refs, out, pool, maps_touched, tile);
 }
 
 std::vector<std::vector<RankedCandidate>> SimilarityEngine::topk_batch(
@@ -765,62 +335,17 @@ std::vector<std::vector<RankedCandidate>> SimilarityEngine::topk_batch(
     std::uint64_t* maps_touched, std::size_t tile) const {
   std::vector<RowView> refs;
   refs.reserve(queries.size());
-  for (const RatioMap& q : queries) {
-    refs.push_back(RowView{q.entries(), q.norm(), 0.0});
-  }
-  std::vector<std::vector<RankedCandidate>> out(queries.size());
-  const std::size_t want = std::min(k, live_rows_);
-  const bool jaccard = kind_ == SimilarityKind::kJaccard;
-  const auto better = [](const RankedCandidate& a, const RankedCandidate& b) {
-    return a.similarity > b.similarity ||
-           (a.similarity == b.similarity && a.index < b.index);
-  };
-  batch_tiles(refs, pool, tile, maps_touched,
-              [this, &out, want, jaccard, better](
-                  std::size_t q0, std::span<const RowView> tile_q,
-                  BatchScratch& s) {
-                if (want == 0) return;  // out slots stay empty, as scalar
-                std::vector<BoundedTopK<RankedCandidate, decltype(better)>>
-                    heaps;
-                heaps.reserve(tile_q.size());
-                for (std::size_t q = 0; q < tile_q.size(); ++q) {
-                  heaps.emplace_back(want, better);
-                }
-                // Offers follow each query's first-touch order; the
-                // bounded heap keeps the same k for any offer order
-                // (total order), so this matches the scalar result.
-                for (std::uint32_t q = 0; q < tile_q.size(); ++q) {
-                  for (const std::uint32_t m : s.touched_q[q]) {
-                    TileCell cell;
-                    if (jaccard) {
-                      cell.inter = s.inter(q, m);
-                    } else {
-                      cell.acc = s.acc(q, m);
-                    }
-                    const double score =
-                        finish_score(m, tile_q[q].norm,
-                                     tile_q[q].entries.size(), cell.acc,
-                                     cell.inter);
-                    if (score > 0.0) heaps[q].offer(RankedCandidate{m, score});
-                  }
-                }
-                for (std::size_t q = 0; q < tile_q.size(); ++q) {
-                  out[q0 + q] = heaps[q].take_sorted();
-                  if (out[q0 + q].size() < want) {
-                    pad_zero_rows(out[q0 + q], want);
-                  }
-                }
-              });
-  return out;
+  for (const RatioMap& q : queries) refs.push_back(engine_detail::as_query(q));
+  return engine_detail::topk_batch(view(), refs, k, pool, maps_touched, tile);
 }
 
 std::vector<std::vector<RankedCandidate>> SimilarityEngine::all_top_k(
     std::size_t k, ThreadPool* pool) const {
   std::vector<std::vector<RankedCandidate>> out(size());
+  const engine_detail::CorpusView v = view();
   ThreadPool& p = pool != nullptr ? *pool : ThreadPool::shared();
-  p.parallel_for(0, size(), [this, k, &out](std::size_t i) {
-    const auto entries = row(i);
-    top_k_into(entries, norms_[i], entries.size(), k, out[i]);
+  p.parallel_for(0, size(), [this, v, k, &out](std::size_t i) {
+    engine_detail::top_k_into(v, row_view(i), k, out[i]);
   });
   return out;
 }
@@ -828,9 +353,11 @@ std::vector<std::vector<RankedCandidate>> SimilarityEngine::all_top_k(
 FlatMatrix<double> SimilarityEngine::scores_many(
     std::span<const RatioMap> queries, ThreadPool* pool) const {
   FlatMatrix<double> out(queries.size(), size());
+  const engine_detail::CorpusView v = view();
   ThreadPool& p = pool != nullptr ? *pool : ThreadPool::shared();
-  p.parallel_for(0, queries.size(), [this, queries, &out](std::size_t i) {
-    scores(queries[i], out.row(i));
+  p.parallel_for(0, queries.size(), [v, queries, &out](std::size_t i) {
+    engine_detail::dense_scores(v, engine_detail::as_query(queries[i]),
+                                out.row(i), nullptr);
   });
   return out;
 }
@@ -838,9 +365,10 @@ FlatMatrix<double> SimilarityEngine::scores_many(
 FlatMatrix<double> SimilarityEngine::pairwise_similarities(
     ThreadPool* pool) const {
   FlatMatrix<double> out(size(), size());
+  const engine_detail::CorpusView v = view();
   ThreadPool& p = pool != nullptr ? *pool : ThreadPool::shared();
-  p.parallel_for(0, size(), [this, &out](std::size_t i) {
-    scores_of(i, out.row(i));
+  p.parallel_for(0, size(), [this, v, &out](std::size_t i) {
+    engine_detail::dense_scores(v, row_view(i), out.row(i), nullptr);
   });
   return out;
 }

@@ -39,15 +39,23 @@
 // bit-identical regardless of the thread pool's size, including the
 // inline (0-thread) pool. Mutations are not thread-safe; quiesce queries
 // before calling add/update/remove/compact.
+//
+// Concurrent serving (DESIGN.md §8): `freeze()` produces an immutable
+// `EngineSnapshot` sharing this engine's query kernels (and, across
+// consecutive freezes, any storage components no mutation dirtied).
+// The engine itself stays single-writer: freeze() is a writer-side call,
+// and published snapshots are what reader threads query lock-free.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "common/flat_matrix.hpp"
+#include "core/engine_kernels.hpp"
 #include "core/ratio_map.hpp"
 #include "core/selection.hpp"
 #include "core/similarity.hpp"
@@ -58,21 +66,13 @@ class ThreadPool;
 
 namespace crp::core {
 
+class EngineSnapshot;
+
 class SimilarityEngine {
  public:
-  /// Borrowed view of one corpus row: the CSR entry segment (sorted by
-  /// replica id) plus its precomputed norm and strongest mapping. A view
-  /// of engine A's row can be replayed into engine B (`add_row`) or used
-  /// as a query (`scores`/`best_match`) with bit-identical results —
-  /// nothing is renormalized, so not a single bit of the ratios or the
-  /// norm changes in transit. This is how the center-indexed SMF mirrors
-  /// corpus rows into its small center engine. Views are invalidated by
-  /// any mutation of the owning engine.
-  struct RowView {
-    std::span<const RatioMap::Entry> entries;
-    double norm = 0.0;
-    double strongest = 0.0;
-  };
+  /// The query/row view type (see engine_kernels.hpp). Kept as a member
+  /// alias for source compatibility with pre-snapshot callers.
+  using RowView = core::RowView;
   /// Mutation counters (monotonic over the engine's lifetime).
   struct MutationStats {
     std::uint64_t adds = 0;
@@ -158,6 +158,23 @@ class SimilarityEngine {
     return mstats_;
   }
 
+  // --- freezing (the concurrent read path, DESIGN.md §8) ---
+
+  /// Returns an immutable snapshot of the live corpus, tagged with the
+  /// caller's membership `epoch`. Queries against the snapshot are
+  /// bit-identical to the same queries against this engine right now —
+  /// they run through the same kernels over verbatim copies of the CSR
+  /// arrays and posting lists. Storage components no mutation dirtied
+  /// since the previous freeze are *shared* with that snapshot instead
+  /// of copied (tracked per component: row metadata, the entry array,
+  /// the posting index), so freezes between mutations are O(1) and a
+  /// remove-only churn window never recopies the entry array. Writer-
+  /// side call: not safe concurrently with mutations, and the engine
+  /// retains the newest snapshot for sharing, so an idle engine keeps
+  /// at most one full copy alive.
+  [[nodiscard]] std::shared_ptr<const EngineSnapshot> freeze(
+      std::uint64_t epoch);
+
   // --- single-query paths ---
 
   /// Similarity of `query` to every corpus row, indexed by row position
@@ -232,8 +249,8 @@ class SimilarityEngine {
   /// a tile touched each map in one std::uint64_t bitmask, so a tile
   /// holds at most 64 queries; tile requests are clamped to
   /// [1, kMaxQueryTile].
-  static constexpr std::size_t kQueryTile = 32;
-  static constexpr std::size_t kMaxQueryTile = 64;
+  static constexpr std::size_t kQueryTile = engine_detail::kQueryTile;
+  static constexpr std::size_t kMaxQueryTile = engine_detail::kMaxQueryTile;
 
   /// Dense scores for a batch of external queries, row `i` of the result
   /// bit-identical to `scores(queries[i])`. Unlike `scores_many` (one
@@ -290,84 +307,17 @@ class SimilarityEngine {
       ThreadPool* pool = nullptr) const;
 
  private:
-  struct Scratch;
-  struct BatchScratch;
-
-  /// A CSR row: entries_[begin .. begin + len). Updates point `begin` at
-  /// a fresh segment and orphan the old one until compaction.
-  struct Row {
-    std::size_t begin = 0;
-    std::uint32_t len = 0;
-    bool live = false;
-  };
-
-  /// One posting: a corpus row containing the replica, with its ratio.
-  /// `map == kDeadPosting` marks a tombstone.
-  struct Posting {
-    std::uint32_t map = 0;
-    double ratio = 0.0;
-  };
-  static constexpr std::uint32_t kDeadPosting = 0xffffffffu;
-
-  struct PostingList {
-    std::vector<Posting> items;
-    std::uint32_t live = 0;  // non-tombstoned items
-  };
-
-  /// Per-thread query scratch (accumulators + touched list), reused
-  /// across queries and engines so steady-state queries allocate nothing.
-  [[nodiscard]] static Scratch& scratch();
-  /// Per-thread scratch for the tiled batch kernel (tile-wide SoA
-  /// accumulator block + touched masks), same reuse contract.
-  [[nodiscard]] static BatchScratch& batch_scratch();
-
-  /// Scatter-adds `entries` (sorted by replica id, with `query_size`
-  /// entries and norm `query_norm`) over the posting lists. Afterwards
-  /// `scratch.touched` lists every corpus map sharing a replica with the
-  /// query, with per-map partial sums in `scratch.acc` / `scratch.inter`.
-  void accumulate(std::span<const RatioMap::Entry> entries,
-                  Scratch& scratch) const;
-
-  /// Final score of touched map `m` given the query's norm and size.
-  [[nodiscard]] double score_touched(std::size_t m, double query_norm,
-                                     std::size_t query_size,
-                                     const Scratch& scratch) const;
-
-  /// The single scoring expression behind both the scalar and batched
-  /// paths: final score of touched map `m` from its accumulated partial
-  /// sum (`acc`, cosine/weighted-overlap) or intersection count
-  /// (`inter`, jaccard). Sharing it is what makes the two paths
-  /// bit-identical by construction.
-  [[nodiscard]] double finish_score(std::size_t m, double query_norm,
-                                    std::size_t query_size, double acc,
-                                    std::uint32_t inter) const;
-
-  /// One tile of the batched kernel: scatter-adds every query in `tile`
-  /// (at most kMaxQueryTile RowViews) over the posting lists, visiting
-  /// the tile's distinct replicas in increasing replica-id order so each
-  /// (query, map) partial sum accumulates in exactly the scalar order.
-  void accumulate_tile(std::span<const RowView> tile, BatchScratch& s) const;
-
-  /// Runs `finalize(q0, tile_queries, scratch)` over `queries` split
-  /// into tiles of `tile`, tiles parallel across `pool`. Collects the
-  /// per-query touched totals into `maps_touched` deterministically.
-  template <typename Finalize>
-  void batch_tiles(std::span<const RowView> queries, ThreadPool* pool,
-                   std::size_t tile, std::uint64_t* maps_touched,
-                   const Finalize& finalize) const;
-
-  /// Appends zero-similarity live rows in row order until `out` reaches
-  /// `want` entries, skipping indices already ranked in `out`.
-  void pad_zero_rows(std::vector<RankedCandidate>& out,
-                     std::size_t want) const;
+  /// The kernels' borrowed view of this engine's storage. Valid until
+  /// the next mutation; never escapes a single query call.
+  [[nodiscard]] engine_detail::CorpusView view() const {
+    return engine_detail::CorpusView{kind_,  rows_, entries_,      norms_,
+                                     strongest_, &replica_slot_, post_,
+                                     live_rows_};
+  }
 
   [[nodiscard]] std::span<const RatioMap::Entry> row(std::size_t index) const {
     return {entries_.data() + rows_[index].begin, rows_[index].len};
   }
-
-  void top_k_into(std::span<const RatioMap::Entry> entries, double query_norm,
-                  std::size_t query_size, std::size_t k,
-                  std::vector<RankedCandidate>& out) const;
 
   /// Writes the view's entries as row `index`'s segment (at the tail of
   /// entries_) and appends its postings.
@@ -381,7 +331,7 @@ class SimilarityEngine {
   SimilarityKind kind_;
 
   // CSR corpus. Entry segments are append-only between compactions.
-  std::vector<Row> rows_;
+  std::vector<engine_detail::Row> rows_;
   std::vector<RatioMap::Entry> entries_;
   std::vector<double> norms_;       // RatioMap::norm() per row
   std::vector<double> strongest_;   // RatioMap::strongest_mapping() per row
@@ -395,10 +345,30 @@ class SimilarityEngine {
   // order never affects the per-map accumulation order (which follows
   // the query's sorted entries).
   std::unordered_map<ReplicaId, std::uint32_t> replica_slot_;
-  std::vector<PostingList> post_;
+  std::vector<engine_detail::PostingList> post_;
   std::size_t live_replicas_ = 0;  // posting lists with live > 0
 
   MutationStats mstats_;
+
+  // Per-component dirt tracking for freeze()'s structural sharing. A
+  // component's version bumps whenever a mutation touches it: row
+  // metadata (rows_/norms_/strongest_) on add/update/remove/compact,
+  // the entry array on appends and compaction (NOT on remove — a
+  // tombstoned segment's bytes are unchanged, so remove-only churn
+  // keeps sharing the entry array), the posting index on any posting
+  // write. freeze() copies exactly the components whose version moved
+  // since the snapshot it retains was cut.
+  std::uint64_t rows_version_ = 0;
+  std::uint64_t entries_version_ = 0;
+  std::uint64_t postings_version_ = 0;
+
+  struct FreezeCache {
+    std::shared_ptr<const EngineSnapshot> snapshot;
+    std::uint64_t rows_version = 0;
+    std::uint64_t entries_version = 0;
+    std::uint64_t postings_version = 0;
+  };
+  FreezeCache freeze_cache_;
 };
 
 }  // namespace crp::core

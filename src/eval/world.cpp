@@ -366,6 +366,13 @@ World::ReportDelivery World::report_positions(
   for (const std::string& bytes : wire) delivery.wire_bytes += bytes.size();
   delivery.accepted = service.publish_batch(wire, when, &p);
   delivery.rejected = hosts.size() - delivery.accepted;
+  // A campaign delivery is a natural snapshot boundary: when the
+  // service serves concurrent readers, cut a fresh snapshot now so they
+  // see the whole campaign at once instead of whatever epoch the batch
+  // hook happened to leave published.
+  if (service.config().snapshots.enabled) {
+    (void)service.publish_snapshot(when);
+  }
   return delivery;
 }
 

@@ -228,7 +228,10 @@ class World {
   /// map to `service` under its topology host name, timestamped `when`,
   /// through the wire format and the service's batched publish path
   /// (encode fans out across `pool`, ingestion applies in participant
-  /// order — deterministic for any pool size).
+  /// order — deterministic for any pool size). Writer-side call under
+  /// the single-writer contract (DESIGN.md §8); with snapshots enabled
+  /// it republishes after delivery so concurrent readers see the whole
+  /// campaign at one epoch.
   ReportDelivery report_positions(service::PositionService& service,
                                   SimTime when, ThreadPool* pool = nullptr);
 

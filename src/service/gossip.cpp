@@ -130,6 +130,15 @@ PositionService& GossipMesh::store(const std::string& node) {
   return *it->second.store;
 }
 
+std::shared_ptr<const ServingSnapshot> GossipMesh::store_snapshot(
+    const std::string& node) const {
+  const auto it = nodes_.find(node);
+  if (it == nodes_.end()) {
+    throw std::invalid_argument{"GossipMesh: unknown node " + node};
+  }
+  return it->second.store->snapshot();
+}
+
 double GossipMesh::coverage(SimTime now) const {
   if (nodes_.empty()) return 0.0;
   // Which nodes have published at all (their own store knows them)?

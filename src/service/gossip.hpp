@@ -80,8 +80,20 @@ class GossipMesh {
   sim::EventHandle schedule(sim::EventScheduler& sched, SimTime start,
                             SimTime end);
 
-  /// The node's local store (throws for unknown IDs).
+  /// The node's local store (throws for unknown IDs). Writer-side: the
+  /// mesh is this store's single writer — gossip rounds publish into it
+  /// through the writer API (publish_encoded), so mutating it from
+  /// another thread while rounds run violates the single-writer
+  /// contract (DESIGN.md §8). Reader threads use store_snapshot().
   [[nodiscard]] PositionService& store(const std::string& node);
+  /// The node's currently published serving snapshot (nullptr until the
+  /// store publishes one — enable `store.snapshots` in the config or
+  /// call publish_snapshot on the store). Lock-free and safe from any
+  /// thread while gossip rounds keep writing: rounds publish through
+  /// the writer API, which republishes snapshots at the configured
+  /// boundaries, and readers only ever see complete ones.
+  [[nodiscard]] std::shared_ptr<const ServingSnapshot> store_snapshot(
+      const std::string& node) const;
 
   [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
   /// Fraction of (node, report) pairs delivered: 1.0 means every node's

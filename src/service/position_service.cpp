@@ -6,37 +6,13 @@
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "common/top_k.hpp"
+#include "service/serving_detail.hpp"
+#include "service/serving_snapshot.hpp"
 
 namespace crp::service {
 
-namespace {
-
-/// Heap entry for the closest paths: a borrowed node id plus its score.
-/// Ranking borrows ids and copies only the k winners into RankedNodes.
-struct ScoredRef {
-  const std::string* id = nullptr;
-  double sim = 0.0;
-};
-
-/// The (similarity desc, node_id asc) total order every closest path
-/// ranks by. Total ⇒ the bounded heap's output is identical to the
-/// stable-sort-then-truncate baseline (duplicate candidates compare
-/// equal both ways and are interchangeable copies).
-bool better_ref(const ScoredRef& a, const ScoredRef& b) {
-  if (a.sim != b.sim) return a.sim > b.sim;
-  return *a.id < *b.id;
-}
-
-std::vector<RankedNode> materialize(std::vector<ScoredRef> kept) {
-  std::vector<RankedNode> ranked;
-  ranked.reserve(kept.size());
-  for (const ScoredRef& r : kept) {
-    ranked.push_back(RankedNode{*r.id, r.sim});
-  }
-  return ranked;
-}
-
-}  // namespace
+using serving_detail::ScoredRef;
+using serving_detail::better_ref;
 
 const char* to_string(AnswerTier tier) {
   switch (tier) {
@@ -97,15 +73,24 @@ Duration PositionService::usable_bound() const {
              : config_.staleness_bound;
 }
 
-bool PositionService::publish(PositionReport report, SimTime now) {
+void PositionService::sync_engine_stats() {
+  const auto& engine = engine_.mutation_stats();
+  postings_tombstoned_.store(engine.postings_tombstoned,
+                             std::memory_order_relaxed);
+  compactions_.store(engine.compactions, std::memory_order_relaxed);
+}
+
+bool PositionService::publish_impl(PositionReport report, SimTime now) {
+  if (now > write_now_) write_now_ = now;
   if (report.node_id.empty() || report.map.empty() ||
       !is_live(report, now) || report.when > now) {
-    ++reports_rejected_;
+    reports_rejected_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
   const auto it = reports_.find(report.node_id);
   if (it != reports_.end() && it->second.when > report.when) {
-    ++reports_rejected_;  // out-of-order delivery of an older report
+    // out-of-order delivery of an older report
+    reports_rejected_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
   if (it != reports_.end()) {
@@ -121,15 +106,22 @@ bool PositionService::publish(PositionReport report, SimTime now) {
     }
     reports_.emplace(report.node_id, std::move(report));
   }
-  ++reports_accepted_;
+  sync_engine_stats();
+  reports_accepted_.fetch_add(1, std::memory_order_relaxed);
   ++membership_epoch_;
   return true;
+}
+
+bool PositionService::publish(PositionReport report, SimTime now) {
+  const bool accepted = publish_impl(std::move(report), now);
+  maybe_publish_snapshot(now);
+  return accepted;
 }
 
 bool PositionService::publish_encoded(std::string_view bytes, SimTime now) {
   auto report = decode(bytes);
   if (!report.has_value()) {
-    ++reports_rejected_;
+    reports_rejected_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
   return publish(std::move(*report), now);
@@ -142,7 +134,8 @@ std::size_t PositionService::publish_batch(std::span<const std::string> batch,
   // sequentially in batch order, so the end state — acceptances,
   // rejections, slot assignments — is identical to calling
   // publish_encoded element by element. A malformed entry costs its own
-  // rejection and nothing else.
+  // rejection and nothing else. The snapshot boundary check runs once
+  // for the whole batch, after the last report applied.
   std::vector<std::optional<PositionReport>> decoded(batch.size());
   ThreadPool& p = pool != nullptr ? *pool : ThreadPool::shared();
   p.parallel_for(0, batch.size(), [&batch, &decoded](std::size_t i) {
@@ -151,11 +144,12 @@ std::size_t PositionService::publish_batch(std::span<const std::string> batch,
   std::size_t accepted = 0;
   for (auto& report : decoded) {
     if (!report.has_value()) {
-      ++reports_rejected_;
+      reports_rejected_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
-    if (publish(std::move(*report), now)) ++accepted;
+    if (publish_impl(std::move(*report), now)) ++accepted;
   }
+  maybe_publish_snapshot(now);
   return accepted;
 }
 
@@ -168,12 +162,17 @@ bool PositionService::drop_node(const std::string& node_id) {
   node_at_[it->second].clear();
   slot_of_.erase(it);
   reports_.erase(node_id);
+  sync_engine_stats();
   ++membership_epoch_;
   return true;
 }
 
 bool PositionService::remove(const std::string& node_id) {
-  return drop_node(node_id);
+  const bool dropped = drop_node(node_id);
+  // remove() carries no timestamp, so the boundary check runs at the
+  // write clock's high-water mark.
+  maybe_publish_snapshot(write_now_);
+  return dropped;
 }
 
 std::optional<core::RatioMap> PositionService::map_of(
@@ -204,14 +203,14 @@ void PositionService::similarity_scores(std::size_t client_slot,
                                         std::span<double> out) const {
   std::size_t touched = 0;
   engine_.scores_of(client_slot, out, &touched);
-  similarity_queries_.add();
-  maps_touched_.add(touched);
+  counters_->similarity_queries.add();
+  counters_->maps_touched.add(touched);
 }
 
 std::vector<RankedNode> PositionService::closest(
     const std::string& client, std::span<const std::string> candidates,
     std::size_t k, SimTime now) const {
-  queries_served_.add();
+  counters_->queries_served.add();
   const auto client_it = reports_.find(client);
   if (client_it == reports_.end() || !is_live(client_it->second, now)) {
     return {};
@@ -235,18 +234,18 @@ std::vector<RankedNode> PositionService::closest(
   std::vector<double> scores(slots.size());
   std::size_t touched = 0;
   engine_.scores_of_subset(slot_of_.at(client), slots, scores, &touched);
-  similarity_queries_.add();
-  maps_touched_.add(touched);
+  counters_->similarity_queries.add();
+  counters_->maps_touched.add(touched);
   BoundedTopK<ScoredRef, decltype(&better_ref)> heap(k, &better_ref);
   for (std::size_t i = 0; i < vetted.size(); ++i) {
     heap.offer(ScoredRef{vetted[i], scores[i]});
   }
-  return materialize(heap.take_sorted());
+  return serving_detail::materialize<RankedNode>(heap.take_sorted());
 }
 
 std::vector<RankedNode> PositionService::closest_any(
     const std::string& client, std::size_t k, SimTime now) const {
-  queries_served_.add();
+  counters_->queries_served.add();
   const auto client_it = reports_.find(client);
   if (client_it == reports_.end() || !is_live(client_it->second, now)) {
     return {};
@@ -261,24 +260,24 @@ std::vector<RankedNode> PositionService::closest_any(
     if (id == client || !is_live(report, now)) continue;
     heap.offer(ScoredRef{&id, scores[slot_of_.at(id)]});
   }
-  return materialize(heap.take_sorted());
+  return serving_detail::materialize<RankedNode>(heap.take_sorted());
 }
 
 TieredAnswer PositionService::tiered_query(
     const std::string& client, std::span<const std::string> candidates,
     bool any, std::size_t k, SimTime now) const {
-  queries_served_.add();
+  counters_->queries_served.add();
   TieredAnswer out;
   const auto client_it = reports_.find(client);
   if (client_it == reports_.end()) {
     out.reason = DegradedReason::kUnknownClient;
-    refused_queries_.add();
+    counters_->refused_queries.add();
     return out;
   }
   const bool fresh = is_live(client_it->second, now);
   if (!fresh && !is_stale_usable(client_it->second, now)) {
     out.reason = DegradedReason::kClientExpired;
-    refused_queries_.add();
+    counters_->refused_queries.add();
     return out;
   }
 
@@ -314,24 +313,24 @@ TieredAnswer PositionService::tiered_query(
     std::vector<double> scores(slots.size());
     std::size_t touched = 0;
     engine_.scores_of_subset(slot_of_.at(client), slots, scores, &touched);
-    similarity_queries_.add();
-    maps_touched_.add(touched);
+    counters_->similarity_queries.add();
+    counters_->maps_touched.add(touched);
     for (std::size_t i = 0; i < vetted.size(); ++i) {
       heap.offer(ScoredRef{vetted[i], scores[i]});
     }
   }
-  out.ranked = materialize(heap.take_sorted());
+  out.ranked = serving_detail::materialize<RankedNode>(heap.take_sorted());
   if (out.ranked.empty()) {
     // Nothing usable to rank against: refuse explicitly rather than
     // hand back an empty vector indistinguishable from "client gone".
     out.tier = AnswerTier::kRefused;
     out.reason = DegradedReason::kNoUsableCandidates;
-    refused_queries_.add();
+    counters_->refused_queries.add();
     return out;
   }
   out.tier = fresh ? AnswerTier::kFresh : AnswerTier::kStale;
   out.reason = fresh ? DegradedReason::kNone : DegradedReason::kStaleClient;
-  (fresh ? fresh_answers_ : stale_answers_).add();
+  (fresh ? counters_->fresh_answers : counters_->stale_answers).add();
   return out;
 }
 
@@ -357,13 +356,13 @@ std::vector<RankedNode> PositionService::rank_snapshot(
     if (node.slot == client_slot) continue;
     heap.offer(ScoredRef{node.id, scores[node.slot]});
   }
-  return materialize(heap.take_sorted());
+  return serving_detail::materialize<RankedNode>(heap.take_sorted());
 }
 
 std::vector<std::vector<RankedNode>> PositionService::closest_batch(
     std::span<const std::string> clients, std::size_t k, SimTime now,
     ThreadPool* pool) const {
-  queries_served_.add(clients.size());
+  counters_->queries_served.add(clients.size());
   std::vector<std::vector<RankedNode>> out(clients.size());
   if (clients.empty()) return out;
 
@@ -398,8 +397,8 @@ std::vector<std::vector<RankedNode>> PositionService::closest_batch(
   FlatMatrix<double> scores;
   std::uint64_t touched = 0;
   engine_.scores_of_batch(rows, scores, &p, &touched);
-  similarity_queries_.add(rows.size());
-  maps_touched_.add(touched);
+  counters_->similarity_queries.add(rows.size());
+  counters_->maps_touched.add(touched);
 
   p.parallel_for(0, rows.size(), [&](std::size_t j) {
     out[result_at[j]] = rank_snapshot(snapshot, rows[j], scores.row(j), k);
@@ -411,7 +410,7 @@ std::vector<std::vector<RankedNode>> PositionService::closest_batch(
     std::span<const std::string> clients,
     std::span<const std::string> candidates, std::size_t k, SimTime now,
     ThreadPool* pool) const {
-  queries_served_.add(clients.size());
+  counters_->queries_served.add(clients.size());
   std::vector<std::vector<RankedNode>> out(clients.size());
   if (clients.empty()) return out;
 
@@ -446,8 +445,8 @@ std::vector<std::vector<RankedNode>> PositionService::closest_batch(
   FlatMatrix<double> scores;
   std::uint64_t touched = 0;
   engine_.scores_of_batch(rows, scores, &p, &touched);
-  similarity_queries_.add(rows.size());
-  maps_touched_.add(touched);
+  counters_->similarity_queries.add(rows.size());
+  counters_->maps_touched.add(touched);
 
   p.parallel_for(0, rows.size(), [&](std::size_t j) {
     out[result_at[j]] = rank_snapshot(snapshot, rows[j], scores.row(j), k);
@@ -460,34 +459,40 @@ void PositionService::ensure_clustering(SimTime now) {
                      clustered_at_ >= SimTime::epoch() &&
                      now - clustered_at_ <= config_.recluster_after;
   if (fresh) {
-    ++clustering_cache_hits_;
+    clustering_cache_hits_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   // SMF runs straight off the engine's corpus — no per-recluster map
   // copies, no fresh engine build — through the long-lived clusterer,
   // whose center index (and its allocations) survives across rebuilds.
   // Tombstoned rows score 0 against everything and end up as singletons
-  // the answers skip.
+  // the answers skip. The result lands in a fresh shared_ptr generation:
+  // snapshots holding the previous one keep it alive, unmutated.
   const auto start = std::chrono::steady_clock::now();
-  clustering_ = clusterer_.run(engine_, config_.clustering);
-  recluster_seconds_ +=
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
-  ++reclusters_;
-  recluster_maps_touched_ += clusterer_.last_stats().maps_touched;
-  ++engine_rebuilds_avoided_;
+  clustering_ = std::make_shared<const core::Clustering>(
+      clusterer_.run(engine_, config_.clustering));
+  recluster_nanos_.fetch_add(
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count()),
+      std::memory_order_relaxed);
+  reclusters_.fetch_add(1, std::memory_order_relaxed);
+  recluster_maps_touched_.fetch_add(clusterer_.last_stats().maps_touched,
+                                    std::memory_order_relaxed);
+  engine_rebuilds_avoided_.fetch_add(1, std::memory_order_relaxed);
   clustered_at_ = now;
   clustered_epoch_ = membership_epoch_;
 }
 
 std::vector<std::string> PositionService::same_cluster(
     const std::string& node_id, SimTime now) {
-  queries_served_.add();
+  counters_->queries_served.add();
   if (!is_live_id(node_id, now)) return {};
   ensure_clustering(now);
   const std::size_t slot = slot_of_.at(node_id);
   const auto& cluster =
-      clustering_.clusters[clustering_.assignment[slot]];
+      clustering_->clusters[clustering_->assignment[slot]];
   std::vector<std::string> out;
   for (std::size_t member : cluster.members) {
     if (member == slot) continue;
@@ -503,13 +508,13 @@ std::vector<std::string> PositionService::same_cluster(
 
 std::unordered_map<std::string, std::size_t>
 PositionService::cluster_assignment(SimTime now) {
-  queries_served_.add();
+  counters_->queries_served.add();
   ensure_clustering(now);
   std::unordered_map<std::string, std::size_t> out;
   for (std::size_t slot = 0; slot < node_at_.size(); ++slot) {
     const std::string& id = node_at_[slot];
     if (id.empty() || !is_live_id(id, now)) continue;
-    out[id] = clustering_.assignment[slot];
+    out[id] = clustering_->assignment[slot];
   }
   return out;
 }
@@ -517,7 +522,7 @@ PositionService::cluster_assignment(SimTime now) {
 std::vector<std::string> PositionService::diverse_set(std::size_t n,
                                                       SimTime now,
                                                       std::uint64_t seed) {
-  queries_served_.add();
+  counters_->queries_served.add();
   ensure_clustering(now);
 
   // One live representative per cluster, preferring clusters with more
@@ -528,8 +533,8 @@ std::vector<std::string> PositionService::diverse_set(std::size_t n,
     std::size_t live_members = 0;
   };
   std::vector<Candidate> candidates;
-  candidates.reserve(clustering_.clusters.size());
-  for (const auto& cluster : clustering_.clusters) {
+  candidates.reserve(clustering_->clusters.size());
+  for (const auto& cluster : clustering_->clusters) {
     Candidate c;
     bool center_live = false;
     std::string smallest;
@@ -567,7 +572,77 @@ std::vector<std::string> PositionService::diverse_set(std::size_t n,
   return out;
 }
 
+std::shared_ptr<const ServingSnapshot> PositionService::publish_snapshot(
+    SimTime now) {
+  if (now > write_now_) write_now_ = now;
+  const std::shared_ptr<const ServingSnapshot> prev = snapshot_.load();
+  auto snap = std::shared_ptr<ServingSnapshot>(new ServingSnapshot());
+  snap->config_ = config_;
+  snap->membership_epoch_ = membership_epoch_;
+  snap->frozen_at_ = now;
+  snap->engine_ = engine_.freeze(membership_epoch_);
+  if (prev != nullptr && prev->membership_epoch_ == membership_epoch_) {
+    // No accepted publish and no drop since `prev` was cut — ids and
+    // report timestamps are exactly what `prev` froze (the epoch bumps
+    // on every accepted publish, updates included), so the node table
+    // is shared, not rebuilt.
+    snap->slots_ = prev->slots_;
+    snap->by_id_ = prev->by_id_;
+  } else {
+    auto slots =
+        std::make_shared<std::vector<ServingSnapshot::SlotRec>>(
+            node_at_.size());
+    auto by_id = std::make_shared<std::vector<std::uint32_t>>();
+    by_id->reserve(reports_.size());
+    for (std::size_t i = 0; i < node_at_.size(); ++i) {
+      const std::string& id = node_at_[i];
+      if (id.empty()) continue;  // tombstoned slot: keep the {} record
+      (*slots)[i] = ServingSnapshot::SlotRec{id, reports_.at(id).when};
+      by_id->push_back(static_cast<std::uint32_t>(i));
+    }
+    std::sort(by_id->begin(), by_id->end(),
+              [&slots](std::uint32_t a, std::uint32_t b) {
+                return (*slots)[a].id < (*slots)[b].id;
+              });
+    snap->slots_ = std::move(slots);
+    snap->by_id_ = std::move(by_id);
+  }
+  if (config_.snapshots.clustering) {
+    ensure_clustering(now);
+    snap->clustering_ = clustering_;
+  } else if (clustered_epoch_ == membership_epoch_ &&
+             clustered_at_ >= SimTime::epoch() &&
+             now - clustered_at_ <= config_.recluster_after) {
+    // Not asked to cluster, but the cache happens to be current —
+    // attaching the shared generation costs nothing and lets snapshot
+    // cluster queries answer.
+    snap->clustering_ = clustering_;
+  }
+  snap->counters_ = counters_;
+  snapshot_epoch_ = membership_epoch_;
+  snapshot_at_ = now;
+  std::shared_ptr<const ServingSnapshot> published = std::move(snap);
+  snapshot_.store(published);
+  return published;
+}
+
+void PositionService::maybe_publish_snapshot(SimTime now) {
+  if (!config_.snapshots.enabled) return;
+  if (now < write_now_) now = write_now_;
+  if (snapshot_at_ < SimTime::epoch()) {  // nothing published yet
+    publish_snapshot(now);
+    return;
+  }
+  const std::uint64_t max_lag =
+      std::max<std::uint64_t>(config_.snapshots.max_epoch_lag, 1);
+  if (membership_epoch_ - snapshot_epoch_ >= max_lag ||
+      now - snapshot_at_ >= config_.snapshots.max_age) {
+    publish_snapshot(now);
+  }
+}
+
 std::size_t PositionService::expire(SimTime now) {
+  if (now > write_now_) write_now_ = now;
   // With the stale tier enabled, reports in the stale-but-usable band
   // survive expiry — they still serve degraded answers. The bound
   // collapses to staleness_bound when the tier is off.
@@ -580,27 +655,32 @@ std::size_t PositionService::expire(SimTime now) {
   for (const std::string& id : stale) {
     if (drop_node(id)) ++dropped;
   }
+  maybe_publish_snapshot(now);
   return dropped;
 }
 
 ServiceStats PositionService::stats() const {
-  const auto& engine = engine_.mutation_stats();
   ServiceStats s;
-  s.queries_served = queries_served_.total();
-  s.reports_accepted = reports_accepted_;
-  s.reports_rejected = reports_rejected_;
-  s.clustering_cache_hits = clustering_cache_hits_;
-  s.engine_rebuilds_avoided = engine_rebuilds_avoided_;
-  s.postings_tombstoned = engine.postings_tombstoned;
-  s.compactions = engine.compactions;
-  s.similarity_queries = similarity_queries_.total();
-  s.maps_touched = maps_touched_.total();
-  s.reclusters = reclusters_;
-  s.recluster_seconds = recluster_seconds_;
-  s.recluster_maps_touched = recluster_maps_touched_;
-  s.fresh_answers = fresh_answers_.total();
-  s.stale_answers = stale_answers_.total();
-  s.refused_queries = refused_queries_.total();
+  s.queries_served = counters_->queries_served.total();
+  s.reports_accepted = reports_accepted_.load(std::memory_order_relaxed);
+  s.reports_rejected = reports_rejected_.load(std::memory_order_relaxed);
+  s.clustering_cache_hits =
+      clustering_cache_hits_.load(std::memory_order_relaxed);
+  s.engine_rebuilds_avoided =
+      engine_rebuilds_avoided_.load(std::memory_order_relaxed);
+  s.postings_tombstoned = postings_tombstoned_.load(std::memory_order_relaxed);
+  s.compactions = compactions_.load(std::memory_order_relaxed);
+  s.similarity_queries = counters_->similarity_queries.total();
+  s.maps_touched = counters_->maps_touched.total();
+  s.reclusters = reclusters_.load(std::memory_order_relaxed);
+  s.recluster_seconds =
+      static_cast<double>(recluster_nanos_.load(std::memory_order_relaxed)) *
+      1e-9;
+  s.recluster_maps_touched =
+      recluster_maps_touched_.load(std::memory_order_relaxed);
+  s.fresh_answers = counters_->fresh_answers.total();
+  s.stale_answers = counters_->stale_answers.total();
+  s.refused_queries = counters_->refused_queries.total();
   return s;
 }
 

@@ -23,9 +23,20 @@
 // bit-identical to per-pair `similarity()` (the §6 determinism
 // contract), so query answers are byte-for-byte what the naive per-pair
 // implementation produced.
+//
+// Concurrent serving (DESIGN.md §8): the service stays single-writer —
+// publish/remove/expire and the cluster-cache queries mutate state and
+// must come from one thread at a time — but it can *publish snapshots*:
+// immutable `ServingSnapshot` objects any number of reader threads
+// query lock-free, cut at configurable epoch/age boundaries
+// (`SnapshotConfig`) and republished through a `SnapshotHandle`.
+// Snapshot answers are bit-identical to the mutable service's answers
+// at the snapshot's membership epoch.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -33,6 +44,7 @@
 #include <vector>
 
 #include "common/sharded_counter.hpp"
+#include "common/snapshot_handle.hpp"
 #include "common/time.hpp"
 #include "core/clustering.hpp"
 #include "core/ratio_map.hpp"
@@ -45,6 +57,32 @@ class ThreadPool;
 }
 
 namespace crp::service {
+
+class ServingSnapshot;
+
+/// Concurrent-serving snapshot policy (DESIGN.md §8).
+struct SnapshotConfig {
+  /// Master switch. When false (default) the service never cuts
+  /// snapshots on its own — `maybe_publish_snapshot` is a no-op and the
+  /// write paths behave byte-for-byte as they always did. Explicit
+  /// `publish_snapshot` calls work either way.
+  bool enabled = false;
+  /// Republish once the mutable state is this many membership epochs
+  /// ahead of the published snapshot. 1 republishes after every
+  /// accepted mutation; 0 behaves as 1.
+  std::uint64_t max_epoch_lag = 64;
+  /// Republish once the published snapshot's freeze time is this much
+  /// sim-time behind the write clock, even with no membership change —
+  /// snapshots filter liveness against their own frozen clock, so this
+  /// bounds how stale that filter can run during write-quiet periods.
+  Duration max_age = Minutes(1);
+  /// Run `ensure_clustering` at every freeze and attach the clustering,
+  /// so snapshot cluster queries always answer. When false a snapshot
+  /// still carries the cached clustering if the cache happens to be
+  /// current at freeze time (sharing it costs nothing), and answers
+  /// cluster queries empty otherwise.
+  bool clustering = false;
+};
 
 struct ServiceConfig {
   /// Reports older than this are ignored and eventually dropped.
@@ -65,6 +103,8 @@ struct ServiceConfig {
   /// Cached clustering is recomputed after this long, or whenever the
   /// set of known nodes changes.
   Duration recluster_after = Minutes(30);
+  /// Concurrent-serving snapshot policy (disabled by default).
+  SnapshotConfig snapshots;
 };
 
 /// A similarity-ranked peer.
@@ -107,6 +147,26 @@ struct TieredAnswer {
 };
 
 /// Serving counters, cumulative since construction (see stats()).
+///
+/// Coherence under concurrent readers: stats() may be called from any
+/// thread while snapshot readers serve queries and the single writer
+/// publishes. Every source counter is either thread-sharded
+/// (ShardedCounter) or a relaxed atomic, so each *field* is a torn-free,
+/// monotonically consistent value — but the struct as a whole is not a
+/// transaction. Tolerances per field:
+///  * queries_served / similarity_queries / maps_touched /
+///    fresh_answers / stale_answers / refused_queries — bumped by
+///    concurrent readers; a stats() racing a query may see the query
+///    counted but not yet its maps_touched (or vice versa). Ratios
+///    computed across fields are approximate while traffic is in
+///    flight, exact once it quiesces.
+///  * reports_accepted / reports_rejected / reclusters /
+///    recluster_seconds / recluster_maps_touched /
+///    clustering_cache_hits / engine_rebuilds_avoided /
+///    postings_tombstoned / compactions — written by the single writer
+///    only; a racing stats() sees some prefix of the writer's bumps
+///    (e.g. a publish counted in reports_accepted whose tombstones are
+///    not yet in postings_tombstoned). Never torn, never decreasing.
 struct ServiceStats {
   std::uint64_t queries_served = 0;
   std::uint64_t reports_accepted = 0;
@@ -136,6 +196,20 @@ struct ServiceStats {
   std::uint64_t fresh_answers = 0;
   std::uint64_t stale_answers = 0;
   std::uint64_t refused_queries = 0;
+};
+
+/// Query-path counters, shared (by shared_ptr) between the service and
+/// every ServingSnapshot it publishes: snapshot readers bump the same
+/// counters the mutable query paths bump, so stats() aggregates the
+/// read path wherever it runs. All fields are thread-sharded — safe to
+/// bump from any thread, including long after the service republished.
+struct ServingCounters {
+  ShardedCounter queries_served;
+  ShardedCounter similarity_queries;
+  ShardedCounter maps_touched;
+  ShardedCounter fresh_answers;
+  ShardedCounter stale_answers;
+  ShardedCounter refused_queries;
 };
 
 class PositionService {
@@ -235,19 +309,50 @@ class PositionService {
                                                      SimTime now,
                                                      std::uint64_t seed = 0);
 
+  // --- concurrent serving (DESIGN.md §8) ---
+  /// The currently published serving snapshot, or nullptr if none was
+  /// published yet. Lock-free and safe from any thread — this is the
+  /// readers' entry point. A reader queries the returned snapshot for
+  /// as long as it likes; the writer republishing does not invalidate
+  /// it, only age it.
+  [[nodiscard]] std::shared_ptr<const ServingSnapshot> snapshot() const {
+    return snapshot_.load();
+  }
+  /// Cuts and publishes a snapshot of the current state, frozen at
+  /// `now`, unconditionally (works with snapshots disabled too —
+  /// callers doing their own pacing). Writer-side. Storage the engine
+  /// did not dirty since the last freeze is shared with the previous
+  /// snapshot, not copied; the node table is shared whenever the
+  /// membership epoch is unchanged.
+  std::shared_ptr<const ServingSnapshot> publish_snapshot(SimTime now);
+  /// Publishes a fresh snapshot iff `config().snapshots.enabled` and
+  /// the published one has fallen past `max_epoch_lag` membership
+  /// epochs or `max_age` of sim-time (or none exists yet). The write
+  /// paths call this themselves — explicit calls are for callers that
+  /// advance time without writing. Writer-side.
+  void maybe_publish_snapshot(SimTime now);
+  /// Current membership epoch (bumped by every accepted publish and
+  /// every actual drop). Writer-side only: racing this from reader
+  /// threads is undefined — readers learn their epoch from
+  /// `ServingSnapshot::membership_epoch()`.
+  [[nodiscard]] std::uint64_t membership_epoch() const {
+    return membership_epoch_;
+  }
+
   // --- maintenance & stats ---
   /// Drops reports no longer usable at `now` — older than the stale
   /// tier's bound when it is enabled, else older than the staleness
   /// bound (the historical behavior). Returns how many were removed.
   std::size_t expire(SimTime now);
+  [[nodiscard]] const ServiceConfig& config() const { return config_; }
   [[nodiscard]] std::uint64_t queries_served() const {
-    return queries_served_.total();
+    return counters_->queries_served.total();
   }
   [[nodiscard]] std::uint64_t reports_accepted() const {
-    return reports_accepted_;
+    return reports_accepted_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::uint64_t reports_rejected() const {
-    return reports_rejected_;
+    return reports_rejected_.load(std::memory_order_relaxed);
   }
   /// Snapshot of all serving counters, engine churn included.
   [[nodiscard]] ServiceStats stats() const;
@@ -256,6 +361,12 @@ class PositionService {
   [[nodiscard]] std::size_t engine_slots() const { return engine_.size(); }
 
  private:
+  /// publish() minus the snapshot hook — the shared core publish,
+  /// publish_encoded and publish_batch apply per report.
+  bool publish_impl(PositionReport report, SimTime now);
+  /// Copies the engine's MutationStats into the atomic mirrors stats()
+  /// reads (writer-side, after any engine mutation).
+  void sync_engine_stats();
   [[nodiscard]] bool is_live(const PositionReport& report,
                              SimTime now) const;
   [[nodiscard]] bool is_live_id(const std::string& node_id,
@@ -311,30 +422,55 @@ class PositionService {
 
   // Cached clustering over the engine corpus. The clusterer lives here
   // so its center/singleton index allocations survive across rebuilds.
+  // The clustering itself is shared-ownership so a freeze can attach
+  // the cached generation to a snapshot without copying; every
+  // recompute swaps in a fresh object and never mutates a published
+  // one. Never null (starts as an empty clustering).
   core::SmfClusterer clusterer_;
-  core::Clustering clustering_;
+  std::shared_ptr<const core::Clustering> clustering_ =
+      std::make_shared<const core::Clustering>();
   SimTime clustered_at_ = SimTime{-1};
+
+  // WRITER-ONLY STATE — the pinned contract (audited with the
+  // concurrent read path; keep it true):
+  // `membership_epoch_`, `clustered_epoch_`, `clustered_at_`,
+  // `write_now_` and the snapshot pacing fields below are plain
+  // integers read and written exclusively by the single writer thread
+  // (publish/remove/expire/cluster queries/freeze). They are never
+  // read by stats() and never touched from the lock-free read path —
+  // readers see epochs only through the immutable snapshot they hold.
+  // Anything a reader thread may touch lives in `counters_` (sharded)
+  // or in the atomics below instead.
   std::uint64_t membership_epoch_ = 0;   // bumped on publish/remove
   std::uint64_t clustered_epoch_ = ~0ULL;
+  SimTime write_now_ = SimTime::epoch(); // high-water mark of write times
+  std::uint64_t snapshot_epoch_ = 0;     // epoch of the published snapshot
+  SimTime snapshot_at_ = SimTime{-1};    // freeze time of the published one
 
-  // Query-path counters (mutable: bumped through const query methods)
-  // are thread-sharded so concurrent const queries never race on them —
-  // a plain mutable uint64 here was a data race the moment two readers
-  // overlapped. Write-path counters stay plain integers: mutations
-  // require external quiescing anyway (see the engine's contract).
-  mutable ShardedCounter queries_served_;
-  std::uint64_t reports_accepted_ = 0;
-  std::uint64_t reports_rejected_ = 0;
-  std::uint64_t clustering_cache_hits_ = 0;
-  std::uint64_t engine_rebuilds_avoided_ = 0;
-  mutable ShardedCounter similarity_queries_;
-  mutable ShardedCounter maps_touched_;
-  mutable ShardedCounter fresh_answers_;
-  mutable ShardedCounter stale_answers_;
-  mutable ShardedCounter refused_queries_;
-  std::uint64_t reclusters_ = 0;
-  double recluster_seconds_ = 0.0;
-  std::uint64_t recluster_maps_touched_ = 0;
+  // Query-path counters are thread-sharded (bumped through const query
+  // methods on this service *and* on published snapshots — the struct
+  // is shared with them). Writer-path counters are relaxed atomics:
+  // only the writer increments them, but stats() may read them from
+  // any thread, and a plain uint64 there would be a load/store race
+  // even with a single writer. recluster_seconds accumulates as
+  // integral nanoseconds so it can be a lock-free uint64 atomic.
+  std::shared_ptr<ServingCounters> counters_ =
+      std::make_shared<ServingCounters>();
+  std::atomic<std::uint64_t> reports_accepted_{0};
+  std::atomic<std::uint64_t> reports_rejected_{0};
+  std::atomic<std::uint64_t> clustering_cache_hits_{0};
+  std::atomic<std::uint64_t> engine_rebuilds_avoided_{0};
+  std::atomic<std::uint64_t> reclusters_{0};
+  std::atomic<std::uint64_t> recluster_nanos_{0};
+  std::atomic<std::uint64_t> recluster_maps_touched_{0};
+  // Mirrors of the engine's (plain) MutationStats, refreshed by the
+  // writer after every engine mutation so stats() never reads the
+  // engine's internals concurrently with a mutation.
+  std::atomic<std::uint64_t> postings_tombstoned_{0};
+  std::atomic<std::uint64_t> compactions_{0};
+
+  // The published snapshot (readers' entry point; see snapshot()).
+  SnapshotHandle<ServingSnapshot> snapshot_;
 };
 
 }  // namespace crp::service

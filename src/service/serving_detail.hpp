@@ -1,0 +1,51 @@
+// Ranking helpers shared by PositionService and ServingSnapshot.
+//
+// Both owners rank candidates through the exact same comparator and
+// materialization code — included from one header so the mutable path
+// and the snapshot read path cannot drift apart (the serving-level
+// analogue of core/engine_kernels.hpp). Internal: not part of the
+// service API.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace crp::service {
+
+struct RankedNode;
+
+namespace serving_detail {
+
+/// Heap entry for the closest paths: a borrowed node id plus its score.
+/// Ranking borrows ids and copies only the k winners into RankedNodes.
+struct ScoredRef {
+  const std::string* id = nullptr;
+  double sim = 0.0;
+};
+
+/// The (similarity desc, node_id asc) total order every closest path
+/// ranks by. Total ⇒ the bounded heap's output is identical to the
+/// stable-sort-then-truncate baseline (duplicate candidates compare
+/// equal both ways and are interchangeable copies) — and independent of
+/// offer order, which is why the snapshot path may iterate its sorted
+/// node table where the mutable path iterates an unordered_map and
+/// still answer byte-for-byte identically.
+inline bool better_ref(const ScoredRef& a, const ScoredRef& b) {
+  if (a.sim != b.sim) return a.sim > b.sim;
+  return *a.id < *b.id;
+}
+
+/// Copies the k kept winners into owned RankedNodes (templated only so
+/// this header needn't depend on position_service.hpp).
+template <typename RankedNodeT>
+std::vector<RankedNodeT> materialize(std::vector<ScoredRef> kept) {
+  std::vector<RankedNodeT> ranked;
+  ranked.reserve(kept.size());
+  for (const ScoredRef& r : kept) {
+    ranked.push_back(RankedNodeT{*r.id, r.sim});
+  }
+  return ranked;
+}
+
+}  // namespace serving_detail
+}  // namespace crp::service

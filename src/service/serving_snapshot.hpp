@@ -1,0 +1,164 @@
+// Immutable serving snapshot: the lock-free read path of DESIGN.md §8.
+//
+// A ServingSnapshot is a frozen PositionService — a membership-epoch-
+// tagged bundle of the engine's frozen corpus (core::EngineSnapshot),
+// the slot/liveness table, and (optionally) the cached clustering. It
+// answers every read query the mutable service answers, from any number
+// of threads concurrently, with no locks and no coordination with the
+// writer: everything it touches is immutable, and the only shared
+// mutable state — the serving counters — is thread-sharded.
+//
+// Determinism contract: every query is bit-identical to the same query
+// against the PositionService at the snapshot's membership epoch with
+// the same `now`. The similarity layer holds by the engine-snapshot
+// contract (same kernels, verbatim arrays); the serving layer holds
+// because ranking runs through the exact serving_detail comparator
+// under a *total* order, making results independent of candidate
+// iteration order — the one place this class iterates differently
+// (its sorted node table versus the service's unordered_map).
+//
+// Liveness is filtered against the caller's `now` per query, exactly
+// like the mutable path — a snapshot does not pin time, only
+// membership. Cluster queries answer empty when the snapshot carries no
+// clustering (see SnapshotConfig::clustering); they never compute one.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time.hpp"
+#include "core/engine_snapshot.hpp"
+#include "service/position_service.hpp"
+
+namespace crp {
+class ThreadPool;
+}
+
+namespace crp::service {
+
+class ServingSnapshot {
+ public:
+  // --- provenance ---
+  /// Membership epoch of the service state this snapshot froze.
+  [[nodiscard]] std::uint64_t membership_epoch() const {
+    return membership_epoch_;
+  }
+  /// Sim-time at which the snapshot was cut.
+  [[nodiscard]] SimTime frozen_at() const { return frozen_at_; }
+  /// The frozen similarity corpus backing every similarity answer.
+  [[nodiscard]] const std::shared_ptr<const core::EngineSnapshot>& engine()
+      const {
+    return engine_;
+  }
+  /// Whether cluster queries can answer (a clustering was attached).
+  [[nodiscard]] bool has_clustering() const { return clustering_ != nullptr; }
+  /// Nodes known at freeze time (live or not).
+  [[nodiscard]] std::size_t size() const { return by_id_->size(); }
+
+  // --- identity probes (tests: structural sharing across republishes) ---
+  [[nodiscard]] const void* nodes_identity() const { return slots_.get(); }
+  [[nodiscard]] const void* counters_identity() const {
+    return counters_.get();
+  }
+
+  // --- inspection ---
+  [[nodiscard]] std::vector<std::string> live_nodes(SimTime now) const;
+
+  // --- queries (each bit-identical to the PositionService method of
+  // --- the same name at this snapshot's epoch) ---
+  [[nodiscard]] std::vector<RankedNode> closest(
+      const std::string& client, std::span<const std::string> candidates,
+      std::size_t k, SimTime now) const;
+  [[nodiscard]] std::vector<RankedNode> closest_any(const std::string& client,
+                                                    std::size_t k,
+                                                    SimTime now) const;
+  [[nodiscard]] TieredAnswer closest_any_tiered(const std::string& client,
+                                                std::size_t k,
+                                                SimTime now) const;
+  [[nodiscard]] TieredAnswer closest_tiered(
+      const std::string& client, std::span<const std::string> candidates,
+      std::size_t k, SimTime now) const;
+  [[nodiscard]] std::vector<std::vector<RankedNode>> closest_batch(
+      std::span<const std::string> clients, std::size_t k, SimTime now,
+      ThreadPool* pool = nullptr) const;
+  [[nodiscard]] std::vector<std::vector<RankedNode>> closest_batch(
+      std::span<const std::string> clients,
+      std::span<const std::string> candidates, std::size_t k, SimTime now,
+      ThreadPool* pool = nullptr) const;
+  /// Cluster queries: as the service's, but const (the clustering was
+  /// computed — or not — at freeze time) and empty when no clustering
+  /// is attached.
+  [[nodiscard]] std::vector<std::string> same_cluster(
+      const std::string& node_id, SimTime now) const;
+  [[nodiscard]] std::unordered_map<std::string, std::size_t>
+  cluster_assignment(SimTime now) const;
+  [[nodiscard]] std::vector<std::string> diverse_set(
+      std::size_t n, SimTime now, std::uint64_t seed = 0) const;
+
+ private:
+  friend class PositionService;
+  ServingSnapshot() = default;
+
+  static constexpr std::size_t npos = ~std::size_t{0};
+
+  /// One engine slot's occupant: its id ("" for a tombstoned slot) and
+  /// its report timestamp (what liveness filters against).
+  struct SlotRec {
+    std::string id;
+    SimTime when = SimTime{-1};
+  };
+
+  /// Engine slot of `node_id`, or npos if unknown at freeze time
+  /// (binary search over the by-id index).
+  [[nodiscard]] std::size_t find(const std::string& node_id) const;
+  [[nodiscard]] bool live_at(std::size_t slot, SimTime now) const {
+    return now - (*slots_)[slot].when <= config_.staleness_bound;
+  }
+  [[nodiscard]] bool stale_usable_at(std::size_t slot, SimTime now) const {
+    const Duration age = now - (*slots_)[slot].when;
+    return config_.stale_usable_bound > config_.staleness_bound &&
+           age > config_.staleness_bound &&
+           age <= config_.stale_usable_bound;
+  }
+  /// One dense engine query with stats accounting (the snapshot twin of
+  /// PositionService::similarity_scores).
+  void similarity_scores(std::size_t client_slot,
+                         std::span<double> out) const;
+  /// Shared core of the tiered queries (the snapshot twin of
+  /// PositionService::tiered_query): `any` means "every known node".
+  [[nodiscard]] TieredAnswer closest_tiered_impl(
+      const std::string& client, std::span<const std::string> candidates,
+      bool any, std::size_t k, SimTime now) const;
+  /// A batch's shared view of one live node (see the service's
+  /// SnapshotNode — same ranking code path).
+  struct NodeRef {
+    const std::string* id = nullptr;
+    std::size_t slot = 0;
+  };
+  [[nodiscard]] std::vector<RankedNode> rank_batch_row(
+      std::span<const NodeRef> nodes, std::size_t client_slot,
+      std::span<const double> scores, std::size_t k) const;
+
+  ServiceConfig config_;  // frozen copy: liveness bounds, metric, policy
+  std::uint64_t membership_epoch_ = 0;
+  SimTime frozen_at_ = SimTime{-1};
+  std::shared_ptr<const core::EngineSnapshot> engine_;
+  /// Slot-indexed node table ("" id = tombstoned slot). Shared with the
+  /// previous snapshot when the membership epoch did not move.
+  std::shared_ptr<const std::vector<SlotRec>> slots_;
+  /// Occupied slots sorted by node id — find() binary-searches it and
+  /// live_nodes()/closest_any walk it (already in the contract's
+  /// lexicographic order).
+  std::shared_ptr<const std::vector<std::uint32_t>> by_id_;
+  /// Attached clustering, or nullptr (cluster queries answer empty).
+  std::shared_ptr<const core::Clustering> clustering_;
+  /// Shared with the owning service: readers bump the same sharded
+  /// counters stats() aggregates.
+  std::shared_ptr<ServingCounters> counters_;
+};
+
+}  // namespace crp::service

@@ -108,5 +108,55 @@ TEST(ThreadPoolTest, SharedPoolIsASingleton) {
   EXPECT_GE(ThreadPool::shared().size(), 1u);
 }
 
+TEST(ThreadPoolTest, ZeroAndOneItemRangesAcrossPoolSizes) {
+  // Degenerate ranges on every pool shape the serving paths use —
+  // batch queries routinely submit empty or singleton client lists.
+  for (const std::size_t threads : {0u, 1u, 4u}) {
+    ThreadPool pool{threads};
+    std::atomic<int> calls{0};
+    pool.parallel_for(0, 0, [&](std::size_t) { calls.fetch_add(1); });
+    pool.parallel_for(9, 9, [&](std::size_t) { calls.fetch_add(1); });
+    EXPECT_EQ(calls.load(), 0);
+    pool.parallel_for(3, 4, [&](std::size_t i) {
+      EXPECT_EQ(i, 3u);
+      calls.fetch_add(1);
+    });
+    EXPECT_EQ(calls.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, ConcurrentNestedParallelForFromExternalThreads) {
+  // The concurrent-serving read path has N reader threads each driving
+  // batch queries through one shared pool, and those batch kernels
+  // issue their own nested parallel_for — so the pool must serve
+  // overlapping parallel_for calls from external threads, with nesting,
+  // without losing or duplicating an index. Zero- and one-item inner
+  // ranges ride along (empty batches inside readers).
+  ThreadPool pool{2};
+  constexpr std::size_t kReaders = 4;
+  constexpr std::size_t kOuter = 16;
+  constexpr std::size_t kInner = 8;
+  std::vector<std::atomic<int>> hits(kReaders * kOuter * kInner);
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (std::size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      for (int round = 0; round < 10; ++round) {
+        pool.parallel_for(0, kOuter, [&](std::size_t i) {
+          pool.parallel_for(0, 0, [&](std::size_t) { std::abort(); });
+          pool.parallel_for(0, kInner, [&](std::size_t j) {
+            hits[(r * kOuter + i) * kInner + j].fetch_add(1);
+          });
+          pool.parallel_for(5, 6, [&](std::size_t s) {
+            if (s != 5) std::abort();
+          });
+        });
+      }
+    });
+  }
+  for (auto& t : readers) t.join();
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 10);
+}
+
 }  // namespace
 }  // namespace crp

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "core/engine_snapshot.hpp"
+
 #include <optional>
 #include <string>
 #include <vector>
@@ -609,6 +611,143 @@ TEST(SimilarityEngineTest, SmfClusterRejectsMetricMismatch) {
   SmfConfig config;
   config.metric = SimilarityKind::kCosine;
   EXPECT_THROW((void)smf_cluster(engine, config), std::invalid_argument);
+}
+
+// --- EngineSnapshot: freeze() bit-identity and structural sharing
+// --- (DESIGN.md §8) ---
+
+class EngineSnapshotTest : public ::testing::TestWithParam<SimilarityKind> {};
+
+TEST_P(EngineSnapshotTest, FreezeMatchesMutableEngineBitForBit) {
+  const SimilarityKind kind = GetParam();
+  Rng rng{8211 + static_cast<std::uint64_t>(kind)};
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto corpus = random_corpus(rng, 40, 30);
+    SimilarityEngine engine{kind};
+    for (const auto& m : corpus) (void)engine.add(m);
+    // Churn before the freeze so the snapshot sees tombstones, reused
+    // slots and updated rows, not just a pristine build.
+    for (int m = 0; m < 12; ++m) {
+      const auto slot =
+          static_cast<std::size_t>(rng.uniform_int(0, engine.size() - 1));
+      if (!engine.alive(slot)) continue;
+      if (rng.uniform(0.0, 1.0) < 0.5) {
+        engine.update(slot, random_corpus(rng, 1, 30)[0]);
+      } else {
+        engine.remove(slot);
+      }
+    }
+    const std::uint64_t epoch = 100 + static_cast<std::uint64_t>(trial);
+    const auto snap = engine.freeze(epoch);
+    ASSERT_NE(snap, nullptr);
+    EXPECT_EQ(snap->epoch(), epoch);
+    EXPECT_EQ(snap->size(), engine.size());
+    EXPECT_EQ(snap->live_size(), engine.live_size());
+    EXPECT_EQ(snap->distinct_replicas(), engine.distinct_replicas());
+    EXPECT_EQ(snap->kind(), engine.kind());
+
+    // Every query kind, bit for bit, dead rows included.
+    const auto queries = random_corpus(rng, 6, 30);
+    for (const auto& q : queries) {
+      EXPECT_EQ(engine.scores(q), snap->scores(q));
+      EXPECT_EQ(engine.rank_all(q), snap->rank_all(q));
+      EXPECT_EQ(engine.top_k(q, 5), snap->top_k(q, 5));
+      EXPECT_EQ(engine.comparable_count(q), snap->comparable_count(q));
+    }
+    std::vector<std::size_t> live_slots;
+    for (std::size_t i = 0; i < engine.size(); ++i) {
+      EXPECT_EQ(snap->alive(i), engine.alive(i));
+      EXPECT_EQ(snap->strongest_mapping(i), engine.strongest_mapping(i));
+      if (engine.alive(i)) live_slots.push_back(i);
+      EXPECT_EQ(engine.scores_of(i), snap->scores_of(i));
+    }
+    if (!live_slots.empty()) {
+      // Subset and batch forms across pool sizes (0 = inline).
+      for (const std::size_t threads : {0, 4}) {
+        ThreadPool pool{threads};
+        FlatMatrix<double> got;
+        FlatMatrix<double> want;
+        std::uint64_t got_touched = 0;
+        std::uint64_t want_touched = 0;
+        engine.scores_of_batch(live_slots, want, &pool, &want_touched);
+        snap->scores_of_batch(live_slots, got, &pool, &got_touched);
+        EXPECT_EQ(got_touched, want_touched);
+        for (std::size_t r = 0; r < live_slots.size(); ++r) {
+          const auto gr = got.row(r);
+          const auto wr = want.row(r);
+          ASSERT_EQ(gr.size(), wr.size());
+          for (std::size_t cc = 0; cc < gr.size(); ++cc) {
+            EXPECT_EQ(gr[cc], wr[cc]);
+          }
+        }
+      }
+      std::vector<double> sub_engine(live_slots.size());
+      std::vector<double> sub_snap(live_slots.size());
+      engine.scores_of_subset(live_slots[0], live_slots, sub_engine);
+      snap->scores_of_subset(live_slots[0], live_slots, sub_snap);
+      EXPECT_EQ(sub_engine, sub_snap);
+      EXPECT_EQ(engine.best_match(engine.row_view(live_slots[0])),
+                snap->best_match(snap->row_view(live_slots[0])));
+    }
+
+    // The snapshot is immutable: post-freeze churn must not leak in.
+    const auto probe = queries[0];
+    const auto before = snap->scores(probe);
+    for (int m = 0; m < 6; ++m) {
+      (void)engine.add(random_corpus(rng, 1, 30)[0]);
+    }
+    EXPECT_EQ(snap->scores(probe), before);
+    // add() may reuse tombstoned slots, so compare live counts.
+    EXPECT_NE(engine.live_size(), snap->live_size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, EngineSnapshotTest,
+                         ::testing::Values(SimilarityKind::kCosine,
+                                           SimilarityKind::kWeightedOverlap,
+                                           SimilarityKind::kJaccard));
+
+TEST(EngineSnapshotTest, FreezeReusesSnapshotWhenCleanAndSharesWhenNot) {
+  SimilarityEngine engine{SimilarityKind::kCosine};
+  (void)engine.add(map_of({{ReplicaId{1}, 0.6}, {ReplicaId{2}, 0.4}}));
+  (void)engine.add(map_of({{ReplicaId{1}, 0.3}, {ReplicaId{3}, 0.7}}));
+
+  const auto s1 = engine.freeze(1);
+  // Same epoch, no mutations: the cached snapshot object itself.
+  EXPECT_EQ(engine.freeze(1), s1);
+  // New epoch, still no mutations: a new snapshot sharing every
+  // component with the previous one.
+  const auto s2 = engine.freeze(2);
+  EXPECT_NE(s2, s1);
+  EXPECT_EQ(s2->epoch(), 2u);
+  EXPECT_EQ(s2->rows_identity(), s1->rows_identity());
+  EXPECT_EQ(s2->entries_identity(), s1->entries_identity());
+  EXPECT_EQ(s2->postings_identity(), s1->postings_identity());
+}
+
+TEST(EngineSnapshotTest, RemoveOnlyChurnSharesEntryArray) {
+  SimilarityEngine engine{SimilarityKind::kCosine};
+  (void)engine.add(map_of({{ReplicaId{1}, 0.6}, {ReplicaId{2}, 0.4}}));
+  const std::size_t victim =
+      engine.add(map_of({{ReplicaId{2}, 0.5}, {ReplicaId{3}, 0.5}}));
+  (void)engine.add(map_of({{ReplicaId{3}, 1.0}}));
+
+  const auto s1 = engine.freeze(1);
+  engine.remove(victim);
+  const auto s2 = engine.freeze(2);
+  // A remove tombstones in place: row metadata and postings dirty, but
+  // the CSR entry bytes are untouched — that component is shared.
+  EXPECT_NE(s2->rows_identity(), s1->rows_identity());
+  EXPECT_NE(s2->postings_identity(), s1->postings_identity());
+  EXPECT_EQ(s2->entries_identity(), s1->entries_identity());
+  EXPECT_EQ(s2->live_size(), s1->live_size() - 1);
+
+  // An add appends entries: every component dirties.
+  (void)engine.add(map_of({{ReplicaId{4}, 1.0}}));
+  const auto s3 = engine.freeze(3);
+  EXPECT_NE(s3->rows_identity(), s2->rows_identity());
+  EXPECT_NE(s3->entries_identity(), s2->entries_identity());
+  EXPECT_NE(s3->postings_identity(), s2->postings_identity());
 }
 
 }  // namespace
