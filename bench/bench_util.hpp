@@ -8,6 +8,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -20,6 +21,7 @@
 #include "eval/metrics.hpp"
 #include "eval/world.hpp"
 #include "meridian/overlay.hpp"
+#include "service/position_service.hpp"
 
 namespace crp::bench {
 
@@ -52,6 +54,80 @@ struct Scale {
     return scale;
   }
 };
+
+/// Parses a `--shards=N` / `--shards N` flag out of argv. Returns 0 when
+/// absent (bench keeps its unsharded serving path); N>=1 asks the bench
+/// to also run its serving block through a ShardedFrontend of N shards
+/// and digest-check it against the unsharded answers.
+inline std::size_t parse_shards(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--shards=", 0) == 0) {
+      return static_cast<std::size_t>(
+          std::strtoull(arg.c_str() + 9, nullptr, 10));
+    }
+    if (arg == "--shards" && i + 1 < argc) {
+      return static_cast<std::size_t>(
+          std::strtoull(argv[i + 1], nullptr, 10));
+    }
+  }
+  return 0;
+}
+
+/// FNV-1a digest of a batched ranked answer set (ids plus similarity bit
+/// patterns) — the serving-path equality check the --shards flag runs:
+/// sharded answers must be bit-identical to unsharded ones.
+inline std::uint64_t ranked_digest(
+    const std::vector<std::vector<service::RankedNode>>& answers) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](const void* data, std::size_t len) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ull;
+    }
+  };
+  for (const auto& ranked : answers) {
+    const std::size_t n = ranked.size();
+    mix(&n, sizeof(n));
+    for (const auto& node : ranked) {
+      mix(node.node_id.data(), node.node_id.size());
+      mix(&node.similarity, sizeof(node.similarity));
+    }
+  }
+  return h;
+}
+
+/// Per-shard + aggregate serving-stats banner (stderr). For an unsharded
+/// service pass its single stats entry; the aggregate line then repeats
+/// it.
+inline void print_service_stats(
+    const std::vector<service::ServiceStats>& per_shard) {
+  for (std::size_t s = 0; s < per_shard.size(); ++s) {
+    const auto& st = per_shard[s];
+    std::fprintf(stderr,
+                 "[serving]   shard %zu: %llu queries, %llu sim queries "
+                 "(%llu maps), %llu/%llu reports accepted/rejected\n",
+                 s, static_cast<unsigned long long>(st.queries_served),
+                 static_cast<unsigned long long>(st.similarity_queries),
+                 static_cast<unsigned long long>(st.maps_touched),
+                 static_cast<unsigned long long>(st.reports_accepted),
+                 static_cast<unsigned long long>(st.reports_rejected));
+  }
+  const service::ServiceStats total = service::aggregate_stats(per_shard);
+  std::fprintf(stderr,
+               "[serving] aggregate: %llu queries (%llu fresh, %llu stale, "
+               "%llu refused), %llu sim queries (%llu maps), "
+               "%llu/%llu reports accepted/rejected\n",
+               static_cast<unsigned long long>(total.queries_served),
+               static_cast<unsigned long long>(total.fresh_answers),
+               static_cast<unsigned long long>(total.stale_answers),
+               static_cast<unsigned long long>(total.refused_queries),
+               static_cast<unsigned long long>(total.similarity_queries),
+               static_cast<unsigned long long>(total.maps_touched),
+               static_cast<unsigned long long>(total.reports_accepted),
+               static_cast<unsigned long long>(total.reports_rejected));
+}
 
 /// One-line campaign cost banner (stderr, like the other progress lines).
 inline void print_campaign_stats(const eval::CampaignStats& stats) {

@@ -13,10 +13,12 @@
 #include "common/table.hpp"
 #include "eval/series.hpp"
 #include "service/position_service.hpp"
+#include "service/sharded_frontend.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace crp;
   constexpr std::uint64_t kSeed = 2008;
+  const std::size_t shards = bench::parse_shards(argc, argv);
 
   eval::print_banner(std::cout, "CRP closest-node selection vs Meridian",
                      "Figure 4 (ICDCS 2008)", kSeed);
@@ -133,6 +135,27 @@ int main() {
               << " KiB wire, " << delivery.rejected
               << " rejected); batched closest(top-5) answered " << answered
               << "/" << clients.size() << " clients in one pass\n";
+
+    // --shards=N: replay the same serving traffic through a sharded
+    // front-end and digest-check the answers against the unsharded path
+    // (the scatter/gather merge must be bit-identical, DESIGN.md §9).
+    if (shards > 0) {
+      service::ShardedFrontendConfig fc;
+      fc.shards = shards;
+      service::ShardedFrontend frontend{fc};
+      const auto sharded_delivery = exp.world->report_positions(frontend, now);
+      const auto sharded_answers =
+          frontend.closest_batch(clients, candidates, 5, now);
+      const bool match =
+          bench::ranked_digest(sharded_answers) == bench::ranked_digest(answers);
+      std::cout << "sharded serving (" << frontend.shard_count()
+                << " shards): published " << sharded_delivery.accepted
+                << " reports across shards; batched closest(top-5) digest "
+                << (match ? "matches" : "MISMATCHES")
+                << " the unsharded path\n";
+      bench::print_service_stats(frontend.shard_stats());
+      if (!match) return 1;
+    }
   }
   return 0;
 }

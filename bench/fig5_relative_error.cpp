@@ -7,10 +7,13 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "eval/series.hpp"
+#include "service/position_service.hpp"
+#include "service/sharded_frontend.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace crp;
   constexpr std::uint64_t kSeed = 2008;  // same run as Figure 4
+  const std::size_t shards = bench::parse_shards(argc, argv);
 
   eval::print_banner(std::cout,
                      "Relative selection errors: CRP vs Meridian",
@@ -69,5 +72,36 @@ int main() {
                    fmt_pct(frac(top1_err)), fmt_pct(frac(top5_err))});
   }
   std::cout << "\n" << fractions.render();
+
+  // --shards=N: run this figure's selection traffic through the serving
+  // layer once unsharded and once through a sharded front-end, and
+  // digest-check that the scatter/gather merge is bit-identical.
+  if (shards > 0) {
+    service::PositionService svc;
+    service::ShardedFrontendConfig fc;
+    fc.shards = shards;
+    service::ShardedFrontend frontend{fc};
+    const SimTime now = exp.world->campaign_end();
+    (void)exp.world->report_positions(svc, now);
+    (void)exp.world->report_positions(frontend, now);
+    std::vector<std::string> clients;
+    std::vector<std::string> candidates;
+    for (HostId h : exp.world->dns_servers()) {
+      clients.push_back(exp.world->topology().host(h).name);
+    }
+    for (HostId h : exp.world->candidates()) {
+      candidates.push_back(exp.world->topology().host(h).name);
+    }
+    const auto baseline = svc.closest_batch(clients, candidates, 5, now);
+    const auto sharded = frontend.closest_batch(clients, candidates, 5, now);
+    const bool match =
+        bench::ranked_digest(sharded) == bench::ranked_digest(baseline);
+    std::cout << "\nsharded serving (" << frontend.shard_count()
+              << " shards): batched closest(top-5) digest "
+              << (match ? "matches" : "MISMATCHES")
+              << " the unsharded path\n";
+    bench::print_service_stats(frontend.shard_stats());
+    if (!match) return 1;
+  }
   return 0;
 }

@@ -7,6 +7,7 @@
 #include "common/stats.hpp"
 #include "common/thread_pool.hpp"
 #include "service/position_service.hpp"
+#include "service/sharded_frontend.hpp"
 
 namespace crp::eval {
 
@@ -344,28 +345,34 @@ std::vector<std::vector<double>> World::king_matrix(
   return estimator.pairwise_matrix(hosts, t, &ThreadPool::shared());
 }
 
-World::ReportDelivery World::report_positions(
-    service::PositionService& service, SimTime when, ThreadPool* pool) {
+std::vector<std::string> World::encode_reports(SimTime when,
+                                               ThreadPool& pool) {
   const std::vector<HostId> hosts = participants();
   std::vector<std::string> wire(hosts.size());
-  ThreadPool& p = pool != nullptr ? *pool : ThreadPool::shared();
   // Encoding is pure per participant (ratio_map() reads the node's
   // probe history, host names are fixed at construction), so it fans
   // out into per-index slots. Participants whose encode fails — in
   // practice none, the wire bounds dwarf real maps — leave an empty
   // string the service rejects like any other malformed entry.
-  p.parallel_for(0, hosts.size(), [&](std::size_t i) {
+  pool.parallel_for(0, hosts.size(), [&](std::size_t i) {
     service::PositionReport report;
     report.node_id = topo_.host(hosts[i]).name;
     report.when = when;
     report.map = crp_node(hosts[i]).ratio_map();
     if (auto bytes = service::encode(report)) wire[i] = std::move(*bytes);
   });
+  return wire;
+}
+
+World::ReportDelivery World::report_positions(
+    service::PositionService& service, SimTime when, ThreadPool* pool) {
+  ThreadPool& p = pool != nullptr ? *pool : ThreadPool::shared();
+  const std::vector<std::string> wire = encode_reports(when, p);
 
   ReportDelivery delivery;
   for (const std::string& bytes : wire) delivery.wire_bytes += bytes.size();
   delivery.accepted = service.publish_batch(wire, when, &p);
-  delivery.rejected = hosts.size() - delivery.accepted;
+  delivery.rejected = wire.size() - delivery.accepted;
   // A campaign delivery is a natural snapshot boundary: when the
   // service serves concurrent readers, cut a fresh snapshot now so they
   // see the whole campaign at once instead of whatever epoch the batch
@@ -373,6 +380,23 @@ World::ReportDelivery World::report_positions(
   if (service.config().snapshots.enabled) {
     (void)service.publish_snapshot(when);
   }
+  return delivery;
+}
+
+World::ReportDelivery World::report_positions(
+    service::ShardedFrontend& frontend, SimTime when, ThreadPool* pool) {
+  ThreadPool& p = pool != nullptr ? *pool : ThreadPool::shared();
+  const std::vector<std::string> wire = encode_reports(when, p);
+
+  ReportDelivery delivery;
+  for (const std::string& bytes : wire) delivery.wire_bytes += bytes.size();
+  delivery.accepted = frontend.publish_batch(wire, when, &p);
+  delivery.rejected = wire.size() - delivery.accepted;
+  // Same campaign boundary as the unsharded path: republish every shard
+  // so a View captures the full campaign at one epoch vector. The
+  // frontend always has snapshots enabled (it forces them on), so this
+  // is unconditional.
+  frontend.publish_snapshots(when);
   return delivery;
 }
 

@@ -45,6 +45,7 @@ class ThreadPool;
 
 namespace crp::service {
 class PositionService;
+class ShardedFrontend;
 }
 
 namespace crp::eval {
@@ -234,6 +235,12 @@ class World {
   /// campaign at one epoch.
   ReportDelivery report_positions(service::PositionService& service,
                                   SimTime when, ThreadPool* pool = nullptr);
+  /// Sharded twin: same encode fan-out, delivered through the
+  /// front-end's peek-routing batched publish (each report lands on its
+  /// owning shard); every shard republishes its snapshot at `when` so a
+  /// View captures the whole campaign at one epoch vector.
+  ReportDelivery report_positions(service::ShardedFrontend& frontend,
+                                  SimTime when, ThreadPool* pool = nullptr);
 
   /// Stats of the most recent campaign (any variant).
   [[nodiscard]] const CampaignStats& campaign_stats() const {
@@ -264,6 +271,12 @@ class World {
   /// drawn identically for the sequential and parallel paths.
   [[nodiscard]] std::vector<Duration> stagger_offsets(
       std::size_t count) const;
+
+  /// Shared encode stage of report_positions: every participant's
+  /// current ratio map wire-encoded in participant order (empty string
+  /// where encode failed).
+  [[nodiscard]] std::vector<std::string> encode_reports(SimTime when,
+                                                        ThreadPool& pool);
 
   /// Counter snapshot used to compute campaign deltas.
   struct CounterBaseline {

@@ -17,7 +17,14 @@ void GossipMesh::add_node(const std::string& id) {
     throw std::invalid_argument{"GossipMesh::add_node: empty id"};
   }
   Node node;
-  node.store = std::make_unique<PositionService>(config_.store);
+  if (config_.store_shards > 1) {
+    ShardedFrontendConfig fc;
+    fc.shards = config_.store_shards;
+    fc.service = config_.store;
+    node.sharded = std::make_unique<ShardedFrontend>(fc);
+  } else {
+    node.store = std::make_unique<PositionService>(config_.store);
+  }
   if (!nodes_.emplace(id, std::move(node)).second) {
     throw std::invalid_argument{"GossipMesh::add_node: duplicate id " + id};
   }
@@ -66,7 +73,13 @@ bool GossipMesh::publish_local(const std::string& node, core::RatioMap map,
   report.node_id = node;
   report.when = now;
   report.map = std::move(map);
-  return store(node).publish(std::move(report), now);
+  const auto it = nodes_.find(node);
+  if (it == nodes_.end()) {
+    throw std::invalid_argument{"GossipMesh: unknown node " + node};
+  }
+  return it->second.sharded
+             ? it->second.sharded->publish(std::move(report), now)
+             : it->second.store->publish(std::move(report), now);
 }
 
 std::size_t GossipMesh::round(SimTime now) {
@@ -77,7 +90,10 @@ std::size_t GossipMesh::round(SimTime now) {
     if (node.peers.empty()) continue;
 
     // Reports to push: a random sample of the sender's live store.
-    const std::vector<std::string> known = node.store->live_nodes(now);
+    // live_in_store is bit-identical across store types, so the rng
+    // draws below consume the same sequence sharded or not — the whole
+    // gossip trajectory matches report for report.
+    const std::vector<std::string> known = live_in_store(node, now);
     if (known.empty()) continue;
 
     for (int f = 0; f < config_.fanout; ++f) {
@@ -89,7 +105,7 @@ std::size_t GossipMesh::round(SimTime now) {
           known.size());
       const auto picks = rng_.sample_indices(known.size(), budget);
       for (std::size_t k : picks) {
-        const auto report = node.store->report_of(known[k]);
+        const auto report = report_in_store(node, known[k]);
         if (!report.has_value()) continue;
         // Travel over the wire format, exactly as a real library would,
         // keeping the original timestamp so freshness rules hold across
@@ -103,7 +119,7 @@ std::size_t GossipMesh::round(SimTime now) {
         }
         stats_.bytes += bytes->size();
         ++stats_.reports_sent;
-        if (!receiver.store->publish_encoded(*bytes, now)) {
+        if (!deliver(receiver, peer, *bytes, now)) {
           ++stats_.publish_rejected;
         }
         ++transmitted;
@@ -122,21 +138,83 @@ sim::EventHandle GossipMesh::schedule(sim::EventScheduler& sched,
   });
 }
 
+const GossipMesh::Node& GossipMesh::node_at(const std::string& node) const {
+  const auto it = nodes_.find(node);
+  if (it == nodes_.end()) {
+    throw std::invalid_argument{"GossipMesh: unknown node " + node};
+  }
+  return it->second;
+}
+
+std::vector<std::string> GossipMesh::live_in_store(const Node& node,
+                                                   SimTime now) const {
+  return node.sharded ? node.sharded->live_nodes(now)
+                      : node.store->live_nodes(now);
+}
+
+std::optional<PositionReport> GossipMesh::report_in_store(
+    const Node& node, const std::string& id) const {
+  return node.sharded ? node.sharded->report_of(id)
+                      : node.store->report_of(id);
+}
+
+bool GossipMesh::deliver(Node& receiver, const std::string& receiver_id,
+                         std::string_view bytes, SimTime now) {
+  if (!receiver.sharded) return receiver.store->publish_encoded(bytes, now);
+  const std::size_t shards = receiver.sharded->shard_count();
+  const auto reported = peek_node_id(bytes);
+  if (reported.has_value() &&
+      ShardedFrontend::shard_index(*reported, shards) !=
+          ShardedFrontend::shard_index(receiver_id, shards)) {
+    ++stats_.cross_shard_misses;
+  }
+  return receiver.sharded->publish_encoded(bytes, now);
+}
+
 PositionService& GossipMesh::store(const std::string& node) {
   const auto it = nodes_.find(node);
   if (it == nodes_.end()) {
     throw std::invalid_argument{"GossipMesh: unknown node " + node};
+  }
+  if (it->second.sharded) {
+    throw std::logic_error{
+        "GossipMesh::store: mesh stores are sharded (store_shards > 1); "
+        "use sharded_store()/store_view()"};
   }
   return *it->second.store;
 }
 
 std::shared_ptr<const ServingSnapshot> GossipMesh::store_snapshot(
     const std::string& node) const {
+  const Node& rec = node_at(node);
+  if (rec.sharded) {
+    throw std::logic_error{
+        "GossipMesh::store_snapshot: mesh stores are sharded "
+        "(store_shards > 1); use store_view()"};
+  }
+  return rec.store->snapshot();
+}
+
+ShardedFrontend& GossipMesh::sharded_store(const std::string& node) {
   const auto it = nodes_.find(node);
   if (it == nodes_.end()) {
     throw std::invalid_argument{"GossipMesh: unknown node " + node};
   }
-  return it->second.store->snapshot();
+  if (!it->second.sharded) {
+    throw std::logic_error{
+        "GossipMesh::sharded_store: mesh stores are unsharded; use store()"};
+  }
+  return *it->second.sharded;
+}
+
+ShardedFrontend::View GossipMesh::store_view(const std::string& node) const {
+  const Node& rec = node_at(node);
+  if (!rec.sharded) {
+    throw std::logic_error{
+        "GossipMesh::store_view: mesh stores are unsharded; use "
+        "store_snapshot()"};
+  }
+  return rec.sharded->view();
 }
 
 double GossipMesh::coverage(SimTime now) const {
@@ -144,12 +222,15 @@ double GossipMesh::coverage(SimTime now) const {
   // Which nodes have published at all (their own store knows them)?
   std::vector<std::string> published;
   for (const std::string& id : order_) {
-    if (nodes_.at(id).store->map_of(id).has_value()) published.push_back(id);
+    const Node& rec = nodes_.at(id);
+    const auto own = rec.sharded ? rec.sharded->map_of(id)
+                                 : rec.store->map_of(id);
+    if (own.has_value()) published.push_back(id);
   }
   if (published.empty()) return 0.0;
   std::size_t hits = 0;
   for (const std::string& id : order_) {
-    const auto live = nodes_.at(id).store->live_nodes(now);
+    const auto live = live_in_store(nodes_.at(id), now);
     // binary_search is only correct because PositionService::live_nodes
     // documents a lexicographic-order contract — pinned here so a store
     // change that breaks it fails loudly instead of under-counting.

@@ -12,13 +12,16 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "common/time.hpp"
 #include "service/position_service.hpp"
+#include "service/sharded_frontend.hpp"
 #include "sim/event_scheduler.hpp"
 
 namespace crp::service {
@@ -32,6 +35,13 @@ struct GossipConfig {
   Duration round_interval = Minutes(5);
   /// Store configuration shared by every node.
   ServiceConfig store;
+  /// Shards per node-local store. 1 (the default) keeps the historical
+  /// single-PositionService store; >1 gives every node a ShardedFrontend
+  /// of that many shards — gossip traffic, acceptance and coverage are
+  /// bit-identical either way (the frontend observably behaves like one
+  /// service), but delivery fan-out across shards becomes visible via
+  /// GossipStats::cross_shard_misses.
+  std::size_t store_shards = 1;
 };
 
 /// Cumulative mesh-level transmission accounting. Rejected counters stay
@@ -51,6 +61,12 @@ struct GossipStats {
   std::uint64_t bytes = 0;
   /// Gossip rounds executed.
   std::uint64_t rounds = 0;
+  /// Wire-delivered reports that landed on a shard other than the one
+  /// owning the receiver's own id (sharded stores only; always 0 when
+  /// store_shards == 1). Gossip picks peers by node, not by shard, so
+  /// most deliveries cross shards — this counter makes that ingest
+  /// fan-out visible when sizing store_shards.
+  std::uint64_t cross_shard_misses = 0;
 };
 
 class GossipMesh {
@@ -80,7 +96,11 @@ class GossipMesh {
   sim::EventHandle schedule(sim::EventScheduler& sched, SimTime start,
                             SimTime end);
 
-  /// The node's local store (throws for unknown IDs). Writer-side: the
+  /// Whether node stores are sharded (store_shards > 1).
+  [[nodiscard]] bool sharded() const { return config_.store_shards > 1; }
+
+  /// The node's local store (throws for unknown IDs, and for sharded
+  /// meshes — use sharded_store()/store_view() there). Writer-side: the
   /// mesh is this store's single writer — gossip rounds publish into it
   /// through the writer API (publish_encoded), so mutating it from
   /// another thread while rounds run violates the single-writer
@@ -91,8 +111,15 @@ class GossipMesh {
   /// call publish_snapshot on the store). Lock-free and safe from any
   /// thread while gossip rounds keep writing: rounds publish through
   /// the writer API, which republishes snapshots at the configured
-  /// boundaries, and readers only ever see complete ones.
+  /// boundaries, and readers only ever see complete ones. Throws for
+  /// sharded meshes — use store_view() there.
   [[nodiscard]] std::shared_ptr<const ServingSnapshot> store_snapshot(
+      const std::string& node) const;
+  /// Sharded-mesh twins of store()/store_snapshot(): the node's local
+  /// ShardedFrontend, and an acquire-all View of its shard snapshots.
+  /// Both throw for unknown IDs and for unsharded meshes.
+  [[nodiscard]] ShardedFrontend& sharded_store(const std::string& node);
+  [[nodiscard]] ShardedFrontend::View store_view(
       const std::string& node) const;
 
   [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
@@ -105,10 +132,23 @@ class GossipMesh {
   [[nodiscard]] const GossipStats& stats() const { return stats_; }
 
  private:
+  /// Exactly one of store/sharded is set, per config_.store_shards.
   struct Node {
     std::unique_ptr<PositionService> store;
+    std::unique_ptr<ShardedFrontend> sharded;
     std::vector<std::string> peers;
   };
+
+  [[nodiscard]] const Node& node_at(const std::string& node) const;
+  /// Store dispatch — each bit-identical across store types.
+  [[nodiscard]] std::vector<std::string> live_in_store(const Node& node,
+                                                      SimTime now) const;
+  [[nodiscard]] std::optional<PositionReport> report_in_store(
+      const Node& node, const std::string& id) const;
+  /// Delivers wire bytes into `receiver`'s store, counting cross-shard
+  /// landings for sharded stores. `receiver_id` is the receiving node.
+  bool deliver(Node& receiver, const std::string& receiver_id,
+               std::string_view bytes, SimTime now);
 
   GossipConfig config_;
   // Insertion order retained for deterministic iteration.

@@ -42,6 +42,31 @@ const char* to_string(DegradedReason reason) {
   return "?";
 }
 
+ServiceStats& ServiceStats::operator+=(const ServiceStats& other) {
+  queries_served += other.queries_served;
+  reports_accepted += other.reports_accepted;
+  reports_rejected += other.reports_rejected;
+  clustering_cache_hits += other.clustering_cache_hits;
+  engine_rebuilds_avoided += other.engine_rebuilds_avoided;
+  postings_tombstoned += other.postings_tombstoned;
+  compactions += other.compactions;
+  similarity_queries += other.similarity_queries;
+  maps_touched += other.maps_touched;
+  reclusters += other.reclusters;
+  recluster_seconds += other.recluster_seconds;
+  recluster_maps_touched += other.recluster_maps_touched;
+  fresh_answers += other.fresh_answers;
+  stale_answers += other.stale_answers;
+  refused_queries += other.refused_queries;
+  return *this;
+}
+
+ServiceStats aggregate_stats(std::span<const ServiceStats> per_shard) {
+  ServiceStats total;
+  for (const ServiceStats& s : per_shard) total += s;
+  return total;
+}
+
 PositionService::PositionService(ServiceConfig config)
     : config_(config), engine_(config.metric) {
   // One engine serves both selection and clustering, so a single metric
@@ -258,6 +283,26 @@ std::vector<RankedNode> PositionService::closest_any(
   BoundedTopK<ScoredRef, decltype(&better_ref)> heap(k, &better_ref);
   for (const auto& [id, report] : reports_) {
     if (id == client || !is_live(report, now)) continue;
+    heap.offer(ScoredRef{&id, scores[slot_of_.at(id)]});
+  }
+  return serving_detail::materialize<RankedNode>(heap.take_sorted());
+}
+
+std::vector<RankedNode> PositionService::top_k(const core::RatioMap& query,
+                                               std::size_t k,
+                                               SimTime now) const {
+  counters_->queries_served.add();
+  // The query is external — no corpus row to exclude, and pairwise
+  // similarity depends only on the query and the candidate's own row,
+  // so shards of a partitioned corpus score it bit-identically.
+  std::vector<double> scores(engine_.size());
+  std::size_t touched = 0;
+  engine_.scores(query, scores, &touched);
+  counters_->similarity_queries.add();
+  counters_->maps_touched.add(touched);
+  BoundedTopK<ScoredRef, decltype(&better_ref)> heap(k, &better_ref);
+  for (const auto& [id, report] : reports_) {
+    if (!is_live(report, now)) continue;
     heap.offer(ScoredRef{&id, scores[slot_of_.at(id)]});
   }
   return serving_detail::materialize<RankedNode>(heap.take_sorted());

@@ -196,7 +196,16 @@ struct ServiceStats {
   std::uint64_t fresh_answers = 0;
   std::uint64_t stale_answers = 0;
   std::uint64_t refused_queries = 0;
+
+  /// Field-wise accumulation — how a sharded front-end aggregates its
+  /// per-shard stats into one fleet view. Counters sum; so does
+  /// recluster_seconds (total wall time across shards).
+  ServiceStats& operator+=(const ServiceStats& other);
 };
+
+/// Sum of per-shard stats (see operator+=). Empty input is all zeros.
+[[nodiscard]] ServiceStats aggregate_stats(
+    std::span<const ServiceStats> per_shard);
 
 /// Query-path counters, shared (by shared_ptr) between the service and
 /// every ServingSnapshot it publishes: snapshot readers bump the same
@@ -259,6 +268,13 @@ class PositionService {
   /// Same, but over every live node except the client.
   [[nodiscard]] std::vector<RankedNode> closest_any(
       const std::string& client, std::size_t k, SimTime now) const;
+  /// Ranks every live node by similarity to an external query map (a
+  /// position that never published — e.g. a prospective node probing
+  /// where it would land), best first, at most k entries. Same
+  /// (similarity desc, id asc) total order as the closest paths.
+  [[nodiscard]] std::vector<RankedNode> top_k(const core::RatioMap& query,
+                                              std::size_t k,
+                                              SimTime now) const;
 
   // --- degraded-mode serving (DESIGN.md §7) ---
   /// `closest_any` with explicit staleness tiers: a fresh client ranks

@@ -171,6 +171,172 @@ TieredAnswer ServingSnapshot::closest_tiered_impl(
   return out;
 }
 
+std::vector<RankedNode> ServingSnapshot::top_k(const core::RatioMap& query,
+                                               std::size_t k,
+                                               SimTime now) const {
+  counters_->queries_served.add();
+  std::vector<double> scores(engine_->size());
+  std::size_t touched = 0;
+  engine_->scores(query, scores, &touched);
+  counters_->similarity_queries.add();
+  counters_->maps_touched.add(touched);
+  BoundedTopK<ScoredRef, decltype(&better_ref)> heap(k, &better_ref);
+  for (const std::uint32_t slot : *by_id_) {
+    if (!live_at(slot, now)) continue;
+    heap.offer(ScoredRef{&(*slots_)[slot].id, scores[slot]});
+  }
+  return serving_detail::materialize<RankedNode>(heap.take_sorted());
+}
+
+std::optional<ServingSnapshot::Resident> ServingSnapshot::resident(
+    const std::string& node_id, SimTime now) const {
+  const std::size_t slot = find(node_id);
+  if (slot == npos) return std::nullopt;
+  Resident r;
+  r.slot = slot;
+  r.row = engine_->row_view(slot);
+  r.live = live_at(slot, now);
+  r.stale_usable = stale_usable_at(slot, now);
+  return r;
+}
+
+std::vector<ServingSnapshot::Vetted> ServingSnapshot::vet_candidates(
+    std::span<const std::string> candidates, bool stale_band,
+    SimTime now) const {
+  std::vector<Vetted> vetted;
+  vetted.reserve(candidates.size());
+  for (const std::string& candidate : candidates) {
+    const std::size_t slot = find(candidate);
+    if (slot == npos) continue;
+    if (!live_at(slot, now) && !(stale_band && stale_usable_at(slot, now))) {
+      continue;
+    }
+    vetted.push_back(Vetted{&candidate, slot});
+  }
+  return vetted;
+}
+
+std::vector<RankedNode> ServingSnapshot::partial_closest_any(
+    const core::RowView& client, std::size_t exclude_slot, bool stale_band,
+    std::size_t k, SimTime now) const {
+  std::vector<double> scores(engine_->size());
+  std::size_t touched = 0;
+  engine_->scores(client, scores, &touched);
+  counters_->similarity_queries.add();
+  counters_->maps_touched.add(touched);
+  BoundedTopK<ScoredRef, decltype(&better_ref)> heap(k, &better_ref);
+  for (const std::uint32_t slot : *by_id_) {
+    if (slot == exclude_slot) continue;
+    if (!live_at(slot, now) && !(stale_band && stale_usable_at(slot, now))) {
+      continue;
+    }
+    heap.offer(ScoredRef{&(*slots_)[slot].id, scores[slot]});
+  }
+  return serving_detail::materialize<RankedNode>(heap.take_sorted());
+}
+
+std::vector<RankedNode> ServingSnapshot::partial_closest(
+    const core::RowView& client, std::size_t exclude_slot,
+    std::span<const Vetted> candidates, std::size_t k) const {
+  if (candidates.empty()) return {};
+  std::vector<double> scores(engine_->size());
+  std::size_t touched = 0;
+  engine_->scores(client, scores, &touched);
+  counters_->similarity_queries.add();
+  counters_->maps_touched.add(touched);
+  BoundedTopK<ScoredRef, decltype(&better_ref)> heap(k, &better_ref);
+  for (const Vetted& candidate : candidates) {
+    if (candidate.slot == exclude_slot) continue;
+    heap.offer(ScoredRef{candidate.id, scores[candidate.slot]});
+  }
+  return serving_detail::materialize<RankedNode>(heap.take_sorted());
+}
+
+std::vector<RankedNode> ServingSnapshot::partial_top_k(
+    const core::RatioMap& query, std::size_t k, SimTime now) const {
+  std::vector<double> scores(engine_->size());
+  std::size_t touched = 0;
+  engine_->scores(query, scores, &touched);
+  counters_->similarity_queries.add();
+  counters_->maps_touched.add(touched);
+  BoundedTopK<ScoredRef, decltype(&better_ref)> heap(k, &better_ref);
+  for (const std::uint32_t slot : *by_id_) {
+    if (!live_at(slot, now)) continue;
+    heap.offer(ScoredRef{&(*slots_)[slot].id, scores[slot]});
+  }
+  return serving_detail::materialize<RankedNode>(heap.take_sorted());
+}
+
+std::vector<std::vector<RankedNode>> ServingSnapshot::partial_closest_batch(
+    std::span<const ExternalClient> clients, std::size_t self_shard,
+    std::size_t k, SimTime now) const {
+  std::vector<std::vector<RankedNode>> out(clients.size());
+  if (clients.empty()) return out;
+  // One usable-node sweep and one score buffer serve every client of
+  // the batch — the partial twin of closest_batch's shared liveness
+  // snapshot. (Partial reads never widen to the stale band: the batch
+  // path, like the unsharded one, serves fresh clients only.)
+  std::vector<NodeRef> nodes;
+  nodes.reserve(by_id_->size());
+  for (const std::uint32_t slot : *by_id_) {
+    if (live_at(slot, now)) {
+      nodes.push_back(NodeRef{&(*slots_)[slot].id, slot});
+    }
+  }
+  std::vector<double> scores(engine_->size());
+  std::uint64_t touched_total = 0;
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    std::size_t touched = 0;
+    engine_->scores(clients[i].row, scores, &touched);
+    touched_total += touched;
+    const std::size_t exclude =
+        clients[i].owner == self_shard ? clients[i].slot : npos;
+    out[i] = rank_batch_row(nodes, exclude, scores, k);
+  }
+  counters_->similarity_queries.add(clients.size());
+  counters_->maps_touched.add(touched_total);
+  return out;
+}
+
+std::vector<std::vector<RankedNode>> ServingSnapshot::partial_closest_batch(
+    std::span<const ExternalClient> clients, std::size_t self_shard,
+    std::span<const Vetted> candidates, std::size_t k) const {
+  std::vector<std::vector<RankedNode>> out(clients.size());
+  if (clients.empty() || candidates.empty()) return out;
+  std::vector<NodeRef> nodes;
+  nodes.reserve(candidates.size());
+  for (const Vetted& candidate : candidates) {
+    nodes.push_back(NodeRef{candidate.id, candidate.slot});
+  }
+  std::vector<double> scores(engine_->size());
+  std::uint64_t touched_total = 0;
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    std::size_t touched = 0;
+    engine_->scores(clients[i].row, scores, &touched);
+    touched_total += touched;
+    const std::size_t exclude =
+        clients[i].owner == self_shard ? clients[i].slot : npos;
+    out[i] = rank_batch_row(nodes, exclude, scores, k);
+  }
+  counters_->similarity_queries.add(clients.size());
+  counters_->maps_touched.add(touched_total);
+  return out;
+}
+
+void ServingSnapshot::count_outcome(AnswerTier tier) const {
+  switch (tier) {
+    case AnswerTier::kFresh:
+      counters_->fresh_answers.add();
+      break;
+    case AnswerTier::kStale:
+      counters_->stale_answers.add();
+      break;
+    case AnswerTier::kRefused:
+      counters_->refused_queries.add();
+      break;
+  }
+}
+
 std::vector<RankedNode> ServingSnapshot::rank_batch_row(
     std::span<const NodeRef> nodes, std::size_t client_slot,
     std::span<const double> scores, std::size_t k) const {

@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -42,6 +43,10 @@ namespace crp::service {
 
 class ServingSnapshot {
  public:
+  /// "No such slot" — the value find()/resident() report for unknown
+  /// ids, and the exclude_slot callers pass when nothing is excluded.
+  static constexpr std::size_t npos = ~std::size_t{0};
+
   // --- provenance ---
   /// Membership epoch of the service state this snapshot froze.
   [[nodiscard]] std::uint64_t membership_epoch() const {
@@ -89,6 +94,97 @@ class ServingSnapshot {
       std::span<const std::string> clients,
       std::span<const std::string> candidates, std::size_t k, SimTime now,
       ThreadPool* pool = nullptr) const;
+  /// External-query ranking (the snapshot twin of
+  /// PositionService::top_k): live nodes ranked against a query map
+  /// that has no corpus row.
+  [[nodiscard]] std::vector<RankedNode> top_k(const core::RatioMap& query,
+                                              std::size_t k,
+                                              SimTime now) const;
+
+  // --- scatter/gather partial reads (service/sharded_frontend.hpp) ---
+  //
+  // A sharded front-end answers a query by fetching the client's frozen
+  // row from its owning shard's snapshot (`resident`), asking every
+  // shard snapshot for its local top-k against that row (`partial_*`),
+  // and merging the partials under serving_detail's total order. Row
+  // queries renormalize nothing and pairwise similarity depends only on
+  // the two rows involved, so each partial score is bit-identical to
+  // what one unsharded engine would have produced — which makes the
+  // merged answer bit-identical to the unsharded service's.
+
+  /// A node resident in this shard snapshot: its engine slot, its
+  /// frozen corpus row (valid while the snapshot is held), and its
+  /// freshness at `now`. nullopt when the id is unknown here.
+  struct Resident {
+    std::size_t slot = npos;
+    core::RowView row;
+    bool live = false;
+    bool stale_usable = false;
+  };
+  [[nodiscard]] std::optional<Resident> resident(const std::string& node_id,
+                                                 SimTime now) const;
+
+  /// One candidate surviving this shard's vetting: the caller's id
+  /// string (borrowed) plus its local engine slot.
+  struct Vetted {
+    const std::string* id = nullptr;
+    std::size_t slot = 0;
+  };
+  /// Vets a candidate list against this shard: kept iff resident here
+  /// and usable at `now` (live, or stale-usable when `stale_band` — the
+  /// degraded tier's widened candidate band). Caller order preserved.
+  /// The client is NOT excluded here — its id can only be resident on
+  /// its owning shard, where rank-time slot exclusion removes it,
+  /// exactly like the unsharded batch path.
+  [[nodiscard]] std::vector<Vetted> vet_candidates(
+      std::span<const std::string> candidates, bool stale_band,
+      SimTime now) const;
+
+  /// This shard's partial answer to a closest-any query: every resident
+  /// node usable at `now` (minus `exclude_slot` — the client's own slot
+  /// when this is its owning shard, else npos) ranked against the
+  /// external client row, at most k kept.
+  [[nodiscard]] std::vector<RankedNode> partial_closest_any(
+      const core::RowView& client, std::size_t exclude_slot,
+      bool stale_band, std::size_t k, SimTime now) const;
+  /// Candidate-list form over a pre-vetted subset (see vet_candidates).
+  [[nodiscard]] std::vector<RankedNode> partial_closest(
+      const core::RowView& client, std::size_t exclude_slot,
+      std::span<const Vetted> candidates, std::size_t k) const;
+  /// Partial top_k: resident live nodes ranked against an external
+  /// query map (no exclusion — the query is not a node).
+  [[nodiscard]] std::vector<RankedNode> partial_top_k(
+      const core::RatioMap& query, std::size_t k, SimTime now) const;
+
+  /// One client of a cross-shard batch: its frozen row plus where it
+  /// lives, so each shard can exclude it iff it owns it.
+  struct ExternalClient {
+    core::RowView row;
+    std::size_t owner = 0;      // owning shard index
+    std::size_t slot = npos;    // client's slot on the owning shard
+  };
+  /// Batched partial_closest_any: one usable-node sweep and one reused
+  /// score buffer serve every client. `self_shard` is this snapshot's
+  /// shard index (for owner-only exclusion). Result i pairs with
+  /// clients[i].
+  [[nodiscard]] std::vector<std::vector<RankedNode>> partial_closest_batch(
+      std::span<const ExternalClient> clients, std::size_t self_shard,
+      std::size_t k, SimTime now) const;
+  /// Candidate-list form over a pre-vetted subset.
+  [[nodiscard]] std::vector<std::vector<RankedNode>> partial_closest_batch(
+      std::span<const ExternalClient> clients, std::size_t self_shard,
+      std::span<const Vetted> candidates, std::size_t k) const;
+
+  /// Outcome accounting for gathered queries: the front-end decides
+  /// what a scattered query answered, so it bumps queries_served and
+  /// the tier counters here (on the shard owning the client), exactly
+  /// once per front-end query — keeping those counters' aggregate equal
+  /// to an unsharded service's under the same traffic.
+  void count_queries(std::uint64_t n = 1) const {
+    counters_->queries_served.add(n);
+  }
+  void count_outcome(AnswerTier tier) const;
+
   /// Cluster queries: as the service's, but const (the clustering was
   /// computed — or not — at freeze time) and empty when no clustering
   /// is attached.
@@ -102,8 +198,6 @@ class ServingSnapshot {
  private:
   friend class PositionService;
   ServingSnapshot() = default;
-
-  static constexpr std::size_t npos = ~std::size_t{0};
 
   /// One engine slot's occupant: its id ("" for a tombstoned slot) and
   /// its report timestamp (what liveness filters against).

@@ -1,0 +1,476 @@
+#include "service/sharded_frontend.hpp"
+
+#include <algorithm>
+#include <iterator>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "common/top_k.hpp"
+#include "service/serving_detail.hpp"
+#include "service/wire.hpp"
+
+namespace crp::service {
+
+using serving_detail::ScoredRef;
+using serving_detail::better_ref;
+
+namespace {
+
+/// Merges per-shard top-k partials into the global top-k. Correctness
+/// rests on the total order: any node in the global top-k beats all but
+/// fewer than k others, so in particular fewer than k within its own
+/// shard — it is in its shard's partial. The merge therefore never
+/// misses a winner, and the order makes the result offer-order- (hence
+/// shard-count-) independent.
+std::vector<RankedNode> merge_partials(
+    std::span<const std::vector<RankedNode>> partials, std::size_t k) {
+  BoundedTopK<ScoredRef, decltype(&better_ref)> heap(k, &better_ref);
+  for (const std::vector<RankedNode>& partial : partials) {
+    for (const RankedNode& node : partial) {
+      heap.offer(ScoredRef{&node.node_id, node.similarity});
+    }
+  }
+  return serving_detail::materialize<RankedNode>(heap.take_sorted());
+}
+
+/// Batch form: merges client j's partials across every shard.
+std::vector<RankedNode> merge_client(
+    std::span<const std::vector<std::vector<RankedNode>>> partials,
+    std::size_t j, std::size_t k) {
+  BoundedTopK<ScoredRef, decltype(&better_ref)> heap(k, &better_ref);
+  for (const auto& shard_partials : partials) {
+    for (const RankedNode& node : shard_partials[j]) {
+      heap.offer(ScoredRef{&node.node_id, node.similarity});
+    }
+  }
+  return serving_detail::materialize<RankedNode>(heap.take_sorted());
+}
+
+}  // namespace
+
+ShardedFrontend::ShardedFrontend(ShardedFrontendConfig config)
+    : config_(std::move(config)) {
+  if (config_.shards == 0) config_.shards = 1;
+  if (!config_.service.snapshots.enabled) {
+    // The front-end answers from snapshots, so by default every
+    // completed write must be visible to the next query — republish
+    // after every accepted mutation. Callers that enabled snapshots
+    // themselves keep their own pacing (and use the epoch vector to
+    // bound what they are reading).
+    config_.service.snapshots.enabled = true;
+    config_.service.snapshots.max_epoch_lag = 1;
+  }
+  shards_.reserve(config_.shards);
+  for (std::size_t s = 0; s < config_.shards; ++s) {
+    shards_.push_back(std::make_unique<PositionService>(config_.service));
+    // Publish the empty snapshot so a View never holds a null — reads
+    // before the first write answer empty, not undefined.
+    (void)shards_.back()->publish_snapshot(SimTime::epoch());
+  }
+}
+
+std::size_t ShardedFrontend::shard_index(std::string_view node_id,
+                                         std::size_t shard_count) {
+  if (shard_count <= 1) return 0;
+  return static_cast<std::size_t>(stable_hash(node_id) % shard_count);
+}
+
+// --- writes ---
+
+bool ShardedFrontend::publish(PositionReport report, SimTime now) {
+  return shards_[shard_of(report.node_id)]->publish(std::move(report), now);
+}
+
+bool ShardedFrontend::publish_encoded(std::string_view bytes, SimTime now) {
+  // Route by the peeked id; bytes whose header won't even peek go to
+  // shard 0, whose full decode rejects and counts them.
+  const auto id = peek_node_id(bytes);
+  const std::size_t s = id.has_value() ? shard_of(*id) : 0;
+  return shards_[s]->publish_encoded(bytes, now);
+}
+
+std::size_t ShardedFrontend::publish_batch(std::span<const std::string> batch,
+                                           SimTime now, ThreadPool* pool) {
+  if (shards_.size() == 1) {
+    return shards_[0]->publish_batch(batch, now, pool);
+  }
+  std::vector<std::vector<std::string>> groups(shards_.size());
+  for (const std::string& bytes : batch) {
+    const auto id = peek_node_id(bytes);
+    groups[id.has_value() ? shard_of(*id) : 0].push_back(bytes);
+  }
+  // Distinct shards are distinct single-writer domains, so the groups
+  // apply in parallel; within a shard the group keeps batch order, so
+  // per-id acceptance is exactly the sequential routing's. The nested
+  // per-shard decode parallel_for runs inline on the worker.
+  ThreadPool& p = pool != nullptr ? *pool : ThreadPool::shared();
+  std::vector<std::size_t> accepted(shards_.size(), 0);
+  p.parallel_for(0, shards_.size(), [&](std::size_t s) {
+    accepted[s] = shards_[s]->publish_batch(groups[s], now, &p);
+  });
+  std::size_t total = 0;
+  for (const std::size_t a : accepted) total += a;
+  return total;
+}
+
+bool ShardedFrontend::remove(const std::string& node_id) {
+  return shards_[shard_of(node_id)]->remove(node_id);
+}
+
+std::size_t ShardedFrontend::expire(SimTime now) {
+  std::size_t dropped = 0;
+  for (const auto& shard : shards_) dropped += shard->expire(now);
+  return dropped;
+}
+
+void ShardedFrontend::publish_snapshots(SimTime now) {
+  for (const auto& shard : shards_) (void)shard->publish_snapshot(now);
+}
+
+// --- inspection ---
+
+std::optional<core::RatioMap> ShardedFrontend::map_of(
+    const std::string& node_id) const {
+  return shards_[shard_of(node_id)]->map_of(node_id);
+}
+
+std::optional<PositionReport> ShardedFrontend::report_of(
+    const std::string& node_id) const {
+  return shards_[shard_of(node_id)]->report_of(node_id);
+}
+
+std::size_t ShardedFrontend::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->size();
+  return total;
+}
+
+// --- epochs ---
+
+std::vector<std::uint64_t> ShardedFrontend::write_epochs() const {
+  std::vector<std::uint64_t> epochs;
+  epochs.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    epochs.push_back(shard->membership_epoch());
+  }
+  return epochs;
+}
+
+std::uint64_t ShardedFrontend::epoch_lag(const View& view) const {
+  std::uint64_t lag = 0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    lag = std::max(lag,
+                   shards_[s]->membership_epoch() - view.epochs()[s]);
+  }
+  return lag;
+}
+
+// --- reads ---
+
+ShardedFrontend::View ShardedFrontend::view() const {
+  View v;
+  v.snaps_.reserve(shards_.size());
+  v.epochs_.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    std::shared_ptr<const ServingSnapshot> snap = shard->snapshot();
+    v.epochs_.push_back(snap->membership_epoch());
+    v.snaps_.push_back(std::move(snap));
+  }
+  return v;
+}
+
+std::size_t ShardedFrontend::View::shard_of(std::string_view node_id) const {
+  return shard_index(node_id, snaps_.size());
+}
+
+std::size_t ShardedFrontend::View::size() const {
+  std::size_t total = 0;
+  for (const auto& snap : snaps_) total += snap->size();
+  return total;
+}
+
+std::vector<std::string> ShardedFrontend::View::live_nodes(
+    SimTime now) const {
+  // Disjoint partitions, each already sorted per the live_nodes
+  // contract — pairwise merges keep the union sorted.
+  std::vector<std::string> merged;
+  for (const auto& snap : snaps_) {
+    std::vector<std::string> part = snap->live_nodes(now);
+    if (merged.empty()) {
+      merged = std::move(part);
+      continue;
+    }
+    std::vector<std::string> next;
+    next.reserve(merged.size() + part.size());
+    std::merge(std::make_move_iterator(merged.begin()),
+               std::make_move_iterator(merged.end()),
+               std::make_move_iterator(part.begin()),
+               std::make_move_iterator(part.end()),
+               std::back_inserter(next));
+    merged = std::move(next);
+  }
+  return merged;
+}
+
+std::vector<RankedNode> ShardedFrontend::View::closest_any(
+    const std::string& client, std::size_t k, SimTime now,
+    ThreadPool* pool) const {
+  const std::size_t n = snaps_.size();
+  if (n == 1) return snaps_[0]->closest_any(client, k, now);
+  const std::size_t owner = shard_of(client);
+  snaps_[owner]->count_queries();
+  const auto res = snaps_[owner]->resident(client, now);
+  if (!res.has_value() || !res->live) return {};
+  std::vector<std::vector<RankedNode>> partials(n);
+  ThreadPool& p = pool != nullptr ? *pool : ThreadPool::shared();
+  p.parallel_for(0, n, [&](std::size_t s) {
+    partials[s] = snaps_[s]->partial_closest_any(
+        res->row, s == owner ? res->slot : ServingSnapshot::npos,
+        /*stale_band=*/false, k, now);
+  });
+  return merge_partials(partials, k);
+}
+
+std::vector<RankedNode> ShardedFrontend::View::closest(
+    const std::string& client, std::span<const std::string> candidates,
+    std::size_t k, SimTime now, ThreadPool* pool) const {
+  const std::size_t n = snaps_.size();
+  if (n == 1) return snaps_[0]->closest(client, candidates, k, now);
+  const std::size_t owner = shard_of(client);
+  snaps_[owner]->count_queries();
+  const auto res = snaps_[owner]->resident(client, now);
+  if (!res.has_value() || !res->live) return {};
+  std::vector<std::vector<RankedNode>> partials(n);
+  ThreadPool& p = pool != nullptr ? *pool : ThreadPool::shared();
+  p.parallel_for(0, n, [&](std::size_t s) {
+    const auto vetted =
+        snaps_[s]->vet_candidates(candidates, /*stale_band=*/false, now);
+    partials[s] = snaps_[s]->partial_closest(
+        res->row, s == owner ? res->slot : ServingSnapshot::npos, vetted, k);
+  });
+  return merge_partials(partials, k);
+}
+
+TieredAnswer ShardedFrontend::View::tiered_query(
+    const std::string& client, std::span<const std::string> candidates,
+    bool any, std::size_t k, SimTime now, ThreadPool* pool) const {
+  const std::size_t n = snaps_.size();
+  if (n == 1) {
+    return any ? snaps_[0]->closest_any_tiered(client, k, now)
+               : snaps_[0]->closest_tiered(client, candidates, k, now);
+  }
+  const std::size_t owner = shard_of(client);
+  snaps_[owner]->count_queries();
+  TieredAnswer out;
+  const auto res = snaps_[owner]->resident(client, now);
+  if (!res.has_value()) {
+    out.reason = DegradedReason::kUnknownClient;
+    snaps_[owner]->count_outcome(AnswerTier::kRefused);
+    return out;
+  }
+  const bool fresh = res->live;
+  if (!fresh && !res->stale_usable) {
+    out.reason = DegradedReason::kClientExpired;
+    snaps_[owner]->count_outcome(AnswerTier::kRefused);
+    return out;
+  }
+  const bool stale_band = !fresh;
+  std::vector<std::vector<RankedNode>> partials(n);
+  ThreadPool& p = pool != nullptr ? *pool : ThreadPool::shared();
+  p.parallel_for(0, n, [&](std::size_t s) {
+    const std::size_t exclude =
+        s == owner ? res->slot : ServingSnapshot::npos;
+    if (any) {
+      partials[s] = snaps_[s]->partial_closest_any(res->row, exclude,
+                                                   stale_band, k, now);
+    } else {
+      const auto vetted =
+          snaps_[s]->vet_candidates(candidates, stale_band, now);
+      partials[s] =
+          snaps_[s]->partial_closest(res->row, exclude, vetted, k);
+    }
+  });
+  out.ranked = merge_partials(partials, k);
+  if (out.ranked.empty()) {
+    out.tier = AnswerTier::kRefused;
+    out.reason = DegradedReason::kNoUsableCandidates;
+    snaps_[owner]->count_outcome(AnswerTier::kRefused);
+    return out;
+  }
+  out.tier = fresh ? AnswerTier::kFresh : AnswerTier::kStale;
+  out.reason = fresh ? DegradedReason::kNone : DegradedReason::kStaleClient;
+  snaps_[owner]->count_outcome(out.tier);
+  return out;
+}
+
+TieredAnswer ShardedFrontend::View::closest_any_tiered(
+    const std::string& client, std::size_t k, SimTime now,
+    ThreadPool* pool) const {
+  return tiered_query(client, {}, /*any=*/true, k, now, pool);
+}
+
+TieredAnswer ShardedFrontend::View::closest_tiered(
+    const std::string& client, std::span<const std::string> candidates,
+    std::size_t k, SimTime now, ThreadPool* pool) const {
+  return tiered_query(client, candidates, /*any=*/false, k, now, pool);
+}
+
+std::vector<RankedNode> ShardedFrontend::View::top_k(
+    const core::RatioMap& query, std::size_t k, SimTime now,
+    ThreadPool* pool) const {
+  const std::size_t n = snaps_.size();
+  if (n == 1) return snaps_[0]->top_k(query, k, now);
+  // The query owns no corpus row, so there is no owning shard; the
+  // query itself counts on shard 0 (the partials' similarity work
+  // counts on the shard that did it, as everywhere).
+  snaps_[0]->count_queries();
+  std::vector<std::vector<RankedNode>> partials(n);
+  ThreadPool& p = pool != nullptr ? *pool : ThreadPool::shared();
+  p.parallel_for(0, n, [&](std::size_t s) {
+    partials[s] = snaps_[s]->partial_top_k(query, k, now);
+  });
+  return merge_partials(partials, k);
+}
+
+std::vector<std::vector<RankedNode>> ShardedFrontend::View::closest_batch(
+    std::span<const std::string> clients, std::size_t k, SimTime now,
+    ThreadPool* pool) const {
+  const std::size_t n = snaps_.size();
+  if (n == 1) return snaps_[0]->closest_batch(clients, k, now, pool);
+  std::vector<std::vector<RankedNode>> out(clients.size());
+  std::vector<std::uint64_t> counts(n, 0);
+  std::vector<ServingSnapshot::ExternalClient> ext;
+  std::vector<std::size_t> result_at;
+  ext.reserve(clients.size());
+  result_at.reserve(clients.size());
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    const std::size_t owner = shard_of(clients[i]);
+    ++counts[owner];
+    const auto res = snaps_[owner]->resident(clients[i], now);
+    if (!res.has_value() || !res->live) continue;
+    ext.push_back(
+        ServingSnapshot::ExternalClient{res->row, owner, res->slot});
+    result_at.push_back(i);
+  }
+  for (std::size_t s = 0; s < n; ++s) {
+    if (counts[s] != 0) snaps_[s]->count_queries(counts[s]);
+  }
+  if (ext.empty()) return out;
+  // Scatter: one task per shard ranks every eligible client against its
+  // partition (parallelism = shard count, the deployment's real
+  // topology — one process per shard); gather: per-client merges fan
+  // out over the same pool.
+  std::vector<std::vector<std::vector<RankedNode>>> partials(n);
+  ThreadPool& p = pool != nullptr ? *pool : ThreadPool::shared();
+  p.parallel_for(0, n, [&](std::size_t s) {
+    partials[s] = snaps_[s]->partial_closest_batch(ext, s, k, now);
+  });
+  p.parallel_for(0, ext.size(), [&](std::size_t j) {
+    out[result_at[j]] = merge_client(partials, j, k);
+  });
+  return out;
+}
+
+std::vector<std::vector<RankedNode>> ShardedFrontend::View::closest_batch(
+    std::span<const std::string> clients,
+    std::span<const std::string> candidates, std::size_t k, SimTime now,
+    ThreadPool* pool) const {
+  const std::size_t n = snaps_.size();
+  if (n == 1) {
+    return snaps_[0]->closest_batch(clients, candidates, k, now, pool);
+  }
+  std::vector<std::vector<RankedNode>> out(clients.size());
+  std::vector<std::uint64_t> counts(n, 0);
+  std::vector<ServingSnapshot::ExternalClient> ext;
+  std::vector<std::size_t> result_at;
+  ext.reserve(clients.size());
+  result_at.reserve(clients.size());
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    const std::size_t owner = shard_of(clients[i]);
+    ++counts[owner];
+    const auto res = snaps_[owner]->resident(clients[i], now);
+    if (!res.has_value() || !res->live) continue;
+    ext.push_back(
+        ServingSnapshot::ExternalClient{res->row, owner, res->slot});
+    result_at.push_back(i);
+  }
+  for (std::size_t s = 0; s < n; ++s) {
+    if (counts[s] != 0) snaps_[s]->count_queries(counts[s]);
+  }
+  if (ext.empty()) return out;
+  std::vector<std::vector<std::vector<RankedNode>>> partials(n);
+  ThreadPool& p = pool != nullptr ? *pool : ThreadPool::shared();
+  p.parallel_for(0, n, [&](std::size_t s) {
+    const auto vetted =
+        snaps_[s]->vet_candidates(candidates, /*stale_band=*/false, now);
+    partials[s] = snaps_[s]->partial_closest_batch(ext, s, vetted, k);
+  });
+  p.parallel_for(0, ext.size(), [&](std::size_t j) {
+    out[result_at[j]] = merge_client(partials, j, k);
+  });
+  return out;
+}
+
+// --- frontend convenience wrappers (one View capture each) ---
+
+std::vector<std::string> ShardedFrontend::live_nodes(SimTime now) const {
+  return view().live_nodes(now);
+}
+
+std::vector<RankedNode> ShardedFrontend::closest(
+    const std::string& client, std::span<const std::string> candidates,
+    std::size_t k, SimTime now, ThreadPool* pool) const {
+  return view().closest(client, candidates, k, now, pool);
+}
+
+std::vector<RankedNode> ShardedFrontend::closest_any(
+    const std::string& client, std::size_t k, SimTime now,
+    ThreadPool* pool) const {
+  return view().closest_any(client, k, now, pool);
+}
+
+TieredAnswer ShardedFrontend::closest_any_tiered(const std::string& client,
+                                                 std::size_t k, SimTime now,
+                                                 ThreadPool* pool) const {
+  return view().closest_any_tiered(client, k, now, pool);
+}
+
+TieredAnswer ShardedFrontend::closest_tiered(
+    const std::string& client, std::span<const std::string> candidates,
+    std::size_t k, SimTime now, ThreadPool* pool) const {
+  return view().closest_tiered(client, candidates, k, now, pool);
+}
+
+std::vector<RankedNode> ShardedFrontend::top_k(const core::RatioMap& query,
+                                               std::size_t k, SimTime now,
+                                               ThreadPool* pool) const {
+  return view().top_k(query, k, now, pool);
+}
+
+std::vector<std::vector<RankedNode>> ShardedFrontend::closest_batch(
+    std::span<const std::string> clients, std::size_t k, SimTime now,
+    ThreadPool* pool) const {
+  return view().closest_batch(clients, k, now, pool);
+}
+
+std::vector<std::vector<RankedNode>> ShardedFrontend::closest_batch(
+    std::span<const std::string> clients,
+    std::span<const std::string> candidates, std::size_t k, SimTime now,
+    ThreadPool* pool) const {
+  return view().closest_batch(clients, candidates, k, now, pool);
+}
+
+// --- stats ---
+
+std::vector<ServiceStats> ShardedFrontend::shard_stats() const {
+  std::vector<ServiceStats> stats;
+  stats.reserve(shards_.size());
+  for (const auto& shard : shards_) stats.push_back(shard->stats());
+  return stats;
+}
+
+ServiceStats ShardedFrontend::stats() const {
+  return aggregate_stats(shard_stats());
+}
+
+}  // namespace crp::service

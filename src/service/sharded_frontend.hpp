@@ -1,0 +1,248 @@
+// Sharded multi-service front-end: scatter/gather serving over
+// per-shard snapshots (DESIGN.md §9).
+//
+// One PositionService holds every node behind a single writer; the
+// ROADMAP's production-scale serving tier wants that population
+// partitioned so N writers ingest in parallel and queries scale out.
+// ShardedFrontend is that tier: N single-writer PositionService shards,
+// nodes hash-partitioned by id (stable_hash(id) % N), each publishing
+// lock-free ServingSnapshots through its own SnapshotHandle.
+//
+//   * Writes route to the owning shard: publish/remove go straight
+//     there; publish_batch peeks each report's node id out of the wire
+//     header, groups the batch per shard, and applies the groups in
+//     parallel (distinct shards are distinct single-writer domains, so
+//     the shard tasks never share mutable state).
+//   * Reads scatter/gather: a View acquires every shard's published
+//     snapshot — in shard order, recording each snapshot's membership
+//     epoch into a cross-shard epoch vector — then answers from exactly
+//     those snapshots. The client's frozen corpus row comes from its
+//     owning shard; every shard scores that row against its own
+//     partition (bit-identical to one unsharded engine, because row
+//     queries renormalize nothing and pairwise similarity sees only the
+//     two rows involved); per-shard top-k partials merge under
+//     serving_detail's (similarity desc, id asc) total order. Under a
+//     total order the global top-k is a subset of the union of per-shard
+//     top-k's, so the merged answer is bit-identical to a single
+//     unsharded PositionService over the same corpus.
+//
+// Epoch vector: View::epochs() is the membership epoch each shard's
+// snapshot froze. Callers pin a View to answer several queries from one
+// consistent capture, and epoch_lag(view) bounds how far any shard has
+// written past it — the sharded analogue of the single-service epoch.
+//
+// Freshness: the front-end serves queries from snapshots, so the
+// default configuration forces snapshots on with max_epoch_lag=1 —
+// every completed write is visible to the next query, which is what
+// makes the front-end behave observably like one mutable service. A
+// caller that explicitly enables snapshots keeps its own pacing (lag >1
+// trades freshness for republish cost; the epoch vector then tells
+// readers exactly how far behind each shard they are).
+//
+// Out of scope: the cluster queries (same_cluster/cluster_assignment/
+// diverse_set) stay per-shard — SMF clustering is global by nature and
+// cannot be merged from per-partition runs; callers needing them run
+// them on shard(i) against that partition (DESIGN.md §9 discusses why).
+//
+// Thread safety: the front-end itself follows the single-writer
+// contract — writes from one thread at a time; view() and every query
+// are safe from any thread concurrently with the writer.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/time.hpp"
+#include "core/ratio_map.hpp"
+#include "service/position_service.hpp"
+#include "service/serving_snapshot.hpp"
+
+namespace crp {
+class ThreadPool;
+}
+
+namespace crp::service {
+
+struct ShardedFrontendConfig {
+  /// Shard count; clamped to at least 1. 1 is the degenerate frontend —
+  /// same answers, no scatter.
+  std::size_t shards = 4;
+  /// Per-shard service configuration. When `service.snapshots.enabled`
+  /// is false (the default) the front-end forces snapshots on with
+  /// max_epoch_lag=1 so queries always see the latest completed write;
+  /// an explicitly enabled config keeps the caller's pacing.
+  ServiceConfig service;
+};
+
+class ShardedFrontend {
+ public:
+  /// One acquire-all capture of every shard's published snapshot plus
+  /// the epoch vector it implies. Queries on a View answer from exactly
+  /// the captured snapshots — concurrent republishing never shifts an
+  /// answer mid-View. Safe to query from any number of threads; cheap
+  /// to copy (shared_ptrs).
+  class View {
+   public:
+    [[nodiscard]] std::size_t shard_count() const { return snaps_.size(); }
+    /// Membership epoch per shard at capture, in shard order.
+    [[nodiscard]] std::span<const std::uint64_t> epochs() const {
+      return epochs_;
+    }
+    [[nodiscard]] const ServingSnapshot& shard(std::size_t index) const {
+      return *snaps_[index];
+    }
+    /// Owning shard of `node_id` under this view's partitioning.
+    [[nodiscard]] std::size_t shard_of(std::string_view node_id) const;
+
+    /// Union of the shards' live nodes, lexicographic (the partitions
+    /// are disjoint, so the merge of their sorted answers is sorted).
+    [[nodiscard]] std::vector<std::string> live_nodes(SimTime now) const;
+    [[nodiscard]] std::size_t size() const;
+
+    // --- scattered queries: each bit-identical to the PositionService
+    // --- method of the same name over the union corpus at this view's
+    // --- epochs. `pool` drives the per-shard scatter (nullptr = the
+    // --- shared pool); results are pool-size-independent.
+    [[nodiscard]] std::vector<RankedNode> closest(
+        const std::string& client, std::span<const std::string> candidates,
+        std::size_t k, SimTime now, ThreadPool* pool = nullptr) const;
+    [[nodiscard]] std::vector<RankedNode> closest_any(
+        const std::string& client, std::size_t k, SimTime now,
+        ThreadPool* pool = nullptr) const;
+    [[nodiscard]] TieredAnswer closest_any_tiered(
+        const std::string& client, std::size_t k, SimTime now,
+        ThreadPool* pool = nullptr) const;
+    [[nodiscard]] TieredAnswer closest_tiered(
+        const std::string& client, std::span<const std::string> candidates,
+        std::size_t k, SimTime now, ThreadPool* pool = nullptr) const;
+    [[nodiscard]] std::vector<RankedNode> top_k(
+        const core::RatioMap& query, std::size_t k, SimTime now,
+        ThreadPool* pool = nullptr) const;
+    [[nodiscard]] std::vector<std::vector<RankedNode>> closest_batch(
+        std::span<const std::string> clients, std::size_t k, SimTime now,
+        ThreadPool* pool = nullptr) const;
+    [[nodiscard]] std::vector<std::vector<RankedNode>> closest_batch(
+        std::span<const std::string> clients,
+        std::span<const std::string> candidates, std::size_t k, SimTime now,
+        ThreadPool* pool = nullptr) const;
+
+   private:
+    friend class ShardedFrontend;
+    View() = default;
+
+    /// Shared core of the tiered queries (`any` = every known node).
+    [[nodiscard]] TieredAnswer tiered_query(
+        const std::string& client, std::span<const std::string> candidates,
+        bool any, std::size_t k, SimTime now, ThreadPool* pool) const;
+
+    std::vector<std::shared_ptr<const ServingSnapshot>> snaps_;
+    std::vector<std::uint64_t> epochs_;
+  };
+
+  explicit ShardedFrontend(ShardedFrontendConfig config = {});
+
+  // --- topology ---
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  /// Owning shard of `node_id`: stable_hash(id) % shards. Pure —
+  /// identical for every frontend with the same shard count.
+  [[nodiscard]] static std::size_t shard_index(std::string_view node_id,
+                                               std::size_t shard_count);
+  [[nodiscard]] std::size_t shard_of(std::string_view node_id) const {
+    return shard_index(node_id, shards_.size());
+  }
+  /// Direct shard access (tests, per-shard stats, cluster queries).
+  /// Mutating a shard directly is writer-side, like any service write.
+  [[nodiscard]] PositionService& shard(std::size_t index) {
+    return *shards_[index];
+  }
+  [[nodiscard]] const PositionService& shard(std::size_t index) const {
+    return *shards_[index];
+  }
+  [[nodiscard]] const ShardedFrontendConfig& config() const {
+    return config_;
+  }
+
+  // --- writes (single writer; routed to the owning shard) ---
+  bool publish(PositionReport report, SimTime now);
+  bool publish_encoded(std::string_view bytes, SimTime now);
+  /// Routes each report to its owning shard by peeking the node id out
+  /// of the wire header (reports whose header won't even peek go to
+  /// shard 0, whose full decode rejects and counts them), then applies
+  /// the per-shard groups in parallel on `pool`. Relative order within
+  /// a shard is batch order, so the end state is identical to routing
+  /// the reports one by one. Returns how many were accepted.
+  std::size_t publish_batch(std::span<const std::string> batch, SimTime now,
+                            ThreadPool* pool = nullptr);
+  bool remove(const std::string& node_id);
+  /// Expires every shard's partition; each shard republishes only its
+  /// own snapshot. Returns the total dropped.
+  std::size_t expire(SimTime now);
+  /// Unconditionally republishes every shard's snapshot at `now` (the
+  /// campaign-boundary hook; each shard cuts only its own partition).
+  void publish_snapshots(SimTime now);
+
+  // --- inspection (routed to the owning shard) ---
+  [[nodiscard]] std::optional<core::RatioMap> map_of(
+      const std::string& node_id) const;
+  [[nodiscard]] std::optional<PositionReport> report_of(
+      const std::string& node_id) const;
+  [[nodiscard]] std::size_t size() const;
+
+  // --- epochs (writer-side, like PositionService::membership_epoch) ---
+  [[nodiscard]] std::vector<std::uint64_t> write_epochs() const;
+  /// How far the writer has moved past `view`: max over shards of
+  /// (current membership epoch - the view's captured epoch).
+  [[nodiscard]] std::uint64_t epoch_lag(const View& view) const;
+
+  // --- reads ---
+  /// Acquire-all-then-answer: loads every shard's published snapshot in
+  /// shard order. Never contains a null snapshot (the constructor
+  /// publishes an empty one per shard). Safe from any thread.
+  [[nodiscard]] View view() const;
+  // Convenience single-capture queries — each captures a fresh View.
+  // Pin a View yourself to answer several queries from one capture.
+  [[nodiscard]] std::vector<std::string> live_nodes(SimTime now) const;
+  [[nodiscard]] std::vector<RankedNode> closest(
+      const std::string& client, std::span<const std::string> candidates,
+      std::size_t k, SimTime now, ThreadPool* pool = nullptr) const;
+  [[nodiscard]] std::vector<RankedNode> closest_any(
+      const std::string& client, std::size_t k, SimTime now,
+      ThreadPool* pool = nullptr) const;
+  [[nodiscard]] TieredAnswer closest_any_tiered(
+      const std::string& client, std::size_t k, SimTime now,
+      ThreadPool* pool = nullptr) const;
+  [[nodiscard]] TieredAnswer closest_tiered(
+      const std::string& client, std::span<const std::string> candidates,
+      std::size_t k, SimTime now, ThreadPool* pool = nullptr) const;
+  [[nodiscard]] std::vector<RankedNode> top_k(
+      const core::RatioMap& query, std::size_t k, SimTime now,
+      ThreadPool* pool = nullptr) const;
+  [[nodiscard]] std::vector<std::vector<RankedNode>> closest_batch(
+      std::span<const std::string> clients, std::size_t k, SimTime now,
+      ThreadPool* pool = nullptr) const;
+  [[nodiscard]] std::vector<std::vector<RankedNode>> closest_batch(
+      std::span<const std::string> clients,
+      std::span<const std::string> candidates, std::size_t k, SimTime now,
+      ThreadPool* pool = nullptr) const;
+
+  // --- stats ---
+  /// Aggregate over all shards (field-wise sum). queries_served,
+  /// accept/reject and the tier counters aggregate to exactly what one
+  /// unsharded service would count under the same traffic; the
+  /// similarity_queries/maps_touched pair counts real per-shard work —
+  /// a scattered query pays one partial read per shard.
+  [[nodiscard]] ServiceStats stats() const;
+  /// Per-shard breakdown, in shard order.
+  [[nodiscard]] std::vector<ServiceStats> shard_stats() const;
+
+ private:
+  ShardedFrontendConfig config_;
+  std::vector<std::unique_ptr<PositionService>> shards_;
+};
+
+}  // namespace crp::service

@@ -120,6 +120,23 @@ std::optional<std::string> encode(const PositionReport& report) {
   return out;
 }
 
+std::optional<std::string_view> peek_node_id(std::string_view bytes) {
+  // Header layout: MAGIC(3) VERSION(1) id_len(u16 LE) id(bytes).
+  constexpr std::size_t kHeader = 3 + 1 + 2;
+  if (bytes.size() < kHeader) return std::nullopt;
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0 ||
+      static_cast<std::uint8_t>(bytes[3]) != kVersion) {
+    return std::nullopt;
+  }
+  const std::size_t id_len =
+      static_cast<std::size_t>(static_cast<unsigned char>(bytes[4])) |
+      (static_cast<std::size_t>(static_cast<unsigned char>(bytes[5])) << 8);
+  if (id_len > kMaxNodeIdBytes || kHeader + id_len > bytes.size()) {
+    return std::nullopt;
+  }
+  return bytes.substr(kHeader, id_len);
+}
+
 std::optional<PositionReport> decode(std::string_view bytes) {
   Reader reader{bytes};
   char magic[3];

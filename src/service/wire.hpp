@@ -59,4 +59,16 @@ inline constexpr std::size_t kMaxEntries = 100'000;
 [[nodiscard]] std::optional<std::size_t> encoded_size(
     const PositionReport& report);
 
+/// Reads just the node id out of wire bytes — the id sits at a fixed
+/// offset after the magic/version header, so a sharded front-end can
+/// route a report to its owning shard without paying a full decode.
+/// Returns a view into `bytes` (valid only while the input is), or
+/// nullopt when the header is malformed (bad magic/version, truncated or
+/// oversized id) — in which case decode() rejects the same bytes too.
+/// peek succeeding does NOT imply decode will: the body may still be
+/// corrupt. The contract is one-sided: whenever decode() accepts,
+/// peek_node_id() returns the same node_id.
+[[nodiscard]] std::optional<std::string_view> peek_node_id(
+    std::string_view bytes);
+
 }  // namespace crp::service

@@ -235,6 +235,55 @@ TEST(Wire, RoundTripPropertyAndTruncationSweep) {
   }
 }
 
+TEST(Wire, PeekNodeIdReadsIdWithoutFullDecode) {
+  const PositionReport report = sample_report();
+  const std::string bytes = *encode(report);
+  const auto peeked = peek_node_id(bytes);
+  ASSERT_TRUE(peeked.has_value());
+  EXPECT_EQ(*peeked, report.node_id);
+  // One-sided contract: whatever decode accepts, peek names the same id
+  // — including a message truncated right after the id, which peek may
+  // accept (it never validates the payload) but decode must reject.
+  const std::size_t id_end = 6 + report.node_id.size();
+  const std::string_view truncated{bytes.data(), id_end};
+  EXPECT_FALSE(decode(truncated).has_value());
+  const auto partial = peek_node_id(truncated);
+  if (partial.has_value()) EXPECT_EQ(*partial, report.node_id);
+}
+
+TEST(Wire, PeekNodeIdRejectsBadHeaders) {
+  const std::string bytes = *encode(sample_report());
+  EXPECT_FALSE(peek_node_id("").has_value());
+  EXPECT_FALSE(peek_node_id("CRP").has_value());  // shorter than header
+  std::string bad_magic = bytes;
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(peek_node_id(bad_magic).has_value());
+  std::string bad_version = bytes;
+  bad_version[3] = 99;
+  EXPECT_FALSE(peek_node_id(bad_version).has_value());
+  // id_len pointing past the buffer.
+  std::string bad_len = bytes;
+  bad_len[4] = static_cast<char>(0xff);
+  bad_len[5] = static_cast<char>(0x7f);
+  EXPECT_FALSE(peek_node_id(bad_len).has_value());
+}
+
+TEST(Wire, PeekAgreesWithDecodeOnFuzzedInput) {
+  Rng rng{424242};
+  const std::string valid = *encode(sample_report());
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string mutated = valid;
+    const auto pos = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(mutated.size()) - 1));
+    mutated[pos] = static_cast<char>(rng.uniform_int(0, 255));
+    const auto decoded = decode(mutated);
+    if (!decoded.has_value()) continue;
+    const auto peeked = peek_node_id(mutated);
+    ASSERT_TRUE(peeked.has_value());
+    EXPECT_EQ(*peeked, decoded->node_id);
+  }
+}
+
 TEST(Wire, FuzzDecodeNeverCrashes) {
   Rng rng{777};
   for (int trial = 0; trial < 500; ++trial) {
