@@ -22,6 +22,7 @@
 #include "eval/world.hpp"
 #include "meridian/overlay.hpp"
 #include "service/position_service.hpp"
+#include "service/sharded_frontend.hpp"
 
 namespace crp::bench {
 
@@ -107,18 +108,22 @@ inline void print_service_stats(
     const auto& st = per_shard[s];
     std::fprintf(stderr,
                  "[serving]   shard %zu: %llu queries, %llu sim queries "
-                 "(%llu maps), %llu/%llu reports accepted/rejected\n",
+                 "(%llu maps), %llu/%llu reports accepted/rejected, "
+                 "epoch lag %llu (max %llu)\n",
                  s, static_cast<unsigned long long>(st.queries_served),
                  static_cast<unsigned long long>(st.similarity_queries),
                  static_cast<unsigned long long>(st.maps_touched),
                  static_cast<unsigned long long>(st.reports_accepted),
-                 static_cast<unsigned long long>(st.reports_rejected));
+                 static_cast<unsigned long long>(st.reports_rejected),
+                 static_cast<unsigned long long>(st.epoch_lag_last),
+                 static_cast<unsigned long long>(st.epoch_lag_max));
   }
   const service::ServiceStats total = service::aggregate_stats(per_shard);
   std::fprintf(stderr,
                "[serving] aggregate: %llu queries (%llu fresh, %llu stale, "
                "%llu refused), %llu sim queries (%llu maps), "
-               "%llu/%llu reports accepted/rejected\n",
+               "%llu/%llu reports accepted/rejected, "
+               "%llu routing-rejected, epoch lag %llu (max %llu)\n",
                static_cast<unsigned long long>(total.queries_served),
                static_cast<unsigned long long>(total.fresh_answers),
                static_cast<unsigned long long>(total.stale_answers),
@@ -126,7 +131,31 @@ inline void print_service_stats(
                static_cast<unsigned long long>(total.similarity_queries),
                static_cast<unsigned long long>(total.maps_touched),
                static_cast<unsigned long long>(total.reports_accepted),
-               static_cast<unsigned long long>(total.reports_rejected));
+               static_cast<unsigned long long>(total.reports_rejected),
+               static_cast<unsigned long long>(total.routing_rejected),
+               static_cast<unsigned long long>(total.epoch_lag_last),
+               static_cast<unsigned long long>(total.epoch_lag_max));
+}
+
+/// Frontend fault-handling banner (all zeros unless a plan was armed).
+inline void print_health_stats(const service::FrontendHealthStats& hs) {
+  std::fprintf(
+      stderr,
+      "[faults] breakers: %llu opened, %llu half-opened, %llu closed; "
+      "writes: %llu retries, %llu failed, %llu shed; "
+      "crashes: %llu (%llu reports replayed); "
+      "serving: %llu fallback views, %llu degraded, %llu partial\n",
+      static_cast<unsigned long long>(hs.breaker_opens),
+      static_cast<unsigned long long>(hs.breaker_half_opens),
+      static_cast<unsigned long long>(hs.breaker_closes),
+      static_cast<unsigned long long>(hs.write_retries),
+      static_cast<unsigned long long>(hs.writes_failed),
+      static_cast<unsigned long long>(hs.writes_shed),
+      static_cast<unsigned long long>(hs.shard_crashes),
+      static_cast<unsigned long long>(hs.recovery_replays),
+      static_cast<unsigned long long>(hs.stale_fallback_views),
+      static_cast<unsigned long long>(hs.degraded_answers),
+      static_cast<unsigned long long>(hs.partial_answers));
 }
 
 /// One-line campaign cost banner (stderr, like the other progress lines).

@@ -386,10 +386,22 @@ World::ReportDelivery World::report_positions(
 World::ReportDelivery World::report_positions(
     service::ShardedFrontend& frontend, SimTime when, ThreadPool* pool) {
   ThreadPool& p = pool != nullptr ? *pool : ThreadPool::shared();
+  // One plan steers the whole chaos campaign: the same FaultPlan the
+  // oracle/resolvers/health draw from arms the frontend's shard faults
+  // on first delivery. Arming is idempotent by the unarmed check, and a
+  // world without faults leaves the frontend fully inert.
+  if (!config_.faults.empty() && frontend.fault_plan() == nullptr) {
+    frontend.set_fault_plan(&config_.faults);
+  }
   const std::vector<std::string> wire = encode_reports(when, p);
 
   ReportDelivery delivery;
   for (const std::string& bytes : wire) delivery.wire_bytes += bytes.size();
+  const service::FrontendHealthStats before = frontend.health_stats();
+  // A delivery is a time boundary: fire due crash events and half-open
+  // probes before the batch, so a shard scheduled to crash at `when`
+  // loses the pre-campaign state, not the fresh delivery.
+  frontend.tick(when);
   delivery.accepted = frontend.publish_batch(wire, when, &p);
   delivery.rejected = wire.size() - delivery.accepted;
   // Same campaign boundary as the unsharded path: republish every shard
@@ -397,6 +409,13 @@ World::ReportDelivery World::report_positions(
   // frontend always has snapshots enabled (it forces them on), so this
   // is unconditional.
   frontend.publish_snapshots(when);
+  const service::FrontendHealthStats after = frontend.health_stats();
+  delivery.shard_writes_shed = after.writes_shed - before.writes_shed;
+  delivery.shard_writes_failed =
+      after.writes_failed - before.writes_failed;
+  delivery.shard_crashes = after.shard_crashes - before.shard_crashes;
+  delivery.shard_breaker_opens =
+      after.breaker_opens - before.breaker_opens;
   return delivery;
 }
 

@@ -223,6 +223,14 @@ class World {
     /// Total wire bytes of the encoded reports (the paper's map
     /// distribution cost).
     std::uint64_t wire_bytes = 0;
+    /// Shard-fault accounting for this delivery (sharded twin only;
+    /// all zero without an armed fault plan): deltas of the frontend's
+    /// health counters across the publish, so a campaign can see how
+    /// much of the batch a stalled/open shard cost it.
+    std::uint64_t shard_writes_shed = 0;
+    std::uint64_t shard_writes_failed = 0;
+    std::uint64_t shard_crashes = 0;
+    std::uint64_t shard_breaker_opens = 0;
   };
 
   /// Campaign reporting: every participant publishes its current ratio
@@ -238,7 +246,11 @@ class World {
   /// Sharded twin: same encode fan-out, delivered through the
   /// front-end's peek-routing batched publish (each report lands on its
   /// owning shard); every shard republishes its snapshot at `when` so a
-  /// View captures the whole campaign at one epoch vector.
+  /// View captures the whole campaign at one epoch vector. When the
+  /// world was built with a fault plan, the first delivery arms it on
+  /// the frontend (same plan the oracle/resolvers draw from, so one
+  /// seed steers the whole chaos campaign), and the delivery reports
+  /// the shard-fault deltas it caused.
   ReportDelivery report_positions(service::ShardedFrontend& frontend,
                                   SimTime when, ThreadPool* pool = nullptr);
 

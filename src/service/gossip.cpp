@@ -207,6 +207,48 @@ ShardedFrontend& GossipMesh::sharded_store(const std::string& node) {
   return *it->second.sharded;
 }
 
+std::size_t GossipMesh::repair_shards(const std::string& node, SimTime now) {
+  const auto it = nodes_.find(node);
+  if (it == nodes_.end()) {
+    throw std::invalid_argument{"GossipMesh: unknown node " + node};
+  }
+  Node& rec = it->second;
+  if (!rec.sharded) {
+    throw std::logic_error{
+        "GossipMesh::repair_shards: mesh stores are unsharded; nothing "
+        "shard-crashes here"};
+  }
+  ShardedFrontend& fe = *rec.sharded;
+  std::size_t accepted = 0;
+  for (const std::size_t s : fe.shards_needing_recovery()) {
+    // Gather every peer's copy of every report the crashed shard owns —
+    // peers in link order, ids in live_nodes' lexicographic order, so
+    // the replay sequence is deterministic. Duplicates across peers are
+    // fine: the store's freshness rules keep the newest per id.
+    std::vector<std::string> frames;
+    for (const std::string& peer_id : rec.peers) {
+      const Node& peer = nodes_.at(peer_id);
+      for (const std::string& id : live_in_store(peer, now)) {
+        if (ShardedFrontend::shard_index(id, fe.shard_count()) != s) {
+          continue;
+        }
+        const auto report = report_in_store(peer, id);
+        if (!report.has_value()) continue;
+        const auto bytes = encode(*report);
+        if (!bytes.has_value()) {
+          ++stats_.encode_rejected;
+          continue;
+        }
+        stats_.repair_bytes += bytes->size();
+        ++stats_.repair_reports_sent;
+        frames.push_back(std::move(*bytes));
+      }
+    }
+    accepted += fe.recover_shard(s, frames, now);
+  }
+  return accepted;
+}
+
 ShardedFrontend::View GossipMesh::store_view(const std::string& node) const {
   const Node& rec = node_at(node);
   if (!rec.sharded) {

@@ -67,6 +67,12 @@ struct GossipStats {
   /// most deliveries cross shards — this counter makes that ingest
   /// fan-out visible when sizing store_shards.
   std::uint64_t cross_shard_misses = 0;
+  /// Anti-entropy repair traffic (repair_shards): wire-encoded reports
+  /// replayed from peers into crashed shards, and their bytes. Counted
+  /// separately from reports_sent/bytes — repair is recovery traffic,
+  /// not steady-state gossip, and sizing the two apart is the point.
+  std::uint64_t repair_reports_sent = 0;
+  std::uint64_t repair_bytes = 0;
 };
 
 class GossipMesh {
@@ -121,6 +127,17 @@ class GossipMesh {
   [[nodiscard]] ShardedFrontend& sharded_store(const std::string& node);
   [[nodiscard]] ShardedFrontend::View store_view(
       const std::string& node) const;
+  /// Anti-entropy crash recovery over the wire path (DESIGN.md §9):
+  /// for every shard of `node`'s sharded store that a kShardCrash event
+  /// wiped, replays the peers' live reports owned by that shard —
+  /// re-encoded frame by frame, exactly as gossip would carry them —
+  /// through ShardedFrontend::recover_shard at `now`. Every peer's copy
+  /// is replayed (freshness rules keep the newest per id, so the
+  /// rebuilt shard converges to what a never-crashed shard fed the same
+  /// reports holds); traffic counts under the repair_* stats. Returns
+  /// reports accepted into recovering shards (0 when nothing needs
+  /// repair). Throws for unknown IDs and unsharded meshes. Writer-side.
+  std::size_t repair_shards(const std::string& node, SimTime now);
 
   [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
   /// Fraction of (node, report) pairs delivered: 1.0 means every node's

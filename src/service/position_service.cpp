@@ -38,6 +38,10 @@ const char* to_string(DegradedReason reason) {
       return "stale-client";
     case DegradedReason::kNoUsableCandidates:
       return "no-usable-candidates";
+    case DegradedReason::kStaleShard:
+      return "stale-shard";
+    case DegradedReason::kShardUnavailable:
+      return "shard-unavailable";
   }
   return "?";
 }
@@ -58,6 +62,11 @@ ServiceStats& ServiceStats::operator+=(const ServiceStats& other) {
   fresh_answers += other.fresh_answers;
   stale_answers += other.stale_answers;
   refused_queries += other.refused_queries;
+  routing_rejected += other.routing_rejected;
+  // Lag is a level, not a flow: a fleet is as far behind as its worst
+  // shard, so aggregation takes the max instead of summing.
+  epoch_lag_last = std::max(epoch_lag_last, other.epoch_lag_last);
+  epoch_lag_max = std::max(epoch_lag_max, other.epoch_lag_max);
   return *this;
 }
 
@@ -99,10 +108,14 @@ Duration PositionService::usable_bound() const {
 }
 
 void PositionService::sync_engine_stats() {
+  // The engine's counters restart from zero when reset() clears it; the
+  // baselines hold everything counted before the wipe, keeping the
+  // published totals monotonic across a crash.
   const auto& engine = engine_.mutation_stats();
-  postings_tombstoned_.store(engine.postings_tombstoned,
+  postings_tombstoned_.store(tombstoned_base_ + engine.postings_tombstoned,
                              std::memory_order_relaxed);
-  compactions_.store(engine.compactions, std::memory_order_relaxed);
+  compactions_.store(compactions_base_ + engine.compactions,
+                     std::memory_order_relaxed);
 }
 
 bool PositionService::publish_impl(PositionReport report, SimTime now) {
@@ -190,6 +203,29 @@ bool PositionService::drop_node(const std::string& node_id) {
   sync_engine_stats();
   ++membership_epoch_;
   return true;
+}
+
+void PositionService::reset(SimTime now) {
+  if (now > write_now_) write_now_ = now;
+  // Fold the doomed engine's mutation counters into the baselines
+  // before the wipe — clear() restarts them from zero.
+  const auto& engine = engine_.mutation_stats();
+  tombstoned_base_ += engine.postings_tombstoned;
+  compactions_base_ += engine.compactions;
+  reports_.clear();
+  slot_of_.clear();
+  node_at_.clear();
+  engine_.clear(config_.metric);
+  // Fresh generation, not a mutation: snapshots holding the pre-crash
+  // clustering keep it alive untouched.
+  clustering_ = std::make_shared<const core::Clustering>();
+  clustered_at_ = SimTime{-1};
+  clustered_epoch_ = ~0ULL;
+  sync_engine_stats();
+  // One bump for the whole wipe: the epoch stays monotonic, so readers
+  // comparing epoch vectors see the crash as ordinary churn.
+  ++membership_epoch_;
+  publish_snapshot(now);
 }
 
 bool PositionService::remove(const std::string& node_id) {
@@ -668,7 +704,16 @@ std::shared_ptr<const ServingSnapshot> PositionService::publish_snapshot(
   snapshot_at_ = now;
   std::shared_ptr<const ServingSnapshot> published = std::move(snap);
   snapshot_.store(published);
+  note_epoch_lag();
   return published;
+}
+
+void PositionService::note_epoch_lag() {
+  const std::uint64_t lag = membership_epoch_ - snapshot_epoch_;
+  epoch_lag_last_.store(lag, std::memory_order_relaxed);
+  if (lag > epoch_lag_max_.load(std::memory_order_relaxed)) {
+    epoch_lag_max_.store(lag, std::memory_order_relaxed);
+  }
 }
 
 void PositionService::maybe_publish_snapshot(SimTime now) {
@@ -683,6 +728,10 @@ void PositionService::maybe_publish_snapshot(SimTime now) {
   if (membership_epoch_ - snapshot_epoch_ >= max_lag ||
       now - snapshot_at_ >= config_.snapshots.max_age) {
     publish_snapshot(now);
+  } else {
+    // Chose not to republish — record how far behind the published
+    // snapshot is (publish_snapshot records its own zero-lag point).
+    note_epoch_lag();
   }
 }
 
@@ -726,6 +775,9 @@ ServiceStats PositionService::stats() const {
   s.fresh_answers = counters_->fresh_answers.total();
   s.stale_answers = counters_->stale_answers.total();
   s.refused_queries = counters_->refused_queries.total();
+  s.epoch_lag_last = epoch_lag_last_.load(std::memory_order_relaxed);
+  s.epoch_lag_max = epoch_lag_max_.load(std::memory_order_relaxed);
+  // routing_rejected stays 0 here: only the sharded front-end routes.
   return s;
 }
 

@@ -129,6 +129,11 @@ enum class DegradedReason : std::uint8_t {
   kClientExpired,      // client's report aged past even the stale tier
   kStaleClient,        // answered, but from a stale-tier client report
   kNoUsableCandidates, // client usable but nothing to rank against
+  // Sharded front-end only (DESIGN.md §9): the gathered-query reasons.
+  kStaleShard,         // answered, but a failed shard served its stale
+                       // fallback snapshot (client itself fresh)
+  kShardUnavailable,   // the client's owning shard is down with no
+                       // usable fallback — nothing knows the client
 };
 
 [[nodiscard]] const char* to_string(AnswerTier tier);
@@ -196,10 +201,25 @@ struct ServiceStats {
   std::uint64_t fresh_answers = 0;
   std::uint64_t stale_answers = 0;
   std::uint64_t refused_queries = 0;
+  /// Snapshot epoch lag the writer observed after its most recent
+  /// write (membership epoch minus the published snapshot's epoch),
+  /// and the largest value ever observed. Meaningful only with
+  /// snapshots enabled — always 0 otherwise. Relaxed atomics at the
+  /// source, so stats() reads them from any thread (§8 contract).
+  std::uint64_t epoch_lag_last = 0;
+  std::uint64_t epoch_lag_max = 0;
+  /// Sharded front-end only: wire frames whose header would not even
+  /// peek, counted at the routing layer instead of being dumped into
+  /// shard 0's decode — so reports_rejected keeps meaning "a shard
+  /// refused a routed report" (stale, malformed body, out-of-order).
+  /// Always 0 on an unsharded service.
+  std::uint64_t routing_rejected = 0;
 
   /// Field-wise accumulation — how a sharded front-end aggregates its
   /// per-shard stats into one fleet view. Counters sum; so does
-  /// recluster_seconds (total wall time across shards).
+  /// recluster_seconds (total wall time across shards). The epoch-lag
+  /// observations take the max instead: the fleet's lag is its worst
+  /// shard's, and summing lags would mean nothing.
   ServiceStats& operator+=(const ServiceStats& other);
 };
 
@@ -243,6 +263,18 @@ class PositionService {
   /// Removes a node entirely. Returns whether it was known (and hence
   /// actually dropped).
   bool remove(const std::string& node_id);
+  /// Crash support for the fault-tolerant serving tier (DESIGN.md §9):
+  /// drops every report, the engine corpus, the slot maps and the
+  /// cached clustering — what a process losing its in-memory state
+  /// loses — then bumps the membership epoch once (monotonic, never
+  /// rewound, so epoch vectors and lag arithmetic stay valid across
+  /// the wipe) and publishes an empty snapshot at `now`. Readers still
+  /// holding the pre-crash snapshot keep it alive (shared ownership is
+  /// the grace period) — the sharded front-end serves exactly that as
+  /// a crashed shard's stale fallback. Cumulative stats survive: they
+  /// model an external observer a process restart does not reset.
+  /// Writer-side.
+  void reset(SimTime now);
 
   // --- inspection ---
   [[nodiscard]] std::optional<core::RatioMap> map_of(
@@ -380,6 +412,10 @@ class PositionService {
   /// publish() minus the snapshot hook — the shared core publish,
   /// publish_encoded and publish_batch apply per report.
   bool publish_impl(PositionReport report, SimTime now);
+  /// Records the writer's current snapshot epoch lag into the relaxed
+  /// atomic mirrors stats() reads (writer-side, after every snapshot
+  /// pacing decision).
+  void note_epoch_lag();
   /// Copies the engine's MutationStats into the atomic mirrors stats()
   /// reads (writer-side, after any engine mutation).
   void sync_engine_stats();
@@ -462,6 +498,11 @@ class PositionService {
   SimTime write_now_ = SimTime::epoch(); // high-water mark of write times
   std::uint64_t snapshot_epoch_ = 0;     // epoch of the published snapshot
   SimTime snapshot_at_ = SimTime{-1};    // freeze time of the published one
+  // reset() baselines: the engine's cumulative mutation counters
+  // restart with the engine, so the pre-wipe values fold into these to
+  // keep stats() monotonic across a crash (writer-only).
+  std::uint64_t tombstoned_base_ = 0;
+  std::uint64_t compactions_base_ = 0;
 
   // Query-path counters are thread-sharded (bumped through const query
   // methods on this service *and* on published snapshots — the struct
@@ -484,6 +525,11 @@ class PositionService {
   // engine's internals concurrently with a mutation.
   std::atomic<std::uint64_t> postings_tombstoned_{0};
   std::atomic<std::uint64_t> compactions_{0};
+  // Epoch-lag observations (see ServiceStats::epoch_lag_last): written
+  // by the writer after each snapshot pacing decision, read by stats()
+  // from any thread.
+  std::atomic<std::uint64_t> epoch_lag_last_{0};
+  std::atomic<std::uint64_t> epoch_lag_max_{0};
 
   // The published snapshot (readers' entry point; see snapshot()).
   SnapshotHandle<ServingSnapshot> snapshot_;

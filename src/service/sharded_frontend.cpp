@@ -8,11 +8,24 @@
 #include "common/top_k.hpp"
 #include "service/serving_detail.hpp"
 #include "service/wire.hpp"
+#include "sim/fault_plan.hpp"
 
 namespace crp::service {
 
 using serving_detail::ScoredRef;
 using serving_detail::better_ref;
+
+const char* to_string(ShardHealth health) {
+  switch (health) {
+    case ShardHealth::kClosed:
+      return "closed";
+    case ShardHealth::kOpen:
+      return "open";
+    case ShardHealth::kHalfOpen:
+      return "half-open";
+  }
+  return "?";
+}
 
 namespace {
 
@@ -61,11 +74,13 @@ ShardedFrontend::ShardedFrontend(ShardedFrontendConfig config)
     config_.service.snapshots.max_epoch_lag = 1;
   }
   shards_.reserve(config_.shards);
+  runtime_.reserve(config_.shards);
   for (std::size_t s = 0; s < config_.shards; ++s) {
     shards_.push_back(std::make_unique<PositionService>(config_.service));
     // Publish the empty snapshot so a View never holds a null — reads
     // before the first write answer empty, not undefined.
     (void)shards_.back()->publish_snapshot(SimTime::epoch());
+    runtime_.push_back(std::make_unique<ShardRuntime>());
   }
 }
 
@@ -75,29 +90,260 @@ std::size_t ShardedFrontend::shard_index(std::string_view node_id,
   return static_cast<std::size_t>(stable_hash(node_id) % shard_count);
 }
 
+// --- fault machinery (inert while plan_ == nullptr) ---
+
+void ShardedFrontend::set_fault_plan(const sim::FaultPlan* plan) {
+  plan_ = plan != nullptr && plan->empty() ? nullptr : plan;
+  if (plan_ == nullptr) return;
+  // Seed every fallback with the currently published snapshot so a
+  // shard that fails before its first armed write still has a
+  // last-known-good to serve.
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    runtime_[s]->fallback.store(shards_[s]->snapshot());
+  }
+}
+
+void ShardedFrontend::open_breaker(std::size_t s, SimTime now) {
+  ShardRuntime& rt = *runtime_[s];
+  rt.health.store(static_cast<std::uint8_t>(ShardHealth::kOpen),
+                  std::memory_order_relaxed);
+  rt.opened_at = now;
+  rt.consecutive_failures = 0;
+  rt.half_open_successes = 0;
+  breaker_opens_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ShardedFrontend::process_shard_faults(std::size_t s, SimTime now) {
+  ShardRuntime& rt = *runtime_[s];
+  // Crash events first: the event key is pure (rule, epoch), so the
+  // wipe happens exactly once per scheduled crash no matter how many
+  // writes, ticks or expiries observe it.
+  const auto crash = plan_->shard_crash_event(s, now);
+  if (crash.has_value() && (!rt.crash_seen || *crash != rt.last_crash_key)) {
+    rt.crash_seen = true;
+    rt.last_crash_key = *crash;
+    if (rt.fallback.load() == nullptr) {
+      rt.fallback.store(shards_[s]->snapshot());
+    }
+    // The wipe: the shard publishes an empty snapshot, but Views keep
+    // serving the fallback captured above until recovery re-closes the
+    // breaker.
+    shards_[s]->reset(now);
+    rt.needs_recovery = true;
+    shard_crashes_.fetch_add(1, std::memory_order_relaxed);
+    if (static_cast<ShardHealth>(rt.health.load(
+            std::memory_order_relaxed)) != ShardHealth::kOpen) {
+      open_breaker(s, now);
+    } else {
+      rt.opened_at = now;  // crash while open restarts the cooldown
+    }
+  }
+  // Half-open scheduling: deterministic sim-time cooldown, and never
+  // while the shard still needs a replay — a probe into an empty shard
+  // would "succeed" and close the breaker over a hollow partition.
+  if (static_cast<ShardHealth>(rt.health.load(std::memory_order_relaxed)) ==
+          ShardHealth::kOpen &&
+      !rt.needs_recovery && rt.opened_at >= SimTime::epoch() &&
+      now - rt.opened_at >= config_.breaker.open_cooldown) {
+    rt.health.store(static_cast<std::uint8_t>(ShardHealth::kHalfOpen),
+                    std::memory_order_relaxed);
+    rt.half_open_successes = 0;
+    breaker_half_opens_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ShardedFrontend::note_write_success(std::size_t s) {
+  ShardRuntime& rt = *runtime_[s];
+  rt.consecutive_failures = 0;
+  if (static_cast<ShardHealth>(rt.health.load(std::memory_order_relaxed)) ==
+      ShardHealth::kHalfOpen) {
+    if (++rt.half_open_successes >= config_.breaker.success_threshold) {
+      rt.health.store(static_cast<std::uint8_t>(ShardHealth::kClosed),
+                      std::memory_order_relaxed);
+      rt.half_open_successes = 0;
+      breaker_closes_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void ShardedFrontend::note_write_failure(std::size_t s, SimTime now) {
+  ShardRuntime& rt = *runtime_[s];
+  if (static_cast<ShardHealth>(rt.health.load(std::memory_order_relaxed)) ==
+      ShardHealth::kHalfOpen) {
+    // A failed probe re-opens immediately — half-open admits traffic on
+    // sufferance.
+    open_breaker(s, now);
+    return;
+  }
+  if (++rt.consecutive_failures >= config_.breaker.failure_threshold) {
+    open_breaker(s, now);
+  }
+}
+
+bool ShardedFrontend::admit_write(std::size_t s, SimTime now,
+                                  std::size_t weight) {
+  if (plan_ == nullptr) return true;
+  process_shard_faults(s, now);
+  ShardRuntime& rt = *runtime_[s];
+  if (static_cast<ShardHealth>(rt.health.load(std::memory_order_relaxed)) ==
+      ShardHealth::kOpen) {
+    writes_shed_.fetch_add(weight, std::memory_order_relaxed);
+    return false;
+  }
+  // Bounded retry with exponential backoff: retry r draws at
+  // now + 2^(r-1) * retry_backoff, so a stall epoch boundary inside the
+  // backoff window lets a retry succeed — and the draws stay pure
+  // functions of (shard, attempt, advanced clock).
+  const ShardBreakerConfig& br = config_.breaker;
+  for (std::size_t attempt = 0;; ++attempt) {
+    const SimTime t =
+        attempt == 0
+            ? now
+            : now + Duration{br.retry_backoff.micros()
+                             << (attempt - 1)};
+    if (!plan_->shard_stalled(s, t, attempt)) {
+      note_write_success(s);
+      return true;
+    }
+    if (attempt == br.max_retries) break;
+    write_retries_.fetch_add(1, std::memory_order_relaxed);
+  }
+  writes_failed_.fetch_add(weight, std::memory_order_relaxed);
+  note_write_failure(s, now);
+  return false;
+}
+
+void ShardedFrontend::refresh_fallback(std::size_t s) {
+  runtime_[s]->fallback.store(shards_[s]->snapshot());
+}
+
+void ShardedFrontend::tick(SimTime now) {
+  if (plan_ == nullptr) return;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    process_shard_faults(s, now);
+  }
+}
+
+ShardHealth ShardedFrontend::shard_health(std::size_t index) const {
+  return static_cast<ShardHealth>(
+      runtime_[index]->health.load(std::memory_order_relaxed));
+}
+
+std::vector<std::size_t> ShardedFrontend::shards_needing_recovery() const {
+  std::vector<std::size_t> out;
+  for (std::size_t s = 0; s < runtime_.size(); ++s) {
+    if (runtime_[s]->needs_recovery) out.push_back(s);
+  }
+  return out;
+}
+
+std::size_t ShardedFrontend::recover_shard(std::size_t index,
+                                           std::span<const std::string> replay,
+                                           SimTime now, ThreadPool* pool) {
+  ShardRuntime& rt = *runtime_[index];
+  if (!rt.needs_recovery) return 0;
+  // Keep only this shard's frames: peers hand over whole stores, and
+  // replaying another shard's nodes here would corrupt the partition.
+  std::vector<std::string> owned;
+  owned.reserve(replay.size());
+  for (const std::string& bytes : replay) {
+    const auto id = peek_node_id(bytes);
+    if (id.has_value() && shard_of(*id) == index) owned.push_back(bytes);
+  }
+  const std::size_t accepted =
+      shards_[index]->publish_batch(owned, now, pool);
+  (void)shards_[index]->publish_snapshot(now);
+  recovery_replays_.fetch_add(accepted, std::memory_order_relaxed);
+  rt.needs_recovery = false;
+  refresh_fallback(index);
+  // Caught up: the breaker closes without half-open ceremony — the
+  // replay itself was the probe.
+  if (static_cast<ShardHealth>(rt.health.load(std::memory_order_relaxed)) !=
+      ShardHealth::kClosed) {
+    rt.health.store(static_cast<std::uint8_t>(ShardHealth::kClosed),
+                    std::memory_order_relaxed);
+    breaker_closes_.fetch_add(1, std::memory_order_relaxed);
+  }
+  rt.consecutive_failures = 0;
+  rt.half_open_successes = 0;
+  return accepted;
+}
+
+FrontendHealthStats ShardedFrontend::health_stats() const {
+  FrontendHealthStats s;
+  s.breaker_opens = breaker_opens_.load(std::memory_order_relaxed);
+  s.breaker_half_opens =
+      breaker_half_opens_.load(std::memory_order_relaxed);
+  s.breaker_closes = breaker_closes_.load(std::memory_order_relaxed);
+  s.write_retries = write_retries_.load(std::memory_order_relaxed);
+  s.writes_failed = writes_failed_.load(std::memory_order_relaxed);
+  s.writes_shed = writes_shed_.load(std::memory_order_relaxed);
+  s.shard_crashes = shard_crashes_.load(std::memory_order_relaxed);
+  s.recovery_replays = recovery_replays_.load(std::memory_order_relaxed);
+  s.stale_fallback_views =
+      health_counters_->stale_fallback_views.load(std::memory_order_relaxed);
+  s.degraded_answers =
+      health_counters_->degraded_answers.load(std::memory_order_relaxed);
+  s.partial_answers =
+      health_counters_->partial_answers.load(std::memory_order_relaxed);
+  return s;
+}
+
 // --- writes ---
 
 bool ShardedFrontend::publish(PositionReport report, SimTime now) {
-  return shards_[shard_of(report.node_id)]->publish(std::move(report), now);
+  const std::size_t s = shard_of(report.node_id);
+  if (!admit_write(s, now, 1)) return false;
+  const bool accepted = shards_[s]->publish(std::move(report), now);
+  if (plan_ != nullptr) refresh_fallback(s);
+  return accepted;
 }
 
 bool ShardedFrontend::publish_encoded(std::string_view bytes, SimTime now) {
-  // Route by the peeked id; bytes whose header won't even peek go to
-  // shard 0, whose full decode rejects and counts them.
+  // Route by the peeked id; frames whose header won't even peek are a
+  // routing failure, counted here and delivered nowhere (decode would
+  // reject them anyway — peek failing implies decode rejects).
   const auto id = peek_node_id(bytes);
-  const std::size_t s = id.has_value() ? shard_of(*id) : 0;
-  return shards_[s]->publish_encoded(bytes, now);
+  if (!id.has_value()) {
+    routing_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  const std::size_t s = shard_of(*id);
+  if (!admit_write(s, now, 1)) return false;
+  const bool accepted = shards_[s]->publish_encoded(bytes, now);
+  if (plan_ != nullptr) refresh_fallback(s);
+  return accepted;
 }
 
 std::size_t ShardedFrontend::publish_batch(std::span<const std::string> batch,
                                            SimTime now, ThreadPool* pool) {
   if (shards_.size() == 1) {
-    return shards_[0]->publish_batch(batch, now, pool);
+    if (!admit_write(0, now, batch.size())) return 0;
+    const std::size_t accepted = shards_[0]->publish_batch(batch, now, pool);
+    if (plan_ != nullptr) refresh_fallback(0);
+    return accepted;
   }
   std::vector<std::vector<std::string>> groups(shards_.size());
   for (const std::string& bytes : batch) {
     const auto id = peek_node_id(bytes);
-    groups[id.has_value() ? shard_of(*id) : 0].push_back(bytes);
+    if (!id.has_value()) {
+      routing_rejected_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    groups[shard_of(*id)].push_back(bytes);
+  }
+  // Admission runs sequentially on the writer (breaker state is
+  // writer-owned); each non-empty group passes or sheds as one unit.
+  // Crash/probe scheduling advances for every shard, traffic or not.
+  std::vector<char> admitted(shards_.size(), 1);
+  if (plan_ != nullptr) {
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      if (groups[s].empty()) {
+        process_shard_faults(s, now);
+      } else {
+        admitted[s] = admit_write(s, now, groups[s].size()) ? 1 : 0;
+      }
+    }
   }
   // Distinct shards are distinct single-writer domains, so the groups
   // apply in parallel; within a shard the group keeps batch order, so
@@ -106,25 +352,62 @@ std::size_t ShardedFrontend::publish_batch(std::span<const std::string> batch,
   ThreadPool& p = pool != nullptr ? *pool : ThreadPool::shared();
   std::vector<std::size_t> accepted(shards_.size(), 0);
   p.parallel_for(0, shards_.size(), [&](std::size_t s) {
+    if (admitted[s] == 0) return;
     accepted[s] = shards_[s]->publish_batch(groups[s], now, &p);
   });
   std::size_t total = 0;
   for (const std::size_t a : accepted) total += a;
+  if (plan_ != nullptr) {
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      if (admitted[s] != 0 && !groups[s].empty()) refresh_fallback(s);
+    }
+  }
   return total;
 }
 
 bool ShardedFrontend::remove(const std::string& node_id) {
-  return shards_[shard_of(node_id)]->remove(node_id);
+  const std::size_t s = shard_of(node_id);
+  // remove() carries no timestamp, so there is no clock to draw a stall
+  // against — admission checks only the breaker.
+  if (plan_ != nullptr && shard_health(s) == ShardHealth::kOpen) {
+    writes_shed_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  const bool dropped = shards_[s]->remove(node_id);
+  if (plan_ != nullptr) refresh_fallback(s);
+  return dropped;
 }
 
 std::size_t ShardedFrontend::expire(SimTime now) {
   std::size_t dropped = 0;
-  for (const auto& shard : shards_) dropped += shard->expire(now);
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (plan_ != nullptr) {
+      // Maintenance, not client traffic: a stalled or failed shard just
+      // skips this sweep — no retries, no breaker transitions.
+      process_shard_faults(s, now);
+      if (shard_health(s) != ShardHealth::kClosed ||
+          plan_->shard_stalled(s, now)) {
+        continue;
+      }
+    }
+    dropped += shards_[s]->expire(now);
+    if (plan_ != nullptr) refresh_fallback(s);
+  }
   return dropped;
 }
 
 void ShardedFrontend::publish_snapshots(SimTime now) {
-  for (const auto& shard : shards_) (void)shard->publish_snapshot(now);
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (plan_ != nullptr) {
+      process_shard_faults(s, now);
+      if (shard_health(s) != ShardHealth::kClosed ||
+          plan_->shard_stalled(s, now)) {
+        continue;  // a stalled shard stops republishing, per the kind
+      }
+    }
+    (void)shards_[s]->publish_snapshot(now);
+    if (plan_ != nullptr) refresh_fallback(s);
+  }
 }
 
 // --- inspection ---
@@ -171,12 +454,51 @@ ShardedFrontend::View ShardedFrontend::view() const {
   View v;
   v.snaps_.reserve(shards_.size());
   v.epochs_.reserve(shards_.size());
-  for (const auto& shard : shards_) {
-    std::shared_ptr<const ServingSnapshot> snap = shard->snapshot();
+  v.health_.reserve(shards_.size());
+  v.usable_bound_ =
+      std::max(config_.service.staleness_bound,
+               config_.service.stale_usable_bound);
+  v.counters_ = health_counters_;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    std::uint8_t h = static_cast<std::uint8_t>(ShardHealth::kClosed);
+    std::shared_ptr<const ServingSnapshot> snap;
+    if (plan_ != nullptr) {
+      h = runtime_[s]->health.load(std::memory_order_relaxed);
+      if (static_cast<ShardHealth>(h) != ShardHealth::kClosed) {
+        // Failed shard: serve its last-known-good fallback, not
+        // whatever the wiped/stalled service currently publishes.
+        snap = runtime_[s]->fallback.load();
+        if (snap != nullptr) {
+          health_counters_->stale_fallback_views.fetch_add(
+              1, std::memory_order_relaxed);
+        }
+      }
+    }
+    if (snap == nullptr) snap = shards_[s]->snapshot();
     v.epochs_.push_back(snap->membership_epoch());
     v.snaps_.push_back(std::move(snap));
+    v.health_.push_back(h);
   }
   return v;
+}
+
+ShardCompleteness ShardedFrontend::View::completeness(SimTime now) const {
+  const std::size_t n = snaps_.size();
+  ShardCompleteness c;
+  c.stale_shards.assign(n, false);
+  for (std::size_t s = 0; s < n; ++s) {
+    if (static_cast<ShardHealth>(health_[s]) == ShardHealth::kClosed) {
+      ++c.shards_answered;
+    } else if (now - snaps_[s]->frozen_at() <= usable_bound_) {
+      // The fallback is within the stale-usable window: the shard
+      // answers, flagged, from its last-known-good capture.
+      ++c.shards_answered;
+      c.stale_shards[s] = true;
+    } else {
+      c.missing_shards.push_back(s);
+    }
+  }
+  return c;
 }
 
 std::size_t ShardedFrontend::View::shard_of(std::string_view node_id) const {
@@ -313,6 +635,100 @@ TieredAnswer ShardedFrontend::View::closest_tiered(
     const std::string& client, std::span<const std::string> candidates,
     std::size_t k, SimTime now, ThreadPool* pool) const {
   return tiered_query(client, candidates, /*any=*/false, k, now, pool);
+}
+
+GatheredAnswer ShardedFrontend::View::gathered_query(
+    const std::string& client, std::span<const std::string> candidates,
+    bool any, std::size_t k, SimTime now, ThreadPool* pool) const {
+  const std::size_t n = snaps_.size();
+  GatheredAnswer out;
+  out.completeness = completeness(now);
+  std::vector<char> missing(n, 0);
+  for (const std::size_t s : out.completeness.missing_shards) {
+    missing[s] = 1;
+  }
+  const std::size_t owner = shard_of(client);
+  snaps_[owner]->count_queries();
+  if (missing[owner] != 0) {
+    // Nothing left that knows the client: its shard is down and the
+    // fallback aged out. Typed refusal, not an empty vector — the
+    // caller can tell "retry after recovery" from "node gone".
+    out.tiered.reason = DegradedReason::kShardUnavailable;
+    snaps_[owner]->count_outcome(AnswerTier::kRefused);
+    return out;
+  }
+  const auto res = snaps_[owner]->resident(client, now);
+  if (!res.has_value()) {
+    out.tiered.reason = DegradedReason::kUnknownClient;
+    snaps_[owner]->count_outcome(AnswerTier::kRefused);
+    return out;
+  }
+  const bool fresh = res->live;
+  if (!fresh && !res->stale_usable) {
+    out.tiered.reason = DegradedReason::kClientExpired;
+    snaps_[owner]->count_outcome(AnswerTier::kRefused);
+    return out;
+  }
+  // Scatter over the answering shards. A stale-fallback shard widens to
+  // the stale band (its capture is old; its stale-but-usable reports
+  // are the whole point of serving it); missing shards contribute
+  // nothing. On an all-healthy view this is tiered_query verbatim.
+  std::vector<std::vector<RankedNode>> partials(n);
+  ThreadPool& p = pool != nullptr ? *pool : ThreadPool::shared();
+  p.parallel_for(0, n, [&](std::size_t s) {
+    if (missing[s] != 0) return;
+    const bool stale_band = !fresh || out.completeness.stale_shards[s];
+    const std::size_t exclude =
+        s == owner ? res->slot : ServingSnapshot::npos;
+    if (any) {
+      partials[s] = snaps_[s]->partial_closest_any(res->row, exclude,
+                                                   stale_band, k, now);
+    } else {
+      const auto vetted =
+          snaps_[s]->vet_candidates(candidates, stale_band, now);
+      partials[s] = snaps_[s]->partial_closest(res->row, exclude, vetted, k);
+    }
+  });
+  out.tiered.ranked = merge_partials(partials, k);
+  if (out.tiered.ranked.empty()) {
+    out.tiered.tier = AnswerTier::kRefused;
+    out.tiered.reason = DegradedReason::kNoUsableCandidates;
+    snaps_[owner]->count_outcome(AnswerTier::kRefused);
+    return out;
+  }
+  const bool used_stale_shard = out.completeness.any_stale();
+  if (!fresh) {
+    out.tiered.tier = AnswerTier::kStale;
+    out.tiered.reason = DegradedReason::kStaleClient;
+  } else if (used_stale_shard) {
+    out.tiered.tier = AnswerTier::kStale;
+    out.tiered.reason = DegradedReason::kStaleShard;
+  } else {
+    out.tiered.tier = AnswerTier::kFresh;
+    out.tiered.reason = DegradedReason::kNone;
+  }
+  snaps_[owner]->count_outcome(out.tiered.tier);
+  if (counters_ != nullptr) {
+    if (used_stale_shard) {
+      counters_->degraded_answers.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (!out.completeness.complete()) {
+      counters_->partial_answers.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+GatheredAnswer ShardedFrontend::View::closest_any_gathered(
+    const std::string& client, std::size_t k, SimTime now,
+    ThreadPool* pool) const {
+  return gathered_query(client, {}, /*any=*/true, k, now, pool);
+}
+
+GatheredAnswer ShardedFrontend::View::closest_gathered(
+    const std::string& client, std::span<const std::string> candidates,
+    std::size_t k, SimTime now, ThreadPool* pool) const {
+  return gathered_query(client, candidates, /*any=*/false, k, now, pool);
 }
 
 std::vector<RankedNode> ShardedFrontend::View::top_k(
@@ -460,6 +876,18 @@ std::vector<std::vector<RankedNode>> ShardedFrontend::closest_batch(
   return view().closest_batch(clients, candidates, k, now, pool);
 }
 
+GatheredAnswer ShardedFrontend::closest_any_gathered(
+    const std::string& client, std::size_t k, SimTime now,
+    ThreadPool* pool) const {
+  return view().closest_any_gathered(client, k, now, pool);
+}
+
+GatheredAnswer ShardedFrontend::closest_gathered(
+    const std::string& client, std::span<const std::string> candidates,
+    std::size_t k, SimTime now, ThreadPool* pool) const {
+  return view().closest_gathered(client, candidates, k, now, pool);
+}
+
 // --- stats ---
 
 std::vector<ServiceStats> ShardedFrontend::shard_stats() const {
@@ -470,7 +898,11 @@ std::vector<ServiceStats> ShardedFrontend::shard_stats() const {
 }
 
 ServiceStats ShardedFrontend::stats() const {
-  return aggregate_stats(shard_stats());
+  ServiceStats total = aggregate_stats(shard_stats());
+  // Routing happens above the shards, so its reject count lives here.
+  total.routing_rejected +=
+      routing_rejected_.load(std::memory_order_relaxed);
+  return total;
 }
 
 }  // namespace crp::service

@@ -49,6 +49,7 @@
 // are safe from any thread concurrently with the writer.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -57,6 +58,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/snapshot_handle.hpp"
 #include "common/time.hpp"
 #include "core/ratio_map.hpp"
 #include "service/position_service.hpp"
@@ -66,7 +68,30 @@ namespace crp {
 class ThreadPool;
 }
 
+namespace crp::sim {
+class FaultPlan;
+}
+
 namespace crp::service {
+
+/// Per-shard circuit-breaker tuning (DESIGN.md §9). All decisions are
+/// deterministic: failures come from `FaultPlan` draws (pure hashes) and
+/// the half-open probe is scheduled by sim-time cooldown, so two runs of
+/// the same write sequence transition breakers identically regardless of
+/// thread count.
+struct ShardBreakerConfig {
+  /// Consecutive write failures that trip a closed breaker open.
+  std::size_t failure_threshold = 3;
+  /// Consecutive half-open probe successes that re-close it.
+  std::size_t success_threshold = 2;
+  /// Sim-time an open breaker waits before admitting half-open probes.
+  Duration open_cooldown = Minutes(5);
+  /// Extra attempts after the first failed write admission (0 = fail
+  /// fast). Each retry draws independently at a backoff-advanced clock.
+  std::size_t max_retries = 2;
+  /// Backoff before retry r is 2^(r-1) * retry_backoff (exponential).
+  Duration retry_backoff = Seconds(2);
+};
 
 struct ShardedFrontendConfig {
   /// Shard count; clamped to at least 1. 1 is the degenerate frontend —
@@ -77,6 +102,91 @@ struct ShardedFrontendConfig {
   /// max_epoch_lag=1 so queries always see the latest completed write;
   /// an explicitly enabled config keeps the caller's pacing.
   ServiceConfig service;
+  /// Circuit-breaker behaviour once a fault plan is armed; inert (never
+  /// consulted) without one.
+  ShardBreakerConfig breaker;
+};
+
+/// Circuit-breaker state of one shard. Closed is healthy; open sheds
+/// writes and serves reads from the shard's stale fallback snapshot;
+/// half-open admits probe writes that decide between re-closing and
+/// re-opening.
+enum class ShardHealth : std::uint8_t {
+  kClosed = 0,
+  kOpen = 1,
+  kHalfOpen = 2,
+};
+
+[[nodiscard]] const char* to_string(ShardHealth health);
+
+/// Per-shard completeness of a gathered answer: which shards actually
+/// contributed, and on what terms. The reader's contract: `complete()`
+/// and no stale flags = the answer is exactly the healthy frontend's;
+/// stale flags = complete but shards {i} answered from their last-known
+/// fallback snapshot; `missing_shards` nonempty = partial (those
+/// partitions are invisible to this answer).
+struct ShardCompleteness {
+  /// Shards that contributed (fresh or via stale fallback).
+  std::size_t shards_answered = 0;
+  /// Shards excluded entirely (failed, fallback older than the usable
+  /// bound), ascending.
+  std::vector<std::size_t> missing_shards;
+  /// stale_shards[s]: shard s answered from a failed shard's fallback
+  /// snapshot (one flag per shard, parallel to the epoch vector).
+  std::vector<bool> stale_shards;
+
+  [[nodiscard]] bool complete() const { return missing_shards.empty(); }
+  [[nodiscard]] bool any_stale() const {
+    for (const bool s : stale_shards) {
+      if (s) return true;
+    }
+    return false;
+  }
+};
+
+/// A tiered answer plus the per-shard completeness vector it was
+/// gathered under — the fault-aware query result (DESIGN.md §9).
+struct GatheredAnswer {
+  TieredAnswer tiered;
+  ShardCompleteness completeness;
+};
+
+/// Cumulative fault-handling accounting for one ShardedFrontend. All
+/// zero until a fault plan is armed and something actually degrades.
+struct FrontendHealthStats {
+  /// Breaker transitions: closed/half-open -> open.
+  std::uint64_t breaker_opens = 0;
+  /// open -> half-open (cooldown expired, probes admitted).
+  std::uint64_t breaker_half_opens = 0;
+  /// half-open -> closed (probes succeeded / recovery caught up).
+  std::uint64_t breaker_closes = 0;
+  /// Write attempts re-drawn after a stall (per retry, not per report).
+  std::uint64_t write_retries = 0;
+  /// Reports dropped after exhausting retries against a stalled shard.
+  std::uint64_t writes_failed = 0;
+  /// Reports shed without attempting because the breaker was open.
+  std::uint64_t writes_shed = 0;
+  /// Scheduled kShardCrash events that wiped a shard.
+  std::uint64_t shard_crashes = 0;
+  /// Reports re-ingested into crashed shards by recover_shard().
+  std::uint64_t recovery_replays = 0;
+  /// View captures that substituted a failed shard's fallback snapshot
+  /// (counted per shard substitution, not per view).
+  std::uint64_t stale_fallback_views = 0;
+  /// Gathered answers that included at least one stale-fallback shard.
+  std::uint64_t degraded_answers = 0;
+  /// Gathered answers that excluded at least one shard.
+  std::uint64_t partial_answers = 0;
+};
+
+/// Reader-bumped health counters (degraded/partial answers, fallback
+/// substitutions). Heap-shared between the frontend and its Views so a
+/// detached View never writes through a dangling pointer — the same
+/// shared-ownership grace period snapshots use.
+struct FrontendHealthCounters {
+  std::atomic<std::uint64_t> degraded_answers{0};
+  std::atomic<std::uint64_t> partial_answers{0};
+  std::atomic<std::uint64_t> stale_fallback_views{0};
 };
 
 class ShardedFrontend {
@@ -131,6 +241,29 @@ class ShardedFrontend {
         std::span<const std::string> candidates, std::size_t k, SimTime now,
         ThreadPool* pool = nullptr) const;
 
+    // --- fault-aware (gathered) queries ---
+    /// Health captured per shard at view() time (all kClosed without an
+    /// armed fault plan — the healthy view is indistinguishable).
+    [[nodiscard]] ShardHealth shard_health(std::size_t index) const {
+      return static_cast<ShardHealth>(health_[index]);
+    }
+    /// The completeness vector a gathered query at `now` answers under:
+    /// healthy shards answer; failed shards answer from their fallback
+    /// when it is younger than the usable bound, else go missing.
+    [[nodiscard]] ShardCompleteness completeness(SimTime now) const;
+    /// closest_any/closest with an explicit completeness account. On an
+    /// all-healthy view the tiered part is bit-identical to
+    /// closest_any_tiered/closest_tiered; under shard failure the answer
+    /// degrades (stale fallback shards widen to the stale band, missing
+    /// shards are excluded) instead of vanishing. A client whose owning
+    /// shard is missing refuses with kShardUnavailable.
+    [[nodiscard]] GatheredAnswer closest_any_gathered(
+        const std::string& client, std::size_t k, SimTime now,
+        ThreadPool* pool = nullptr) const;
+    [[nodiscard]] GatheredAnswer closest_gathered(
+        const std::string& client, std::span<const std::string> candidates,
+        std::size_t k, SimTime now, ThreadPool* pool = nullptr) const;
+
    private:
     friend class ShardedFrontend;
     View() = default;
@@ -139,9 +272,21 @@ class ShardedFrontend {
     [[nodiscard]] TieredAnswer tiered_query(
         const std::string& client, std::span<const std::string> candidates,
         bool any, std::size_t k, SimTime now, ThreadPool* pool) const;
+    /// Shared core of the gathered queries.
+    [[nodiscard]] GatheredAnswer gathered_query(
+        const std::string& client, std::span<const std::string> candidates,
+        bool any, std::size_t k, SimTime now, ThreadPool* pool) const;
 
     std::vector<std::shared_ptr<const ServingSnapshot>> snaps_;
     std::vector<std::uint64_t> epochs_;
+    /// ShardHealth per shard at capture (uint8_t to stay vector-packed).
+    std::vector<std::uint8_t> health_;
+    /// max(staleness_bound, stale_usable_bound) of the shard config —
+    /// how old a failed shard's fallback may be and still answer.
+    Duration usable_bound_{0};
+    /// Shared with the owning frontend so degraded/partial accounting
+    /// survives a View outliving it.
+    std::shared_ptr<FrontendHealthCounters> counters_;
   };
 
   explicit ShardedFrontend(ShardedFrontendConfig config = {});
@@ -171,11 +316,15 @@ class ShardedFrontend {
   bool publish(PositionReport report, SimTime now);
   bool publish_encoded(std::string_view bytes, SimTime now);
   /// Routes each report to its owning shard by peeking the node id out
-  /// of the wire header (reports whose header won't even peek go to
-  /// shard 0, whose full decode rejects and counts them), then applies
-  /// the per-shard groups in parallel on `pool`. Relative order within
-  /// a shard is batch order, so the end state is identical to routing
-  /// the reports one by one. Returns how many were accepted.
+  /// of the wire header (frames whose header won't even peek are
+  /// counted in `routing_rejected` and delivered nowhere — decode would
+  /// reject them anyway, and counting at the routing layer keeps the
+  /// drop attributable instead of burying it in one shard's reject
+  /// counter), then applies the per-shard groups in parallel on `pool`.
+  /// Relative order within a shard is batch order, so the end state is
+  /// identical to routing the reports one by one. With a fault plan
+  /// armed, each shard's group passes write admission as one unit.
+  /// Returns how many were accepted.
   std::size_t publish_batch(std::span<const std::string> batch, SimTime now,
                             ThreadPool* pool = nullptr);
   bool remove(const std::string& node_id);
@@ -229,20 +378,114 @@ class ShardedFrontend {
       std::span<const std::string> clients,
       std::span<const std::string> candidates, std::size_t k, SimTime now,
       ThreadPool* pool = nullptr) const;
+  [[nodiscard]] GatheredAnswer closest_any_gathered(
+      const std::string& client, std::size_t k, SimTime now,
+      ThreadPool* pool = nullptr) const;
+  [[nodiscard]] GatheredAnswer closest_gathered(
+      const std::string& client, std::span<const std::string> candidates,
+      std::size_t k, SimTime now, ThreadPool* pool = nullptr) const;
+
+  // --- fault tolerance (DESIGN.md §9) ---
+  /// Arms (or with nullptr disarms) a deterministic fault plan. While
+  /// armed, writes consult kShardStall/kShardCrash draws and the
+  /// per-shard breakers; unarmed, every fault path short-circuits and
+  /// the frontend is bit-identical to one that never heard of faults.
+  /// The plan must outlive the frontend (not copied). Arming seeds each
+  /// shard's fallback snapshot with its currently published one.
+  /// Writer-side.
+  void set_fault_plan(const sim::FaultPlan* plan);
+  [[nodiscard]] const sim::FaultPlan* fault_plan() const { return plan_; }
+  /// Advances fault scheduling to `now` without writing: fires due
+  /// crash events and moves cooled-down open breakers to half-open.
+  /// Writes do this implicitly for the shards they touch; campaigns
+  /// call this at time boundaries so a write-quiet shard still crashes
+  /// and probes on schedule. Writer-side. No-op unless a plan is armed.
+  void tick(SimTime now);
+  /// Current breaker state of shard `index` (kClosed when unarmed).
+  /// Safe from any thread.
+  [[nodiscard]] ShardHealth shard_health(std::size_t index) const;
+  /// Shards wiped by a crash event and not yet re-fed (ascending).
+  /// Writer-side.
+  [[nodiscard]] std::vector<std::size_t> shards_needing_recovery() const;
+  /// Anti-entropy crash recovery: re-ingests `replay` (wire-encoded
+  /// reports gathered from gossip peers; frames owned by other shards
+  /// are filtered out, so callers may pass a whole peer store) into the
+  /// crashed shard, republishes its snapshot at `now`, refreshes the
+  /// fallback and force-closes the breaker. Returns reports accepted.
+  /// No-op (returns 0) for shards not needing recovery. Writer-side.
+  std::size_t recover_shard(std::size_t index,
+                            std::span<const std::string> replay, SimTime now,
+                            ThreadPool* pool = nullptr);
+  /// Cumulative fault-handling counters. Safe from any thread.
+  [[nodiscard]] FrontendHealthStats health_stats() const;
 
   // --- stats ---
-  /// Aggregate over all shards (field-wise sum). queries_served,
-  /// accept/reject and the tier counters aggregate to exactly what one
-  /// unsharded service would count under the same traffic; the
-  /// similarity_queries/maps_touched pair counts real per-shard work —
-  /// a scattered query pays one partial read per shard.
+  /// Aggregate over all shards (field-wise sum; epoch-lag fields take
+  /// the max — a fleet is as far behind as its worst shard). The
+  /// frontend's own `routing_rejected` count is added on top (shards
+  /// never see unpeekable frames). queries_served, accept/reject and
+  /// the tier counters aggregate to exactly what one unsharded service
+  /// would count under the same traffic; the similarity_queries/
+  /// maps_touched pair counts real per-shard work — a scattered query
+  /// pays one partial read per shard.
   [[nodiscard]] ServiceStats stats() const;
   /// Per-shard breakdown, in shard order.
   [[nodiscard]] std::vector<ServiceStats> shard_stats() const;
 
  private:
+  /// Writer-owned fault bookkeeping for one shard. `health` and
+  /// `fallback` are the reader-visible edge (relaxed atomic + snapshot
+  /// handle per the §8 counter contract); the rest is writer-only.
+  struct ShardRuntime {
+    std::atomic<std::uint8_t> health{
+        static_cast<std::uint8_t>(ShardHealth::kClosed)};
+    /// Last snapshot published by a healthy write — what Views serve
+    /// for this shard while it is failed (the "last known good").
+    SnapshotHandle<ServingSnapshot> fallback;
+    // writer-only breaker bookkeeping
+    std::size_t consecutive_failures = 0;
+    std::size_t half_open_successes = 0;
+    SimTime opened_at{-1};
+    bool needs_recovery = false;
+    bool crash_seen = false;
+    std::uint64_t last_crash_key = 0;
+  };
+
+  /// Crash events + half-open scheduling for shard `s` at `now`
+  /// (armed-plan only; callers gate).
+  void process_shard_faults(std::size_t s, SimTime now);
+  /// Write admission for shard `s`: breaker check then bounded
+  /// stall-retry. `weight` is how many reports ride on the admission
+  /// (sheds/failures count per report). True = deliver the write.
+  bool admit_write(std::size_t s, SimTime now, std::size_t weight);
+  void note_write_success(std::size_t s);
+  void note_write_failure(std::size_t s, SimTime now);
+  void open_breaker(std::size_t s, SimTime now);
+  /// Re-points shard `s`'s fallback at its current published snapshot
+  /// (after every healthy write, so the fallback is never staler than
+  /// the last success).
+  void refresh_fallback(std::size_t s);
+
   ShardedFrontendConfig config_;
   std::vector<std::unique_ptr<PositionService>> shards_;
+  /// One runtime per shard (unique_ptr: atomics pin the address).
+  std::vector<std::unique_ptr<ShardRuntime>> runtime_;
+  /// Armed fault plan; nullptr = every fault path inert.
+  const sim::FaultPlan* plan_ = nullptr;
+  std::shared_ptr<FrontendHealthCounters> health_counters_ =
+      std::make_shared<FrontendHealthCounters>();
+  // Writer-bumped, reader-read (relaxed, §8).
+  std::atomic<std::uint64_t> breaker_opens_{0};
+  std::atomic<std::uint64_t> breaker_half_opens_{0};
+  std::atomic<std::uint64_t> breaker_closes_{0};
+  std::atomic<std::uint64_t> write_retries_{0};
+  std::atomic<std::uint64_t> writes_failed_{0};
+  std::atomic<std::uint64_t> writes_shed_{0};
+  std::atomic<std::uint64_t> shard_crashes_{0};
+  std::atomic<std::uint64_t> recovery_replays_{0};
+  /// Satellite: wire frames whose header would not even peek — counted
+  /// at the routing layer instead of being delivered anywhere.
+  std::atomic<std::uint64_t> routing_rejected_{0};
 };
 
 }  // namespace crp::service

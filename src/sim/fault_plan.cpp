@@ -17,6 +17,10 @@ const char* to_string(FaultKind kind) {
       return "query-timeout";
     case FaultKind::kReplicaDrain:
       return "replica-drain";
+    case FaultKind::kShardStall:
+      return "shard-stall";
+    case FaultKind::kShardCrash:
+      return "shard-crash";
   }
   return "?";
 }
@@ -108,6 +112,43 @@ bool FaultPlan::replica_drained(ReplicaId replica, SimTime t) const {
               replica.value(), t);
 }
 
+bool FaultPlan::shard_stalled(std::uint64_t shard, SimTime t,
+                              std::uint64_t attempt) const {
+  if (rules_.empty()) return false;
+  return roll(FaultKind::kShardStall, {shard, attempt}, shard, shard, t);
+}
+
+std::optional<std::uint64_t> FaultPlan::shard_crash_event(std::uint64_t shard,
+                                                          SimTime t) const {
+  if (rules_.empty()) return std::nullopt;
+  // Mirrors roll(), but returns *which* scheduled event fired — the
+  // (rule index, epoch index) pair hashed into one key — so consumers
+  // can wipe state exactly once per event. Same draw as roll()'s, so
+  // the determinism contract carries over unchanged.
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const FaultRule& rule = rules_[i];
+    if (rule.kind != FaultKind::kShardCrash) continue;
+    if (t < rule.start || t >= rule.end) continue;
+    if (rule.entity != FaultRule::kAnyEntity && rule.entity != shard) {
+      continue;
+    }
+    if (rule.probability <= 0.0) continue;
+    const std::int64_t epoch =
+        rule.epoch <= Duration{0}
+            ? 0
+            : (t - rule.start).micros() / rule.epoch.micros();
+    const std::uint64_t key = hash_combine(
+        {seed_, stable_hash("fault-plan"),
+         static_cast<std::uint64_t>(FaultKind::kShardCrash),
+         static_cast<std::uint64_t>(i), static_cast<std::uint64_t>(epoch)});
+    const std::uint64_t h = hash_mix(key ^ shard);
+    if (rule.probability >= 1.0 || hash_to_unit(h) < rule.probability) {
+      return h;
+    }
+  }
+  return std::nullopt;
+}
+
 FaultPlan FaultPlan::chaos(std::uint64_t seed, double intensity,
                            SimTime start, SimTime end) {
   if (intensity < 0.0 || intensity > 1.0) {
@@ -137,6 +178,28 @@ FaultPlan FaultPlan::chaos(std::uint64_t seed, double intensity,
             .probability = intensity / 4.0,
             .epoch = epoch});
   plan.add({.kind = FaultKind::kResolverOutage,
+            .start = start,
+            .end = end,
+            .probability = intensity / 4.0,
+            .epoch = epoch});
+  return plan;
+}
+
+FaultPlan FaultPlan::shard_chaos(std::uint64_t seed, double intensity,
+                                 SimTime start, SimTime end) {
+  if (intensity < 0.0 || intensity > 1.0) {
+    throw std::invalid_argument{
+        "FaultPlan::shard_chaos: intensity outside [0,1]"};
+  }
+  FaultPlan plan{seed};
+  if (intensity <= 0.0) return plan;
+  const Duration epoch = Minutes(30);
+  plan.add({.kind = FaultKind::kShardStall,
+            .start = start,
+            .end = end,
+            .probability = intensity,
+            .epoch = epoch});
+  plan.add({.kind = FaultKind::kShardCrash,
             .start = start,
             .end = end,
             .probability = intensity / 4.0,

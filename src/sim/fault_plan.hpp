@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <initializer_list>
 #include <limits>
+#include <optional>
 #include <vector>
 
 #include "common/ids.hpp"
@@ -43,6 +44,15 @@ enum class FaultKind : std::uint8_t {
   kQueryTimeout,
   /// cdn: a replica is drained out of redirection candidate sets.
   kReplicaDrain,
+  /// service: a serving shard stops accepting writes (and hence stops
+  /// republishing snapshots) for the epochs the rule fires. Retries
+  /// draw per attempt with a backoff-advanced clock, so a bounded
+  /// retry can land in the next epoch and succeed.
+  kShardStall,
+  /// service: a serving shard loses its in-memory state at a scheduled
+  /// epoch (process crash). The frontend wipes the shard once per
+  /// (rule, epoch) event and rebuilds it by anti-entropy replay.
+  kShardCrash,
 };
 
 [[nodiscard]] const char* to_string(FaultKind kind);
@@ -107,12 +117,36 @@ class FaultPlan {
   /// Is `replica` drained out of redirection at `t`?
   [[nodiscard]] bool replica_drained(ReplicaId replica, SimTime t) const;
 
+  /// Is serving shard `shard` refusing write `attempt` at `t`? Distinct
+  /// attempts draw independently (like send_lost), so the frontend's
+  /// bounded retry models real stall recovery. `shard` is the shard
+  /// index; FaultRule::entity scopes a rule to one shard.
+  [[nodiscard]] bool shard_stalled(std::uint64_t shard, SimTime t,
+                                   std::uint64_t attempt = 0) const;
+
+  /// When a kShardCrash rule fires for `shard` at `t`: the identity of
+  /// that scheduled crash, a pure (rule index, epoch index) key — the
+  /// same crash returns the same key for its whole epoch, so a
+  /// consumer wipes state exactly once per scheduled event no matter
+  /// how often it asks. nullopt = no crash scheduled at `t`.
+  [[nodiscard]] std::optional<std::uint64_t> shard_crash_event(
+      std::uint64_t shard, SimTime t) const;
+
   /// Canned chaos schedule used by benches and tests: every fault class
   /// active over [start, end) at `intensity` (loss/timeout/drain
   /// probability = intensity, outage/partition probability =
   /// intensity/4 since those hit harder), re-drawn every 30 minutes.
   [[nodiscard]] static FaultPlan chaos(std::uint64_t seed, double intensity,
                                        SimTime start, SimTime end);
+
+  /// Canned shard-fault schedule for the sharded serving tier: stalls
+  /// at `intensity`, crashes at `intensity`/4 (a crash costs a rebuild,
+  /// so it is rarer, like outages in chaos()), both re-drawn every 30
+  /// minutes over [start, end). Kept separate from chaos() — probing
+  /// campaigns have no shards, serving benches have no resolvers.
+  [[nodiscard]] static FaultPlan shard_chaos(std::uint64_t seed,
+                                             double intensity, SimTime start,
+                                             SimTime end);
 
  private:
   /// Does any rule of `kind` fire for the entity keys at `t`?

@@ -231,8 +231,52 @@ TEST(ShardedOracle, PublishBatchMatchesUnshardedWithMalformedBytes) {
     const auto fs = fe.stats();
     const auto ss = svc.stats();
     EXPECT_EQ(fs.reports_accepted, ss.reports_accepted);
-    EXPECT_EQ(fs.reports_rejected, ss.reports_rejected);
+    EXPECT_EQ(ss.routing_rejected, 0u);  // unsharded: nothing routes
+    if (shards == 1) {
+      // The 1-shard fast path delegates the whole batch without
+      // peeking, so rejects land in the shard, as unsharded.
+      EXPECT_EQ(fs.routing_rejected, 0u);
+      EXPECT_EQ(fs.reports_rejected, ss.reports_rejected);
+    } else {
+      // Routed path: unpeekable frames are a routing failure, counted
+      // above the shards and delivered nowhere — the total drop count
+      // still matches the unsharded service's.
+      EXPECT_EQ(fs.routing_rejected, 2u);
+      EXPECT_EQ(fs.reports_rejected + fs.routing_rejected,
+                ss.reports_rejected);
+    }
   }
+}
+
+TEST(ShardedOracle, RoutingRejectedSplitsFromDecodeRejected) {
+  // The peek contract is one-sided: peek failing implies decode rejects,
+  // but a frame can peek fine and still fail decode (corrupt body). The
+  // former is a routing_rejected at the front-end; the latter must reach
+  // its owning shard and count there as an ordinary reports_rejected.
+  ShardedFrontendConfig fc;
+  fc.shards = 4;
+  ShardedFrontend fe{fc};
+  Rng rng{919};
+  const SimTime t0 = SimTime::epoch();
+  const auto good = encode(report_of("peekable-node", random_map(rng), t0));
+  ASSERT_TRUE(good.has_value());
+  std::string truncated = good->substr(0, good->size() - 3);
+  ASSERT_TRUE(peek_node_id(truncated).has_value());
+  ASSERT_FALSE(decode(truncated).has_value());
+  std::vector<std::string> batch{"", "xx", truncated};
+  ThreadPool pool{2};
+  EXPECT_EQ(fe.publish_batch(batch, t0, &pool), 0u);
+  auto fs = fe.stats();
+  EXPECT_EQ(fs.routing_rejected, 2u);  // "" and "xx" never peeked
+  EXPECT_EQ(fs.reports_rejected, 1u);  // truncated died in its shard
+  EXPECT_EQ(fe.shard(fe.shard_of("peekable-node")).stats().reports_rejected,
+            1u);
+  // publish_encoded follows the same split.
+  EXPECT_FALSE(fe.publish_encoded("zz", t0));
+  EXPECT_FALSE(fe.publish_encoded(truncated, t0));
+  fs = fe.stats();
+  EXPECT_EQ(fs.routing_rejected, 3u);
+  EXPECT_EQ(fs.reports_rejected, 2u);
 }
 
 TEST(ShardedFrontendTest, RoutingPartitionsNodesByStableHash) {

@@ -162,6 +162,110 @@ TEST(FaultPlan, AddValidatesRules) {
   EXPECT_THROW(plan.add(backwards), std::invalid_argument);
 }
 
+TEST(FaultPlan, EmptyPlanHasNoShardFaults) {
+  const FaultPlan plan{123};
+  const SimTime t = SimTime::epoch() + Hours(1);
+  EXPECT_FALSE(plan.shard_stalled(0, t));
+  EXPECT_FALSE(plan.shard_crash_event(0, t).has_value());
+}
+
+TEST(FaultPlan, ShardStallScopesToItsShardAndWindow) {
+  FaultPlan plan{9};
+  FaultRule rule;
+  rule.kind = FaultKind::kShardStall;
+  rule.start = SimTime::epoch() + Hours(1);
+  rule.end = SimTime::epoch() + Hours(2);
+  rule.probability = 1.0;
+  rule.entity = 2;
+  plan.add(rule);
+
+  const SimTime inside = SimTime::epoch() + Minutes(90);
+  EXPECT_TRUE(plan.shard_stalled(2, inside));
+  EXPECT_FALSE(plan.shard_stalled(1, inside));
+  EXPECT_FALSE(plan.shard_stalled(2, SimTime::epoch()));
+  EXPECT_FALSE(plan.shard_stalled(2, SimTime::epoch() + Hours(2)));
+  // Same arguments, same answer: the draw is a pure hash.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(plan.shard_stalled(2, inside));
+  }
+}
+
+TEST(FaultPlan, ShardStallAttemptsDrawIndependently) {
+  FaultPlan plan{5};
+  FaultRule rule;
+  rule.kind = FaultKind::kShardStall;
+  rule.probability = 0.5;
+  plan.add(rule);
+
+  // Over many (shard, attempt) draws both outcomes must appear, and
+  // replaying any draw must answer the same — that's what makes the
+  // frontend's bounded-retry loop deterministic.
+  const SimTime t = SimTime::epoch() + Hours(1);
+  int fired = 0, clear = 0;
+  for (std::uint64_t shard = 0; shard < 16; ++shard) {
+    for (std::uint64_t attempt = 0; attempt < 4; ++attempt) {
+      const bool a = plan.shard_stalled(shard, t, attempt);
+      EXPECT_EQ(a, plan.shard_stalled(shard, t, attempt));
+      (a ? fired : clear) += 1;
+    }
+  }
+  EXPECT_GT(fired, 0);
+  EXPECT_GT(clear, 0);
+}
+
+TEST(FaultPlan, ShardCrashKeyIsStablePerEpochAndChangesAcrossEpochs) {
+  FaultPlan plan{7};
+  FaultRule rule;
+  rule.kind = FaultKind::kShardCrash;
+  rule.start = SimTime::epoch();
+  rule.end = SimTime::epoch() + Hours(10);
+  rule.probability = 1.0;
+  rule.epoch = Hours(1);
+  rule.entity = 0;
+  plan.add(rule);
+
+  // Within one epoch the event key is constant — a frontend that
+  // already wiped for that key must not wipe again.
+  const auto first = plan.shard_crash_event(0, SimTime::epoch());
+  const auto later =
+      plan.shard_crash_event(0, SimTime::epoch() + Minutes(59));
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(later.has_value());
+  EXPECT_EQ(*first, *later);
+  // The next epoch is a new scheduled crash with a new key.
+  const auto next = plan.shard_crash_event(0, SimTime::epoch() + Hours(1));
+  ASSERT_TRUE(next.has_value());
+  EXPECT_NE(*first, *next);
+  // Entity scope: other shards never crash under this rule.
+  EXPECT_FALSE(plan.shard_crash_event(1, SimTime::epoch()).has_value());
+}
+
+TEST(FaultPlan, ShardChaosCoversBothShardFaultKinds) {
+  const SimTime start = SimTime::epoch();
+  const SimTime end = start + Hours(12);
+  const FaultPlan plan = FaultPlan::shard_chaos(11, 0.9, start, end);
+  EXPECT_FALSE(plan.empty());
+  // High intensity over many (shard, epoch) draws must produce both
+  // stalls and crashes somewhere, and nothing outside the window.
+  bool stalled = false, crashed = false;
+  for (std::uint64_t shard = 0; shard < 8; ++shard) {
+    for (int h = 0; h < 12; ++h) {
+      const SimTime t = start + Hours(h);
+      stalled = stalled || plan.shard_stalled(shard, t);
+      crashed = crashed || plan.shard_crash_event(shard, t).has_value();
+      EXPECT_FALSE(plan.shard_stalled(shard, end + Hours(1) + Hours(h)));
+    }
+  }
+  EXPECT_TRUE(stalled);
+  EXPECT_TRUE(crashed);
+  EXPECT_TRUE(FaultPlan::shard_chaos(11, 0.0, start, end).empty());
+}
+
+TEST(FaultPlan, ShardFaultKindsHaveNames) {
+  EXPECT_STREQ(to_string(FaultKind::kShardStall), "shard-stall");
+  EXPECT_STREQ(to_string(FaultKind::kShardCrash), "shard-crash");
+}
+
 TEST(FaultPlan, ChaosIntensityZeroIsEmpty) {
   const FaultPlan plan =
       FaultPlan::chaos(1, 0.0, SimTime::epoch(), SimTime::epoch() + Hours(1));
